@@ -1,0 +1,70 @@
+"""Ablation: ring vs double-binary-tree all-reduce for inference TP scaling (Eq. 3 vs Eq. 4).
+
+The paper adopts the double-binary-tree algorithm for inference because its
+latency term grows as log2(N) instead of (N-1), which "helps scale inference
+up to 8 GPUs".  This ablation prices the Llama2-13B decode phase with both
+algorithms and shows the tree widening its advantage as the TP degree grows,
+while making no difference for the huge, bandwidth-dominated collectives of
+training.
+"""
+
+from __future__ import annotations
+
+from conftest import emit, run_once
+
+from repro.analysis.formatting import render_table
+from repro.comm.collectives import CollectiveAlgorithm
+from repro.comm.fabric import CollectiveModel
+from repro.core.inference import InferencePerformanceModel
+from repro.hardware.cluster import build_system
+from repro.models.zoo import get_model
+from repro.units import MIB
+
+
+def _sweep():
+    model = get_model("Llama2-13B")
+    system = build_system("A100", num_devices=8, intra_node="NVLink3", inter_node="HDR-IB")
+    rows = []
+    for algorithm in (CollectiveAlgorithm.RING, CollectiveAlgorithm.DOUBLE_BINARY_TREE):
+        collective_model = CollectiveModel(system=system, algorithm=algorithm)
+        inference = InferencePerformanceModel(system=system, collective_model=collective_model)
+        for tp in (2, 4, 8):
+            report = inference.predict(model, tensor_parallel=tp)
+            rows.append(
+                {
+                    "algorithm": algorithm.value,
+                    "tp": tp,
+                    "latency_ms": report.total_latency_ms,
+                    "communication_ms": report.communication_time * 1e3,
+                }
+            )
+    # Training-sized collective for reference: 50 MiB gradient-sized all-reduce.
+    big_message = 50 * MIB
+    ring_big = CollectiveModel(system=system, algorithm=CollectiveAlgorithm.RING).all_reduce(big_message, 8)
+    tree_big = CollectiveModel(system=system, algorithm=CollectiveAlgorithm.DOUBLE_BINARY_TREE).all_reduce(big_message, 8)
+    return rows, ring_big, tree_big
+
+
+def test_ablation_ring_vs_tree_all_reduce(benchmark):
+    rows, ring_big, tree_big = run_once(benchmark, _sweep)
+
+    emit(render_table(rows, title="Ablation: ring vs double-binary-tree all-reduce (Llama2-13B inference)", precision=1))
+    emit(f"50 MiB training-style all-reduce: ring = {ring_big*1e6:.0f} us, tree = {tree_big*1e6:.0f} us")
+
+    by_key = {(row["algorithm"], row["tp"]): row for row in rows}
+    benchmark.extra_info["tree_gain_tp8_ms"] = round(
+        by_key[("ring", 8)]["communication_ms"] - by_key[("double_binary_tree", 8)]["communication_ms"], 1
+    )
+
+    # The tree algorithm never loses, and its advantage grows with the group size.
+    gains = []
+    for tp in (2, 4, 8):
+        ring = by_key[("ring", tp)]["communication_ms"]
+        tree = by_key[("double_binary_tree", tp)]["communication_ms"]
+        assert tree <= ring + 1e-9
+        gains.append(ring - tree)
+    assert gains[2] > gains[1] > gains[0] >= 0
+    # End-to-end latency at TP=8 visibly benefits from the tree.
+    assert by_key[("double_binary_tree", 8)]["latency_ms"] < by_key[("ring", 8)]["latency_ms"]
+    # For large bandwidth-bound messages the two algorithms are nearly identical.
+    assert abs(ring_big - tree_big) / ring_big < 0.15

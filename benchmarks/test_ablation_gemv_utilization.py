@@ -1,0 +1,81 @@
+"""Ablation: constant vs size-dependent (clustered) GEMV DRAM-utilization factors.
+
+The paper's Fig. 3 motivates calibrating size-dependent DRAM-utilization
+factors for skinny GEMM/GEMV kernels.  This ablation measures the effect of
+that choice on an end-to-end prediction: the Table 2 inference validation is
+re-run with a single constant utilization factor and with the calibrated
+size-dependent table, comparing the resulting error statistics.
+"""
+
+from __future__ import annotations
+
+from conftest import emit, run_once
+
+from repro.analysis.formatting import render_table, summarize_errors
+from repro.core.inference import InferencePerformanceModel
+from repro.hardware.cluster import build_system
+from repro.models.zoo import get_model
+from repro.perf.gemm import GemmTimeModel, GemvUtilizationModel
+from repro.perf.kernels import DeviceKernelModel
+from repro.validation.metrics import relative_error
+from repro.validation.reference import TABLE2_INFERENCE_ROWS
+
+
+def _validate_with(utilization_model):
+    rows = []
+    for row in TABLE2_INFERENCE_ROWS:
+        if row.gpu != "A100":
+            continue
+        system = build_system("A100", num_devices=max(1, row.num_gpus), intra_node="NVLink3", inter_node="NDR-IB")
+        kernel_model = DeviceKernelModel(
+            accelerator=system.accelerator,
+            gemm_model=GemmTimeModel(accelerator=system.accelerator, gemv_utilization=utilization_model),
+        )
+        inference = InferencePerformanceModel(system=system, kernel_model=kernel_model)
+        report = inference.predict(
+            get_model(row.model),
+            batch_size=row.batch_size,
+            prompt_tokens=row.prompt_tokens,
+            generated_tokens=row.generated_tokens,
+            tensor_parallel=row.num_gpus,
+        )
+        rows.append(
+            {
+                "model": row.model,
+                "num_gpus": row.num_gpus,
+                "nvidia_ms": row.nvidia_latency_ms,
+                "predicted_ms": report.total_latency_ms,
+                "relative_error_%": relative_error(report.total_latency_ms, row.nvidia_latency_ms) * 100,
+            }
+        )
+    return rows
+
+
+def _run_both():
+    varied = _validate_with(GemvUtilizationModel())  # calibrated size-dependent table (default)
+    constant = _validate_with(GemvUtilizationModel.constant_model(0.70))
+    return varied, constant
+
+
+def test_ablation_gemv_utilization_model(benchmark):
+    varied, constant = run_once(benchmark, _run_both)
+
+    emit(render_table(varied, title="Ablation: Table 2 (A100 rows) with size-dependent GEMV utilization", precision=1))
+    emit(render_table(constant, title="Ablation: Table 2 (A100 rows) with constant GEMV utilization (0.70)", precision=1))
+
+    varied_summary = summarize_errors([row["relative_error_%"] for row in varied])
+    constant_summary = summarize_errors([row["relative_error_%"] for row in constant])
+    emit(
+        f"size-dependent: mean |err| = {varied_summary['mean_abs_error_%']:.1f}%, max = {varied_summary['max_abs_error_%']:.1f}%\n"
+        f"constant:       mean |err| = {constant_summary['mean_abs_error_%']:.1f}%, max = {constant_summary['max_abs_error_%']:.1f}%"
+    )
+    benchmark.extra_info["mean_error_varied"] = round(varied_summary["mean_abs_error_%"], 2)
+    benchmark.extra_info["mean_error_constant"] = round(constant_summary["mean_abs_error_%"], 2)
+
+    # The calibrated size-dependent model is at least as accurate overall and
+    # clearly better in the worst case.
+    assert varied_summary["mean_abs_error_%"] <= constant_summary["mean_abs_error_%"] + 0.5
+    assert varied_summary["max_abs_error_%"] < constant_summary["max_abs_error_%"]
+    # Both remain within a loose 20% envelope (the model is still calibrated).
+    assert varied_summary["max_abs_error_%"] < 13.0
+    assert constant_summary["max_abs_error_%"] < 20.0

@@ -1,0 +1,90 @@
+"""Ablation: pipeline schedules and activation-recomputation strategies.
+
+Two of the design choices the paper inherits from Megatron-LM are examined on
+the GPT-175B / 64-A100 validation configuration:
+
+* the pipeline schedule (GPipe vs 1F1B vs interleaved 1F1B), which changes the
+  bubble fraction and the in-flight activation memory, and
+* the activation recomputation strategy (none / selective / full), which
+  trades step time for activation memory (the basis of Fig. 4 and Table 1).
+"""
+
+from __future__ import annotations
+
+from conftest import emit, run_once
+
+from repro.analysis.formatting import render_table
+from repro.core.training import TrainingPerformanceModel
+from repro.hardware.cluster import build_system
+from repro.models.zoo import get_model
+from repro.parallelism.config import ParallelismConfig
+from repro.units import GB
+
+
+def _sweep():
+    model = get_model("GPT-175B")
+    system = build_system("A100", num_devices=64, intra_node="NVLink3", inter_node="HDR-IB")
+    trainer = TrainingPerformanceModel(system=system)
+
+    schedule_rows = []
+    for schedule, virtual in (("gpipe", 1), ("1f1b", 1), ("interleaved", 4)):
+        config = ParallelismConfig(
+            tensor_parallel=8,
+            pipeline_parallel=8,
+            micro_batch_size=1,
+            pipeline_schedule=schedule,
+            virtual_pipeline_stages=virtual,
+        )
+        report = trainer.predict(model, config, global_batch_size=64, recompute="selective")
+        schedule_rows.append(
+            {
+                "schedule": schedule,
+                "virtual_stages": virtual,
+                "step_time_s": report.step_time,
+                "bubble_s": report.bubble_time,
+                "activation_gb": report.memory.activation_bytes / GB,
+            }
+        )
+
+    recompute_rows = []
+    config = ParallelismConfig(tensor_parallel=8, pipeline_parallel=8, micro_batch_size=1)
+    for strategy in ("none", "selective", "full"):
+        report = trainer.predict(model, config, global_batch_size=64, recompute=strategy)
+        recompute_rows.append(
+            {
+                "recompute": strategy,
+                "step_time_s": report.step_time,
+                "recompute_s": report.recompute_time,
+                "activation_gb": report.memory.activation_bytes / GB,
+                "total_memory_gb": report.memory.total_bytes / GB,
+            }
+        )
+    return schedule_rows, recompute_rows
+
+
+def test_ablation_pipeline_schedule_and_recompute(benchmark):
+    schedule_rows, recompute_rows = run_once(benchmark, _sweep)
+
+    emit(render_table(schedule_rows, title="Ablation: pipeline schedule (GPT-175B, 64 A100s, selective recompute)", precision=2))
+    emit(render_table(recompute_rows, title="Ablation: activation recomputation (GPT-175B, 64 A100s, 1F1B)", precision=2))
+
+    schedules = {row["schedule"]: row for row in schedule_rows}
+    strategies = {row["recompute"]: row for row in recompute_rows}
+    benchmark.extra_info["interleaved_bubble_s"] = round(schedules["interleaved"]["bubble_s"], 2)
+    benchmark.extra_info["full_recompute_overhead_s"] = round(
+        strategies["full"]["step_time_s"] - strategies["none"]["step_time_s"], 2
+    )
+
+    # GPipe and 1F1B share the same bubble; 1F1B only reduces memory.  Interleaving shrinks the bubble.
+    assert schedules["gpipe"]["bubble_s"] == schedules["1f1b"]["bubble_s"]
+    assert schedules["gpipe"]["activation_gb"] > schedules["1f1b"]["activation_gb"]
+    assert schedules["interleaved"]["bubble_s"] < schedules["1f1b"]["bubble_s"]
+    assert schedules["interleaved"]["step_time_s"] < schedules["1f1b"]["step_time_s"]
+
+    # Recomputation trades time for memory: none is fastest but needs the most memory,
+    # full is slowest but leanest; selective sits in between on both axes.
+    assert strategies["none"]["step_time_s"] < strategies["selective"]["step_time_s"] < strategies["full"]["step_time_s"]
+    assert strategies["none"]["activation_gb"] > strategies["selective"]["activation_gb"] > strategies["full"]["activation_gb"]
+    # Full recomputation costs roughly one extra forward pass (~25-40% more step time).
+    overhead = strategies["full"]["step_time_s"] / strategies["none"]["step_time_s"]
+    assert 1.15 < overhead < 1.6

@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Capacity planning: find parallelism settings under which an LLM fits in device memory.
+
+This reproduces the workflow of the paper's Section 5.1 ("Memory dissection"):
+before any performance analysis one must know whether a model fits into the
+device memory at all, and which combination of tensor/pipeline parallelism and
+activation recomputation makes it fit with the best training throughput.
+
+The script sweeps TP/PP/recomputation for GPT-175B on a 64-GPU A100 cluster,
+reports the per-device memory breakdown of every feasible configuration, and
+ranks the feasible ones by predicted training throughput.
+
+Run it with ``python examples/capacity_planning.py``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro import ParallelismConfig, PerformancePredictionEngine, build_system, get_model
+from repro.analysis.formatting import render_table
+from repro.errors import ReproError
+from repro.units import GB
+
+MODEL_NAME = "GPT-175B"
+GLOBAL_BATCH = 64
+DEVICE_MEMORY_GB = 80.0
+
+
+def sweep_configurations() -> List[dict]:
+    """Sweep TP, PP, and recomputation strategies and collect memory/throughput."""
+    model = get_model(MODEL_NAME)
+    system = build_system("A100", num_devices=64, intra_node="NVLink3", inter_node="HDR-IB")
+    engine = PerformancePredictionEngine(system)
+
+    rows = []
+    for tensor_parallel in (4, 8):
+        for pipeline_parallel in (4, 8, 16):
+            if tensor_parallel * pipeline_parallel > system.num_devices:
+                continue
+            data_parallel = system.num_devices // (tensor_parallel * pipeline_parallel)
+            for recompute in ("none", "selective", "full"):
+                config = ParallelismConfig(
+                    data_parallel=data_parallel,
+                    tensor_parallel=tensor_parallel,
+                    pipeline_parallel=pipeline_parallel,
+                    sequence_parallel=True,
+                    micro_batch_size=1,
+                )
+                try:
+                    config.validate_for_model(model)
+                    memory = engine.training_memory(model, config, GLOBAL_BATCH, recompute=recompute)
+                    report = engine.predict_training(model, config, GLOBAL_BATCH, recompute=recompute)
+                except ReproError as error:
+                    rows.append(
+                        {
+                            "parallelism": config.label,
+                            "recompute": recompute,
+                            "memory_gb": float("nan"),
+                            "fits": False,
+                            "step_s": float("nan"),
+                            "tokens_per_s": 0.0,
+                            "note": str(error)[:40],
+                        }
+                    )
+                    continue
+                fits = memory.total_bytes / GB <= DEVICE_MEMORY_GB
+                rows.append(
+                    {
+                        "parallelism": config.label,
+                        "recompute": recompute,
+                        "memory_gb": memory.total_bytes / GB,
+                        "activations_gb": memory.activation_bytes / GB,
+                        "fits": fits,
+                        "step_s": report.step_time,
+                        "tokens_per_s": report.throughput_tokens_per_second() if fits else 0.0,
+                    }
+                )
+    return rows
+
+
+def main() -> None:
+    rows = sweep_configurations()
+    print(render_table(
+        rows,
+        columns=["parallelism", "recompute", "memory_gb", "activations_gb", "fits", "step_s", "tokens_per_s"],
+        title=f"Capacity planning: {MODEL_NAME}, batch {GLOBAL_BATCH}, 64 x A100-80GB",
+        precision=1,
+    ))
+
+    feasible = [row for row in rows if row.get("fits")]
+    if not feasible:
+        print("\nNo configuration fits -- increase parallelism or use more aggressive recomputation.")
+        return
+    best = max(feasible, key=lambda row: row["tokens_per_s"])
+    print(
+        f"\nBest feasible configuration: DP-TP-PP-SP = {best['parallelism']} with {best['recompute']} recomputation\n"
+        f"  per-device memory : {best['memory_gb']:.1f} GB (of {DEVICE_MEMORY_GB:.0f} GB)\n"
+        f"  step time         : {best['step_s']:.2f} s\n"
+        f"  throughput        : {best['tokens_per_s']:,.0f} tokens/s"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Quickstart: predict LLM training and inference performance in a few lines.
+
+This example mirrors the paper's two headline use cases:
+
+1. How long does one training step of GPT-175B take on a 64-GPU A100 cluster
+   with the Megatron-style 8-way tensor / 8-way pipeline parallelism?
+2. What end-to-end latency should we expect when serving Llama2-13B on one or
+   eight A100s (batch 1, 200-token prompt, 200 generated tokens)?
+
+Run it with ``python examples/quickstart.py``.
+"""
+
+from __future__ import annotations
+
+from repro import ParallelismConfig, PerformancePredictionEngine, build_system
+from repro.analysis.formatting import render_breakdown
+from repro.units import GB
+
+
+def training_quickstart() -> None:
+    """Predict one GPT-175B training step on 64 A100 GPUs."""
+    system = build_system(
+        "A100",
+        num_devices=64,
+        intra_node="NVLink3",
+        inter_node="HDR-IB",
+        name="A100-DGX-cluster",
+    )
+    engine = PerformancePredictionEngine(system)
+
+    config = ParallelismConfig(
+        tensor_parallel=8,
+        pipeline_parallel=8,
+        micro_batch_size=1,
+        sequence_parallel=True,
+    )
+    report = engine.predict_training(
+        "GPT-175B",
+        config,
+        global_batch_size=64,
+        recompute="selective",
+    )
+
+    print("=== Training: GPT-175B on 64 x A100 (TP=8, PP=8, SP) ===")
+    print(f"time per batch      : {report.step_time:.2f} s")
+    print(f"throughput          : {report.throughput_tokens_per_second():,.0f} tokens/s")
+    print(render_breakdown(report.breakdown(), title="step-time breakdown", unit="s"))
+    print("per-device memory   : "
+          f"{report.memory.total_bytes / GB:.1f} GB "
+          f"(parameters {report.memory.parameter_bytes / GB:.1f}, "
+          f"optimizer {report.memory.optimizer_bytes / GB:.1f}, "
+          f"activations {report.memory.activation_bytes / GB:.1f})")
+    print()
+
+
+def inference_quickstart() -> None:
+    """Predict Llama2-13B serving latency on 1 and 8 A100 GPUs."""
+    system = build_system("A100", num_devices=8, intra_node="NVLink3", inter_node="HDR-IB")
+    engine = PerformancePredictionEngine(system)
+
+    print("=== Inference: Llama2-13B, batch 1, 200 prompt + 200 generated tokens ===")
+    for tensor_parallel in (1, 2, 4, 8):
+        report = engine.predict_inference(
+            "Llama2-13B",
+            batch_size=1,
+            prompt_tokens=200,
+            generated_tokens=200,
+            tensor_parallel=tensor_parallel,
+        )
+        print(
+            f"TP={tensor_parallel}: latency = {report.total_latency_ms:7.0f} ms   "
+            f"(prefill {report.prefill.total_time * 1e3:5.0f} ms, "
+            f"decode {report.decode.total_time * 1e3:6.0f} ms, "
+            f"communication {report.communication_time * 1e3:5.0f} ms, "
+            f"{report.time_per_output_token * 1e3:5.1f} ms/token)"
+        )
+    print()
+    print("Note how poorly inference scales with the GPU count compared to training:")
+    print("token generation is memory-bound and the per-layer all-reduces add latency.")
+
+
+if __name__ == "__main__":
+    training_quickstart()
+    inference_quickstart()

@@ -1,0 +1,48 @@
+"""repro: analytical performance modeling of distributed LLM training and inference.
+
+This package reproduces the modeling framework of "Performance Modeling and
+Workload Analysis of Distributed Large Language Model Training and Inference"
+(IISWC 2024).  The most common entry points are re-exported here:
+
+* :func:`repro.hardware.build_system` / :func:`repro.hardware.get_accelerator`
+  to describe hardware,
+* :func:`repro.models.get_model` for the GPT / Llama-2 model zoo,
+* :class:`repro.parallelism.ParallelismConfig` for DP/TP/PP/SP settings,
+* :class:`repro.core.PerformancePredictionEngine` to predict training-step
+  times, inference latencies, memory footprints, and bottlenecks,
+* :mod:`repro.dse` for technology-node and memory-technology design-space
+  exploration.
+"""
+
+from .core.engine import PerformancePredictionEngine
+from .core.inference import InferencePerformanceModel
+from .core.reports import InferenceReport, TrainingReport
+from .core.training import TrainingPerformanceModel
+from .hardware.accelerator import custom_accelerator, get_accelerator
+from .hardware.cluster import SystemSpec, build_system, preset_cluster
+from .hardware.datatypes import Precision
+from .memmodel.activations import RecomputeStrategy
+from .models.zoo import get_model, list_models
+from .parallelism.config import ParallelismConfig, parse_parallelism_label
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "InferencePerformanceModel",
+    "InferenceReport",
+    "ParallelismConfig",
+    "PerformancePredictionEngine",
+    "Precision",
+    "RecomputeStrategy",
+    "SystemSpec",
+    "TrainingPerformanceModel",
+    "TrainingReport",
+    "build_system",
+    "custom_accelerator",
+    "get_accelerator",
+    "get_model",
+    "list_models",
+    "parse_parallelism_label",
+    "preset_cluster",
+    "__version__",
+]

@@ -1,0 +1,404 @@
+"""One function per paper table / figure.
+
+Every function reproduces the data behind one of the paper's evaluation
+artifacts and returns plain Python structures (lists of dicts) that the
+benchmark harness prints and asserts on.  The mapping to the paper is:
+
+========================================  =======================================
+:func:`table1_training_validation`        Table 1 (training-time validation)
+:func:`table2_inference_validation`       Table 2 (inference-latency validation)
+:func:`table4_gemm_bottlenecks`           Table 4 (per-GEMM bound types, prefill)
+:func:`fig3_gemv_validation`              Fig. 3 (GEMV prediction vs measurement)
+:func:`fig4_memory_breakdown`             Fig. 4 (training memory dissection)
+:func:`fig5_gpu_generation_scaling`       Fig. 5 (A100 -> B200 training scaling)
+:func:`fig6_technology_node_scaling`      Fig. 6 (logic node x HBM x network sweep)
+:func:`fig7_bound_breakdown`              Fig. 7 (compute- vs memory-bound GEMM time)
+:func:`fig8_inference_boundedness`        Fig. 8 (prefill bound fractions + memory inset)
+:func:`fig9_memory_technology_scaling`    Fig. 9 (DRAM technology scaling, inference)
+========================================  =======================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..calibration.gemv import GemvValidationResult, run_gemv_validation
+from ..core.bottleneck import gemm_time_by_bound, prefill_gemm_table
+from ..core.engine import PerformancePredictionEngine
+from ..dse.scaling import (
+    MemoryScalingRow,
+    NodeScalingRow,
+    h100_reference_latency,
+    inference_memory_scaling_study,
+    technology_node_scaling_study,
+)
+from ..hardware.accelerator import get_accelerator
+from ..hardware.cluster import build_system, preset_cluster
+from ..hardware.datatypes import Precision
+from ..memmodel.activations import RecomputeStrategy
+from ..memmodel.footprint import inference_memory_breakdown, training_memory_breakdown
+from ..models.zoo import get_model
+from ..parallelism.config import ParallelismConfig, parse_parallelism_label
+from ..units import GB, to_milliseconds
+from ..validation.metrics import relative_error
+from ..validation.reference import (
+    CASE_STUDY_CONFIGS,
+    GPU_GENERATION_SCALING_SYSTEMS,
+    TABLE1_TRAINING_ROWS,
+    TABLE2_INFERENCE_ROWS,
+)
+
+
+# ---------------------------------------------------------------------------
+# Table 1: training-time validation on A100 clusters
+# ---------------------------------------------------------------------------
+
+def table1_training_validation(rows=None) -> List[Dict[str, object]]:
+    """Reproduce Table 1: predicted vs published training time per batch."""
+    rows = rows if rows is not None else TABLE1_TRAINING_ROWS
+    results: List[Dict[str, object]] = []
+    for row in rows:
+        system = build_system(
+            "A100",
+            num_devices=row.num_gpus,
+            intra_node="NVLink3",
+            inter_node="HDR-IB",
+            devices_per_node=8,
+        )
+        engine = PerformancePredictionEngine(system)
+        config = parse_parallelism_label(row.parallelism_label, micro_batch_size=row.micro_batch_size)
+        report = engine.predict_training(
+            row.model,
+            config,
+            global_batch_size=row.global_batch_size,
+            recompute=row.recompute,
+        )
+        results.append(
+            {
+                "model": row.model,
+                "num_gpus": row.num_gpus,
+                "parallelism": row.parallelism_label,
+                "recompute": row.recompute,
+                "reference_s": row.reference_seconds,
+                "paper_pred_s": row.paper_prediction_seconds,
+                "predicted_s": report.step_time,
+                "relative_error_%": relative_error(report.step_time, row.reference_seconds) * 100.0,
+                "compute_s": report.compute_time + report.recompute_time,
+                "communication_s": report.communication_time,
+                "other_s": report.other_time,
+            }
+        )
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Table 2: inference-latency validation on A100 / H100 systems
+# ---------------------------------------------------------------------------
+
+def table2_inference_validation(rows=None) -> List[Dict[str, object]]:
+    """Reproduce Table 2: predicted vs NVIDIA-reported Llama-2 inference latency."""
+    rows = rows if rows is not None else TABLE2_INFERENCE_ROWS
+    results: List[Dict[str, object]] = []
+    for row in rows:
+        intra = "NVLink3" if row.gpu.upper() == "A100" else "NVLink4"
+        system = build_system(
+            row.gpu,
+            num_devices=max(1, row.num_gpus),
+            intra_node=intra,
+            inter_node="NDR-IB",
+            devices_per_node=8,
+        )
+        engine = PerformancePredictionEngine(system)
+        report = engine.predict_inference(
+            row.model,
+            batch_size=row.batch_size,
+            prompt_tokens=row.prompt_tokens,
+            generated_tokens=row.generated_tokens,
+            tensor_parallel=row.num_gpus,
+        )
+        results.append(
+            {
+                "model": row.model,
+                "gpu": row.gpu,
+                "num_gpus": row.num_gpus,
+                "nvidia_ms": row.nvidia_latency_ms,
+                "paper_pred_ms": row.paper_prediction_ms,
+                "predicted_ms": report.total_latency_ms,
+                "relative_error_%": relative_error(report.total_latency_ms, row.nvidia_latency_ms) * 100.0,
+                "prefill_ms": to_milliseconds(report.prefill.total_time),
+                "decode_ms": to_milliseconds(report.decode.total_time),
+                "communication_ms": to_milliseconds(report.communication_time),
+            }
+        )
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Table 4: per-GEMM bottlenecks of the prefill phase
+# ---------------------------------------------------------------------------
+
+def table4_gemm_bottlenecks(
+    model_name: str = "Llama2-13B",
+    gpus: Sequence[str] = ("A100", "H100"),
+    batch_size: int = 1,
+    prompt_tokens: int = 200,
+) -> List[Dict[str, object]]:
+    """Reproduce Table 4: time and bound type of each prefill GEMM per layer."""
+    model = get_model(model_name)
+    results: List[Dict[str, object]] = []
+    for gpu in gpus:
+        accelerator = get_accelerator(gpu)
+        entries = prefill_gemm_table(
+            model,
+            accelerator=accelerator,
+            batch_size=batch_size,
+            prompt_tokens=prompt_tokens,
+            tensor_parallel=1,
+            precision=Precision.FP16,
+        )
+        for entry in entries:
+            results.append(
+                {
+                    "gpu": gpu,
+                    "gemm": entry.name,
+                    "m": entry.m,
+                    "n": entry.n,
+                    "k": entry.k,
+                    "batch": entry.batch,
+                    "time_us": entry.time_us,
+                    "bound": entry.bound_label,
+                }
+            )
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Fig. 3: GEMV validation with varied vs constant DRAM utilization
+# ---------------------------------------------------------------------------
+
+def fig3_gemv_validation(num_clusters: int = 3, seed: int = 2024) -> GemvValidationResult:
+    """Reproduce the Fig. 3 flow on the synthetic GEMV measurement set."""
+    return run_gemv_validation(num_clusters=num_clusters, seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 4: training memory dissection
+# ---------------------------------------------------------------------------
+
+def fig4_memory_breakdown(
+    models: Sequence[str] = ("GPT-175B", "GPT-530B", "GPT-1008B"),
+    strategies: Sequence[str] = ("none", "selective", "full"),
+    device_memory_gb: float = 80.0,
+) -> List[Dict[str, object]]:
+    """Reproduce Fig. 4: per-device memory breakdown under each recompute strategy.
+
+    The parallelism settings follow the corresponding Table 1 configurations.
+    """
+    table1_config = {
+        "GPT-175B": ("1-8-8-1", 64),
+        "GPT-530B": ("1-8-35-1", 280),
+        "GPT-1008B": ("1-8-64-1", 512),
+    }
+    results: List[Dict[str, object]] = []
+    for model_name in models:
+        label, batch = table1_config[model_name]
+        config = parse_parallelism_label(label, micro_batch_size=1)
+        model = get_model(model_name)
+        for strategy in strategies:
+            breakdown = training_memory_breakdown(
+                model,
+                config,
+                global_batch_size=batch,
+                strategy=strategy,
+            )
+            results.append(
+                {
+                    "model": model_name,
+                    "strategy": strategy,
+                    "parameters_gb": breakdown.parameter_bytes / GB,
+                    "optimizer_gb": (breakdown.optimizer_bytes + breakdown.gradient_bytes) / GB,
+                    "activations_gb": breakdown.activation_bytes / GB,
+                    "total_gb": breakdown.total_bytes / GB,
+                    "fits_80gb": breakdown.total_bytes / GB <= device_memory_gb,
+                }
+            )
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Fig. 5: training performance scaling across GPU generations
+# ---------------------------------------------------------------------------
+
+#: Per-system training precision: H100/H200 use the FP8 transformer engine,
+#: B200 additionally enables FP4 processing, as the paper describes.
+_GENERATION_PRECISION = {
+    "A100": Precision.FP16,
+    "H100": Precision.FP8,
+    "H200": Precision.FP8,
+    "B200": Precision.FP4,
+}
+
+
+def fig5_gpu_generation_scaling(
+    systems: Optional[Sequence] = None,
+    model_name: str = "GPT-175B",
+    virtual_pipeline_stages: int = 6,
+) -> List[Dict[str, object]]:
+    """Reproduce Fig. 5: GPT-175B training time across A100..B200 clusters.
+
+    Returns one row per cluster with the compute / communication / other
+    breakdown, the absolute step time, and the speed-up versus the A100-HDR
+    baseline.  Times normalized to the fastest system are also included, as
+    in the paper's figure.  The "-L" (large-batch) variants exploit their
+    larger DRAM capacity with both a 4x global batch and a larger micro-batch,
+    as the paper's narrative describes.
+    """
+    systems = systems if systems is not None else GPU_GENERATION_SCALING_SYSTEMS
+    case = CASE_STUDY_CONFIGS[model_name]
+    model = get_model(model_name)
+    rows: List[Dict[str, object]] = []
+    for system_name, batch_size in systems:
+        cluster = preset_cluster(system_name, num_devices=case.num_gpus)
+        generation = system_name.split("-")[0].upper()
+        precision = _GENERATION_PRECISION.get(generation, Precision.FP16)
+        large_memory_variant = system_name.upper().endswith("-L")
+        config = ParallelismConfig(
+            data_parallel=case.data_parallel,
+            tensor_parallel=case.tensor_parallel,
+            pipeline_parallel=case.pipeline_parallel,
+            sequence_parallel=True,
+            micro_batch_size=4 if large_memory_variant else 1,
+            pipeline_schedule="interleaved",
+            virtual_pipeline_stages=virtual_pipeline_stages,
+        )
+        engine = PerformancePredictionEngine(cluster)
+        report = engine.predict_training(
+            model,
+            config,
+            global_batch_size=batch_size,
+            seq_len=case.seq_len,
+            precision=precision,
+            recompute=RecomputeStrategy.SELECTIVE,
+        )
+        rows.append(
+            {
+                "system": system_name,
+                "batch_size": batch_size,
+                "precision": precision.value,
+                "step_time_s": report.step_time,
+                "time_per_sequence_ms": to_milliseconds(report.step_time / batch_size),
+                "compute_s": report.compute_time + report.recompute_time,
+                "communication_s": report.communication_time,
+                "other_s": report.other_time,
+            }
+        )
+    # Normalizations: per-sequence speed-up vs the A100 baseline and time
+    # normalized to the fastest (B200-NVS-L) system, as in the figure.
+    baseline = rows[0]["time_per_sequence_ms"]
+    fastest = min(row["time_per_sequence_ms"] for row in rows)
+    for row in rows:
+        row["speedup_vs_a100"] = baseline / row["time_per_sequence_ms"]
+        row["normalized_time"] = row["time_per_sequence_ms"] / fastest
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 6 / Fig. 7: technology-node scaling
+# ---------------------------------------------------------------------------
+
+def fig6_technology_node_scaling(**kwargs) -> List[NodeScalingRow]:
+    """Reproduce Fig. 6: GPT-7B training time across logic nodes / HBM / networks."""
+    return technology_node_scaling_study(**kwargs)
+
+
+def fig7_bound_breakdown(rows: Optional[List[NodeScalingRow]] = None, **kwargs) -> List[Dict[str, object]]:
+    """Reproduce Fig. 7: compute- vs memory-bound GEMM time per layer across nodes.
+
+    Accepts the rows already produced by :func:`fig6_technology_node_scaling`
+    to avoid recomputing the sweep.
+    """
+    if rows is None:
+        rows = technology_node_scaling_study(**kwargs)
+    results = []
+    for row in rows:
+        results.append(
+            {
+                "technology_node": row.technology_node,
+                "dram": row.dram_technology,
+                "network": row.inter_node_network,
+                "compute_bound_ms": row.gemm_compute_bound_time * 1e3,
+                "memory_bound_ms": row.gemm_memory_bound_time * 1e3,
+                "memory_bound_fraction": (
+                    row.gemm_memory_bound_time / (row.gemm_memory_bound_time + row.gemm_compute_bound_time)
+                    if (row.gemm_memory_bound_time + row.gemm_compute_bound_time) > 0
+                    else 0.0
+                ),
+            }
+        )
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Fig. 8: compute vs memory boundedness of the prefill phase
+# ---------------------------------------------------------------------------
+
+def fig8_inference_boundedness(
+    model_name: str = "Llama2-13B",
+    gpus: Sequence[str] = ("A100", "H100"),
+    batch_sizes: Sequence[int] = (1, 16),
+    prompt_tokens: int = 200,
+    context_tokens: int = 400,
+) -> List[Dict[str, object]]:
+    """Reproduce Fig. 8: prefill GEMM-time bound fractions plus the memory inset."""
+    model = get_model(model_name)
+    results: List[Dict[str, object]] = []
+    for gpu in gpus:
+        accelerator = get_accelerator(gpu)
+        for batch in batch_sizes:
+            entries = prefill_gemm_table(
+                model,
+                accelerator=accelerator,
+                batch_size=batch,
+                prompt_tokens=prompt_tokens,
+                tensor_parallel=1,
+                precision=Precision.FP16,
+            )
+            totals = gemm_time_by_bound(entries)
+            memory = inference_memory_breakdown(
+                model,
+                batch_size=batch,
+                context_len=context_tokens,
+                precision=Precision.FP16,
+                tensor_parallel=1,
+            )
+            results.append(
+                {
+                    "gpu": gpu,
+                    "batch_size": batch,
+                    "compute_bound_ms": totals["compute"] * 1e3,
+                    "memory_bound_ms": totals["memory"] * 1e3,
+                    "compute_bound_fraction": totals["compute_fraction"],
+                    "weights_gb": memory.weight_bytes / GB,
+                    "kv_cache_gb": memory.kv_cache_bytes / GB,
+                    "device_memory_gb": accelerator.dram_capacity / GB,
+                }
+            )
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Fig. 9: DRAM technology scaling for inference
+# ---------------------------------------------------------------------------
+
+def fig9_memory_technology_scaling(**kwargs) -> Dict[str, object]:
+    """Reproduce Fig. 9: inference latency vs DRAM technology, 2 and 8 GPUs.
+
+    Returns the sweep rows plus the H100 reference latencies drawn as dashed
+    lines in the paper's figure.
+    """
+    rows: List[MemoryScalingRow] = inference_memory_scaling_study(**kwargs)
+    references = {
+        f"H100x{count}": h100_reference_latency(num_gpus=count)
+        for count in sorted({row.num_gpus for row in rows})
+    }
+    return {"rows": rows, "h100_reference_latency_s": references}

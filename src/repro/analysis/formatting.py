@@ -1,0 +1,70 @@
+"""Plain-text table rendering for benchmark and example output.
+
+The benchmark harness prints the regenerated tables/series in a layout close
+to the paper's, so a reader can compare the reproduction against the
+published numbers at a glance without any plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def format_value(value: object, precision: int = 2) -> str:
+    """Format a single cell: floats get fixed precision, the rest ``str()``."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != 0 and (abs(value) >= 1e5 or abs(value) < 1e-3):
+            return f"{value:.3g}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+    precision: int = 2,
+) -> str:
+    """Render a list of dict rows as an aligned plain-text table."""
+    if not rows:
+        return f"{title or 'table'}: (no rows)"
+    columns = list(columns) if columns is not None else list(rows[0].keys())
+    header = [str(column) for column in columns]
+    body: List[List[str]] = []
+    for row in rows:
+        body.append([format_value(row.get(column, ""), precision=precision) for column in columns])
+    widths = [max(len(header[i]), *(len(line[i]) for line in body)) for i in range(len(columns))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header[i].ljust(widths[i]) for i in range(len(columns))))
+    lines.append("  ".join("-" * widths[i] for i in range(len(columns))))
+    for line in body:
+        lines.append("  ".join(line[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def render_breakdown(breakdown: Mapping[str, float], title: Optional[str] = None, unit: str = "s") -> str:
+    """Render a one-level breakdown dict (e.g. compute/communication/other)."""
+    lines = [title] if title else []
+    total = breakdown.get("total", sum(v for k, v in breakdown.items() if k != "total"))
+    for key, value in breakdown.items():
+        if key == "total":
+            continue
+        share = (value / total * 100.0) if total else 0.0
+        lines.append(f"  {key:<16s} {format_value(value)} {unit}  ({share:5.1f}%)")
+    lines.append(f"  {'total':<16s} {format_value(total)} {unit}")
+    return "\n".join(lines)
+
+
+def summarize_errors(errors_percent: Iterable[float]) -> Dict[str, float]:
+    """Mean / max absolute error summary of a list of signed percentage errors."""
+    values = [abs(e) for e in errors_percent]
+    if not values:
+        return {"mean_abs_error_%": 0.0, "max_abs_error_%": 0.0}
+    return {
+        "mean_abs_error_%": sum(values) / len(values),
+        "max_abs_error_%": max(values),
+    }

@@ -1,0 +1,23 @@
+"""Calibration flows: synthetic GEMV profiling and utilization-factor fitting."""
+
+from .gemv import (
+    DEFAULT_GEMV_SHAPES,
+    GemvSample,
+    GemvValidationPoint,
+    GemvValidationResult,
+    cluster_utilization_factors,
+    run_gemv_validation,
+    synthesize_measurements,
+    true_utilization,
+)
+
+__all__ = [
+    "DEFAULT_GEMV_SHAPES",
+    "GemvSample",
+    "GemvValidationPoint",
+    "GemvValidationResult",
+    "cluster_utilization_factors",
+    "run_gemv_validation",
+    "synthesize_measurements",
+    "true_utilization",
+]

@@ -1,0 +1,33 @@
+"""Communication models: collective equations and system-level pricing."""
+
+from .collectives import (
+    CollectiveAlgorithm,
+    all_gather_time,
+    all_reduce_time,
+    broadcast_time,
+    point_to_point_time,
+    reduce_scatter_time,
+    ring_all_reduce_time,
+    tree_all_reduce_time,
+)
+from .fabric import (
+    DEFAULT_MIN_UTILIZATION,
+    DEFAULT_SATURATION_BYTES,
+    DEFAULT_SOFTWARE_LATENCY,
+    CollectiveModel,
+)
+
+__all__ = [
+    "CollectiveAlgorithm",
+    "CollectiveModel",
+    "DEFAULT_MIN_UTILIZATION",
+    "DEFAULT_SATURATION_BYTES",
+    "DEFAULT_SOFTWARE_LATENCY",
+    "all_gather_time",
+    "all_reduce_time",
+    "broadcast_time",
+    "point_to_point_time",
+    "reduce_scatter_time",
+    "ring_all_reduce_time",
+    "tree_all_reduce_time",
+]

@@ -1,0 +1,105 @@
+"""Analytical cost models for the communication collectives (Eqs. 3 and 4).
+
+Both training and inference rely on all-reduce / all-gather style collectives.
+Two algorithms are modeled, following the paper's Section 3.4:
+
+* **Ring all-reduce** (bandwidth optimal): a scatter-reduce stage followed by
+  an all-gather stage.  Each stage moves ``K/N`` bytes ``N - 1`` times, so
+
+      T_ring = 2 * K * (N - 1) / (N * BW) + 2 * l * (N - 1)          (Eq. 3)
+
+* **Double-binary-tree all-reduce** (bandwidth and latency optimal): the
+  bandwidth term is the same but the latency term grows only logarithmically,
+
+      T_tree = 2 * K * (N - 1) / (N * BW) + 2 * l * log2(N)          (Eq. 4)
+
+The latency term is negligible for the huge gradients of training but matters
+for the kilobyte-sized all-reduces of autoregressive inference, which is why
+the tree algorithm "helps scale inference up to 8 GPUs".
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+
+from ..errors import ConfigurationError
+
+
+class CollectiveAlgorithm(enum.Enum):
+    """Algorithm used to execute an all-reduce style collective."""
+
+    RING = "ring"
+    DOUBLE_BINARY_TREE = "double_binary_tree"
+
+
+def _validate(data_bytes: float, group_size: int, bandwidth: float, latency: float) -> None:
+    if data_bytes < 0:
+        raise ConfigurationError("data_bytes must be non-negative")
+    if group_size < 1:
+        raise ConfigurationError("group_size must be at least 1")
+    if bandwidth <= 0:
+        raise ConfigurationError("bandwidth must be positive")
+    if latency < 0:
+        raise ConfigurationError("latency must be non-negative")
+
+
+def ring_all_reduce_time(data_bytes: float, group_size: int, bandwidth: float, latency: float = 0.0) -> float:
+    """Ring all-reduce time (Eq. 3)."""
+    _validate(data_bytes, group_size, bandwidth, latency)
+    if group_size == 1 or data_bytes == 0:
+        return 0.0
+    transfer = 2.0 * data_bytes * (group_size - 1) / (group_size * bandwidth)
+    return transfer + 2.0 * latency * (group_size - 1)
+
+
+def tree_all_reduce_time(data_bytes: float, group_size: int, bandwidth: float, latency: float = 0.0) -> float:
+    """Double-binary-tree all-reduce time (Eq. 4)."""
+    _validate(data_bytes, group_size, bandwidth, latency)
+    if group_size == 1 or data_bytes == 0:
+        return 0.0
+    transfer = 2.0 * data_bytes * (group_size - 1) / (group_size * bandwidth)
+    return transfer + 2.0 * latency * math.log2(group_size)
+
+
+def all_reduce_time(
+    data_bytes: float,
+    group_size: int,
+    bandwidth: float,
+    latency: float = 0.0,
+    algorithm: CollectiveAlgorithm = CollectiveAlgorithm.RING,
+) -> float:
+    """All-reduce time under the chosen algorithm."""
+    if algorithm is CollectiveAlgorithm.RING:
+        return ring_all_reduce_time(data_bytes, group_size, bandwidth, latency)
+    return tree_all_reduce_time(data_bytes, group_size, bandwidth, latency)
+
+
+def all_gather_time(data_bytes: float, group_size: int, bandwidth: float, latency: float = 0.0) -> float:
+    """Ring all-gather time: one pipeline sweep instead of the all-reduce's two."""
+    _validate(data_bytes, group_size, bandwidth, latency)
+    if group_size == 1 or data_bytes == 0:
+        return 0.0
+    transfer = data_bytes * (group_size - 1) / (group_size * bandwidth)
+    return transfer + latency * (group_size - 1)
+
+
+def reduce_scatter_time(data_bytes: float, group_size: int, bandwidth: float, latency: float = 0.0) -> float:
+    """Ring reduce-scatter time: same cost structure as the all-gather."""
+    return all_gather_time(data_bytes, group_size, bandwidth, latency)
+
+
+def point_to_point_time(data_bytes: float, bandwidth: float, latency: float = 0.0) -> float:
+    """Time to send ``data_bytes`` from one device to a neighbour."""
+    _validate(data_bytes, 1, bandwidth, latency)
+    if data_bytes == 0:
+        return 0.0
+    return data_bytes / bandwidth + latency
+
+
+def broadcast_time(data_bytes: float, group_size: int, bandwidth: float, latency: float = 0.0) -> float:
+    """Binary-tree broadcast time."""
+    _validate(data_bytes, group_size, bandwidth, latency)
+    if group_size == 1 or data_bytes == 0:
+        return 0.0
+    return data_bytes / bandwidth + latency * math.log2(group_size)

@@ -1,0 +1,146 @@
+"""System-level collective pricing: pick the fabric, apply utilization, add overheads.
+
+The :class:`CollectiveModel` is the bridge between the abstract
+:class:`~repro.workload.operators.CommunicationOp` descriptors of a task
+graph and the analytical collective equations.  It selects the right fabric
+(intra-node NVLink vs. inter-node InfiniBand/NVS) for the operation's scope,
+applies a data-volume-dependent bandwidth-utilization factor (small inference
+messages never saturate the links), and adds a fixed per-collective software
+launch overhead (the NCCL/runtime cost that dominates kilobyte-sized
+all-reduces).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..errors import ConfigurationError
+from ..hardware.cluster import SystemSpec
+from ..hardware.network import Interconnect
+from ..units import MIB, MICROSECOND
+from ..workload.operators import CollectiveKind, CommunicationOp
+from .collectives import (
+    CollectiveAlgorithm,
+    all_gather_time,
+    all_reduce_time,
+    broadcast_time,
+    point_to_point_time,
+    reduce_scatter_time,
+)
+
+#: Message size at which the links are considered fully saturated.
+DEFAULT_SATURATION_BYTES = 4 * MIB
+#: Utilization floor for tiny messages.
+DEFAULT_MIN_UTILIZATION = 0.25
+#: Per-collective software (launch/protocol) overhead.  Calibrated against the
+#: small-message all-reduce cost seen in the inference validation (Table 2).
+DEFAULT_SOFTWARE_LATENCY = 20.0 * MICROSECOND
+
+
+@dataclasses.dataclass(frozen=True)
+class CollectiveModel:
+    """Prices communication operators on a given system.
+
+    Attributes:
+        system: The hardware system providing the fabrics.
+        algorithm: All-reduce algorithm (ring, or double binary tree which is
+            the latency-optimal choice the paper uses for inference).
+        saturation_bytes: Message size at which full link utilization is reached.
+        min_utilization: Utilization floor for very small messages.
+        software_latency: Fixed software overhead added per collective call.
+    """
+
+    system: SystemSpec
+    algorithm: CollectiveAlgorithm = CollectiveAlgorithm.RING
+    saturation_bytes: float = DEFAULT_SATURATION_BYTES
+    min_utilization: float = DEFAULT_MIN_UTILIZATION
+    software_latency: float = DEFAULT_SOFTWARE_LATENCY
+
+    def __post_init__(self) -> None:
+        if self.saturation_bytes <= 0:
+            raise ConfigurationError("saturation_bytes must be positive")
+        if not 0 < self.min_utilization <= 1:
+            raise ConfigurationError("min_utilization must be in (0, 1]")
+        if self.software_latency < 0:
+            raise ConfigurationError("software_latency must be non-negative")
+
+    # -- fabric selection and effective bandwidth ------------------------------------
+
+    def fabric_for_scope(self, scope: str) -> Interconnect:
+        """The interconnect a collective with the given scope uses."""
+        if scope == "inter_node":
+            return self.system.inter_node_fabric
+        return self.system.intra_node_fabric
+
+    def bandwidth_utilization(self, data_bytes: float) -> float:
+        """Data-volume-dependent fraction of the peak link bandwidth achieved.
+
+        Large (multi-MiB) messages reach full utilization; small messages ramp
+        linearly down to :attr:`min_utilization`.
+        """
+        if data_bytes <= 0:
+            return self.min_utilization
+        ramp = data_bytes / self.saturation_bytes
+        return min(1.0, max(self.min_utilization, ramp))
+
+    def per_device_bandwidth(self, fabric: Interconnect) -> float:
+        """The bandwidth one device sees on ``fabric``.
+
+        Node-level fabrics (e.g. the paper's "HDR InfiniBand (200 GB/s)")
+        quote the aggregate NIC bandwidth of one node; each of the node's
+        devices only gets its share of it.
+        """
+        if fabric.per_device:
+            return fabric.bandwidth
+        return fabric.bandwidth / max(1, self.system.devices_per_node)
+
+    def effective_bandwidth(self, fabric: Interconnect, data_bytes: float) -> float:
+        """Per-device bandwidth x fabric utilization x message-size utilization."""
+        return self.per_device_bandwidth(fabric) * fabric.utilization * self.bandwidth_utilization(data_bytes)
+
+    # -- pricing ------------------------------------------------------------------------
+
+    def time(self, op: CommunicationOp) -> float:
+        """Execution time of one communication operator in seconds."""
+        if op.is_trivial:
+            return 0.0
+        fabric = self.fabric_for_scope(op.scope)
+        bandwidth = self.effective_bandwidth(fabric, op.data_bytes)
+        latency = fabric.latency
+        if op.collective is CollectiveKind.ALL_REDUCE:
+            base = all_reduce_time(op.data_bytes, op.group_size, bandwidth, latency, algorithm=self.algorithm)
+        elif op.collective is CollectiveKind.ALL_GATHER:
+            base = all_gather_time(op.data_bytes, op.group_size, bandwidth, latency)
+        elif op.collective is CollectiveKind.REDUCE_SCATTER:
+            base = reduce_scatter_time(op.data_bytes, op.group_size, bandwidth, latency)
+        elif op.collective is CollectiveKind.BROADCAST:
+            base = broadcast_time(op.data_bytes, op.group_size, bandwidth, latency)
+        else:
+            base = point_to_point_time(op.data_bytes, bandwidth, latency)
+        return base + self.software_latency
+
+    def all_reduce(self, data_bytes: float, group_size: int, scope: str = "intra_node") -> float:
+        """Convenience: time of a raw all-reduce outside a task graph."""
+        op = CommunicationOp(
+            name="all_reduce",
+            collective=CollectiveKind.ALL_REDUCE,
+            data_bytes=data_bytes,
+            group_size=group_size,
+            scope=scope,
+        )
+        return self.time(op)
+
+    def point_to_point(self, data_bytes: float, scope: str = "inter_node") -> float:
+        """Convenience: time of a raw point-to-point transfer."""
+        op = CommunicationOp(
+            name="p2p",
+            collective=CollectiveKind.POINT_TO_POINT,
+            data_bytes=data_bytes,
+            group_size=2,
+            scope=scope,
+        )
+        return self.time(op)
+
+    def with_algorithm(self, algorithm: CollectiveAlgorithm) -> "CollectiveModel":
+        """Return a copy of the model using a different all-reduce algorithm."""
+        return dataclasses.replace(self, algorithm=algorithm)

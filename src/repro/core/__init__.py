@@ -1,0 +1,36 @@
+"""Core performance-prediction engine: training, inference, bottleneck analysis."""
+
+from .bottleneck import (
+    attention_layer_bound_breakdown,
+    decode_gemm_table,
+    gemm_time_by_bound,
+    prefill_gemm_table,
+)
+from .engine import PerformancePredictionEngine
+from .inference import InferencePerformanceModel
+from .reports import (
+    GemmBottleneckEntry,
+    InferenceReport,
+    KernelTimeEntry,
+    PhaseReport,
+    TrainingReport,
+    aggregate_kernel_entries,
+)
+from .training import OPTIMIZER_BYTES_PER_PARAMETER, TrainingPerformanceModel
+
+__all__ = [
+    "GemmBottleneckEntry",
+    "InferencePerformanceModel",
+    "InferenceReport",
+    "KernelTimeEntry",
+    "OPTIMIZER_BYTES_PER_PARAMETER",
+    "PerformancePredictionEngine",
+    "PhaseReport",
+    "TrainingPerformanceModel",
+    "TrainingReport",
+    "aggregate_kernel_entries",
+    "attention_layer_bound_breakdown",
+    "decode_gemm_table",
+    "gemm_time_by_bound",
+    "prefill_gemm_table",
+]

@@ -1,0 +1,224 @@
+"""End-to-end inference latency prediction (prefill + autoregressive generation).
+
+Inference typically runs with tensor parallelism only, across a handful of
+devices within one node (paper Section 1.3).  The model prices:
+
+* the **prefill / summarization** phase: a forward pass over the whole prompt,
+  whose GEMMs may be compute- or memory-bound depending on the accelerator,
+  batch size, and precision (Table 4 / Fig. 8 of the paper),
+* the **generation / decode** phase: one forward pass per generated token over
+  a single query token, dominated by streaming the weights and the KV-cache
+  from DRAM, plus the per-layer tensor-parallel all-reduces whose latency term
+  matters at these tiny message sizes (hence the double-binary-tree algorithm).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from ..comm.collectives import CollectiveAlgorithm
+from ..comm.fabric import CollectiveModel
+from ..errors import MemoryCapacityError
+from ..hardware.cluster import SystemSpec
+from ..hardware.datatypes import Precision
+from ..memmodel.footprint import inference_memory_breakdown
+from ..models.transformer import TransformerConfig
+from ..perf.kernels import DeviceKernelModel
+from ..perf.roofline import BoundType
+from ..workload.inference import InferencePhaseSpec
+from ..workload.operators import GEMM
+from ..workload.transformer_layer import TransformerLayerBuilder
+from .reports import InferenceReport, KernelTimeEntry, PhaseReport
+
+
+@dataclasses.dataclass
+class InferencePerformanceModel:
+    """Predicts LLM inference latency on a (usually single-node) system.
+
+    Attributes:
+        system: The hardware system; inference uses ``tensor_parallel`` of its
+            devices.
+        kernel_model: Device kernel timing model (defaults to the system's
+            accelerator with standard GEMV utilization).
+        collective_model: Communication model; defaults to the double-binary-
+            tree algorithm, which is the latency-optimal choice for the small
+            messages of the decode phase.
+        check_memory: Whether to raise when weights + KV-cache exceed the
+            aggregate device memory of the tensor-parallel group.
+    """
+
+    system: SystemSpec
+    kernel_model: Optional[DeviceKernelModel] = None
+    collective_model: Optional[CollectiveModel] = None
+    check_memory: bool = True
+
+    def __post_init__(self) -> None:
+        if self.kernel_model is None:
+            self.kernel_model = DeviceKernelModel(accelerator=self.system.accelerator)
+        if self.collective_model is None:
+            self.collective_model = CollectiveModel(
+                system=self.system,
+                algorithm=CollectiveAlgorithm.DOUBLE_BINARY_TREE,
+            )
+
+    # -- phase pricing ---------------------------------------------------------------
+
+    def _phase_report(
+        self,
+        name: str,
+        builder: TransformerLayerBuilder,
+        num_layers: int,
+        lm_head: Optional[GEMM],
+        repeats: int,
+        tp_scope: str,
+    ) -> PhaseReport:
+        """Price one phase: ``repeats`` executions of ``num_layers`` layers."""
+        device_time = 0.0
+        compute_bound_time = 0.0
+        memory_bound_time = 0.0
+        entries: List[KernelTimeEntry] = []
+        for op in builder.forward_compute_ops():
+            point = self.kernel_model.evaluate(op)
+            time = self.kernel_model.time(op)
+            device_time += time * num_layers
+            if isinstance(op, GEMM):
+                if point.bound is BoundType.COMPUTE:
+                    compute_bound_time += point.time * num_layers
+                else:
+                    memory_bound_time += point.time * num_layers
+            entries.append(
+                KernelTimeEntry(
+                    name=op.name,
+                    time=time,
+                    count=num_layers * repeats,
+                    bound=point.bound,
+                    flops=op.flops,
+                    bytes_moved=point.level_bytes.get("DRAM", op.bytes_total),
+                )
+            )
+        communication_time = 0.0
+        for comm in builder.forward_communication(scope=tp_scope):
+            communication_time += self.collective_model.time(comm) * num_layers
+        if lm_head is not None:
+            head_point = self.kernel_model.evaluate(lm_head)
+            head_time = self.kernel_model.time(lm_head)
+            device_time += head_time
+            if head_point.bound is BoundType.COMPUTE:
+                compute_bound_time += head_point.time
+            else:
+                memory_bound_time += head_point.time
+            entries.append(
+                KernelTimeEntry(
+                    name=lm_head.name,
+                    time=head_time,
+                    count=repeats,
+                    bound=head_point.bound,
+                    flops=lm_head.flops,
+                    bytes_moved=head_point.level_bytes.get("DRAM", lm_head.bytes_total),
+                )
+            )
+        return PhaseReport(
+            name=name,
+            device_time=device_time * repeats,
+            communication_time=communication_time * repeats,
+            compute_bound_time=compute_bound_time * repeats,
+            memory_bound_time=memory_bound_time * repeats,
+            kernel_breakdown=entries,
+        )
+
+    def _lm_head(self, spec: InferencePhaseSpec) -> Optional[GEMM]:
+        if not spec.include_lm_head:
+            return None
+        vocab_per_rank = max(1, spec.model.vocab_size // spec.tensor_parallel)
+        return GEMM(
+            name="lm_head",
+            precision=spec.precision,
+            m=spec.batch_size,
+            n=vocab_per_rank,
+            k=spec.model.hidden_size,
+            weight_operand=True,
+        )
+
+    # -- main entry point -----------------------------------------------------------------
+
+    def predict(
+        self,
+        model: TransformerConfig,
+        batch_size: int = 1,
+        prompt_tokens: int = 200,
+        generated_tokens: int = 200,
+        tensor_parallel: int = 1,
+        precision: Precision = Precision.FP16,
+        include_lm_head: bool = True,
+    ) -> InferenceReport:
+        """Predict the end-to-end latency of one inference request.
+
+        Args:
+            model: The transformer architecture being served.
+            batch_size: Sequences served concurrently.
+            prompt_tokens: Prompt (summarization) length per sequence.
+            generated_tokens: Tokens generated per sequence.
+            tensor_parallel: TP degree (number of devices used).
+            precision: Weight/activation precision.
+            include_lm_head: Whether to include the logits GEMM.
+
+        Raises:
+            MemoryCapacityError: When the weights plus the KV-cache do not fit
+                into the devices' memory and ``check_memory`` is enabled.
+        """
+        spec = InferencePhaseSpec(
+            model=model,
+            batch_size=batch_size,
+            prompt_len=prompt_tokens,
+            generated_tokens=generated_tokens,
+            tensor_parallel=tensor_parallel,
+            precision=precision,
+            include_lm_head=include_lm_head,
+        )
+        memory = inference_memory_breakdown(
+            model,
+            batch_size=batch_size,
+            context_len=prompt_tokens + generated_tokens,
+            precision=precision,
+            tensor_parallel=tensor_parallel,
+        )
+        if self.check_memory and not memory.fits(self.system.accelerator.dram_capacity):
+            raise MemoryCapacityError(
+                f"{model.name} with batch {batch_size} needs {memory.total_bytes / 1e9:.1f} GB per device, "
+                f"but {self.system.accelerator.name} provides {self.system.accelerator.dram_capacity / 1e9:.1f} GB"
+            )
+
+        tp_scope = "intra_node" if tensor_parallel <= self.system.devices_per_node else "inter_node"
+
+        prefill_builder = TransformerLayerBuilder(spec.prefill_layer_spec())
+        prefill = self._phase_report(
+            name="prefill",
+            builder=prefill_builder,
+            num_layers=model.num_layers,
+            lm_head=self._lm_head(spec),
+            repeats=1,
+            tp_scope=tp_scope,
+        )
+
+        decode_builder = TransformerLayerBuilder(spec.decode_layer_spec(spec.average_decode_kv_len))
+        decode = self._phase_report(
+            name="decode",
+            builder=decode_builder,
+            num_layers=model.num_layers,
+            lm_head=self._lm_head(spec),
+            repeats=max(0, generated_tokens),
+            tp_scope=tp_scope,
+        )
+
+        return InferenceReport(
+            model_name=model.name,
+            system_name=self.system.name,
+            tensor_parallel=tensor_parallel,
+            batch_size=batch_size,
+            prompt_tokens=prompt_tokens,
+            generated_tokens=generated_tokens,
+            prefill=prefill,
+            decode=decode,
+            memory=memory,
+        )

@@ -1,0 +1,313 @@
+"""End-to-end training-step time prediction.
+
+The model composes the pieces built elsewhere in the package:
+
+1. the :class:`~repro.parallelism.mapper.ParallelizationMapper` turns the
+   (model, parallelism, batch) triple into a per-stage micro-batch workload,
+2. the device kernel model prices every forward/backward kernel of one layer,
+3. the collective model prices the tensor-parallel, pipeline-parallel, and
+   data-parallel communication,
+4. the pipeline schedule adds its bubble and the optimizer adds the weight
+   update, and the activation-recomputation strategy adds its forward replay.
+
+The resulting :class:`~repro.core.reports.TrainingReport` carries the same
+compute / communication / other decomposition the paper uses in its
+GPU-generation scaling study (Fig. 5) and the validation table (Table 1).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from ..comm.fabric import CollectiveModel
+from ..hardware.cluster import SystemSpec
+from ..hardware.datatypes import Precision
+from ..memmodel.activations import ActivationModel, RecomputeStrategy
+from ..memmodel.footprint import TrainingMemoryBreakdown, training_memory_breakdown
+from ..models.transformer import TransformerConfig
+from ..parallelism.config import ParallelismConfig
+from ..parallelism.mapper import DistributedTrainingPlan, ParallelizationMapper
+from ..perf.kernels import DeviceKernelModel
+from ..perf.roofline import BoundType
+from ..workload.operators import CollectiveKind, CommunicationOp, GEMM
+from ..workload.training import TrainingMicrobatchSpec
+from ..workload.transformer_layer import TransformerLayerBuilder
+from .reports import KernelTimeEntry, TrainingReport
+
+#: Bytes the optimizer touches per parameter during the update step:
+#: read FP16 gradient (2) + read/write FP32 master weight (8) + read/write the
+#: two Adam moments (16) + write the FP16 weight copy (2).
+OPTIMIZER_BYTES_PER_PARAMETER = 28.0
+
+
+@dataclasses.dataclass
+class TrainingPerformanceModel:
+    """Predicts the training-step time of an LLM on a distributed system.
+
+    Attributes:
+        system: The hardware system.
+        kernel_model: Device-level kernel timing model; built from the
+            system's accelerator when not supplied.
+        collective_model: Communication pricing model; built from the system
+            when not supplied.
+        overlap_dp_communication: Fraction of the data-parallel gradient
+            all-reduce hidden behind the backward pass.  The paper's
+            analytical model adds communication serially, so the default is
+            fully exposed (0.0); set it higher to model gradient-reduction
+            overlap.
+    """
+
+    system: SystemSpec
+    kernel_model: Optional[DeviceKernelModel] = None
+    collective_model: Optional[CollectiveModel] = None
+    overlap_dp_communication: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kernel_model is None:
+            self.kernel_model = DeviceKernelModel(accelerator=self.system.accelerator)
+        if self.collective_model is None:
+            self.collective_model = CollectiveModel(system=self.system)
+        self._mapper = ParallelizationMapper(self.system)
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _layer_kernel_times(self, spec: TrainingMicrobatchSpec) -> Dict[str, object]:
+        """Time the forward and backward kernels of one transformer layer."""
+        builder = TransformerLayerBuilder(spec.layer_spec())
+        forward_entries: List[KernelTimeEntry] = []
+        backward_entries: List[KernelTimeEntry] = []
+        forward_time = 0.0
+        backward_time = 0.0
+        for op in builder.forward_compute_ops():
+            point = self.kernel_model.evaluate(op)
+            time = self.kernel_model.time(op)
+            forward_time += time
+            forward_entries.append(
+                KernelTimeEntry(
+                    name=op.name,
+                    time=time,
+                    count=1,
+                    bound=point.bound,
+                    flops=op.flops,
+                    bytes_moved=point.level_bytes.get("DRAM", op.bytes_total),
+                )
+            )
+        for op in builder.backward_compute_ops():
+            point = self.kernel_model.evaluate(op)
+            time = self.kernel_model.time(op)
+            backward_time += time
+            backward_entries.append(
+                KernelTimeEntry(
+                    name=op.name,
+                    time=time,
+                    count=1,
+                    bound=point.bound,
+                    flops=op.flops,
+                    bytes_moved=point.level_bytes.get("DRAM", op.bytes_total),
+                )
+            )
+        return {
+            "forward_time": forward_time,
+            "backward_time": backward_time,
+            "forward_entries": forward_entries,
+            "backward_entries": backward_entries,
+            "builder": builder,
+        }
+
+    def _tp_communication_per_layer(self, builder: TransformerLayerBuilder, scope: str) -> float:
+        """Tensor-parallel collective time of one layer, forward plus backward."""
+        total = 0.0
+        for op in builder.forward_communication(scope=scope):
+            total += self.collective_model.time(op)
+        for op in builder.backward_communication(scope=scope):
+            total += self.collective_model.time(op)
+        return total
+
+    def _lm_head_time(self, spec: TrainingMicrobatchSpec) -> float:
+        """Forward + backward time of the LM-head GEMM when the stage hosts it."""
+        if not spec.include_embedding:
+            return 0.0
+        vocab_per_rank = max(1, spec.model.vocab_size // spec.tensor_parallel)
+        head = GEMM(
+            name="lm_head",
+            precision=spec.precision,
+            m=spec.micro_batch * spec.seq_len,
+            n=vocab_per_rank,
+            k=spec.model.hidden_size,
+            weight_operand=True,
+        )
+        # Forward plus the two backward GEMMs of the same FLOP count.
+        return 3.0 * self.kernel_model.time(head)
+
+    def _pipeline_communication(self, plan: DistributedTrainingPlan) -> float:
+        """Total exposed pipeline point-to-point time per training step."""
+        if plan.parallelism.pipeline_parallel == 1:
+            return 0.0
+        per_microbatch = plan.pipeline_p2p_bytes_per_microbatch
+        op_time = self.collective_model.time(
+            CommunicationOp(
+                name="pp_p2p",
+                collective=CollectiveKind.POINT_TO_POINT,
+                data_bytes=per_microbatch,
+                group_size=2,
+                scope=plan.pp_scope,
+            )
+        )
+        return op_time * plan.num_microbatches
+
+    def _dp_communication(self, plan: DistributedTrainingPlan) -> float:
+        """Exposed data-parallel gradient all-reduce time per training step."""
+        dp_plan = plan.data_parallel_plan
+        if not dp_plan.requires_all_reduce:
+            return 0.0
+        op = CommunicationOp(
+            name="dp_grad_all_reduce",
+            collective=CollectiveKind.ALL_REDUCE,
+            data_bytes=dp_plan.gradient_bytes,
+            group_size=dp_plan.data_parallel,
+            scope=plan.dp_scope,
+        )
+        exposed = 1.0 - self.overlap_dp_communication
+        return self.collective_model.time(op) * exposed
+
+    def _weight_update_time(self, plan: DistributedTrainingPlan) -> float:
+        """Optimizer (Adam) update time: a DRAM-streaming pass over the states."""
+        params = plan.parameters_per_device
+        dram = self.system.accelerator.memory.dram
+        return params * OPTIMIZER_BYTES_PER_PARAMETER / (dram.bandwidth * dram.utilization)
+
+    # -- main entry point -----------------------------------------------------------
+
+    def predict(
+        self,
+        model: TransformerConfig,
+        parallelism: ParallelismConfig,
+        global_batch_size: int,
+        seq_len: Optional[int] = None,
+        precision: Precision = Precision.FP16,
+        recompute: "RecomputeStrategy | str" = RecomputeStrategy.SELECTIVE,
+    ) -> TrainingReport:
+        """Predict the time of one training step (one global batch).
+
+        Args:
+            model: The transformer architecture to train.
+            parallelism: DP/TP/PP/SP configuration.
+            global_batch_size: Global batch size in sequences.
+            seq_len: Sequence length (defaults to the model maximum).
+            precision: Training compute precision.
+            recompute: Activation recomputation strategy.
+        """
+        recompute = RecomputeStrategy.parse(recompute)
+        plan = self._mapper.plan_training(
+            model,
+            parallelism,
+            global_batch_size=global_batch_size,
+            seq_len=seq_len,
+            precision=precision,
+        )
+        spec = plan.microbatch_spec
+        layers_per_stage = parallelism.layers_per_stage(model)
+
+        layer_times = self._layer_kernel_times(spec)
+        builder: TransformerLayerBuilder = layer_times["builder"]  # type: ignore[assignment]
+        forward_layer = layer_times["forward_time"]  # type: ignore[assignment]
+        backward_layer = layer_times["backward_time"]  # type: ignore[assignment]
+
+        tp_comm_layer = self._tp_communication_per_layer(builder, plan.tp_scope)
+        lm_head_time = self._lm_head_time(spec)
+
+        # Per-micro-batch, per-stage times.
+        compute_per_microbatch = (forward_layer + backward_layer) * layers_per_stage + lm_head_time
+        tp_comm_per_microbatch = tp_comm_layer * layers_per_stage
+
+        # Activation recomputation replays (part of) the forward pass before backward.
+        activation_model = ActivationModel(
+            model=model,
+            micro_batch=parallelism.micro_batch_size,
+            seq_len=plan.seq_len,
+            tensor_parallel=parallelism.tensor_parallel,
+            sequence_parallel=parallelism.sequence_parallel,
+            precision=precision,
+        )
+        recompute_fraction = activation_model.recompute_flops_overhead(recompute)
+        recompute_per_microbatch = recompute_fraction * forward_layer * layers_per_stage
+
+        microbatches = plan.num_microbatches
+        compute_time = compute_per_microbatch * microbatches
+        recompute_time = recompute_per_microbatch * microbatches
+        tp_comm_time = tp_comm_per_microbatch * microbatches
+
+        # The bubble applies to everything that streams through the pipeline.
+        ideal_pipeline_time = compute_time + recompute_time + tp_comm_time
+        bubble_time = plan.pipeline.bubble_fraction * ideal_pipeline_time
+
+        pp_comm_time = self._pipeline_communication(plan)
+        dp_comm_time = self._dp_communication(plan)
+        weight_update_time = self._weight_update_time(plan)
+
+        memory = training_memory_breakdown(
+            model,
+            parallelism,
+            global_batch_size=global_batch_size,
+            seq_len=plan.seq_len,
+            precision=precision,
+            strategy=recompute,
+        )
+
+        # Aggregate the per-layer kernel entries over layers and micro-batches.
+        kernel_entries: List[KernelTimeEntry] = []
+        repeats = layers_per_stage * microbatches
+        for entry in layer_times["forward_entries"] + layer_times["backward_entries"]:  # type: ignore[operator]
+            kernel_entries.append(dataclasses.replace(entry, count=repeats))
+
+        return TrainingReport(
+            model_name=model.name,
+            system_name=self.system.name,
+            parallelism_label=parallelism.label,
+            global_batch_size=global_batch_size,
+            seq_len=plan.seq_len,
+            recompute_strategy=recompute.value,
+            compute_time=compute_time,
+            recompute_time=recompute_time,
+            tp_communication_time=tp_comm_time,
+            pp_communication_time=pp_comm_time,
+            dp_communication_time=dp_comm_time,
+            bubble_time=bubble_time,
+            weight_update_time=weight_update_time,
+            memory=memory,
+            kernel_breakdown=kernel_entries,
+        )
+
+    # -- auxiliary analyses ------------------------------------------------------------
+
+    def gemm_bound_breakdown(
+        self,
+        model: TransformerConfig,
+        parallelism: ParallelismConfig,
+        seq_len: Optional[int] = None,
+        precision: Precision = Precision.FP16,
+    ) -> Dict[str, float]:
+        """Split one layer's forward GEMM time into compute- vs memory-bound parts.
+
+        This powers the technology-node bound-breakdown study (paper Fig. 7).
+        """
+        spec = TrainingMicrobatchSpec(
+            model=model,
+            micro_batch=parallelism.micro_batch_size,
+            seq_len=model.max_seq_len if seq_len is None else seq_len,
+            layers_per_stage=1,
+            tensor_parallel=parallelism.tensor_parallel,
+            sequence_parallel=parallelism.sequence_parallel,
+            precision=precision,
+        )
+        builder = TransformerLayerBuilder(spec.layer_spec())
+        compute_bound = 0.0
+        memory_bound = 0.0
+        for gemm in builder.forward_gemms():
+            point = self.kernel_model.gemm_model.evaluate(gemm)
+            if point.bound is BoundType.COMPUTE:
+                compute_bound += point.time
+            else:
+                memory_bound += point.time
+        return {"compute_bound": compute_bound, "memory_bound": memory_bound}

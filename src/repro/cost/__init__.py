@@ -1,0 +1,27 @@
+"""Energy and total-cost-of-operation models (the paper's stated future-work extension)."""
+
+from .energy import (
+    DEFAULT_COMPUTE_POWER_FRACTION,
+    DEFAULT_HOST_POWER_PER_DEVICE,
+    DEFAULT_IDLE_POWER_FRACTION,
+    DEFAULT_PUE,
+    EnergyModel,
+)
+from .tco import (
+    DEFAULT_AMORTIZATION_YEARS,
+    DEFAULT_DEVICE_PRICES,
+    DEFAULT_ELECTRICITY_COST_PER_KWH,
+    TCOModel,
+)
+
+__all__ = [
+    "DEFAULT_AMORTIZATION_YEARS",
+    "DEFAULT_COMPUTE_POWER_FRACTION",
+    "DEFAULT_DEVICE_PRICES",
+    "DEFAULT_ELECTRICITY_COST_PER_KWH",
+    "DEFAULT_HOST_POWER_PER_DEVICE",
+    "DEFAULT_IDLE_POWER_FRACTION",
+    "DEFAULT_PUE",
+    "EnergyModel",
+    "TCOModel",
+]

@@ -1,0 +1,113 @@
+"""Energy model for training steps and inference requests.
+
+The paper's introduction frames the whole study in terms of "performance per
+total cost of operation (TCO)" and lists an energy and cost model as the next
+extension of the framework.  This module provides that extension: a simple
+board-power-based energy model that converts the performance reports of
+:mod:`repro.core` into energy (joules / kWh) figures.
+
+The model follows the usual data-center accounting: every device burns a
+fraction of its TDP while it computes and a lower fraction while it idles in
+pipeline bubbles or waits for communication, and the facility multiplies the
+IT power by a PUE factor.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..core.reports import InferenceReport, TrainingReport
+from ..errors import ConfigurationError
+from ..hardware.cluster import SystemSpec
+
+#: Fraction of TDP a GPU draws while executing compute kernels.
+DEFAULT_COMPUTE_POWER_FRACTION = 0.90
+#: Fraction of TDP drawn while the device only communicates or idles.
+DEFAULT_IDLE_POWER_FRACTION = 0.45
+#: Host (CPU, DRAM, NIC, fans) power per accelerator, in watts.
+DEFAULT_HOST_POWER_PER_DEVICE = 150.0
+#: Typical data-center power usage effectiveness.
+DEFAULT_PUE = 1.2
+
+JOULES_PER_KWH = 3.6e6
+
+
+@dataclasses.dataclass(frozen=True)
+class EnergyModel:
+    """Converts performance reports into energy estimates.
+
+    Attributes:
+        system: The hardware system the reports were produced for.
+        compute_power_fraction: Fraction of the accelerator TDP drawn during
+            compute-dominated phases.
+        idle_power_fraction: Fraction drawn during exposed communication,
+            pipeline bubbles, and other waiting time.
+        host_power_per_device: Host-side power attributed to each accelerator.
+        pue: Facility power usage effectiveness multiplier.
+    """
+
+    system: SystemSpec
+    compute_power_fraction: float = DEFAULT_COMPUTE_POWER_FRACTION
+    idle_power_fraction: float = DEFAULT_IDLE_POWER_FRACTION
+    host_power_per_device: float = DEFAULT_HOST_POWER_PER_DEVICE
+    pue: float = DEFAULT_PUE
+
+    def __post_init__(self) -> None:
+        if not 0 < self.idle_power_fraction <= self.compute_power_fraction <= 1.0:
+            raise ConfigurationError("power fractions must satisfy 0 < idle <= compute <= 1")
+        if self.host_power_per_device < 0:
+            raise ConfigurationError("host_power_per_device must be non-negative")
+        if self.pue < 1.0:
+            raise ConfigurationError("PUE cannot be below 1.0")
+
+    # -- building blocks -------------------------------------------------------------
+
+    @property
+    def device_tdp(self) -> float:
+        """TDP of one accelerator in watts."""
+        return self.system.accelerator.tdp_watts
+
+    def _device_energy(self, busy_time: float, waiting_time: float) -> float:
+        """Energy of one device split into busy and waiting phases, in joules."""
+        busy_power = self.device_tdp * self.compute_power_fraction
+        waiting_power = self.device_tdp * self.idle_power_fraction
+        host_energy = self.host_power_per_device * (busy_time + waiting_time)
+        return (busy_power * busy_time + waiting_power * waiting_time + host_energy) * self.pue
+
+    # -- training ----------------------------------------------------------------------
+
+    def training_step_energy(self, report: TrainingReport, num_devices: int | None = None) -> float:
+        """Energy of one training step across the whole system, in joules."""
+        devices = self.system.num_devices if num_devices is None else num_devices
+        busy = report.compute_time + report.recompute_time
+        waiting = report.communication_time + report.other_time
+        return devices * self._device_energy(busy, waiting)
+
+    def training_energy_per_token(self, report: TrainingReport, num_devices: int | None = None) -> float:
+        """Average energy per trained token, in joules."""
+        tokens = report.global_batch_size * report.seq_len
+        if tokens <= 0:
+            raise ConfigurationError("the report processes no tokens")
+        return self.training_step_energy(report, num_devices) / tokens
+
+    # -- inference ---------------------------------------------------------------------
+
+    def inference_request_energy(self, report: InferenceReport) -> float:
+        """Energy of one inference request across the TP group, in joules."""
+        busy = report.device_time
+        waiting = report.communication_time
+        return report.tensor_parallel * self._device_energy(busy, waiting)
+
+    def inference_energy_per_token(self, report: InferenceReport) -> float:
+        """Energy per generated token, in joules."""
+        tokens = report.batch_size * report.generated_tokens
+        if tokens <= 0:
+            raise ConfigurationError("the report generates no tokens")
+        return self.inference_request_energy(report) / tokens
+
+    # -- conversions --------------------------------------------------------------------
+
+    @staticmethod
+    def to_kwh(joules: float) -> float:
+        """Convert joules to kilowatt-hours."""
+        return joules / JOULES_PER_KWH

@@ -1,0 +1,161 @@
+"""Total-cost-of-operation (TCO) model: $ per training run and per million tokens.
+
+Combines the amortized capital cost of the accelerators with the electricity
+cost derived from :class:`~repro.cost.energy.EnergyModel`, yielding the
+performance-per-TCO figures the paper's introduction motivates ("detailed
+analysis of the performance per TCO would help identify the pain points
+while designing future compute systems or models").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from ..core.reports import InferenceReport, TrainingReport
+from ..errors import ConfigurationError
+from ..hardware.cluster import SystemSpec
+from .energy import EnergyModel
+
+SECONDS_PER_YEAR = 365.0 * 24.0 * 3600.0
+
+#: Rough street prices (USD) per accelerator, used as defaults for the catalog devices.
+DEFAULT_DEVICE_PRICES = {
+    "A100-80GB": 15_000.0,
+    "H100-SXM": 30_000.0,
+    "H200-SXM": 35_000.0,
+    "B100": 35_000.0,
+    "B200": 45_000.0,
+}
+DEFAULT_DEVICE_PRICE = 25_000.0
+#: Server/network/storage overhead as a fraction of the accelerator price.
+DEFAULT_SYSTEM_OVERHEAD_FRACTION = 0.35
+#: Electricity price in USD per kWh.
+DEFAULT_ELECTRICITY_COST_PER_KWH = 0.12
+#: Depreciation horizon in years.
+DEFAULT_AMORTIZATION_YEARS = 4.0
+#: Average utilization of the fleet over its lifetime.
+DEFAULT_FLEET_UTILIZATION = 0.60
+
+
+@dataclasses.dataclass(frozen=True)
+class TCOModel:
+    """Amortized cost model for a system running LLM workloads.
+
+    Attributes:
+        system: The hardware system.
+        energy_model: Energy model used for the operating-cost component.
+        device_price: Purchase price of one accelerator in USD (defaults to a
+            catalog-based estimate).
+        system_overhead_fraction: CPU/network/storage overhead relative to the
+            accelerator price.
+        electricity_cost_per_kwh: Electricity price in USD/kWh.
+        amortization_years: Capital depreciation horizon.
+        fleet_utilization: Average fraction of time the fleet does useful work.
+    """
+
+    system: SystemSpec
+    energy_model: Optional[EnergyModel] = None
+    device_price: Optional[float] = None
+    system_overhead_fraction: float = DEFAULT_SYSTEM_OVERHEAD_FRACTION
+    electricity_cost_per_kwh: float = DEFAULT_ELECTRICITY_COST_PER_KWH
+    amortization_years: float = DEFAULT_AMORTIZATION_YEARS
+    fleet_utilization: float = DEFAULT_FLEET_UTILIZATION
+
+    def __post_init__(self) -> None:
+        if self.energy_model is None:
+            object.__setattr__(self, "energy_model", EnergyModel(system=self.system))
+        if self.device_price is None:
+            price = DEFAULT_DEVICE_PRICES.get(self.system.accelerator.name, DEFAULT_DEVICE_PRICE)
+            object.__setattr__(self, "device_price", price)
+        if self.device_price <= 0:
+            raise ConfigurationError("device_price must be positive")
+        if not 0 < self.fleet_utilization <= 1:
+            raise ConfigurationError("fleet_utilization must be in (0, 1]")
+        if self.amortization_years <= 0:
+            raise ConfigurationError("amortization_years must be positive")
+        if self.electricity_cost_per_kwh < 0 or self.system_overhead_fraction < 0:
+            raise ConfigurationError("costs must be non-negative")
+
+    # -- capital cost --------------------------------------------------------------------
+
+    @property
+    def capital_cost_per_device(self) -> float:
+        """Accelerator price plus its share of server/network/storage, in USD."""
+        return self.device_price * (1.0 + self.system_overhead_fraction)
+
+    @property
+    def capital_cost_per_device_second(self) -> float:
+        """Amortized capital cost of one busy device-second, in USD."""
+        usable_seconds = self.amortization_years * SECONDS_PER_YEAR * self.fleet_utilization
+        return self.capital_cost_per_device / usable_seconds
+
+    def device_seconds_cost(self, device_seconds: float, energy_joules: float) -> float:
+        """Capital + electricity cost of ``device_seconds`` of work, in USD."""
+        capital = device_seconds * self.capital_cost_per_device_second
+        electricity = EnergyModel.to_kwh(energy_joules) * self.electricity_cost_per_kwh
+        return capital + electricity
+
+    # -- training -------------------------------------------------------------------------
+
+    def training_step_cost(self, report: TrainingReport, num_devices: Optional[int] = None) -> float:
+        """Cost of one training step (one global batch), in USD."""
+        devices = self.system.num_devices if num_devices is None else num_devices
+        device_seconds = devices * report.step_time
+        energy = self.energy_model.training_step_energy(report, devices)
+        return self.device_seconds_cost(device_seconds, energy)
+
+    def training_cost_per_million_tokens(self, report: TrainingReport, num_devices: Optional[int] = None) -> float:
+        """Training cost per million processed tokens, in USD."""
+        tokens = report.global_batch_size * report.seq_len
+        return self.training_step_cost(report, num_devices) / tokens * 1e6
+
+    def full_training_run_cost(
+        self,
+        report: TrainingReport,
+        total_training_tokens: float,
+        num_devices: Optional[int] = None,
+    ) -> float:
+        """Cost of a full training run over ``total_training_tokens``, in USD."""
+        if total_training_tokens <= 0:
+            raise ConfigurationError("total_training_tokens must be positive")
+        return self.training_cost_per_million_tokens(report, num_devices) * total_training_tokens / 1e6
+
+    # -- inference --------------------------------------------------------------------------
+
+    def inference_request_cost(self, report: InferenceReport) -> float:
+        """Cost of one inference request (whole batch), in USD."""
+        device_seconds = report.tensor_parallel * report.total_latency
+        energy = self.energy_model.inference_request_energy(report)
+        return self.device_seconds_cost(device_seconds, energy)
+
+    def inference_cost_per_million_tokens(self, report: InferenceReport) -> float:
+        """Serving cost per million generated tokens, in USD."""
+        tokens = report.batch_size * report.generated_tokens
+        if tokens <= 0:
+            raise ConfigurationError("the report generates no tokens")
+        return self.inference_request_cost(report) / tokens * 1e6
+
+    # -- performance per TCO -----------------------------------------------------------------
+
+    def training_performance_per_dollar(self, report: TrainingReport, num_devices: Optional[int] = None) -> float:
+        """Trained tokens per USD — the paper's performance-per-TCO metric for training."""
+        cost = self.training_step_cost(report, num_devices)
+        tokens = report.global_batch_size * report.seq_len
+        return tokens / cost if cost > 0 else 0.0
+
+    def inference_performance_per_dollar(self, report: InferenceReport) -> float:
+        """Generated tokens per USD for inference serving."""
+        cost = self.inference_request_cost(report)
+        tokens = report.batch_size * report.generated_tokens
+        return tokens / cost if cost > 0 else 0.0
+
+    def summary(self, report: TrainingReport) -> Dict[str, float]:
+        """Flat cost summary for one training report."""
+        return {
+            "capital_per_device_usd": self.capital_cost_per_device,
+            "step_cost_usd": self.training_step_cost(report),
+            "cost_per_million_tokens_usd": self.training_cost_per_million_tokens(report),
+            "tokens_per_usd": self.training_performance_per_dollar(report),
+            "step_energy_kwh": EnergyModel.to_kwh(self.energy_model.training_step_energy(report)),
+        }

@@ -1,0 +1,24 @@
+"""Design-space exploration: design points, search, and technology-scaling studies."""
+
+from .scaling import (
+    MemoryScalingRow,
+    NodeScalingRow,
+    h100_reference_latency,
+    inference_memory_scaling_study,
+    technology_node_scaling_study,
+)
+from .search import GradientDescentSearch, SearchResult, optimize_allocation
+from .space import DesignPoint, DesignSpace
+
+__all__ = [
+    "DesignPoint",
+    "DesignSpace",
+    "GradientDescentSearch",
+    "MemoryScalingRow",
+    "NodeScalingRow",
+    "SearchResult",
+    "h100_reference_latency",
+    "inference_memory_scaling_study",
+    "optimize_allocation",
+    "technology_node_scaling_study",
+]

@@ -1,0 +1,289 @@
+"""Technology-scaling case studies built on the DSE engine.
+
+Two sweeps from the paper's case studies live here:
+
+* :func:`technology_node_scaling_study` -- training time per iteration of the
+  GPT-7B case study across logic nodes N12..N1 for different HBM generations
+  and inter-node network speeds (paper Fig. 6), with the per-layer compute-
+  vs-memory-bound GEMM breakdown that explains the saturation (Fig. 7).
+* :func:`inference_memory_scaling_study` -- inference latency of Llama2-13B
+  on 2- and 8-GPU systems as the DRAM technology scales from GDDR6 to a
+  futuristic HBMX while the compute die stays at the A100's 7 nm node
+  (paper Fig. 9).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from ..core.bottleneck import attention_layer_bound_breakdown
+from ..core.inference import InferencePerformanceModel
+from ..core.training import TrainingPerformanceModel
+from ..hardware.accelerator import get_accelerator
+from ..hardware.cluster import build_system
+from ..hardware.datatypes import Precision
+from ..hardware.memory import get_dram_technology
+from ..hardware.technology import NODE_ORDER
+from ..hardware.uarch import ResourceBudget
+from ..memmodel.activations import RecomputeStrategy
+from ..models.transformer import TransformerConfig
+from ..models.zoo import get_model
+from ..parallelism.config import ParallelismConfig
+from .search import GradientDescentSearch, SearchResult
+from .space import DesignPoint, DesignSpace
+
+
+@dataclasses.dataclass(frozen=True)
+class NodeScalingRow:
+    """One point of the technology-node scaling sweep (Fig. 6 / Fig. 7)."""
+
+    technology_node: str
+    dram_technology: str
+    inter_node_network: str
+    step_time: float
+    compute_time: float
+    communication_time: float
+    other_time: float
+    gemm_compute_bound_time: float
+    gemm_memory_bound_time: float
+
+    @property
+    def label(self) -> str:
+        """Series label as the paper's legend writes it."""
+        return f"{self.dram_technology}-{self.inter_node_network}"
+
+
+def technology_node_scaling_study(
+    model: "TransformerConfig | str" = "GPT-7B",
+    parallelism: Optional[ParallelismConfig] = None,
+    global_batch_size: int = 512,
+    num_devices: int = 1024,
+    nodes: Sequence[str] = tuple(NODE_ORDER),
+    combinations: Optional[Sequence[Dict[str, str]]] = None,
+    precision: Precision = Precision.FP16,
+    recompute: RecomputeStrategy = RecomputeStrategy.SELECTIVE,
+    optimize_allocation: bool = False,
+    budget: Optional[ResourceBudget] = None,
+) -> List[NodeScalingRow]:
+    """Sweep logic technology nodes for the GPT-7B training case study (Fig. 6).
+
+    Args:
+        model: Model to train (the paper uses GPT-7B).
+        parallelism: Parallelism configuration; defaults to the paper's
+            64-4-4-4 case-study setting.
+        global_batch_size: Global batch size (512 in the paper).
+        num_devices: Total GPU count (1024 in the paper).
+        nodes: Logic nodes to sweep, oldest first.
+        combinations: List of ``{"dram": ..., "network": ...}`` choices; the
+            default reproduces the six curves of Fig. 6.
+        precision: Training precision.
+        recompute: Activation recomputation strategy.
+        optimize_allocation: Run the per-node DSE allocation search instead of
+            using the default area/power split.
+        budget: Area/power budget of the derived devices.
+
+    Returns:
+        One row per (node, dram, network) combination.
+    """
+    model = get_model(model) if isinstance(model, str) else model
+    if parallelism is None:
+        parallelism = ParallelismConfig(
+            data_parallel=64,
+            tensor_parallel=4,
+            pipeline_parallel=4,
+            sequence_parallel=True,
+            micro_batch_size=1,
+        )
+    if combinations is None:
+        combinations = [
+            {"dram": "HBM2", "network": "NDR-x8"},
+            {"dram": "HBM2E", "network": "NDR-x8"},
+            {"dram": "HBM3", "network": "NDR-x8"},
+            {"dram": "HBM4", "network": "NDR-x8"},
+            {"dram": "HBM4", "network": "XDR-x8"},
+            {"dram": "HBM4", "network": "GDR-x8"},
+        ]
+    budget = budget or ResourceBudget()
+    space = DesignSpace(budget=budget)
+    rows: List[NodeScalingRow] = []
+    for node in nodes:
+        for combo in combinations:
+            point = DesignPoint(
+                technology_node=node,
+                dram_technology=combo["dram"],
+                inter_node_network=combo["network"],
+            )
+            if optimize_allocation:
+                point = _optimize_point(
+                    point, space, model, parallelism, global_batch_size, num_devices, precision, recompute, budget
+                )
+            system = point.build_system(num_devices=num_devices, budget=budget)
+            training = TrainingPerformanceModel(system=system)
+            report = training.predict(
+                model,
+                parallelism,
+                global_batch_size=global_batch_size,
+                precision=precision,
+                recompute=recompute,
+            )
+            bound = attention_layer_bound_breakdown(
+                model,
+                accelerator=system.accelerator,
+                micro_batch=parallelism.micro_batch_size,
+                seq_len=model.max_seq_len,
+                tensor_parallel=parallelism.tensor_parallel,
+                precision=precision,
+            )
+            rows.append(
+                NodeScalingRow(
+                    technology_node=node,
+                    dram_technology=combo["dram"],
+                    inter_node_network=combo["network"],
+                    step_time=report.step_time,
+                    compute_time=report.compute_time + report.recompute_time,
+                    communication_time=report.communication_time,
+                    other_time=report.other_time,
+                    gemm_compute_bound_time=bound["compute_bound"],
+                    gemm_memory_bound_time=bound["memory_bound"],
+                )
+            )
+    return rows
+
+
+def _optimize_point(
+    point: DesignPoint,
+    space: DesignSpace,
+    model: TransformerConfig,
+    parallelism: ParallelismConfig,
+    global_batch_size: int,
+    num_devices: int,
+    precision: Precision,
+    recompute: RecomputeStrategy,
+    budget: ResourceBudget,
+) -> DesignPoint:
+    """Optimize the area/power allocation of ``point`` for the training workload."""
+
+    def objective(candidate: DesignPoint) -> float:
+        system = candidate.build_system(num_devices=num_devices, budget=budget)
+        training = TrainingPerformanceModel(system=system)
+        report = training.predict(
+            model,
+            parallelism,
+            global_batch_size=global_batch_size,
+            precision=precision,
+            recompute=recompute,
+        )
+        return report.step_time
+
+    search = GradientDescentSearch(space, initial_step=0.1, min_step=0.02, max_iterations=15)
+    result: SearchResult = search.search(objective, starting_points=[point])
+    return result.best_point
+
+
+@dataclasses.dataclass(frozen=True)
+class MemoryScalingRow:
+    """One bar of the inference memory-technology scaling study (Fig. 9)."""
+
+    dram_technology: str
+    network: str
+    num_gpus: int
+    memory_time: float
+    communication_time: float
+
+    @property
+    def total_latency(self) -> float:
+        """End-to-end latency in seconds."""
+        return self.memory_time + self.communication_time
+
+    @property
+    def label(self) -> str:
+        """Series label as the paper's x-axis writes it."""
+        return f"{self.dram_technology}-{self.network}"
+
+
+def inference_memory_scaling_study(
+    model: "TransformerConfig | str" = "Llama2-13B",
+    gpu_counts: Sequence[int] = (2, 8),
+    memory_technologies: Sequence[str] = ("GDDR6", "HBM2", "HBM2E", "HBM3", "HBM3E", "HBMX"),
+    extra_points: Optional[Sequence[Dict[str, str]]] = None,
+    batch_size: int = 1,
+    prompt_tokens: int = 200,
+    generated_tokens: int = 200,
+    precision: Precision = Precision.FP16,
+    base_accelerator: str = "A100",
+) -> List[MemoryScalingRow]:
+    """Sweep DRAM technologies for multi-GPU inference (paper Fig. 9).
+
+    The compute die is kept at the base accelerator's (A100, 7 nm) while the
+    DRAM technology scales from GDDR6 up to the futuristic HBMX; intra-node
+    networking is NVLink-Gen3 except for the extra HBMX-NVLink-Gen4 point.
+    """
+    model = get_model(model) if isinstance(model, str) else model
+    if extra_points is None:
+        extra_points = [{"dram": "HBMX", "network": "NVLink4"}]
+    base = get_accelerator(base_accelerator)
+    sweep = [{"dram": tech, "network": "NVLink3"} for tech in memory_technologies]
+    sweep.extend(extra_points)
+    rows: List[MemoryScalingRow] = []
+    for num_gpus in gpu_counts:
+        for combo in sweep:
+            technology = get_dram_technology(combo["dram"]).with_capacity(base.dram_capacity)
+            accelerator = base.with_dram(technology, keep_capacity=True)
+            system = build_system(
+                accelerator,
+                num_devices=num_gpus,
+                intra_node=combo["network"],
+                inter_node="HDR-IB",
+                devices_per_node=8,
+                name=f"{base.name}-{combo['dram']}-{combo['network']}",
+            )
+            inference = InferencePerformanceModel(system=system)
+            report = inference.predict(
+                model,
+                batch_size=batch_size,
+                prompt_tokens=prompt_tokens,
+                generated_tokens=generated_tokens,
+                tensor_parallel=num_gpus,
+                precision=precision,
+            )
+            rows.append(
+                MemoryScalingRow(
+                    dram_technology=combo["dram"],
+                    network=combo["network"],
+                    num_gpus=num_gpus,
+                    memory_time=report.device_time,
+                    communication_time=report.communication_time,
+                )
+            )
+    return rows
+
+
+def h100_reference_latency(
+    model: "TransformerConfig | str" = "Llama2-13B",
+    num_gpus: int = 2,
+    batch_size: int = 1,
+    prompt_tokens: int = 200,
+    generated_tokens: int = 200,
+    precision: Precision = Precision.FP16,
+) -> float:
+    """The H100-HBM3e reference latency drawn as a dashed line in Fig. 9."""
+    model = get_model(model) if isinstance(model, str) else model
+    system = build_system(
+        "H100",
+        num_devices=num_gpus,
+        intra_node="NVLink4",
+        inter_node="NDR-IB",
+        devices_per_node=8,
+        name=f"H100x{num_gpus}",
+    )
+    inference = InferencePerformanceModel(system=system)
+    report = inference.predict(
+        model,
+        batch_size=batch_size,
+        prompt_tokens=prompt_tokens,
+        generated_tokens=generated_tokens,
+        tensor_parallel=num_gpus,
+        precision=precision,
+    )
+    return report.total_latency

@@ -1,0 +1,175 @@
+"""Design space definition for the DSE engine (paper Section 3.6).
+
+A design point couples a logic technology node, an off-chip memory
+technology, intra-/inter-node network technologies, and the allocation of
+the silicon budget (area/power fractions) between the compute array and the
+last-level cache.  The µArch engine turns a design point into an
+:class:`~repro.hardware.accelerator.AcceleratorSpec`; the performance model
+then scores it on a workload, and the search of :mod:`repro.dse.search`
+walks the space looking for the fastest feasible point.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..hardware.accelerator import AcceleratorSpec
+from ..hardware.cluster import SystemSpec, build_system
+from ..hardware.memory import get_dram_technology
+from ..hardware.network import Interconnect, get_interconnect
+from ..hardware.technology import get_node
+from ..hardware.uarch import MicroArchitecture, ResourceAllocation, ResourceBudget
+
+
+@dataclasses.dataclass(frozen=True)
+class DesignPoint:
+    """One candidate design in the exploration space.
+
+    Attributes:
+        technology_node: Logic node name (``"N7"``, ``"N3"``, ...).
+        dram_technology: Off-chip memory technology name (``"HBM3"``, ...).
+        intra_node_network: Intra-node fabric name.
+        inter_node_network: Inter-node fabric name.
+        compute_area_fraction: Fraction of die area given to the compute array.
+        l2_area_fraction: Fraction of die area given to the last-level cache.
+        compute_power_fraction: Fraction of board power given to compute.
+        supports_fp8: Whether the derived device has an FP8 matrix path.
+        supports_fp4: Whether the derived device has an FP4 matrix path.
+    """
+
+    technology_node: str = "N7"
+    dram_technology: str = "HBM2E"
+    intra_node_network: str = "NVLink3"
+    inter_node_network: str = "NDR-x8"
+    compute_area_fraction: float = 0.60
+    l2_area_fraction: float = 0.15
+    compute_power_fraction: float = 0.65
+    supports_fp8: bool = False
+    supports_fp4: bool = False
+
+    def allocation(self) -> ResourceAllocation:
+        """The µArch allocation implied by this design point."""
+        return ResourceAllocation(
+            compute_area_fraction=self.compute_area_fraction,
+            l2_area_fraction=self.l2_area_fraction,
+            compute_power_fraction=self.compute_power_fraction,
+        )
+
+    def build_accelerator(self, budget: Optional[ResourceBudget] = None, name: Optional[str] = None) -> AcceleratorSpec:
+        """Derive the accelerator for this design point under ``budget``."""
+        uarch = MicroArchitecture(
+            node=get_node(self.technology_node),
+            budget=budget or ResourceBudget(),
+            allocation=self.allocation(),
+            dram=get_dram_technology(self.dram_technology),
+            supports_fp8=self.supports_fp8,
+            supports_fp4=self.supports_fp4,
+        )
+        return uarch.derive_accelerator(name=name or self.label)
+
+    def build_system(
+        self,
+        num_devices: int,
+        devices_per_node: int = 8,
+        budget: Optional[ResourceBudget] = None,
+        name: Optional[str] = None,
+    ) -> SystemSpec:
+        """Build the full multi-device system for this design point."""
+        accelerator = self.build_accelerator(budget=budget)
+        return build_system(
+            accelerator,
+            num_devices=num_devices,
+            intra_node=self.intra_node_network,
+            inter_node=self.inter_node_network,
+            devices_per_node=devices_per_node,
+            name=name or self.label,
+        )
+
+    @property
+    def label(self) -> str:
+        """Short human-readable label for reports."""
+        return f"{self.technology_node}-{self.dram_technology}-{self.inter_node_network}"
+
+    def perturbed(self, **changes: object) -> "DesignPoint":
+        """Return a copy with some fields replaced (used by the search)."""
+        return dataclasses.replace(self, **changes)  # type: ignore[arg-type]
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dict view for logging."""
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class DesignSpace:
+    """Bounds and discrete choices of the exploration.
+
+    Attributes:
+        technology_nodes: Candidate logic nodes.
+        dram_technologies: Candidate off-chip memory technologies.
+        inter_node_networks: Candidate inter-node fabrics.
+        intra_node_networks: Candidate intra-node fabrics.
+        area_fraction_bounds: Bounds of the compute-area fraction.
+        l2_fraction_bounds: Bounds of the L2-area fraction.
+        budget: Fixed area/power budget all candidates share.
+    """
+
+    technology_nodes: Tuple[str, ...] = ("N12", "N10", "N7", "N5", "N3", "N2", "N1")
+    dram_technologies: Tuple[str, ...] = ("HBM2", "HBM2E", "HBM3", "HBM4")
+    inter_node_networks: Tuple[str, ...] = ("NDR-x8", "XDR-x8", "GDR-x8")
+    intra_node_networks: Tuple[str, ...] = ("NVLink3",)
+    area_fraction_bounds: Tuple[float, float] = (0.30, 0.80)
+    l2_fraction_bounds: Tuple[float, float] = (0.05, 0.35)
+    budget: ResourceBudget = dataclasses.field(default_factory=ResourceBudget)
+
+    def __post_init__(self) -> None:
+        for name in self.technology_nodes:
+            get_node(name)
+        for name in self.dram_technologies:
+            get_dram_technology(name)
+        for name in self.inter_node_networks + self.intra_node_networks:
+            get_interconnect(name)
+        if not 0 < self.area_fraction_bounds[0] < self.area_fraction_bounds[1] < 1:
+            raise ConfigurationError("invalid area fraction bounds")
+        if not 0 < self.l2_fraction_bounds[0] < self.l2_fraction_bounds[1] < 1:
+            raise ConfigurationError("invalid L2 fraction bounds")
+
+    def clip(self, point: DesignPoint) -> DesignPoint:
+        """Clip a point's continuous knobs into the space's bounds."""
+        compute = min(max(point.compute_area_fraction, self.area_fraction_bounds[0]), self.area_fraction_bounds[1])
+        l2 = min(max(point.l2_area_fraction, self.l2_fraction_bounds[0]), self.l2_fraction_bounds[1])
+        if compute + l2 >= 0.95:
+            l2 = max(self.l2_fraction_bounds[0], 0.95 - compute - 0.01)
+        return point.perturbed(compute_area_fraction=compute, l2_area_fraction=l2)
+
+    def contains(self, point: DesignPoint) -> bool:
+        """Whether a point's discrete choices belong to this space."""
+        return (
+            point.technology_node in self.technology_nodes
+            and point.dram_technology in self.dram_technologies
+            and point.inter_node_network in self.inter_node_networks
+            and point.intra_node_network in self.intra_node_networks
+        )
+
+    def grid(self, fraction_steps: int = 3) -> List[DesignPoint]:
+        """A coarse grid over the space, useful for seeding the search."""
+        lo, hi = self.area_fraction_bounds
+        fractions = [lo + (hi - lo) * i / max(1, fraction_steps - 1) for i in range(fraction_steps)]
+        points: List[DesignPoint] = []
+        for node in self.technology_nodes:
+            for dram in self.dram_technologies:
+                for network in self.inter_node_networks:
+                    for fraction in fractions:
+                        points.append(
+                            self.clip(
+                                DesignPoint(
+                                    technology_node=node,
+                                    dram_technology=dram,
+                                    inter_node_network=network,
+                                    intra_node_network=self.intra_node_networks[0],
+                                    compute_area_fraction=fraction,
+                                )
+                            )
+                        )
+        return points

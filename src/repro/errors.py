@@ -1,0 +1,38 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised intentionally by the framework derive from
+:class:`ReproError`, so callers can catch one base class.  More specific
+subclasses allow tests and downstream users to distinguish configuration
+mistakes from infeasible mappings (e.g. a model that does not fit into the
+available device memory).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """An input configuration is inconsistent or out of the supported range."""
+
+
+class UnknownHardwareError(ConfigurationError):
+    """A requested accelerator, memory, or network technology is not in the catalog."""
+
+
+class UnknownModelError(ConfigurationError):
+    """A requested LLM model name is not present in the model zoo."""
+
+
+class MappingError(ReproError):
+    """A parallelization mapping cannot be applied to the given workload/system."""
+
+
+class MemoryCapacityError(MappingError):
+    """The mapped workload does not fit into the per-device memory capacity."""
+
+
+class SearchError(ReproError):
+    """The design-space exploration failed to produce a feasible design point."""

@@ -1,0 +1,74 @@
+"""Hardware layer: accelerators, memory, networks, technology nodes, µArch engine."""
+
+from .accelerator import (
+    AcceleratorSpec,
+    custom_accelerator,
+    get_accelerator,
+    list_accelerators,
+)
+from .cluster import SystemSpec, build_system, preset_cluster
+from .compute import ComputeSpec
+from .datatypes import Precision
+from .memory import (
+    DRAM_TECHNOLOGIES,
+    INFERENCE_MEMORY_SWEEP,
+    TRAINING_MEMORY_SWEEP,
+    MemoryHierarchy,
+    MemoryLevel,
+    MemoryTechnology,
+    get_dram_technology,
+    make_gpu_hierarchy,
+)
+from .network import INTERCONNECTS, Interconnect, custom_interconnect, get_interconnect
+from .node import NodeSpec
+from .technology import (
+    AREA_SCALING_PER_NODE,
+    NODE_ORDER,
+    POWER_SCALING_PER_NODE,
+    TechnologyNode,
+    all_nodes,
+    get_node,
+    scaling_factors,
+)
+from .uarch import (
+    MicroArchitecture,
+    ResourceAllocation,
+    ResourceBudget,
+    derive_device,
+)
+
+__all__ = [
+    "AcceleratorSpec",
+    "ComputeSpec",
+    "DRAM_TECHNOLOGIES",
+    "INFERENCE_MEMORY_SWEEP",
+    "INTERCONNECTS",
+    "Interconnect",
+    "MemoryHierarchy",
+    "MemoryLevel",
+    "MemoryTechnology",
+    "MicroArchitecture",
+    "NodeSpec",
+    "NODE_ORDER",
+    "Precision",
+    "ResourceAllocation",
+    "ResourceBudget",
+    "SystemSpec",
+    "TechnologyNode",
+    "TRAINING_MEMORY_SWEEP",
+    "AREA_SCALING_PER_NODE",
+    "POWER_SCALING_PER_NODE",
+    "all_nodes",
+    "build_system",
+    "custom_accelerator",
+    "custom_interconnect",
+    "derive_device",
+    "get_accelerator",
+    "get_dram_technology",
+    "get_interconnect",
+    "get_node",
+    "list_accelerators",
+    "make_gpu_hierarchy",
+    "preset_cluster",
+    "scaling_factors",
+]

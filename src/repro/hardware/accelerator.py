@@ -1,0 +1,369 @@
+"""Accelerator (GPU / TPU / custom device) specifications and catalog.
+
+An :class:`AcceleratorSpec` is the architecture-abstraction-layer view of a
+device: sustained compute throughput per precision, a memory hierarchy
+(shared memory, L2, DRAM), and bookkeeping fields (technology node, TDP,
+die area) used by the design-space exploration.  The catalog encodes the
+publicly available coarse-grained figures of the devices the paper studies
+(A100, H100, H200, B100, B200) plus a TPU-like entry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from ..errors import UnknownHardwareError
+from ..units import GB, MIB, TBPS, TFLOPS, PFLOPS
+from .compute import ComputeSpec
+from .datatypes import Precision
+from .memory import (
+    MemoryHierarchy,
+    MemoryTechnology,
+    get_dram_technology,
+    make_gpu_hierarchy,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class AcceleratorSpec:
+    """Coarse-grained description of one accelerator device.
+
+    Attributes:
+        name: Catalog name, e.g. ``"A100-80GB"``.
+        compute: Per-precision peak throughput and efficiency.
+        memory: The on-device memory hierarchy, innermost level first.
+        dram_technology: Name of the DRAM technology feeding the last level.
+        technology_node_nm: Logic process node of the compute die, in nm.
+        tdp_watts: Board power budget, used by the µArch engine and DSE.
+        die_area_mm2: Compute-die area, used by the µArch engine and DSE.
+    """
+
+    name: str
+    compute: ComputeSpec
+    memory: MemoryHierarchy
+    dram_technology: str = "HBM2E"
+    technology_node_nm: float = 7.0
+    tdp_watts: float = 400.0
+    die_area_mm2: float = 800.0
+
+    @property
+    def dram_bandwidth(self) -> float:
+        """Peak DRAM bandwidth in bytes/second."""
+        return self.memory.dram.bandwidth
+
+    @property
+    def dram_capacity(self) -> float:
+        """DRAM capacity in bytes."""
+        return self.memory.dram.capacity
+
+    def peak_flops(self, precision: Precision) -> float:
+        """Peak matrix throughput for ``precision`` in FLOP/s."""
+        return self.compute.peak(precision)
+
+    def sustained_flops(self, precision: Precision) -> float:
+        """Sustained (efficiency-adjusted) matrix throughput in FLOP/s."""
+        return self.compute.sustained(precision)
+
+    def with_dram(
+        self,
+        technology: "MemoryTechnology | str",
+        name: Optional[str] = None,
+        keep_capacity: bool = False,
+    ) -> "AcceleratorSpec":
+        """Return a copy of this device with a different DRAM technology.
+
+        Used by the memory-technology scaling studies: the compute die and
+        on-chip memories stay fixed while the off-chip memory is swapped.
+
+        Args:
+            technology: A catalog name or a :class:`MemoryTechnology`.
+            name: Optional new device name; defaults to ``<name>-<tech>``.
+            keep_capacity: Keep the original DRAM capacity instead of the
+                technology's typical capacity.
+        """
+        tech = technology if isinstance(technology, MemoryTechnology) else get_dram_technology(technology)
+        if keep_capacity:
+            tech = tech.with_capacity(self.dram_capacity)
+        return dataclasses.replace(
+            self,
+            name=name or f"{self.name}-{tech.name}",
+            memory=self.memory.replace_dram(tech),
+            dram_technology=tech.name,
+        )
+
+    def with_compute_scale(self, factor: float, name: Optional[str] = None) -> "AcceleratorSpec":
+        """Return a copy with all compute throughputs scaled by ``factor``."""
+        return dataclasses.replace(
+            self,
+            name=name or f"{self.name}-x{factor:g}",
+            compute=self.compute.scaled(factor),
+        )
+
+    def summary(self) -> Dict[str, float]:
+        """Flat summary of the headline numbers, for reports and tables."""
+        return {
+            "fp16_tflops": self.compute.peak(Precision.FP16) / TFLOPS,
+            "dram_bandwidth_tbps": self.dram_bandwidth / TBPS,
+            "dram_capacity_gb": self.dram_capacity / GB,
+            "l2_capacity_mib": (self.memory.level("L2").capacity / MIB) if self.memory.has_level("L2") else 0.0,
+            "tdp_watts": self.tdp_watts,
+        }
+
+
+def _nvidia_a100() -> AcceleratorSpec:
+    compute = ComputeSpec(
+        peak_flops={
+            Precision.FP64: 19.5 * TFLOPS,
+            Precision.FP32: 19.5 * TFLOPS,
+            Precision.TF32: 156 * TFLOPS,
+            Precision.FP16: 312 * TFLOPS,
+            Precision.BF16: 312 * TFLOPS,
+            Precision.INT8: 624 * TFLOPS,
+        },
+        efficiency=0.70,
+    )
+    memory = make_gpu_hierarchy(
+        shared_capacity=20 * MIB,
+        shared_bandwidth=80 * TBPS,
+        l2_capacity=40 * MIB,
+        l2_bandwidth=4.8 * TBPS,
+        dram_capacity=80 * GB,
+        dram_bandwidth=1.935 * TBPS,
+    )
+    return AcceleratorSpec(
+        name="A100-80GB",
+        compute=compute,
+        memory=memory,
+        dram_technology="HBM2E",
+        technology_node_nm=7.0,
+        tdp_watts=400.0,
+        die_area_mm2=826.0,
+    )
+
+
+def _nvidia_h100() -> AcceleratorSpec:
+    compute = ComputeSpec(
+        peak_flops={
+            Precision.FP64: 67 * TFLOPS,
+            Precision.FP32: 67 * TFLOPS,
+            Precision.TF32: 494.7 * TFLOPS,
+            Precision.FP16: 989.4 * TFLOPS,
+            Precision.BF16: 989.4 * TFLOPS,
+            Precision.FP8: 1978.9 * TFLOPS,
+            Precision.INT8: 1978.9 * TFLOPS,
+        },
+        efficiency=0.70,
+    )
+    memory = make_gpu_hierarchy(
+        shared_capacity=29 * MIB,
+        shared_bandwidth=120 * TBPS,
+        l2_capacity=50 * MIB,
+        l2_bandwidth=7.5 * TBPS,
+        dram_capacity=80 * GB,
+        dram_bandwidth=3.35 * TBPS,
+    )
+    return AcceleratorSpec(
+        name="H100-SXM",
+        compute=compute,
+        memory=memory,
+        dram_technology="HBM3-H100",
+        technology_node_nm=5.0,
+        tdp_watts=700.0,
+        die_area_mm2=814.0,
+    )
+
+
+def _nvidia_h200() -> AcceleratorSpec:
+    base = _nvidia_h100()
+    memory = make_gpu_hierarchy(
+        shared_capacity=29 * MIB,
+        shared_bandwidth=120 * TBPS,
+        l2_capacity=50 * MIB,
+        l2_bandwidth=7.5 * TBPS,
+        dram_capacity=141 * GB,
+        dram_bandwidth=4.8 * TBPS,
+    )
+    return dataclasses.replace(
+        base,
+        name="H200-SXM",
+        memory=memory,
+        dram_technology="HBM3E",
+        tdp_watts=700.0,
+    )
+
+
+def _nvidia_b100() -> AcceleratorSpec:
+    compute = ComputeSpec(
+        peak_flops={
+            Precision.FP32: 60 * TFLOPS,
+            Precision.TF32: 0.9 * PFLOPS,
+            Precision.FP16: 1.75 * PFLOPS,
+            Precision.BF16: 1.75 * PFLOPS,
+            Precision.FP8: 3.5 * PFLOPS,
+            Precision.FP4: 7.0 * PFLOPS,
+            Precision.INT8: 3.5 * PFLOPS,
+        },
+        efficiency=0.70,
+    )
+    memory = make_gpu_hierarchy(
+        shared_capacity=40 * MIB,
+        shared_bandwidth=160 * TBPS,
+        l2_capacity=100 * MIB,
+        l2_bandwidth=12 * TBPS,
+        dram_capacity=192 * GB,
+        dram_bandwidth=8.0 * TBPS,
+    )
+    return AcceleratorSpec(
+        name="B100",
+        compute=compute,
+        memory=memory,
+        dram_technology="HBM3E",
+        technology_node_nm=4.0,
+        tdp_watts=700.0,
+        die_area_mm2=1600.0,
+    )
+
+
+def _nvidia_b200() -> AcceleratorSpec:
+    compute = ComputeSpec(
+        peak_flops={
+            Precision.FP32: 80 * TFLOPS,
+            Precision.TF32: 1.12 * PFLOPS,
+            Precision.FP16: 2.25 * PFLOPS,
+            Precision.BF16: 2.25 * PFLOPS,
+            Precision.FP8: 4.5 * PFLOPS,
+            Precision.FP4: 9.0 * PFLOPS,
+            Precision.INT8: 4.5 * PFLOPS,
+        },
+        efficiency=0.70,
+    )
+    memory = make_gpu_hierarchy(
+        shared_capacity=40 * MIB,
+        shared_bandwidth=160 * TBPS,
+        l2_capacity=126 * MIB,
+        l2_bandwidth=14 * TBPS,
+        dram_capacity=192 * GB,
+        dram_bandwidth=8.0 * TBPS,
+    )
+    return AcceleratorSpec(
+        name="B200",
+        compute=compute,
+        memory=memory,
+        dram_technology="HBM3E",
+        technology_node_nm=4.0,
+        tdp_watts=1000.0,
+        die_area_mm2=1600.0,
+    )
+
+
+def _tpu_like() -> AcceleratorSpec:
+    """A TPU-v4-like device, demonstrating the non-GPU path of the catalog."""
+    compute = ComputeSpec(
+        peak_flops={
+            Precision.FP32: 30 * TFLOPS,
+            Precision.BF16: 275 * TFLOPS,
+            Precision.FP16: 275 * TFLOPS,
+            Precision.INT8: 550 * TFLOPS,
+        },
+        efficiency=0.8,
+    )
+    memory = make_gpu_hierarchy(
+        shared_capacity=128 * MIB,
+        shared_bandwidth=50 * TBPS,
+        l2_capacity=160 * MIB,
+        l2_bandwidth=3.7 * TBPS,
+        dram_capacity=32 * GB,
+        dram_bandwidth=1.2 * TBPS,
+    )
+    return AcceleratorSpec(
+        name="TPUv4-like",
+        compute=compute,
+        memory=memory,
+        dram_technology="HBM2",
+        technology_node_nm=7.0,
+        tdp_watts=275.0,
+        die_area_mm2=600.0,
+    )
+
+
+_CATALOG_BUILDERS = {
+    "A100": _nvidia_a100,
+    "A100-80GB": _nvidia_a100,
+    "H100": _nvidia_h100,
+    "H100-SXM": _nvidia_h100,
+    "H200": _nvidia_h200,
+    "H200-SXM": _nvidia_h200,
+    "B100": _nvidia_b100,
+    "B200": _nvidia_b200,
+    "TPU": _tpu_like,
+    "TPUV4": _tpu_like,
+}
+
+
+def get_accelerator(name: str) -> AcceleratorSpec:
+    """Look up an accelerator by (case-insensitive) catalog name."""
+    key = name.strip().upper()
+    if key in _CATALOG_BUILDERS:
+        return _CATALOG_BUILDERS[key]()
+    raise UnknownHardwareError(
+        f"unknown accelerator {name!r}; available: {sorted(set(_CATALOG_BUILDERS))}"
+    )
+
+
+def list_accelerators() -> Dict[str, AcceleratorSpec]:
+    """Return a fresh spec for every distinct catalog entry."""
+    specs = {}
+    for builder in {id(b): b for b in _CATALOG_BUILDERS.values()}.values():
+        spec = builder()
+        specs[spec.name] = spec
+    return specs
+
+
+def custom_accelerator(
+    name: str,
+    fp16_tflops: float,
+    dram_bandwidth_tbps: float,
+    dram_capacity_gb: float,
+    l2_capacity_mib: float = 40.0,
+    l2_bandwidth_tbps: float = 5.0,
+    efficiency: float = 0.70,
+    fp8_tflops: Optional[float] = None,
+    fp4_tflops: Optional[float] = None,
+    technology_node_nm: float = 7.0,
+    tdp_watts: float = 500.0,
+    die_area_mm2: float = 800.0,
+) -> AcceleratorSpec:
+    """Build a custom accelerator from headline numbers.
+
+    This is the "direct high-level system description" path of the
+    architecture abstraction layer: the user supplies coarse-grained
+    quantities instead of low-level technology parameters.
+    """
+    peaks = {
+        Precision.FP32: fp16_tflops * TFLOPS / 8.0,
+        Precision.FP16: fp16_tflops * TFLOPS,
+        Precision.BF16: fp16_tflops * TFLOPS,
+    }
+    if fp8_tflops is not None:
+        peaks[Precision.FP8] = fp8_tflops * TFLOPS
+    if fp4_tflops is not None:
+        peaks[Precision.FP4] = fp4_tflops * TFLOPS
+    compute = ComputeSpec(peak_flops=peaks, efficiency=efficiency)
+    memory = make_gpu_hierarchy(
+        shared_capacity=20 * MIB,
+        shared_bandwidth=max(40.0, fp16_tflops / 4) * TBPS,
+        l2_capacity=l2_capacity_mib * MIB,
+        l2_bandwidth=l2_bandwidth_tbps * TBPS,
+        dram_capacity=dram_capacity_gb * GB,
+        dram_bandwidth=dram_bandwidth_tbps * TBPS,
+    )
+    return AcceleratorSpec(
+        name=name,
+        compute=compute,
+        memory=memory,
+        dram_technology="custom",
+        technology_node_nm=technology_node_nm,
+        tdp_watts=tdp_watts,
+        die_area_mm2=die_area_mm2,
+    )

@@ -1,0 +1,106 @@
+"""Compute-engine description: per-precision peak throughput and efficiency.
+
+An accelerator's compute capability is a mapping from :class:`Precision`
+to peak matrix-engine throughput (FLOP/s), plus a single achievable-
+efficiency factor that captures the gap between the peak and what dense
+GEMM kernels sustain in practice (roughly the cuBLAS efficiency).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Mapping, Optional
+
+from ..errors import ConfigurationError
+from .datatypes import Precision
+
+
+@dataclasses.dataclass(frozen=True)
+class ComputeSpec:
+    """Peak compute throughput of a device.
+
+    Attributes:
+        peak_flops: Mapping from precision to peak dense matrix throughput
+            in FLOP/s.
+        efficiency: Fraction of the peak that well-shaped GEMMs achieve.
+        vector_flops: Optional peak throughput of the vector/SIMT units used
+            by normalization and element-wise kernels; defaults to a fraction
+            of the FP32 matrix peak when not given.
+    """
+
+    peak_flops: Mapping[Precision, float]
+    efficiency: float = 0.85
+    vector_flops: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.peak_flops:
+            raise ConfigurationError("ComputeSpec needs at least one precision entry")
+        for precision, flops in self.peak_flops.items():
+            if flops <= 0:
+                raise ConfigurationError(f"peak throughput for {precision} must be positive")
+        if not 0 < self.efficiency <= 1:
+            raise ConfigurationError("efficiency must be in (0, 1]")
+        object.__setattr__(self, "peak_flops", dict(self.peak_flops))
+
+    def supports(self, precision: Precision) -> bool:
+        """Whether the device has a matrix path for ``precision``."""
+        return precision in self.peak_flops
+
+    def peak(self, precision: Precision) -> float:
+        """Peak matrix throughput for ``precision`` in FLOP/s.
+
+        If the exact precision is missing, falls back to the closest wider
+        supported format (e.g. BF16 falls back to FP16 and vice versa),
+        mirroring how frameworks run unsupported formats on wider units.
+        """
+        precision = Precision.parse(precision)
+        if precision in self.peak_flops:
+            return self.peak_flops[precision]
+        fallback = _FALLBACK_ORDER.get(precision, [])
+        for candidate in fallback:
+            if candidate in self.peak_flops:
+                return self.peak_flops[candidate]
+        raise ConfigurationError(
+            f"precision {precision} is not supported and no fallback exists; "
+            f"supported: {sorted(p.value for p in self.peak_flops)}"
+        )
+
+    def sustained(self, precision: Precision) -> float:
+        """Sustained matrix throughput (peak x efficiency) in FLOP/s."""
+        return self.peak(precision) * self.efficiency
+
+    @property
+    def vector_throughput(self) -> float:
+        """Sustained throughput of the vector units in FLOP/s."""
+        if self.vector_flops is not None:
+            return self.vector_flops * self.efficiency
+        # Vector units are typically ~1/8 of the FP16 tensor-core throughput.
+        reference = self.peak(Precision.FP16) if self.supports(Precision.FP16) else max(self.peak_flops.values())
+        return reference * 0.125 * self.efficiency
+
+    def scaled(self, factor: float, efficiency: Optional[float] = None) -> "ComputeSpec":
+        """Return a copy with all peak throughputs scaled by ``factor``."""
+        if factor <= 0:
+            raise ConfigurationError("scale factor must be positive")
+        return ComputeSpec(
+            peak_flops={p: f * factor for p, f in self.peak_flops.items()},
+            efficiency=self.efficiency if efficiency is None else efficiency,
+            vector_flops=None if self.vector_flops is None else self.vector_flops * factor,
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view keyed by precision value, useful for reports."""
+        return {p.value: f for p, f in self.peak_flops.items()}
+
+
+_FALLBACK_ORDER = {
+    Precision.BF16: [Precision.FP16, Precision.FP32],
+    Precision.FP16: [Precision.BF16, Precision.FP32],
+    Precision.TF32: [Precision.FP32, Precision.FP16],
+    Precision.FP8: [Precision.FP16, Precision.BF16],
+    Precision.INT8: [Precision.FP8, Precision.FP16],
+    Precision.FP4: [Precision.FP8, Precision.FP16],
+    Precision.INT4: [Precision.FP4, Precision.INT8, Precision.FP16],
+    Precision.FP32: [Precision.TF32, Precision.FP16],
+    Precision.FP64: [Precision.FP32],
+}

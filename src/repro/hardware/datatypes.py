@@ -1,0 +1,66 @@
+"""Numeric precisions used by LLM training and inference.
+
+The performance model needs two things from a precision: how many bytes one
+element occupies (for memory traffic and footprints) and a stable name so
+hardware catalogs can declare per-precision compute throughput (e.g. the
+H100 FP8 transformer engine or the B200 FP4 path).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Precision(enum.Enum):
+    """Numeric formats supported by the modeled accelerators."""
+
+    FP64 = "fp64"
+    FP32 = "fp32"
+    TF32 = "tf32"
+    FP16 = "fp16"
+    BF16 = "bf16"
+    FP8 = "fp8"
+    FP4 = "fp4"
+    INT8 = "int8"
+    INT4 = "int4"
+
+    @property
+    def bytes_per_element(self) -> float:
+        """Number of bytes one element of this precision occupies."""
+        return _BYTES_PER_ELEMENT[self]
+
+    @property
+    def bits(self) -> int:
+        """Width of the format in bits."""
+        return int(_BYTES_PER_ELEMENT[self] * 8)
+
+    @classmethod
+    def parse(cls, value: "Precision | str") -> "Precision":
+        """Return a :class:`Precision` from either an enum member or its name.
+
+        Accepts both the enum value (``"fp16"``) and the member name
+        (``"FP16"``), case-insensitively.
+        """
+        if isinstance(value, Precision):
+            return value
+        text = str(value).strip().lower()
+        for member in cls:
+            if member.value == text or member.name.lower() == text:
+                return member
+        raise ValueError(f"unknown precision: {value!r}")
+
+
+_BYTES_PER_ELEMENT = {
+    Precision.FP64: 8.0,
+    Precision.FP32: 4.0,
+    Precision.TF32: 4.0,
+    Precision.FP16: 2.0,
+    Precision.BF16: 2.0,
+    Precision.FP8: 1.0,
+    Precision.FP4: 0.5,
+    Precision.INT8: 1.0,
+    Precision.INT4: 0.5,
+}
+
+#: Precision used for optimizer master weights / states in mixed-precision training.
+MASTER_PRECISION = Precision.FP32

@@ -1,0 +1,225 @@
+"""Memory technologies and the on-device memory hierarchy.
+
+Two complementary abstractions live here:
+
+* :class:`MemoryTechnology` describes an *off-chip* DRAM technology (HBM2,
+  HBM3e, GDDR6, ...) by its peak bandwidth and typical per-stack capacity.
+  The paper's memory-technology scaling studies (Figs. 6 and 9) sweep over
+  these entries while keeping the compute die fixed.
+* :class:`MemoryLevel` / :class:`MemoryHierarchy` describe the on-device
+  hierarchy (shared memory / L1, L2, DRAM) that the hierarchical roofline
+  model walks when predicting GEMM time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterator, List, Optional
+
+from ..errors import ConfigurationError, UnknownHardwareError
+from ..units import GB, GBPS, KIB, MIB, TBPS
+
+
+@dataclasses.dataclass(frozen=True)
+class MemoryTechnology:
+    """An off-chip DRAM technology.
+
+    Attributes:
+        name: Catalog name, e.g. ``"HBM3"``.
+        bandwidth: Peak device bandwidth in bytes/second.
+        capacity: Typical per-device capacity in bytes.
+        generation: Free-form generation label used for ordering in sweeps.
+    """
+
+    name: str
+    bandwidth: float
+    capacity: float
+    generation: int = 0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ConfigurationError(f"{self.name}: bandwidth must be positive")
+        if self.capacity <= 0:
+            raise ConfigurationError(f"{self.name}: capacity must be positive")
+
+    def with_capacity(self, capacity: float) -> "MemoryTechnology":
+        """Return a copy of this technology with a different capacity."""
+        return dataclasses.replace(self, capacity=capacity)
+
+    def scaled(self, bandwidth_factor: float, name: Optional[str] = None) -> "MemoryTechnology":
+        """Return a copy with bandwidth scaled by ``bandwidth_factor``."""
+        return dataclasses.replace(
+            self,
+            name=name or f"{self.name}-x{bandwidth_factor:g}",
+            bandwidth=self.bandwidth * bandwidth_factor,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class MemoryLevel:
+    """One level of the on-device memory hierarchy.
+
+    Attributes:
+        name: Level name (``"shared"``, ``"L2"``, ``"DRAM"``).
+        capacity: Usable capacity of the level in bytes.
+        bandwidth: Peak bandwidth to/from the level in bytes/second.
+        utilization: Default achievable fraction of the peak bandwidth.
+    """
+
+    name: str
+    capacity: float
+    bandwidth: float
+    utilization: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0 or self.bandwidth <= 0:
+            raise ConfigurationError(f"memory level {self.name}: capacity and bandwidth must be positive")
+        if not 0 < self.utilization <= 1:
+            raise ConfigurationError(f"memory level {self.name}: utilization must be in (0, 1]")
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Bandwidth after applying the default utilization factor."""
+        return self.bandwidth * self.utilization
+
+
+class MemoryHierarchy:
+    """Ordered collection of memory levels, innermost (fastest) first.
+
+    The hierarchical roofline model iterates over the levels from the
+    innermost one outwards; the conventional order is
+    ``[shared/L1, L2, DRAM]``.
+    """
+
+    def __init__(self, levels: List[MemoryLevel]):
+        if not levels:
+            raise ConfigurationError("memory hierarchy needs at least one level")
+        names = [level.name for level in levels]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate memory level names: {names}")
+        self._levels = list(levels)
+
+    def __iter__(self) -> Iterator[MemoryLevel]:
+        return iter(self._levels)
+
+    def __len__(self) -> int:
+        return len(self._levels)
+
+    @property
+    def levels(self) -> List[MemoryLevel]:
+        """The levels, innermost first."""
+        return list(self._levels)
+
+    def level(self, name: str) -> MemoryLevel:
+        """Return the level called ``name``."""
+        for lvl in self._levels:
+            if lvl.name == name:
+                return lvl
+        raise UnknownHardwareError(f"no memory level named {name!r}; have {[l.name for l in self._levels]}")
+
+    def has_level(self, name: str) -> bool:
+        """Whether a level called ``name`` exists."""
+        return any(lvl.name == name for lvl in self._levels)
+
+    @property
+    def dram(self) -> MemoryLevel:
+        """The outermost level (device DRAM)."""
+        return self._levels[-1]
+
+    @property
+    def innermost(self) -> MemoryLevel:
+        """The innermost (fastest, smallest) level."""
+        return self._levels[0]
+
+    def replace_dram(self, technology: MemoryTechnology, utilization: Optional[float] = None) -> "MemoryHierarchy":
+        """Return a new hierarchy whose DRAM level uses ``technology``.
+
+        This implements the paper's memory-technology sweeps: the on-chip
+        levels are preserved and only the off-chip bandwidth/capacity change.
+        """
+        old = self.dram
+        new_dram = MemoryLevel(
+            name=old.name,
+            capacity=technology.capacity,
+            bandwidth=technology.bandwidth,
+            utilization=old.utilization if utilization is None else utilization,
+        )
+        return MemoryHierarchy(self._levels[:-1] + [new_dram])
+
+    def scaled(self, bandwidth_factor: float = 1.0, capacity_factor: float = 1.0) -> "MemoryHierarchy":
+        """Return a hierarchy with every level's bandwidth/capacity scaled."""
+        return MemoryHierarchy(
+            [
+                dataclasses.replace(
+                    lvl,
+                    bandwidth=lvl.bandwidth * bandwidth_factor,
+                    capacity=lvl.capacity * capacity_factor,
+                )
+                for lvl in self._levels
+            ]
+        )
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{lvl.name}={lvl.bandwidth / TBPS:.2f}TB/s" for lvl in self._levels)
+        return f"MemoryHierarchy({parts})"
+
+
+def make_gpu_hierarchy(
+    shared_capacity: float,
+    shared_bandwidth: float,
+    l2_capacity: float,
+    l2_bandwidth: float,
+    dram_capacity: float,
+    dram_bandwidth: float,
+    dram_utilization: float = 1.0,
+) -> MemoryHierarchy:
+    """Convenience constructor for the common three-level GPU hierarchy."""
+    return MemoryHierarchy(
+        [
+            MemoryLevel("shared", shared_capacity, shared_bandwidth),
+            MemoryLevel("L2", l2_capacity, l2_bandwidth),
+            MemoryLevel("DRAM", dram_capacity, dram_bandwidth, utilization=dram_utilization),
+        ]
+    )
+
+
+# ---------------------------------------------------------------------------
+# DRAM technology catalog (bandwidth values follow the paper's Sections 5-6).
+# ---------------------------------------------------------------------------
+
+DRAM_TECHNOLOGIES: Dict[str, MemoryTechnology] = {
+    "GDDR6": MemoryTechnology("GDDR6", bandwidth=600 * GBPS, capacity=48 * GB, generation=0),
+    "HBM2": MemoryTechnology("HBM2", bandwidth=1.0 * TBPS, capacity=40 * GB, generation=1),
+    "HBM2E": MemoryTechnology("HBM2E", bandwidth=1.9 * TBPS, capacity=80 * GB, generation=2),
+    # The paper uses 2.6 TB/s for HBM3 in the technology-node study (Fig. 6) and the
+    # H100's 3.35 TB/s product figure in the validation section; both are catalogued.
+    "HBM3": MemoryTechnology("HBM3", bandwidth=2.6 * TBPS, capacity=96 * GB, generation=3),
+    "HBM3-H100": MemoryTechnology("HBM3-H100", bandwidth=3.35 * TBPS, capacity=80 * GB, generation=3),
+    "HBM3E": MemoryTechnology("HBM3E", bandwidth=4.8 * TBPS, capacity=141 * GB, generation=4),
+    "HBM4": MemoryTechnology("HBM4", bandwidth=3.3 * TBPS, capacity=160 * GB, generation=5),
+    "HBMX": MemoryTechnology("HBMX", bandwidth=6.8 * TBPS, capacity=192 * GB, generation=6),
+}
+
+#: Ordering used by the inference memory-technology sweep (Fig. 9).
+INFERENCE_MEMORY_SWEEP = ["GDDR6", "HBM2", "HBM2E", "HBM3", "HBM3E", "HBMX"]
+
+#: Ordering used by the training technology-node sweep (Fig. 6).
+TRAINING_MEMORY_SWEEP = ["HBM2", "HBM2E", "HBM3", "HBM4"]
+
+
+def get_dram_technology(name: str) -> MemoryTechnology:
+    """Look up a DRAM technology by (case-insensitive) name."""
+    key = name.strip().upper().replace("GDR6", "GDDR6")
+    if key in DRAM_TECHNOLOGIES:
+        return DRAM_TECHNOLOGIES[key]
+    raise UnknownHardwareError(
+        f"unknown DRAM technology {name!r}; available: {sorted(DRAM_TECHNOLOGIES)}"
+    )
+
+
+# Commonly reused on-chip sizes for NVIDIA-like devices.
+DEFAULT_SHARED_CAPACITY = 20 * MIB
+DEFAULT_SHARED_BANDWIDTH = 80 * TBPS
+DEFAULT_L2_CAPACITY = 40 * MIB
+DEFAULT_L2_BANDWIDTH = 6 * TBPS
+DEFAULT_TILE_GRANULARITY = 128 * KIB

@@ -1,0 +1,135 @@
+"""Interconnect technologies for intra-node and inter-node communication.
+
+The collective model only needs three quantities per fabric: the per-device
+(uni-directional) bandwidth, the per-hop latency, and a default bandwidth
+utilization factor.  Catalogs cover NVLink generations, the NVLink Switch
+system, and the InfiniBand generations used by the paper's case studies.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from ..errors import ConfigurationError, UnknownHardwareError
+from ..units import GBPS, MICROSECOND
+
+
+@dataclasses.dataclass(frozen=True)
+class Interconnect:
+    """A point-to-point or switched fabric between devices or nodes.
+
+    Attributes:
+        name: Catalog name, e.g. ``"NVLink4"`` or ``"NDR-IB"``.
+        bandwidth: Achievable uni-directional bandwidth, bytes/s.  For
+            per-device fabrics (NVLink, NVS) this is the bandwidth each
+            device sees; for node-level fabrics (InfiniBand NIC aggregates,
+            the paper's "HDR (200 GB/s)" style figures) it is the bandwidth
+            of the whole node, shared by its devices (see ``per_device``).
+        latency: Per-message latency in seconds (link + software stack).
+        scope: Either ``"intra_node"`` or ``"inter_node"``; informational.
+        utilization: Default fraction of the peak bandwidth that the
+            collective model assumes for large transfers.
+        per_device: Whether ``bandwidth`` is already a per-device figure.
+            When False, the collective model divides it by the number of
+            devices per node to get the per-device share.
+    """
+
+    name: str
+    bandwidth: float
+    latency: float
+    scope: str = "intra_node"
+    utilization: float = 1.0
+    per_device: bool = True
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ConfigurationError(f"{self.name}: bandwidth must be positive")
+        if self.latency < 0:
+            raise ConfigurationError(f"{self.name}: latency must be non-negative")
+        if not 0 < self.utilization <= 1:
+            raise ConfigurationError(f"{self.name}: utilization must be in (0, 1]")
+        if self.scope not in ("intra_node", "inter_node"):
+            raise ConfigurationError(f"{self.name}: scope must be intra_node or inter_node")
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Bandwidth after the default utilization factor."""
+        return self.bandwidth * self.utilization
+
+    def scaled(
+        self,
+        bandwidth_factor: float = 1.0,
+        latency_factor: float = 1.0,
+        name: Optional[str] = None,
+    ) -> "Interconnect":
+        """Return a copy with scaled bandwidth and/or latency."""
+        return dataclasses.replace(
+            self,
+            name=name or f"{self.name}-scaled",
+            bandwidth=self.bandwidth * bandwidth_factor,
+            latency=self.latency * latency_factor,
+        )
+
+    def with_utilization(self, utilization: float) -> "Interconnect":
+        """Return a copy with a different default utilization factor."""
+        return dataclasses.replace(self, utilization=utilization)
+
+
+# ---------------------------------------------------------------------------
+# Catalog.  Bandwidths are the per-GPU uni-directional figures the paper
+# quotes (e.g. "HDR InfiniBand (200 GB/s)", "NVLink Switch system").
+# ---------------------------------------------------------------------------
+
+INTERCONNECTS: Dict[str, Interconnect] = {
+    # Intra-node fabrics -----------------------------------------------------
+    "PCIe4": Interconnect("PCIe4", bandwidth=32 * GBPS, latency=5 * MICROSECOND, scope="intra_node"),
+    "PCIe5": Interconnect("PCIe5", bandwidth=64 * GBPS, latency=5 * MICROSECOND, scope="intra_node"),
+    # NVLink latencies are effective per-hop collective latencies (link plus the
+    # per-step protocol cost NCCL pays), calibrated against the small-message
+    # all-reduce times observed in the inference validation (Table 2).
+    "NVLink3": Interconnect("NVLink3", bandwidth=300 * GBPS, latency=5.0 * MICROSECOND, scope="intra_node"),
+    "NVLink4": Interconnect("NVLink4", bandwidth=450 * GBPS, latency=4.0 * MICROSECOND, scope="intra_node"),
+    "NVLink5": Interconnect("NVLink5", bandwidth=900 * GBPS, latency=3.5 * MICROSECOND, scope="intra_node"),
+    # Inter-node fabrics.  The InfiniBand figures follow the paper's usage
+    # ("HDR InfiniBand network (200 GB/s)"), i.e. the aggregate NIC bandwidth
+    # of one node, shared by that node's GPUs (per_device=False).
+    "HDR-IB": Interconnect("HDR-IB", bandwidth=200 * GBPS, latency=6 * MICROSECOND, scope="inter_node", per_device=False),
+    "NDR-IB": Interconnect("NDR-IB", bandwidth=400 * GBPS, latency=5 * MICROSECOND, scope="inter_node", per_device=False),
+    "XDR-IB": Interconnect("XDR-IB", bandwidth=800 * GBPS, latency=5 * MICROSECOND, scope="inter_node", per_device=False),
+    # NVLink Switch system: inter-node networking at intra-node per-GPU speed.
+    "NVS": Interconnect("NVS", bandwidth=900 * GBPS, latency=2.5 * MICROSECOND, scope="inter_node"),
+    "NVS-B200": Interconnect("NVS-B200", bandwidth=1800 * GBPS, latency=2.5 * MICROSECOND, scope="inter_node"),
+    # Scale-out variants used in the technology-node scaling study (Fig. 6):
+    # the paper sweeps 100 / 200 / 400 GB/s node-level inter-node bandwidth.
+    "NDR-x8": Interconnect("NDR-x8", bandwidth=100 * GBPS, latency=5 * MICROSECOND, scope="inter_node", per_device=False),
+    "XDR-x8": Interconnect("XDR-x8", bandwidth=200 * GBPS, latency=5 * MICROSECOND, scope="inter_node", per_device=False),
+    "GDR-x8": Interconnect("GDR-x8", bandwidth=400 * GBPS, latency=5 * MICROSECOND, scope="inter_node", per_device=False),
+}
+
+
+def get_interconnect(name: str) -> Interconnect:
+    """Look up an interconnect by (case-insensitive) name."""
+    key = name.strip()
+    for candidate in (key, key.upper(), key.title()):
+        if candidate in INTERCONNECTS:
+            return INTERCONNECTS[candidate]
+    # Final pass: case-insensitive comparison against catalog keys.
+    lowered = key.lower()
+    for catalog_name, interconnect in INTERCONNECTS.items():
+        if catalog_name.lower() == lowered:
+            return interconnect
+    raise UnknownHardwareError(
+        f"unknown interconnect {name!r}; available: {sorted(INTERCONNECTS)}"
+    )
+
+
+def custom_interconnect(
+    name: str,
+    bandwidth: float,
+    latency: float = 5 * MICROSECOND,
+    scope: str = "inter_node",
+    utilization: float = 1.0,
+) -> Interconnect:
+    """Create an interconnect that is not in the catalog (for DSE sweeps)."""
+    return Interconnect(name=name, bandwidth=bandwidth, latency=latency, scope=scope, utilization=utilization)

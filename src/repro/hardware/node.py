@@ -1,0 +1,36 @@
+"""Node-level system description: several accelerators behind a fast fabric."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..errors import ConfigurationError
+from .accelerator import AcceleratorSpec
+from .network import Interconnect
+
+
+@dataclasses.dataclass(frozen=True)
+class NodeSpec:
+    """A single server node.
+
+    Attributes:
+        accelerator: The device spec every slot in the node uses.
+        devices_per_node: Number of accelerators in the node (e.g. 8 for DGX).
+        intra_node_fabric: The fabric between the accelerators of one node
+            (NVLink generation or the NVLink Switch).
+    """
+
+    accelerator: AcceleratorSpec
+    devices_per_node: int = 8
+    intra_node_fabric: Interconnect = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.devices_per_node < 1:
+            raise ConfigurationError("devices_per_node must be at least 1")
+        if self.intra_node_fabric is None:
+            raise ConfigurationError("NodeSpec requires an intra_node_fabric")
+
+    @property
+    def total_dram_capacity(self) -> float:
+        """Aggregate DRAM capacity of the node in bytes."""
+        return self.accelerator.dram_capacity * self.devices_per_node

@@ -1,0 +1,94 @@
+"""Logic technology nodes and the scaling assumptions used by the DSE.
+
+The paper explores seven logic nodes, N12 down to N1, under an
+iso-performance scaling assumption between consecutive nodes with scaling
+factors of 1.8x for area and 1.3x for power (Section 5.3, following
+Stillmaker & Baas and the DeepFlow methodology).  In other words, moving
+one node ahead lets the same logic fit in 1/1.8 of the area and burn 1/1.3
+of the power; equivalently, under a fixed area and power budget the
+achievable compute density grows by 1.8x per step while the achievable
+performance per watt grows by 1.3x per step.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from ..errors import UnknownHardwareError
+
+#: Area shrink factor between two consecutive technology nodes.
+AREA_SCALING_PER_NODE = 1.8
+#: Power reduction factor between two consecutive technology nodes.
+POWER_SCALING_PER_NODE = 1.3
+
+#: Canonical ordering of the nodes the paper sweeps (oldest to newest).
+NODE_ORDER: List[str] = ["N12", "N10", "N7", "N5", "N3", "N2", "N1"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TechnologyNode:
+    """One logic process node.
+
+    Attributes:
+        name: Node label, e.g. ``"N7"``.
+        feature_nm: Nominal feature size in nanometres.
+        index: Position in :data:`NODE_ORDER` (0 = N12).
+    """
+
+    name: str
+    feature_nm: float
+    index: int
+
+    def steps_from(self, other: "TechnologyNode") -> int:
+        """Number of node transitions from ``other`` to this node (can be negative)."""
+        return self.index - other.index
+
+    def area_scale_from(self, other: "TechnologyNode") -> float:
+        """Compute-density improvement relative to ``other``.
+
+        Under iso-performance scaling, the same logic block occupies
+        ``1/1.8`` of the area per node step, so per-mm2 compute density
+        grows by 1.8x per step.
+        """
+        return AREA_SCALING_PER_NODE ** self.steps_from(other)
+
+    def power_scale_from(self, other: "TechnologyNode") -> float:
+        """Energy-efficiency improvement (performance per watt) relative to ``other``."""
+        return POWER_SCALING_PER_NODE ** self.steps_from(other)
+
+
+_NODES: Dict[str, TechnologyNode] = {
+    name: TechnologyNode(name=name, feature_nm=feature, index=index)
+    for index, (name, feature) in enumerate(
+        [("N12", 12.0), ("N10", 10.0), ("N7", 7.0), ("N5", 5.0), ("N3", 3.0), ("N2", 2.0), ("N1", 1.0)]
+    )
+}
+
+
+def get_node(name: str) -> TechnologyNode:
+    """Look up a technology node by name (``"N7"``) or feature size (``7``)."""
+    if isinstance(name, (int, float)):
+        name = f"N{int(name)}"
+    key = str(name).strip().upper()
+    if not key.startswith("N"):
+        key = f"N{key}"
+    if key in _NODES:
+        return _NODES[key]
+    raise UnknownHardwareError(f"unknown technology node {name!r}; available: {NODE_ORDER}")
+
+
+def all_nodes() -> List[TechnologyNode]:
+    """All catalogued nodes, oldest (N12) first."""
+    return [_NODES[name] for name in NODE_ORDER]
+
+
+def scaling_factors(reference: str, target: str) -> Dict[str, float]:
+    """Area-density and power-efficiency factors going from ``reference`` to ``target``."""
+    ref = get_node(reference)
+    tgt = get_node(target)
+    return {
+        "area_density": tgt.area_scale_from(ref),
+        "power_efficiency": tgt.power_scale_from(ref),
+        "steps": tgt.steps_from(ref),
+    }

@@ -1,0 +1,208 @@
+"""Micro-architecture engine: derive a device from technology parameters.
+
+This is the second input path of the architecture abstraction layer.  When a
+device cannot be described directly (e.g. a hypothetical accelerator at the
+N3 node with HBM4), the µArch engine derives the coarse-grained performance
+drivers -- compute throughput, on-chip capacities and bandwidths -- from a
+technology node, an area/power budget, and an allocation of that budget to
+the compute array and the last-level cache.
+
+Densities are calibrated against the A100 (N7, 826 mm2, 400 W): the engine
+reproduces the A100's headline figures when given its budget and then scales
+them with the technology-node factors of :mod:`repro.hardware.technology`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from ..errors import ConfigurationError
+from ..units import GBPS, MIB, TBPS, TFLOPS
+from .accelerator import AcceleratorSpec
+from .compute import ComputeSpec
+from .datatypes import Precision
+from .memory import MemoryHierarchy, MemoryLevel, MemoryTechnology, get_dram_technology
+from .technology import TechnologyNode, get_node
+
+# --- Calibration constants (anchored to the A100 at N7) ---------------------
+#: Reference technology node for all densities.
+REFERENCE_NODE = "N7"
+#: FP16 tensor throughput per mm2 of compute-array area at the reference node.
+FP16_FLOPS_PER_MM2 = 312 * TFLOPS / (826.0 * 0.60)
+#: FP16 tensor throughput per watt of compute power at the reference node.
+FP16_FLOPS_PER_WATT = 312 * TFLOPS / (400.0 * 0.65)
+#: SRAM capacity per mm2 at the reference node (L2-style arrays).
+SRAM_BYTES_PER_MM2 = 40 * MIB / (826.0 * 0.15)
+#: L2 bandwidth per byte of capacity at the reference node.
+L2_BANDWIDTH_PER_BYTE = (4.8 * TBPS) / (40 * MIB)
+#: Shared-memory bandwidth per unit of FP16 throughput (register/SMEM feeds the MMA units).
+SHARED_BW_PER_FLOP = (80 * TBPS) / (312 * TFLOPS)
+#: Fraction of the L2 area density that SRAM scales with per logic node step
+#: (SRAM scales worse than logic; 0.8 of the logic scaling per step).
+SRAM_SCALING_DISCOUNT = 0.8
+
+
+@dataclasses.dataclass(frozen=True)
+class ResourceBudget:
+    """Silicon budget available to the µArch engine.
+
+    Attributes:
+        area_mm2: Total compute-die area in mm2.
+        power_watts: Total board power in watts.
+        perimeter_mm: Die perimeter available for off-chip I/O (informational;
+            constrains the number of HBM sites in the DSE).
+    """
+
+    area_mm2: float = 826.0
+    power_watts: float = 400.0
+    perimeter_mm: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.area_mm2 <= 0 or self.power_watts <= 0 or self.perimeter_mm <= 0:
+            raise ConfigurationError("resource budget entries must be positive")
+
+
+@dataclasses.dataclass(frozen=True)
+class ResourceAllocation:
+    """How the budget is split between the major on-die components.
+
+    The fractions do not need to sum exactly to one; the remainder is
+    attributed to I/O, network-on-chip and control overhead.
+    """
+
+    compute_area_fraction: float = 0.60
+    l2_area_fraction: float = 0.15
+    compute_power_fraction: float = 0.65
+    memory_power_fraction: float = 0.20
+
+    def __post_init__(self) -> None:
+        for label, value in (
+            ("compute_area_fraction", self.compute_area_fraction),
+            ("l2_area_fraction", self.l2_area_fraction),
+            ("compute_power_fraction", self.compute_power_fraction),
+            ("memory_power_fraction", self.memory_power_fraction),
+        ):
+            if not 0 < value < 1:
+                raise ConfigurationError(f"{label} must be in (0, 1), got {value}")
+        if self.compute_area_fraction + self.l2_area_fraction >= 1.0:
+            raise ConfigurationError("compute + L2 area fractions must leave room for I/O and control")
+        if self.compute_power_fraction + self.memory_power_fraction >= 1.0:
+            raise ConfigurationError("compute + memory power fractions must leave headroom")
+
+
+@dataclasses.dataclass(frozen=True)
+class MicroArchitecture:
+    """A derived micro-architecture: technology + budget + allocation.
+
+    Attributes:
+        node: Logic technology node of the compute die.
+        budget: Area/power/perimeter budget.
+        allocation: Budget split between compute and on-chip memory.
+        dram: Off-chip memory technology.
+        precision_ratios: Relative throughput of narrower formats versus
+            FP16 (e.g. FP8 at 2x, FP4 at 4x) when the derived device
+            supports them.
+    """
+
+    node: TechnologyNode
+    budget: ResourceBudget = ResourceBudget()
+    allocation: ResourceAllocation = ResourceAllocation()
+    dram: MemoryTechnology = dataclasses.field(default_factory=lambda: get_dram_technology("HBM2E"))
+    supports_fp8: bool = False
+    supports_fp4: bool = False
+
+    def _logic_scale(self) -> float:
+        reference = get_node(REFERENCE_NODE)
+        return self.node.area_scale_from(reference)
+
+    def _power_scale(self) -> float:
+        reference = get_node(REFERENCE_NODE)
+        return self.node.power_scale_from(reference)
+
+    def compute_throughput_fp16(self) -> float:
+        """Sustainable FP16 peak throughput under both area and power limits."""
+        area_limited = (
+            self.budget.area_mm2
+            * self.allocation.compute_area_fraction
+            * FP16_FLOPS_PER_MM2
+            * self._logic_scale()
+        )
+        power_limited = (
+            self.budget.power_watts
+            * self.allocation.compute_power_fraction
+            * FP16_FLOPS_PER_WATT
+            * self._power_scale()
+        )
+        return min(area_limited, power_limited)
+
+    def l2_capacity(self) -> float:
+        """Derived L2 capacity in bytes."""
+        sram_scale = 1.0 + (self._logic_scale() - 1.0) * SRAM_SCALING_DISCOUNT
+        sram_scale = max(sram_scale, 1.0 / self._logic_scale()) if self._logic_scale() < 1 else sram_scale
+        return self.budget.area_mm2 * self.allocation.l2_area_fraction * SRAM_BYTES_PER_MM2 * sram_scale
+
+    def l2_bandwidth(self) -> float:
+        """Derived L2 bandwidth in bytes/second."""
+        return self.l2_capacity() * L2_BANDWIDTH_PER_BYTE
+
+    def shared_memory(self) -> MemoryLevel:
+        """Derived shared-memory/register level sized to feed the compute array."""
+        throughput = self.compute_throughput_fp16()
+        return MemoryLevel(
+            name="shared",
+            capacity=20 * MIB,
+            bandwidth=max(throughput * SHARED_BW_PER_FLOP, 1 * TBPS),
+        )
+
+    def derive_accelerator(self, name: Optional[str] = None, efficiency: float = 0.70) -> AcceleratorSpec:
+        """Materialize the coarse-grained :class:`AcceleratorSpec` for this design point."""
+        fp16 = self.compute_throughput_fp16()
+        peaks = {
+            Precision.FP32: fp16 / 8.0,
+            Precision.TF32: fp16 / 2.0,
+            Precision.FP16: fp16,
+            Precision.BF16: fp16,
+        }
+        if self.supports_fp8:
+            peaks[Precision.FP8] = fp16 * 2.0
+        if self.supports_fp4:
+            peaks[Precision.FP4] = fp16 * 4.0
+        shared = self.shared_memory()
+        hierarchy = MemoryHierarchy(
+            [
+                shared,
+                MemoryLevel("L2", self.l2_capacity(), self.l2_bandwidth()),
+                MemoryLevel("DRAM", self.dram.capacity, self.dram.bandwidth),
+            ]
+        )
+        return AcceleratorSpec(
+            name=name or f"uarch-{self.node.name}-{self.dram.name}",
+            compute=ComputeSpec(peak_flops=peaks, efficiency=efficiency),
+            memory=hierarchy,
+            dram_technology=self.dram.name,
+            technology_node_nm=self.node.feature_nm,
+            tdp_watts=self.budget.power_watts,
+            die_area_mm2=self.budget.area_mm2,
+        )
+
+
+def derive_device(
+    node: str,
+    dram: str = "HBM2E",
+    budget: Optional[ResourceBudget] = None,
+    allocation: Optional[ResourceAllocation] = None,
+    supports_fp8: bool = False,
+    supports_fp4: bool = False,
+    name: Optional[str] = None,
+) -> AcceleratorSpec:
+    """One-call helper: derive an accelerator for a node / DRAM technology pair."""
+    uarch = MicroArchitecture(
+        node=get_node(node),
+        budget=budget or ResourceBudget(),
+        allocation=allocation or ResourceAllocation(),
+        dram=get_dram_technology(dram),
+        supports_fp8=supports_fp8,
+        supports_fp4=supports_fp4,
+    )
+    return uarch.derive_accelerator(name=name)

@@ -1,0 +1,26 @@
+"""Memory-footprint models: activations, recomputation, weights, optimizer, KV-cache."""
+
+from .activations import ActivationModel, RecomputeStrategy
+from .footprint import (
+    ADAM_STATES_PER_PARAMETER,
+    InferenceMemoryBreakdown,
+    TrainingMemoryBreakdown,
+    check_training_fits,
+    inference_memory_breakdown,
+    kv_cache_bytes,
+    model_weight_bytes,
+    training_memory_breakdown,
+)
+
+__all__ = [
+    "ADAM_STATES_PER_PARAMETER",
+    "ActivationModel",
+    "InferenceMemoryBreakdown",
+    "RecomputeStrategy",
+    "TrainingMemoryBreakdown",
+    "check_training_fits",
+    "inference_memory_breakdown",
+    "kv_cache_bytes",
+    "model_weight_bytes",
+    "training_memory_breakdown",
+]

@@ -1,0 +1,275 @@
+"""Activation-memory model and recomputation strategies (paper Section 3.3).
+
+Training must keep the forward activations of every layer alive until the
+backward pass consumes them, which makes activations the critical memory
+bottleneck at large scale.  The per-layer activation sizes follow the
+analysis of Korthikanti et al. ("Reducing activation recomputation in large
+transformer models"), the same reference the paper validates against.  For
+sequence length ``s``, micro-batch ``b``, hidden size ``h``, attention-head
+count ``a``, and 2-byte activations, one layer stores
+
+    A_tot = s*b*h * (10 + 24/t) + 5*a*s^2*b / t        bytes   (tensor parallel t)
+    A_tot = s*b*h * 34/t        + 5*a*s^2*b / t        bytes   (TP + sequence parallel)
+
+where the ``10*s*b*h`` term is the part tensor parallelism alone cannot shard
+(layer-norm inputs, block inputs, and dropout masks) and the ``5*a*s^2*b``
+term is the attention-score block (softmax output, attention-dropout mask and
+output) that selective recomputation drops.
+
+Three strategies are modeled (Eqs. 1 and 2 of the paper):
+
+* **No recomputation** stores everything: ``A_none = L * A_tot``.
+* **Full recomputation** checkpoints layer inputs and replays the forward
+  pass during backward: ``A_full = N_ckp * A_inp + L / N_ckp * (A_tot - A_inp)``.
+* **Selective recomputation** drops only the memory-hungry but cheap-to-
+  recompute attention internals: ``A_sel = L * (A_tot - (A_sm + A_do_mask + A_do_out))``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import math
+from typing import Dict, Optional
+
+from ..errors import ConfigurationError
+from ..hardware.datatypes import Precision
+from ..models.transformer import TransformerConfig
+
+#: Per-layer activation coefficients (in units of ``s*b*h`` bytes for 2-byte
+#: activations), following Korthikanti et al.  ``UNSHARDED`` is the part only
+#: sequence parallelism can shard; ``SHARDED`` is what tensor parallelism
+#: already divides by ``t``.
+ATTENTION_SHARDED_COEFF = 8.0
+ATTENTION_UNSHARDED_COEFF = 3.0
+MLP_SHARDED_COEFF = 16.0
+MLP_UNSHARDED_COEFF = 3.0
+LAYERNORM_UNSHARDED_COEFF = 4.0
+#: Attention-score activations (softmax output + dropout mask + dropout output)
+#: in units of ``a*s^2*b`` bytes; always sharded by the TP degree.
+SCORE_COEFF = 5.0
+#: Layer-input checkpoint size in units of ``s*b*h`` bytes.
+INPUT_COEFF = 2.0
+
+
+class RecomputeStrategy(enum.Enum):
+    """Activation recomputation strategy."""
+
+    NONE = "none"
+    SELECTIVE = "selective"
+    FULL = "full"
+
+    @classmethod
+    def parse(cls, value: "RecomputeStrategy | str") -> "RecomputeStrategy":
+        """Accept either an enum member or its (case-insensitive) name."""
+        if isinstance(value, RecomputeStrategy):
+            return value
+        text = str(value).strip().lower()
+        for member in cls:
+            if member.value == text or member.name.lower() == text:
+                return member
+        raise ConfigurationError(f"unknown recompute strategy: {value!r}")
+
+
+@dataclasses.dataclass(frozen=True)
+class ActivationModel:
+    """Per-layer activation sizes for one micro-batch on one device.
+
+    Attributes:
+        model: The transformer architecture.
+        micro_batch: Micro-batch size in sequences.
+        seq_len: Sequence length.
+        tensor_parallel: TP degree (shards the GEMM activations).
+        sequence_parallel: Whether SP additionally shards norm/dropout activations.
+        precision: Activation precision (2 bytes for mixed-precision training).
+    """
+
+    model: TransformerConfig
+    micro_batch: int
+    seq_len: int
+    tensor_parallel: int = 1
+    sequence_parallel: bool = False
+    precision: Precision = Precision.FP16
+
+    def __post_init__(self) -> None:
+        if self.micro_batch < 1 or self.seq_len < 1 or self.tensor_parallel < 1:
+            raise ConfigurationError("micro_batch, seq_len and tensor_parallel must be >= 1")
+
+    # -- building blocks -----------------------------------------------------------
+
+    @property
+    def _sbh_bytes(self) -> float:
+        """The ``s*b*h`` unit expressed in bytes of activation precision.
+
+        The Korthikanti coefficients assume 2-byte activations; scaling by
+        ``precision/2`` generalizes them to other activation widths.
+        """
+        elements = float(self.seq_len) * self.micro_batch * self.model.hidden_size
+        return elements * (self.precision.bytes_per_element / 2.0)
+
+    @property
+    def _score_unit_bytes(self) -> float:
+        """The ``a*s^2*b`` unit expressed in bytes (already divided by TP)."""
+        elements = self.model.num_heads * float(self.seq_len) ** 2 * self.micro_batch
+        return elements * (self.precision.bytes_per_element / 2.0) / self.tensor_parallel
+
+    @property
+    def _tp(self) -> float:
+        return float(self.tensor_parallel)
+
+    @property
+    def _sp(self) -> float:
+        """Sharding factor of the otherwise-unsharded terms (TP degree when SP is on)."""
+        return self._tp if self.sequence_parallel else 1.0
+
+    # -- per-layer components ---------------------------------------------------------
+
+    def attention_activation_bytes(self) -> float:
+        """Attention-block activations of one layer (``11*s*b*h + 5*a*s^2*b`` unsharded)."""
+        sbh = self._sbh_bytes
+        return (
+            ATTENTION_SHARDED_COEFF * sbh / self._tp
+            + ATTENTION_UNSHARDED_COEFF * sbh / self._sp
+            + SCORE_COEFF * self._score_unit_bytes
+        )
+
+    def mlp_activation_bytes(self) -> float:
+        """MLP-block activations of one layer (``19*s*b*h`` unsharded, scaled by the FFN ratio)."""
+        sbh = self._sbh_bytes
+        # The 16*sbh shardable term assumes ffn = 4h; scale it for other ratios.
+        ffn_scale = self.model.ffn_hidden_size / (4.0 * self.model.hidden_size)
+        extra = 1.0 if self.model.num_mlp_matrices == 2 else 1.5  # SwiGLU stores gate and up streams
+        return (
+            MLP_SHARDED_COEFF * ffn_scale * extra * sbh / self._tp
+            + MLP_UNSHARDED_COEFF * sbh / self._sp
+        )
+
+    def layernorm_activation_bytes(self) -> float:
+        """Inputs of the two layer-norms of one layer (``4*s*b*h``)."""
+        return LAYERNORM_UNSHARDED_COEFF * self._sbh_bytes / self._sp
+
+    def softmax_activation_bytes(self) -> float:
+        """``A_sm``: the softmax output stored for backward (``2*a*s^2*b``)."""
+        return 2.0 * self._score_unit_bytes
+
+    def dropout_mask_bytes(self) -> float:
+        """``A_do_mask``: the attention-dropout mask (``1*a*s^2*b``)."""
+        return 1.0 * self._score_unit_bytes
+
+    def dropout_output_bytes(self) -> float:
+        """``A_do_out``: the attention-dropout output (``2*a*s^2*b``)."""
+        return 2.0 * self._score_unit_bytes
+
+    def total_activation_bytes_per_layer(self) -> float:
+        """``A_tot``: every activation one layer stores without recomputation."""
+        return (
+            self.attention_activation_bytes()
+            + self.mlp_activation_bytes()
+            + self.layernorm_activation_bytes()
+        )
+
+    def input_activation_bytes_per_layer(self) -> float:
+        """``A_inp``: the layer's input hidden state (what a checkpoint keeps)."""
+        return INPUT_COEFF * self._sbh_bytes / self._sp
+
+    # -- strategies (Eqs. 1 and 2) -------------------------------------------------------
+
+    def selective_saving_bytes_per_layer(self) -> float:
+        """Bytes selective recomputation drops per layer: softmax + dropout mask/output."""
+        return self.softmax_activation_bytes() + self.dropout_mask_bytes() + self.dropout_output_bytes()
+
+    def optimal_checkpoint_count(self, layers: int) -> int:
+        """Checkpoint count minimizing Eq. 1: ``N = sqrt(L * (A_tot - A_inp) / A_inp)``."""
+        a_inp = self.input_activation_bytes_per_layer()
+        a_rest = max(self.total_activation_bytes_per_layer() - a_inp, 0.0)
+        if a_inp <= 0 or a_rest <= 0:
+            return max(1, layers)
+        optimum = math.sqrt(layers * a_rest / a_inp)
+        return max(1, min(layers, int(round(optimum))))
+
+    def stored_activation_bytes(
+        self,
+        layers: int,
+        strategy: "RecomputeStrategy | str" = RecomputeStrategy.NONE,
+        checkpoints: Optional[int] = None,
+    ) -> float:
+        """Activation bytes that stay alive per in-flight micro-batch.
+
+        For full recomputation only the checkpointed layer inputs persist; for
+        the other strategies all retained activations persist until backward.
+        """
+        strategy = RecomputeStrategy.parse(strategy)
+        a_tot = self.total_activation_bytes_per_layer()
+        a_inp = self.input_activation_bytes_per_layer()
+        if strategy is RecomputeStrategy.NONE:
+            return layers * a_tot
+        if strategy is RecomputeStrategy.SELECTIVE:
+            return layers * (a_tot - self.selective_saving_bytes_per_layer())
+        n_ckp = layers if checkpoints is None else max(1, min(layers, checkpoints))
+        return n_ckp * a_inp
+
+    def transient_recompute_bytes(
+        self,
+        layers: int,
+        strategy: "RecomputeStrategy | str" = RecomputeStrategy.NONE,
+        checkpoints: Optional[int] = None,
+    ) -> float:
+        """Working set rebuilt while the current checkpoint segment is replayed.
+
+        This is the second term of Eq. 1; it exists only once (for the
+        micro-batch currently running backward), not per in-flight micro-batch.
+        """
+        strategy = RecomputeStrategy.parse(strategy)
+        if strategy is not RecomputeStrategy.FULL:
+            return 0.0
+        a_tot = self.total_activation_bytes_per_layer()
+        a_inp = self.input_activation_bytes_per_layer()
+        n_ckp = layers if checkpoints is None else max(1, min(layers, checkpoints))
+        return (layers / n_ckp) * (a_tot - a_inp)
+
+    def activation_bytes(
+        self,
+        layers: int,
+        strategy: "RecomputeStrategy | str" = RecomputeStrategy.NONE,
+        checkpoints: Optional[int] = None,
+        in_flight_microbatches: int = 1,
+    ) -> float:
+        """Total activation memory of ``layers`` layers (Eqs. 1 and 2).
+
+        Args:
+            layers: Number of transformer layers resident on the device.
+            strategy: Recomputation strategy.
+            checkpoints: Number of checkpoints ``N_ckp`` for full
+                recomputation; defaults to one checkpoint per layer, the
+                Megatron-LM default.
+            in_flight_microbatches: Micro-batches whose stored activations are
+                simultaneously alive (the pipeline depth for 1F1B schedules).
+        """
+        stored = self.stored_activation_bytes(layers, strategy, checkpoints)
+        transient = self.transient_recompute_bytes(layers, strategy, checkpoints)
+        return stored * max(1, in_flight_microbatches) + transient
+
+    def recompute_flops_overhead(self, strategy: "RecomputeStrategy | str") -> float:
+        """Fraction of extra forward FLOPs the strategy costs.
+
+        Full recomputation re-runs the forward pass (one extra forward per
+        backward, i.e. +100% of forward time); selective recomputation only
+        replays the softmax/dropout internals, which is a negligible FLOP
+        overhead (the paper: "causes very little computational overhead").
+        """
+        strategy = RecomputeStrategy.parse(strategy)
+        if strategy is RecomputeStrategy.FULL:
+            return 1.0
+        if strategy is RecomputeStrategy.SELECTIVE:
+            return 0.03
+        return 0.0
+
+    def summary(self, layers: int) -> Dict[str, float]:
+        """Per-strategy totals for ``layers`` layers (bytes)."""
+        return {
+            "none": self.activation_bytes(layers, RecomputeStrategy.NONE),
+            "selective": self.activation_bytes(layers, RecomputeStrategy.SELECTIVE),
+            "full": self.activation_bytes(layers, RecomputeStrategy.FULL),
+            "per_layer_total": self.total_activation_bytes_per_layer(),
+            "per_layer_input": self.input_activation_bytes_per_layer(),
+        }

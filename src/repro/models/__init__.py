@@ -1,0 +1,34 @@
+"""LLM model configurations and the model zoo."""
+
+from .transformer import MLPActivation, TransformerConfig
+from .zoo import (
+    GPT_7B,
+    GPT_22B,
+    GPT_175B,
+    GPT_310B,
+    GPT_530B,
+    GPT_1T,
+    LLAMA2_7B,
+    LLAMA2_13B,
+    LLAMA2_70B,
+    get_model,
+    list_models,
+    register_model,
+)
+
+__all__ = [
+    "MLPActivation",
+    "TransformerConfig",
+    "GPT_7B",
+    "GPT_22B",
+    "GPT_175B",
+    "GPT_310B",
+    "GPT_530B",
+    "GPT_1T",
+    "LLAMA2_7B",
+    "LLAMA2_13B",
+    "LLAMA2_70B",
+    "get_model",
+    "list_models",
+    "register_model",
+]

@@ -1,0 +1,184 @@
+"""Decoder-only transformer model configuration.
+
+A :class:`TransformerConfig` holds the architectural hyper-parameters of a
+GPT/Llama-style decoder and derives the quantities the performance model
+needs: parameter counts (total and per layer), forward/backward FLOP counts,
+and the dimensions of every GEMM in the multi-head-attention (MHA) and
+multi-layer-perceptron (MLP) blocks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, Optional
+
+from ..errors import ConfigurationError
+
+
+class MLPActivation(enum.Enum):
+    """Type of the MLP non-linearity, which determines the MLP weight shape."""
+
+    GELU = "gelu"        # two matrices: h -> ffn, ffn -> h
+    SWIGLU = "swiglu"    # three matrices: gate + up (h -> ffn) and down (ffn -> h)
+
+
+@dataclasses.dataclass(frozen=True)
+class TransformerConfig:
+    """Architecture of a decoder-only transformer.
+
+    Attributes:
+        name: Model name (e.g. ``"GPT-175B"``).
+        num_layers: Number of transformer layers.
+        hidden_size: Model (embedding) dimension ``h``.
+        num_heads: Number of attention heads.
+        num_kv_heads: Number of key/value heads (``< num_heads`` for GQA).
+        ffn_hidden_size: Hidden dimension of the MLP block; defaults to ``4h``.
+        vocab_size: Vocabulary size used by the embedding / LM head.
+        max_seq_len: Maximum (training) sequence length.
+        mlp_activation: GELU (GPT style) or SwiGLU (Llama style).
+        tie_embeddings: Whether the input embedding and LM head share weights.
+    """
+
+    name: str
+    num_layers: int
+    hidden_size: int
+    num_heads: int
+    num_kv_heads: Optional[int] = None
+    ffn_hidden_size: Optional[int] = None
+    vocab_size: int = 51200
+    max_seq_len: int = 2048
+    mlp_activation: MLPActivation = MLPActivation.GELU
+    tie_embeddings: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_layers < 1 or self.hidden_size < 1 or self.num_heads < 1:
+            raise ConfigurationError(f"{self.name}: layers, hidden size, and heads must be positive")
+        if self.hidden_size % self.num_heads != 0:
+            raise ConfigurationError(
+                f"{self.name}: hidden_size ({self.hidden_size}) must be divisible by num_heads ({self.num_heads})"
+            )
+        if self.num_kv_heads is None:
+            object.__setattr__(self, "num_kv_heads", self.num_heads)
+        if self.num_heads % self.num_kv_heads != 0:
+            raise ConfigurationError(
+                f"{self.name}: num_heads must be a multiple of num_kv_heads for grouped-query attention"
+            )
+        if self.ffn_hidden_size is None:
+            object.__setattr__(self, "ffn_hidden_size", 4 * self.hidden_size)
+        if self.vocab_size < 1 or self.max_seq_len < 1:
+            raise ConfigurationError(f"{self.name}: vocab_size and max_seq_len must be positive")
+
+    # -- dimensions ----------------------------------------------------------
+
+    @property
+    def head_dim(self) -> int:
+        """Per-head dimension ``d = h / num_heads``."""
+        return self.hidden_size // self.num_heads
+
+    @property
+    def kv_hidden_size(self) -> int:
+        """Total width of the key/value projections (``h`` unless GQA)."""
+        return self.num_kv_heads * self.head_dim
+
+    @property
+    def num_mlp_matrices(self) -> int:
+        """Number of weight matrices in the MLP block (2 for GELU, 3 for SwiGLU)."""
+        return 3 if self.mlp_activation is MLPActivation.SWIGLU else 2
+
+    # -- parameter counts ----------------------------------------------------
+
+    @property
+    def attention_parameters_per_layer(self) -> int:
+        """Weights of the Q/K/V projections and the output projection of one layer."""
+        q_params = self.hidden_size * self.hidden_size
+        kv_params = 2 * self.hidden_size * self.kv_hidden_size
+        out_params = self.hidden_size * self.hidden_size
+        return q_params + kv_params + out_params
+
+    @property
+    def mlp_parameters_per_layer(self) -> int:
+        """Weights of the MLP block of one layer."""
+        if self.mlp_activation is MLPActivation.SWIGLU:
+            return 3 * self.hidden_size * self.ffn_hidden_size
+        return 2 * self.hidden_size * self.ffn_hidden_size
+
+    @property
+    def norm_parameters_per_layer(self) -> int:
+        """LayerNorm/RMSNorm gains and biases of one layer (two norms per layer)."""
+        return 4 * self.hidden_size
+
+    @property
+    def parameters_per_layer(self) -> int:
+        """Total weights of one transformer layer."""
+        return (
+            self.attention_parameters_per_layer
+            + self.mlp_parameters_per_layer
+            + self.norm_parameters_per_layer
+        )
+
+    @property
+    def embedding_parameters(self) -> int:
+        """Input-embedding (and, if untied, output-head) weights."""
+        embedding = self.vocab_size * self.hidden_size
+        return embedding if self.tie_embeddings else 2 * embedding
+
+    @property
+    def num_parameters(self) -> int:
+        """Total parameter count of the model."""
+        return self.num_layers * self.parameters_per_layer + self.embedding_parameters
+
+    # -- FLOP counts -----------------------------------------------------------
+
+    def flops_per_token_forward(self, seq_len: Optional[int] = None) -> float:
+        """Forward-pass FLOPs to process one token at context length ``seq_len``.
+
+        Uses the standard decomposition: 2 FLOPs per multiply-accumulate for
+        every weight, plus the attention score/context GEMMs which scale with
+        the sequence length.
+        """
+        seq = self.max_seq_len if seq_len is None else seq_len
+        matmul_flops = 2.0 * (self.attention_parameters_per_layer + self.mlp_parameters_per_layer)
+        attention_flops = 2.0 * 2.0 * seq * self.hidden_size  # QK^T and PV, per token
+        per_layer = matmul_flops + attention_flops
+        head_flops = 2.0 * self.vocab_size * self.hidden_size
+        return self.num_layers * per_layer + head_flops
+
+    def flops_per_sequence_forward(self, seq_len: Optional[int] = None) -> float:
+        """Forward-pass FLOPs for one full sequence of length ``seq_len``."""
+        seq = self.max_seq_len if seq_len is None else seq_len
+        matmul_flops = 2.0 * seq * (self.attention_parameters_per_layer + self.mlp_parameters_per_layer)
+        attention_flops = 2.0 * 2.0 * seq * seq * self.hidden_size
+        per_layer = matmul_flops + attention_flops
+        head_flops = 2.0 * seq * self.vocab_size * self.hidden_size
+        return self.num_layers * per_layer + head_flops
+
+    def flops_per_sequence_training(self, seq_len: Optional[int] = None) -> float:
+        """Training-step FLOPs (forward + backward ~ 3x forward) for one sequence."""
+        return 3.0 * self.flops_per_sequence_forward(seq_len)
+
+    # -- misc ------------------------------------------------------------------
+
+    def scaled(self, name: str, layer_factor: float = 1.0, hidden_factor: float = 1.0) -> "TransformerConfig":
+        """Return a scaled variant of this architecture (for what-if studies)."""
+        hidden = int(round(self.hidden_size * hidden_factor / self.num_heads)) * self.num_heads
+        return dataclasses.replace(
+            self,
+            name=name,
+            num_layers=max(1, int(round(self.num_layers * layer_factor))),
+            hidden_size=max(self.num_heads, hidden),
+            ffn_hidden_size=None,
+        )
+
+    def summary(self) -> Dict[str, object]:
+        """Flat summary for reports."""
+        return {
+            "name": self.name,
+            "layers": self.num_layers,
+            "hidden_size": self.hidden_size,
+            "heads": self.num_heads,
+            "kv_heads": self.num_kv_heads,
+            "ffn_hidden": self.ffn_hidden_size,
+            "vocab": self.vocab_size,
+            "parameters": self.num_parameters,
+        }

@@ -1,0 +1,163 @@
+"""Model zoo: the GPT and Llama-2 configurations used throughout the paper.
+
+The GPT configurations follow the Megatron-LM scaling-study table (Narayanan
+et al. 2021 / Korthikanti et al. 2023), which is what the paper's Table 1
+validates against.  The Llama-2 configurations follow the public model cards
+and are used by the inference validation (Table 2) and case studies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..errors import UnknownModelError
+from .transformer import MLPActivation, TransformerConfig
+
+_ZOO: Dict[str, TransformerConfig] = {}
+
+
+def _register(config: TransformerConfig) -> TransformerConfig:
+    _ZOO[config.name.upper()] = config
+    return config
+
+
+# --- GPT family (Megatron scaling study configurations) ----------------------
+
+GPT_7B = _register(
+    TransformerConfig(
+        name="GPT-7B",
+        num_layers=32,
+        hidden_size=4096,
+        num_heads=32,
+        vocab_size=51200,
+        max_seq_len=2048,
+    )
+)
+
+GPT_22B = _register(
+    TransformerConfig(
+        name="GPT-22B",
+        num_layers=48,
+        hidden_size=6144,
+        num_heads=64,
+        vocab_size=51200,
+        max_seq_len=2048,
+    )
+)
+
+GPT_175B = _register(
+    TransformerConfig(
+        name="GPT-175B",
+        num_layers=96,
+        hidden_size=12288,
+        num_heads=96,
+        vocab_size=51200,
+        max_seq_len=2048,
+    )
+)
+
+GPT_310B = _register(
+    TransformerConfig(
+        name="GPT-310B",
+        num_layers=96,
+        hidden_size=16384,
+        num_heads=128,
+        vocab_size=51200,
+        max_seq_len=2048,
+    )
+)
+
+GPT_530B = _register(
+    TransformerConfig(
+        name="GPT-530B",
+        num_layers=105,
+        hidden_size=20480,
+        num_heads=128,
+        vocab_size=51200,
+        max_seq_len=2048,
+    )
+)
+
+GPT_1T = _register(
+    TransformerConfig(
+        name="GPT-1008B",
+        num_layers=128,
+        hidden_size=25600,
+        num_heads=160,
+        vocab_size=51200,
+        max_seq_len=2048,
+    )
+)
+
+# --- Llama-2 family ----------------------------------------------------------
+
+LLAMA2_7B = _register(
+    TransformerConfig(
+        name="Llama2-7B",
+        num_layers=32,
+        hidden_size=4096,
+        num_heads=32,
+        ffn_hidden_size=11008,
+        vocab_size=32000,
+        max_seq_len=4096,
+        mlp_activation=MLPActivation.SWIGLU,
+        tie_embeddings=False,
+    )
+)
+
+LLAMA2_13B = _register(
+    TransformerConfig(
+        name="Llama2-13B",
+        num_layers=40,
+        hidden_size=5120,
+        num_heads=40,
+        ffn_hidden_size=13824,
+        vocab_size=32000,
+        max_seq_len=4096,
+        mlp_activation=MLPActivation.SWIGLU,
+        tie_embeddings=False,
+    )
+)
+
+LLAMA2_70B = _register(
+    TransformerConfig(
+        name="Llama2-70B",
+        num_layers=80,
+        hidden_size=8192,
+        num_heads=64,
+        num_kv_heads=8,
+        ffn_hidden_size=28672,
+        vocab_size=32000,
+        max_seq_len=4096,
+        mlp_activation=MLPActivation.SWIGLU,
+        tie_embeddings=False,
+    )
+)
+
+# Aliases used by the paper's tables.
+_ALIASES = {
+    "GPT-1T": "GPT-1008B",
+    "GPT3-175B": "GPT-175B",
+    "LLAMA-2-7B": "LLAMA2-7B",
+    "LLAMA-2-13B": "LLAMA2-13B",
+    "LLAMA-2-70B": "LLAMA2-70B",
+}
+
+
+def get_model(name: str) -> TransformerConfig:
+    """Look up a model configuration by (case-insensitive) name or alias."""
+    key = name.strip().upper()
+    key = _ALIASES.get(key, key)
+    if key in _ZOO:
+        return _ZOO[key]
+    raise UnknownModelError(f"unknown model {name!r}; available: {sorted(_ZOO)}")
+
+
+def list_models() -> List[str]:
+    """Names of all registered models."""
+    return sorted(config.name for config in _ZOO.values())
+
+
+def register_model(config: TransformerConfig) -> TransformerConfig:
+    """Add a custom model configuration to the zoo (returns the config)."""
+    return _register(config)

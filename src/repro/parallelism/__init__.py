@@ -1,0 +1,29 @@
+"""Parallelization strategies: DP, TP (Megatron), PP schedules, and SP."""
+
+from .config import ParallelismConfig, parse_parallelism_label
+from .data_parallel import DataParallelPlan
+from .mapper import DistributedTrainingPlan, ParallelizationMapper
+from .megatron import (
+    TensorParallelShard,
+    shard_summary,
+    tp_backward_communication_volume,
+    tp_forward_communication_volume,
+)
+from .pipeline import PipelineSchedule, bubble_fraction, pipeline_p2p_volume_per_microbatch
+from .sequence import SequenceParallelPlan
+
+__all__ = [
+    "DataParallelPlan",
+    "DistributedTrainingPlan",
+    "ParallelismConfig",
+    "ParallelizationMapper",
+    "PipelineSchedule",
+    "SequenceParallelPlan",
+    "TensorParallelShard",
+    "bubble_fraction",
+    "parse_parallelism_label",
+    "pipeline_p2p_volume_per_microbatch",
+    "shard_summary",
+    "tp_backward_communication_volume",
+    "tp_forward_communication_volume",
+]

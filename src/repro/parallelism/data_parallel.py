@@ -1,0 +1,60 @@
+"""Data parallelism: gradient synchronization volume and optimizer sharding.
+
+Each data-parallel replica computes gradients on its share of the batch; the
+gradients are then all-reduced across the DP group before the weight update.
+The volume of that all-reduce is the per-rank parameter count times the
+gradient element size (FP16 gradients with an FP32 master copy in standard
+mixed-precision training).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..hardware.datatypes import Precision
+from ..models.transformer import TransformerConfig
+from .megatron import TensorParallelShard
+
+
+@dataclasses.dataclass(frozen=True)
+class DataParallelPlan:
+    """Gradient-synchronization plan for one device.
+
+    Attributes:
+        model: The full model configuration.
+        data_parallel: DP degree.
+        tensor_parallel: TP degree (determines the per-rank shard).
+        layers_on_device: Transformer layers resident on the device.
+        gradient_precision: Numeric format of the reduced gradients.
+        include_embedding: Whether the device also reduces embedding gradients.
+    """
+
+    model: TransformerConfig
+    data_parallel: int = 1
+    tensor_parallel: int = 1
+    layers_on_device: int = 1
+    gradient_precision: Precision = Precision.FP16
+    include_embedding: bool = False
+
+    @property
+    def parameters_on_device(self) -> float:
+        """Weights whose gradients this device owns."""
+        shard = TensorParallelShard(model=self.model, tensor_parallel=self.tensor_parallel)
+        params = self.layers_on_device * shard.parameters_per_layer
+        if self.include_embedding:
+            params += shard.embedding_parameters
+        return params
+
+    @property
+    def gradient_bytes(self) -> float:
+        """Bytes of gradients this device contributes to the DP all-reduce."""
+        return self.parameters_on_device * self.gradient_precision.bytes_per_element
+
+    @property
+    def requires_all_reduce(self) -> bool:
+        """Whether a gradient all-reduce is needed at all (DP > 1)."""
+        return self.data_parallel > 1
+
+    def optimizer_update_elements(self) -> float:
+        """Number of master weights the optimizer touches during the update."""
+        return self.parameters_on_device

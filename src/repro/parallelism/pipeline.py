@@ -1,0 +1,124 @@
+"""Pipeline-parallel schedules and their bubble overheads.
+
+Pipeline parallelism splits the layers across devices; the micro-batches of
+one training step stream through the stages.  The start-up and drain phases
+leave devices idle ("pipeline bubbles").  The paper adopts the standard
+analytical bubble model:
+
+* **GPipe** and **PipeDream-Flush (1F1B)** have a bubble fraction of
+  ``(p - 1) / m`` where ``p`` is the pipeline depth and ``m`` the number of
+  micro-batches; 1F1B only reduces the *memory* pressure, not the bubble.
+* **Interleaved 1F1B** with ``v`` virtual stages (model chunks) per device
+  reduces the bubble to ``(p - 1) / (m * v)`` at the cost of ``v``-times more
+  point-to-point communication.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+from ..errors import ConfigurationError
+from ..hardware.datatypes import Precision
+from ..models.transformer import TransformerConfig
+
+
+def bubble_fraction(
+    pipeline_parallel: int,
+    num_microbatches: int,
+    schedule: str = "1f1b",
+    virtual_stages: int = 1,
+) -> float:
+    """Idle-time fraction added by the pipeline schedule.
+
+    Returns the ratio of bubble time to the ideal (bubble-free) time spent on
+    the micro-batches, i.e. ``t_bubble / t_ideal``.
+    """
+    if pipeline_parallel < 1 or num_microbatches < 1:
+        raise ConfigurationError("pipeline_parallel and num_microbatches must be >= 1")
+    if pipeline_parallel == 1:
+        return 0.0
+    if schedule not in ("gpipe", "1f1b", "interleaved"):
+        raise ConfigurationError(f"unknown pipeline schedule {schedule!r}")
+    effective_chunks = num_microbatches
+    if schedule == "interleaved":
+        effective_chunks = num_microbatches * max(1, virtual_stages)
+    return (pipeline_parallel - 1) / effective_chunks
+
+
+def pipeline_p2p_volume_per_microbatch(
+    model: TransformerConfig,
+    micro_batch: int,
+    seq_len: int,
+    precision: Precision = Precision.FP16,
+    virtual_stages: int = 1,
+    tensor_parallel: int = 1,
+    sequence_parallel: bool = False,
+) -> float:
+    """Bytes sent point-to-point by one stage per micro-batch (forward + backward).
+
+    Each stage boundary crossing moves the hidden-state activations forward and
+    the corresponding gradients backward.  Interleaving multiplies the number
+    of boundary crossings per device by the number of virtual stages.  With
+    sequence parallelism the activations are already sharded across the TP
+    group, so each rank only sends its slice.
+    """
+    hidden_bytes = micro_batch * seq_len * model.hidden_size * precision.bytes_per_element
+    if sequence_parallel and tensor_parallel > 1:
+        hidden_bytes /= tensor_parallel
+    # One send forward and one send backward per virtual stage boundary.
+    return 2.0 * hidden_bytes * max(1, virtual_stages)
+
+
+@dataclasses.dataclass(frozen=True)
+class PipelineSchedule:
+    """A pipeline schedule evaluated for a specific step.
+
+    Attributes:
+        pipeline_parallel: Pipeline depth ``p``.
+        num_microbatches: Micro-batches per step ``m``.
+        schedule: ``"gpipe"``, ``"1f1b"`` or ``"interleaved"``.
+        virtual_stages: Model chunks per device for the interleaved schedule.
+    """
+
+    pipeline_parallel: int
+    num_microbatches: int
+    schedule: str = "1f1b"
+    virtual_stages: int = 1
+
+    @property
+    def bubble_fraction(self) -> float:
+        """Bubble time relative to ideal micro-batch time."""
+        return bubble_fraction(
+            self.pipeline_parallel,
+            self.num_microbatches,
+            schedule=self.schedule,
+            virtual_stages=self.virtual_stages,
+        )
+
+    def bubble_time(self, ideal_time: float) -> float:
+        """Absolute bubble time given the ideal (bubble-free) step time."""
+        return ideal_time * self.bubble_fraction
+
+    @property
+    def in_flight_microbatches(self) -> int:
+        """Micro-batches whose activations are alive simultaneously on stage 0.
+
+        GPipe keeps all micro-batches in flight; 1F1B (and its interleaved
+        variant) caps the number at the pipeline depth, which is what makes
+        its memory footprint independent of ``m``.
+        """
+        if self.schedule == "gpipe":
+            return self.num_microbatches
+        return min(self.pipeline_parallel, self.num_microbatches)
+
+    def summary(self) -> Dict[str, float]:
+        """Flat summary for reports."""
+        return {
+            "schedule": self.schedule,
+            "pipeline_parallel": self.pipeline_parallel,
+            "num_microbatches": self.num_microbatches,
+            "virtual_stages": self.virtual_stages,
+            "bubble_fraction": self.bubble_fraction,
+            "in_flight_microbatches": self.in_flight_microbatches,
+        }

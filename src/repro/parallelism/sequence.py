@@ -1,0 +1,60 @@
+"""Sequence parallelism: sharding the norm/dropout blocks along the sequence axis.
+
+Tensor parallelism leaves the dropout and layer-norm blocks replicated on
+every rank of the TP group; although computationally cheap, their activations
+are large.  Sequence parallelism (Korthikanti et al.) shards those blocks
+along the sequence dimension across the same group of devices, reducing their
+activation footprint by the TP degree without adding communication volume:
+each per-block all-reduce is replaced by a reduce-scatter plus an all-gather
+whose combined volume equals the original all-reduce.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..errors import ConfigurationError
+
+
+@dataclasses.dataclass(frozen=True)
+class SequenceParallelPlan:
+    """Effect of sequence parallelism for a given TP group size.
+
+    Attributes:
+        enabled: Whether sequence parallelism is turned on.
+        tensor_parallel: Size of the tensor-parallel group that SP piggybacks on.
+    """
+
+    enabled: bool = False
+    tensor_parallel: int = 1
+
+    def __post_init__(self) -> None:
+        if self.tensor_parallel < 1:
+            raise ConfigurationError("tensor_parallel must be >= 1")
+        if self.enabled and self.tensor_parallel == 1:
+            # SP over a single device is a no-op; normalize to disabled.
+            object.__setattr__(self, "enabled", False)
+
+    @property
+    def degree(self) -> int:
+        """The sharding degree applied to the norm/dropout activations."""
+        return self.tensor_parallel if self.enabled else 1
+
+    @property
+    def activation_shard_factor(self) -> float:
+        """Factor by which the sharded blocks' activation memory shrinks."""
+        return 1.0 / self.degree
+
+    @property
+    def extra_communication_volume_factor(self) -> float:
+        """Relative change in TP communication volume caused by SP.
+
+        The reduce-scatter + all-gather pair moves the same number of bytes
+        as the all-reduce it replaces, so the factor is 1.0 (no overhead).
+        """
+        return 1.0
+
+    @property
+    def label(self) -> str:
+        """The degree as it appears in the paper's DP-TP-PP-SP notation."""
+        return str(self.degree)

@@ -1,0 +1,28 @@
+"""Device-level performance models: tiling, hierarchical roofline, kernel timing."""
+
+from .gemm import (
+    DEFAULT_FAT_GEMM_DRAM_UTILIZATION,
+    DEFAULT_GEMV_DRAM_UTILIZATION,
+    GemmTimeModel,
+    GemvUtilizationModel,
+)
+from .kernels import DeviceKernelModel, MemoryBoundKernelModel
+from .roofline import BoundType, RooflinePoint, classify, roofline_time
+from .tiling import TileChoice, choose_tile, compulsory_traffic, traffic_through_level
+
+__all__ = [
+    "BoundType",
+    "DEFAULT_FAT_GEMM_DRAM_UTILIZATION",
+    "DEFAULT_GEMV_DRAM_UTILIZATION",
+    "DeviceKernelModel",
+    "GemmTimeModel",
+    "GemvUtilizationModel",
+    "MemoryBoundKernelModel",
+    "RooflinePoint",
+    "TileChoice",
+    "choose_tile",
+    "classify",
+    "compulsory_traffic",
+    "roofline_time",
+    "traffic_through_level",
+]

@@ -1,0 +1,199 @@
+"""GEMM / GEMV execution-time model for a single accelerator.
+
+For every GEMM the model computes the pure compute time and the data-movement
+time through every level of the accelerator's memory hierarchy (using the
+tiling model of :mod:`repro.perf.tiling`), then takes the maximum as the
+kernel time -- the hierarchical roofline.  Two practical effects the paper
+calls out are modeled explicitly:
+
+* **DRAM bandwidth under-utilization of skinny GEMMs / GEMVs** (Section 4.1):
+  kernels that stream small volumes rarely reach the peak DRAM bandwidth.
+  A :class:`GemvUtilizationModel` supplies either a constant factor or a
+  size-dependent factor calibrated by clustering (see
+  :mod:`repro.calibration.gemv`).
+* **Kernel launch / software overhead**: a fixed per-kernel overhead that is
+  negligible for large training GEMMs but visible for the very small kernels
+  of the autoregressive decode phase.
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..hardware.accelerator import AcceleratorSpec
+from ..units import MICROSECOND
+from ..workload.operators import GEMM
+from .roofline import BoundType, RooflinePoint, classify
+from .tiling import traffic_through_level
+
+#: Default DRAM bandwidth utilization of well-formed (fat) GEMMs.
+DEFAULT_FAT_GEMM_DRAM_UTILIZATION = 0.90
+#: Default DRAM bandwidth utilization of skinny GEMMs / GEMVs when a constant
+#: factor is requested (the paper's "constant DRAM utilization" mode).
+DEFAULT_GEMV_DRAM_UTILIZATION = 0.70
+#: Default size-dependent utilization table for skinny GEMMs / GEMVs, keyed by
+#: the weight-operand volume in bytes.  This mirrors the paper's clustering-
+#: based calibration (Fig. 3): larger streamed weight matrices achieve a larger
+#: fraction of the peak DRAM bandwidth.
+DEFAULT_GEMV_UTILIZATION_TABLE = (
+    (0.0, 0.62),
+    (32.0e6, 0.70),
+    (128.0e6, 0.78),
+)
+#: Default per-kernel software/launch overhead.
+DEFAULT_KERNEL_OVERHEAD = 2.0 * MICROSECOND
+#: Fraction of a cache level usable by one GEMM's working set.
+DEFAULT_CACHE_OCCUPANCY = 0.5
+
+
+@dataclasses.dataclass(frozen=True)
+class GemvUtilizationModel:
+    """DRAM bandwidth utilization factor for skinny GEMM / GEMV kernels.
+
+    Attributes:
+        constant: Utilization used when no size-dependent table is given
+            (the paper's "constant DRAM utilization" simplification).
+        table: Optional calibrated table of ``(weight_bytes, utilization)``
+            break-points, sorted by ``weight_bytes``; the factor of the
+            nearest break-point at or below the kernel's weight volume is
+            used (the paper's "varied DRAM utilization" obtained by
+            clustering profiled kernels).
+    """
+
+    constant: float = DEFAULT_GEMV_DRAM_UTILIZATION
+    table: Optional[Tuple[Tuple[float, float], ...]] = DEFAULT_GEMV_UTILIZATION_TABLE
+
+    def __post_init__(self) -> None:
+        if not 0 < self.constant <= 1:
+            raise ConfigurationError("constant utilization must be in (0, 1]")
+        if self.table is not None:
+            ordered = tuple(sorted((float(size), float(util)) for size, util in self.table))
+            for _, util in ordered:
+                if not 0 < util <= 1:
+                    raise ConfigurationError("table utilizations must be in (0, 1]")
+            object.__setattr__(self, "table", ordered)
+
+    def utilization(self, gemm: GEMM) -> float:
+        """DRAM utilization factor for ``gemm``."""
+        if self.table:
+            weight_bytes = gemm.b_bytes
+            sizes = [size for size, _ in self.table]
+            index = bisect.bisect_right(sizes, weight_bytes) - 1
+            index = max(0, index)
+            return self.table[index][1]
+        return self.constant
+
+    @classmethod
+    def from_pairs(cls, pairs: Sequence[Tuple[float, float]], constant: float = DEFAULT_GEMV_DRAM_UTILIZATION) -> "GemvUtilizationModel":
+        """Build a size-dependent model from ``(weight_bytes, utilization)`` pairs."""
+        return cls(constant=constant, table=tuple(pairs))
+
+    @classmethod
+    def constant_model(cls, utilization: float = DEFAULT_GEMV_DRAM_UTILIZATION) -> "GemvUtilizationModel":
+        """Build a constant-utilization model (the paper's simplified mode)."""
+        return cls(constant=utilization, table=None)
+
+
+@dataclasses.dataclass(frozen=True)
+class GemmTimeModel:
+    """Predicts GEMM/GEMV execution time on one accelerator.
+
+    Attributes:
+        accelerator: The device the kernel runs on.
+        gemv_utilization: DRAM utilization model for skinny kernels.
+        fat_gemm_dram_utilization: DRAM utilization of large, well-tiled GEMMs.
+        cache_occupancy: Fraction of each cache level available for tiling.
+        kernel_overhead: Fixed software overhead added to every kernel.
+    """
+
+    accelerator: AcceleratorSpec
+    gemv_utilization: GemvUtilizationModel = dataclasses.field(default_factory=GemvUtilizationModel)
+    fat_gemm_dram_utilization: float = DEFAULT_FAT_GEMM_DRAM_UTILIZATION
+    cache_occupancy: float = DEFAULT_CACHE_OCCUPANCY
+    kernel_overhead: float = DEFAULT_KERNEL_OVERHEAD
+
+    def __post_init__(self) -> None:
+        if not 0 < self.fat_gemm_dram_utilization <= 1:
+            raise ConfigurationError("fat_gemm_dram_utilization must be in (0, 1]")
+        if self.kernel_overhead < 0:
+            raise ConfigurationError("kernel_overhead must be non-negative")
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _dram_utilization(self, gemm: GEMM) -> float:
+        if gemm.is_gemv_like:
+            return self.gemv_utilization.utilization(gemm)
+        return self.fat_gemm_dram_utilization
+
+    def compute_time(self, gemm: GEMM) -> float:
+        """Pure compute time of the GEMM (no memory effects)."""
+        throughput = self.accelerator.sustained_flops(gemm.precision)
+        return gemm.flops / throughput
+
+    def level_traffic(self, gemm: GEMM) -> dict:
+        """Bytes the GEMM moves across each memory level.
+
+        The traffic at a level is determined by blocking for the capacity of
+        the next *inner* level: DRAM traffic is set by the L2 tile, L2 traffic
+        by the shared-memory tile, and the innermost level streams the
+        compulsory traffic.
+        """
+        levels = self.accelerator.memory.levels
+        traffic = {}
+        for index, level in enumerate(levels):
+            if index == 0:
+                traffic[level.name] = traffic_through_level(gemm, None)
+            else:
+                inner_capacity = levels[index - 1].capacity
+                traffic[level.name] = traffic_through_level(gemm, inner_capacity, occupancy=self.cache_occupancy)
+        return traffic
+
+    # -- main entry point ---------------------------------------------------------
+
+    def evaluate(self, gemm: GEMM) -> RooflinePoint:
+        """Time and classify one GEMM on the accelerator.
+
+        Skinny GEMMs / GEMVs under-utilize every level of the hierarchy, not
+        just DRAM, so their utilization factor is applied to the on-chip
+        levels as well; this is what makes very fast DRAM technologies
+        eventually L2-bound (paper Section 6.2).
+        """
+        compute_time = self.compute_time(gemm)
+        traffic = self.level_traffic(gemm)
+        dram_name = self.accelerator.memory.dram.name
+        skinny_utilization = self.gemv_utilization.utilization(gemm) if gemm.is_gemv_like else None
+        level_times = {}
+        for level in self.accelerator.memory.levels:
+            bandwidth = level.bandwidth
+            if skinny_utilization is not None:
+                bandwidth *= skinny_utilization
+            elif level.name == dram_name:
+                bandwidth *= self._dram_utilization(gemm)
+            else:
+                bandwidth *= level.utilization
+            level_times[level.name] = traffic[level.name] / bandwidth
+        return classify(
+            name=gemm.name,
+            flops=gemm.flops,
+            compute_time=compute_time,
+            level_times=level_times,
+            level_bytes=traffic,
+            outermost_level=dram_name,
+        )
+
+    def time(self, gemm: GEMM, include_overhead: bool = True) -> float:
+        """Execution time of one GEMM in seconds."""
+        point = self.evaluate(gemm)
+        overhead = self.kernel_overhead if include_overhead else 0.0
+        return point.time + overhead
+
+    def bound_type(self, gemm: GEMM) -> BoundType:
+        """The limiting resource for one GEMM."""
+        return self.evaluate(gemm).bound
+
+    def evaluate_many(self, gemms: Sequence[GEMM]) -> List[RooflinePoint]:
+        """Evaluate a batch of GEMMs."""
+        return [self.evaluate(gemm) for gemm in gemms]

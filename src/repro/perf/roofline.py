@@ -1,0 +1,130 @@
+"""Hierarchical roofline model: classify and time kernels on one device.
+
+A kernel's execution time on one accelerator is the maximum of
+
+* its pure compute time (``flops / sustained_throughput``), and
+* its data-movement time through every level of the memory hierarchy
+  (``bytes_at_level / effective_bandwidth_of_level``).
+
+The level (or compute) that attains the maximum is the kernel's *bound type*.
+This is the per-device model at the core of the paper (Section 3.1), built on
+DeepFlow's hierarchical roofline with memory-subsystem-aware tiling.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, Optional
+
+
+class BoundType(enum.Enum):
+    """What limits a kernel's execution time."""
+
+    COMPUTE = "compute"
+    MEMORY = "memory"          # bound by the outermost level (device DRAM)
+    CACHE = "cache"            # bound by an intermediate on-chip level (e.g. L2)
+    NETWORK = "network"        # used by the system-level breakdowns
+    LATENCY = "latency"
+
+    @property
+    def is_memory_like(self) -> bool:
+        """True for DRAM- or cache-bound kernels."""
+        return self in (BoundType.MEMORY, BoundType.CACHE)
+
+
+@dataclasses.dataclass(frozen=True)
+class RooflinePoint:
+    """The timing decomposition of one kernel on one device.
+
+    Attributes:
+        name: Kernel name.
+        flops: FLOPs executed.
+        compute_time: Time the compute units need, in seconds.
+        level_times: Data-movement time per memory level, in seconds.
+        level_bytes: Bytes moved per memory level.
+        bound: The limiting resource.
+        bound_level: Name of the limiting memory level (empty when compute bound).
+    """
+
+    name: str
+    flops: float
+    compute_time: float
+    level_times: Dict[str, float]
+    level_bytes: Dict[str, float]
+    bound: BoundType
+    bound_level: str = ""
+
+    @property
+    def time(self) -> float:
+        """Execution time: the maximum over compute and all memory levels."""
+        slowest_level = max(self.level_times.values(), default=0.0)
+        return max(self.compute_time, slowest_level)
+
+    @property
+    def memory_time(self) -> float:
+        """Data-movement time of the outermost (DRAM) level."""
+        if not self.level_times:
+            return 0.0
+        return self.level_times.get("DRAM", max(self.level_times.values()))
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FLOPs per DRAM byte (infinite for kernels that move no data)."""
+        dram_bytes = self.level_bytes.get("DRAM", sum(self.level_bytes.values()))
+        return self.flops / dram_bytes if dram_bytes > 0 else float("inf")
+
+    @property
+    def is_compute_bound(self) -> bool:
+        """Whether the kernel is compute bound."""
+        return self.bound is BoundType.COMPUTE
+
+
+def classify(
+    name: str,
+    flops: float,
+    compute_time: float,
+    level_times: Dict[str, float],
+    level_bytes: Optional[Dict[str, float]] = None,
+    outermost_level: str = "DRAM",
+) -> RooflinePoint:
+    """Build a :class:`RooflinePoint`, deciding the bound type.
+
+    The bound type is decided by the largest time component.  Ties between
+    compute and memory are resolved in favour of compute (the kernel overlaps
+    perfectly in that case and is conventionally called compute bound).
+    """
+    level_times = dict(level_times)
+    level_bytes = dict(level_bytes or {})
+    slowest_level_name = ""
+    slowest_level_time = 0.0
+    for level_name, level_time in level_times.items():
+        if level_time > slowest_level_time:
+            slowest_level_name = level_name
+            slowest_level_time = level_time
+    if compute_time >= slowest_level_time:
+        bound = BoundType.COMPUTE
+        bound_level = ""
+    else:
+        bound = BoundType.MEMORY if slowest_level_name == outermost_level else BoundType.CACHE
+        bound_level = slowest_level_name
+    return RooflinePoint(
+        name=name,
+        flops=flops,
+        compute_time=compute_time,
+        level_times=level_times,
+        level_bytes=level_bytes,
+        bound=bound,
+        bound_level=bound_level,
+    )
+
+
+def roofline_time(flops: float, bytes_moved: float, throughput: float, bandwidth: float) -> float:
+    """Single-level roofline time: ``max(flops/throughput, bytes/bandwidth)``.
+
+    A convenience for quick estimates and for the memory-bound kernels that do
+    not benefit from tiling.
+    """
+    compute_time = flops / throughput if throughput > 0 else float("inf")
+    memory_time = bytes_moved / bandwidth if bandwidth > 0 else float("inf")
+    return max(compute_time, memory_time)

@@ -1,0 +1,96 @@
+"""Cache-aware GEMM tiling: how many bytes cross each memory-hierarchy level.
+
+The hierarchical roofline model needs, for every level of the memory
+hierarchy, the number of bytes a GEMM moves across that level.  A blocked
+GEMM that tiles for a cache of capacity ``C`` re-reads the A and B panels
+once per tile of the other operand, so the traffic at the next outer level is
+
+    traffic ~= m*n*k*b * (1/T_m + 1/T_n) + (write traffic of C)
+
+where ``T_m x T_n`` is the largest output tile whose working set
+(``T_m*T_k + T_k*T_n + T_m*T_n`` elements) fits in the cache.  The traffic is
+never less than the compulsory traffic (reading A and B once, writing C once).
+This is the DeepFlow-style memory-subsystem-aware tiling the paper builds on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Optional
+
+from ..errors import ConfigurationError
+from ..workload.operators import GEMM
+
+
+@dataclasses.dataclass(frozen=True)
+class TileChoice:
+    """The tile shape selected for one cache level.
+
+    Attributes:
+        tile_m, tile_n, tile_k: Tile dimensions in elements.
+        working_set_bytes: Bytes the tile's operands occupy in the cache.
+    """
+
+    tile_m: int
+    tile_n: int
+    tile_k: int
+    working_set_bytes: float
+
+
+def choose_tile(gemm: GEMM, capacity_bytes: float, occupancy: float = 0.5) -> TileChoice:
+    """Choose the largest square-ish output tile that fits in ``capacity_bytes``.
+
+    Args:
+        gemm: The GEMM to tile.
+        capacity_bytes: Capacity of the cache level being tiled for.
+        occupancy: Fraction of the capacity usable for the GEMM working set
+            (the rest is taken by other data and double buffering).
+
+    Returns:
+        The chosen tile.  Tiles never exceed the GEMM's own dimensions.
+    """
+    if capacity_bytes <= 0:
+        raise ConfigurationError("cache capacity must be positive")
+    if not 0 < occupancy <= 1:
+        raise ConfigurationError("occupancy must be in (0, 1]")
+    usable = capacity_bytes * occupancy
+    element = gemm.element_bytes
+    # Start from a square tile covering A, B, and C panels: 3*T^2 elements.
+    tile = int(math.sqrt(usable / (3.0 * element)))
+    tile = max(1, tile)
+    tile_m = min(gemm.m, tile)
+    tile_n = min(gemm.n, tile)
+    # Give the K dimension whatever capacity remains once the C tile is held.
+    remaining = max(usable / element - tile_m * tile_n, 1.0)
+    tile_k = int(remaining / max(1, (tile_m + tile_n)))
+    tile_k = max(1, min(gemm.k, tile_k))
+    working_set = (tile_m * tile_k + tile_k * tile_n + tile_m * tile_n) * element
+    return TileChoice(tile_m=tile_m, tile_n=tile_n, tile_k=tile_k, working_set_bytes=working_set)
+
+
+def compulsory_traffic(gemm: GEMM) -> float:
+    """Minimum possible traffic: read A and B once, write (and maybe read) C once."""
+    return gemm.bytes_read + gemm.bytes_written
+
+
+def traffic_through_level(gemm: GEMM, capacity_bytes: Optional[float], occupancy: float = 0.5) -> float:
+    """Bytes the GEMM moves across a level backed by a cache of ``capacity_bytes``.
+
+    ``capacity_bytes=None`` means "no cache above this level", i.e. the level
+    streams the compulsory traffic only (useful for the innermost level).
+    """
+    if capacity_bytes is None:
+        return compulsory_traffic(gemm)
+    tile = choose_tile(gemm, capacity_bytes, occupancy=occupancy)
+    element = gemm.element_bytes
+    # A panels are re-read once per column tile; B panels once per row tile.
+    a_traffic = gemm.m * gemm.k * math.ceil(gemm.n / tile.tile_n) * element
+    b_traffic = gemm.k * gemm.n * math.ceil(gemm.m / tile.tile_m) * element
+    # Weight operands are shared across the batch and therefore only loaded once
+    # per batch sweep; activation operands are distinct per batch element.
+    a_total = a_traffic * gemm.batch
+    b_total = b_traffic * (1 if gemm.weight_operand else gemm.batch)
+    c_total = gemm.c_bytes * (2.0 if gemm.accumulate else 1.0)
+    traffic = a_total + b_total + c_total
+    return max(traffic, compulsory_traffic(gemm))

@@ -1,0 +1,77 @@
+"""Unit constants and conversion helpers used across the performance model.
+
+The framework works internally in SI base units: seconds for time, bytes for
+data volume, FLOP/s for compute throughput, and bytes/second for bandwidth.
+The constants below make configuration files and hardware catalogs readable
+(``1.9 * TBPS`` instead of ``1.9e12``) and the helpers convert results into
+the units the paper reports (milliseconds, microseconds, gigabytes).
+"""
+
+from __future__ import annotations
+
+# Data volume ---------------------------------------------------------------
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+TIB = 1024 * GIB
+
+KB = 1_000
+MB = 1_000 * KB
+GB = 1_000 * MB
+TB = 1_000 * GB
+
+# Throughput ----------------------------------------------------------------
+KFLOPS = 1e3
+MFLOPS = 1e6
+GFLOPS = 1e9
+TFLOPS = 1e12
+PFLOPS = 1e15
+
+# Bandwidth -----------------------------------------------------------------
+GBPS = 1e9
+TBPS = 1e12
+
+# Time ----------------------------------------------------------------------
+SECOND = 1.0
+MILLISECOND = 1e-3
+MICROSECOND = 1e-6
+NANOSECOND = 1e-9
+
+# Frequency -----------------------------------------------------------------
+MHZ = 1e6
+GHZ = 1e9
+
+# Power / area --------------------------------------------------------------
+WATT = 1.0
+MILLIWATT = 1e-3
+MM2 = 1.0  # the framework tracks silicon area in mm^2
+
+
+def to_milliseconds(seconds: float) -> float:
+    """Convert a duration in seconds to milliseconds."""
+    return seconds / MILLISECOND
+
+
+def to_microseconds(seconds: float) -> float:
+    """Convert a duration in seconds to microseconds."""
+    return seconds / MICROSECOND
+
+
+def to_gigabytes(num_bytes: float) -> float:
+    """Convert a byte count to decimal gigabytes (1 GB = 1e9 bytes)."""
+    return num_bytes / GB
+
+
+def to_gibibytes(num_bytes: float) -> float:
+    """Convert a byte count to binary gibibytes (1 GiB = 2**30 bytes)."""
+    return num_bytes / GIB
+
+
+def to_teraflops(flops_per_second: float) -> float:
+    """Convert a throughput in FLOP/s to TFLOP/s."""
+    return flops_per_second / TFLOPS
+
+
+def from_milliseconds(milliseconds: float) -> float:
+    """Convert a duration in milliseconds to seconds."""
+    return milliseconds * MILLISECOND

@@ -1,0 +1,43 @@
+"""Published reference data and validation metrics."""
+
+from .metrics import (
+    absolute_percentage_error,
+    geometric_mean,
+    max_absolute_percentage_error,
+    mean_absolute_percentage_error,
+    relative_error,
+)
+from .reference import (
+    CASE_STUDY_CONFIGS,
+    GPU_GENERATION_SCALING_SYSTEMS,
+    GPU_GENERATION_SPEEDUP_CLAIMS,
+    TABLE1_MAX_RELATIVE_ERROR,
+    TABLE1_TRAINING_ROWS,
+    TABLE2_INFERENCE_ROWS,
+    TABLE2_MAX_RELATIVE_ERROR,
+    CaseStudyConfig,
+    InferenceValidationRow,
+    TrainingValidationRow,
+    find_inference_row,
+    find_training_row,
+)
+
+__all__ = [
+    "CASE_STUDY_CONFIGS",
+    "CaseStudyConfig",
+    "GPU_GENERATION_SCALING_SYSTEMS",
+    "GPU_GENERATION_SPEEDUP_CLAIMS",
+    "InferenceValidationRow",
+    "TABLE1_MAX_RELATIVE_ERROR",
+    "TABLE1_TRAINING_ROWS",
+    "TABLE2_INFERENCE_ROWS",
+    "TABLE2_MAX_RELATIVE_ERROR",
+    "TrainingValidationRow",
+    "absolute_percentage_error",
+    "find_inference_row",
+    "find_training_row",
+    "geometric_mean",
+    "max_absolute_percentage_error",
+    "mean_absolute_percentage_error",
+    "relative_error",
+]

@@ -1,0 +1,50 @@
+"""Error metrics used by the validation studies."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..errors import ConfigurationError
+
+
+def relative_error(predicted: float, reference: float) -> float:
+    """Signed relative error ``(predicted - reference) / reference``."""
+    if reference == 0:
+        raise ConfigurationError("reference value must be non-zero")
+    return (predicted - reference) / reference
+
+
+def absolute_percentage_error(predicted: float, reference: float) -> float:
+    """Absolute percentage error ``|predicted - reference| / reference * 100``."""
+    return abs(relative_error(predicted, reference)) * 100.0
+
+
+def mean_absolute_percentage_error(predicted: Sequence[float], reference: Sequence[float]) -> float:
+    """Mean absolute percentage error over paired sequences."""
+    if len(predicted) != len(reference):
+        raise ConfigurationError("predicted and reference sequences must have the same length")
+    if not predicted:
+        raise ConfigurationError("sequences must be non-empty")
+    return sum(absolute_percentage_error(p, r) for p, r in zip(predicted, reference)) / len(predicted)
+
+
+def max_absolute_percentage_error(predicted: Sequence[float], reference: Sequence[float]) -> float:
+    """Worst-case absolute percentage error over paired sequences."""
+    if len(predicted) != len(reference):
+        raise ConfigurationError("predicted and reference sequences must have the same length")
+    if not predicted:
+        raise ConfigurationError("sequences must be non-empty")
+    return max(absolute_percentage_error(p, r) for p, r in zip(predicted, reference))
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values."""
+    values = list(values)
+    if not values:
+        raise ConfigurationError("values must be non-empty")
+    product = 1.0
+    for value in values:
+        if value <= 0:
+            raise ConfigurationError("geometric mean requires positive values")
+        product *= value
+    return product ** (1.0 / len(values))

@@ -1,0 +1,202 @@
+"""Task graph: a DAG of operators with dependency-aware traversal.
+
+The paper starts from "the task graph of LLM training or inference" and maps
+it onto the system.  For a regular decoder transformer the graph is mostly a
+chain (per layer: attention block then MLP block, with communication ops in
+between), but the structure is kept generic so other schedules (e.g.
+overlapped communication) can be expressed.
+
+A :class:`TaskGraph` stores :class:`TaskNode` objects, each wrapping one
+:class:`~repro.workload.operators.Operator`, with explicit dependency edges.
+The graph offers topological iteration, aggregate FLOP/byte queries and a
+critical-path evaluation once per-node execution times are assigned.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
+
+from ..errors import ConfigurationError
+from .operators import CommunicationOp, Operator, OperatorKind
+
+
+@dataclasses.dataclass
+class TaskNode:
+    """One node of the task graph.
+
+    Attributes:
+        node_id: Unique integer id within the graph.
+        operator: The kernel or communication descriptor.
+        predecessors: Ids of nodes this node depends on.
+        tags: Free-form labels (e.g. ``"layer0"``, ``"forward"``, ``"mlp"``).
+    """
+
+    node_id: int
+    operator: Operator
+    predecessors: List[int] = dataclasses.field(default_factory=list)
+    tags: List[str] = dataclasses.field(default_factory=list)
+
+    def has_tag(self, tag: str) -> bool:
+        """Whether the node carries ``tag``."""
+        return tag in self.tags
+
+
+class TaskGraph:
+    """A directed acyclic graph of operators."""
+
+    def __init__(self, name: str = "task-graph"):
+        self.name = name
+        self._nodes: Dict[int, TaskNode] = {}
+        self._next_id = 0
+
+    # -- construction ---------------------------------------------------------
+
+    def add(
+        self,
+        operator: Operator,
+        deps: Optional[Sequence[int]] = None,
+        tags: Optional[Iterable[str]] = None,
+    ) -> int:
+        """Add ``operator`` to the graph and return its node id.
+
+        Args:
+            operator: The operator descriptor to wrap.
+            deps: Ids of nodes that must complete before this one starts.
+            tags: Labels attached to the node for later filtering.
+        """
+        deps = list(deps or [])
+        for dep in deps:
+            if dep not in self._nodes:
+                raise ConfigurationError(f"dependency {dep} does not exist in graph {self.name!r}")
+        node_id = self._next_id
+        self._next_id += 1
+        self._nodes[node_id] = TaskNode(
+            node_id=node_id,
+            operator=operator,
+            predecessors=deps,
+            tags=list(tags or []),
+        )
+        return node_id
+
+    def add_chain(self, operators: Sequence[Operator], tags: Optional[Iterable[str]] = None) -> List[int]:
+        """Add ``operators`` as a linear chain; each depends on the previous one."""
+        ids: List[int] = []
+        last: Optional[int] = None
+        tag_list = list(tags or [])
+        for operator in operators:
+            node_id = self.add(operator, deps=[last] if last is not None else [], tags=tag_list)
+            ids.append(node_id)
+            last = node_id
+        return ids
+
+    def merge(self, other: "TaskGraph", deps: Optional[Sequence[int]] = None) -> Dict[int, int]:
+        """Append all nodes of ``other`` to this graph.
+
+        Nodes of ``other`` without predecessors are additionally made to
+        depend on ``deps``.  Returns a mapping from ``other``'s node ids to
+        the new ids in this graph.
+        """
+        mapping: Dict[int, int] = {}
+        for node in other.topological_order():
+            new_deps = [mapping[d] for d in node.predecessors]
+            if not node.predecessors and deps:
+                new_deps = list(deps)
+            mapping[node.node_id] = self.add(node.operator, deps=new_deps, tags=node.tags)
+        return mapping
+
+    # -- accessors -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[TaskNode]:
+        return iter(self._nodes.values())
+
+    def node(self, node_id: int) -> TaskNode:
+        """Return the node with id ``node_id``."""
+        return self._nodes[node_id]
+
+    @property
+    def nodes(self) -> List[TaskNode]:
+        """All nodes in insertion order."""
+        return [self._nodes[node_id] for node_id in sorted(self._nodes)]
+
+    def operators(self, kind: Optional[OperatorKind] = None, tag: Optional[str] = None) -> List[Operator]:
+        """Return operators, optionally filtered by kind and/or tag."""
+        result = []
+        for node in self.nodes:
+            if kind is not None and node.operator.kind is not kind:
+                continue
+            if tag is not None and not node.has_tag(tag):
+                continue
+            result.append(node.operator)
+        return result
+
+    def compute_operators(self) -> List[Operator]:
+        """All non-communication operators."""
+        return [node.operator for node in self.nodes if node.operator.kind is not OperatorKind.COMMUNICATION]
+
+    def communication_operators(self) -> List[CommunicationOp]:
+        """All communication operators."""
+        return [
+            node.operator  # type: ignore[misc]
+            for node in self.nodes
+            if node.operator.kind is OperatorKind.COMMUNICATION
+        ]
+
+    # -- aggregate queries -------------------------------------------------------
+
+    @property
+    def total_flops(self) -> float:
+        """Sum of FLOPs over all compute operators."""
+        return sum(op.flops for op in self.compute_operators())
+
+    @property
+    def total_compute_bytes(self) -> float:
+        """Sum of memory traffic over all compute operators."""
+        return sum(op.bytes_total for op in self.compute_operators())
+
+    @property
+    def total_communication_bytes(self) -> float:
+        """Sum of payload bytes over all communication operators."""
+        return sum(op.data_bytes for op in self.communication_operators())
+
+    # -- traversal ----------------------------------------------------------------
+
+    def topological_order(self) -> List[TaskNode]:
+        """Nodes in a topological order (raises if the graph has a cycle)."""
+        in_degree = {node_id: len(node.predecessors) for node_id, node in self._nodes.items()}
+        successors: Dict[int, List[int]] = {node_id: [] for node_id in self._nodes}
+        for node in self._nodes.values():
+            for dep in node.predecessors:
+                successors[dep].append(node.node_id)
+        ready = sorted(node_id for node_id, deg in in_degree.items() if deg == 0)
+        order: List[TaskNode] = []
+        while ready:
+            node_id = ready.pop(0)
+            order.append(self._nodes[node_id])
+            for succ in successors[node_id]:
+                in_degree[succ] -= 1
+                if in_degree[succ] == 0:
+                    ready.append(succ)
+            ready.sort()
+        if len(order) != len(self._nodes):
+            raise ConfigurationError(f"task graph {self.name!r} contains a cycle")
+        return order
+
+    def critical_path_time(self, time_of: Callable[[Operator], float]) -> float:
+        """Length of the critical path when each operator takes ``time_of(op)`` seconds.
+
+        For a serial chain this equals the sum of all operator times; for
+        graphs with parallel branches only the longest dependency chain counts.
+        """
+        finish: Dict[int, float] = {}
+        for node in self.topological_order():
+            start = max((finish[dep] for dep in node.predecessors), default=0.0)
+            finish[node.node_id] = start + time_of(node.operator)
+        return max(finish.values(), default=0.0)
+
+    def serial_time(self, time_of: Callable[[Operator], float]) -> float:
+        """Total time when every operator executes back to back on one device."""
+        return sum(time_of(node.operator) for node in self.nodes)

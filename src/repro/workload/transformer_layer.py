@@ -1,0 +1,495 @@
+"""Per-layer operator builders for decoder transformer layers.
+
+The builders translate a :class:`~repro.models.transformer.TransformerConfig`
+plus execution parameters (micro-batch size, sequence length, tensor/sequence
+parallel degrees, precision, phase) into the concrete list of operators that
+run *on one device*.  The Megatron-LM partitioning (Section 3.2 of the paper)
+is applied here: attention heads and MLP columns are split across the
+tensor-parallel group, and the dropout/layer-norm blocks are optionally split
+along the sequence dimension when sequence parallelism is enabled.
+
+Naming of the GEMMs follows the paper's Table 4:
+
+=====================  =========================================
+``qkv_projection``     merged-head ``X . W_{K/Q/V} = K, Q, V``
+``attention_scores``   single-head ``Q . K^T = R``
+``attention_context``  single-head ``softmax(R) . V = Z``
+``attention_output``   ``Z . W = O``
+``mlp_h_to_4h``        ``O . W_MLP1 = O1`` (gate/up for SwiGLU)
+``mlp_4h_to_h``        ``O1 . W_MLP2 = O2``
+=====================  =========================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+from ..errors import ConfigurationError
+from ..hardware.datatypes import Precision
+from ..models.transformer import MLPActivation, TransformerConfig
+from .operators import (
+    CollectiveKind,
+    CommunicationOp,
+    ElementwiseOp,
+    GEMM,
+    MemoryOp,
+    NormalizationOp,
+    Operator,
+)
+
+#: Arithmetic cost per element assumed for the common pointwise kernels.
+GELU_FLOPS_PER_ELEMENT = 8.0
+SILU_FLOPS_PER_ELEMENT = 6.0
+DROPOUT_FLOPS_PER_ELEMENT = 2.0
+RESIDUAL_FLOPS_PER_ELEMENT = 1.0
+SOFTMAX_FLOPS_PER_ELEMENT = 5.0
+LAYERNORM_FLOPS_PER_ELEMENT = 8.0
+#: Dropout stores a 1-byte mask per element in addition to its data streams.
+DROPOUT_MASK_BYTES = 1.0
+
+
+@dataclasses.dataclass(frozen=True)
+class LayerExecutionSpec:
+    """Execution parameters for one transformer layer on one device.
+
+    Attributes:
+        model: The transformer architecture.
+        micro_batch: Per-device micro-batch size (sequences).
+        seq_len: Number of query tokens processed by the layer.
+        kv_len: Number of key/value tokens attended to.  Equals ``seq_len``
+            for training/prefill; equals the KV-cache length during decode.
+        tensor_parallel: Degree of tensor (model) parallelism.
+        sequence_parallel: Whether the dropout/layer-norm blocks are split
+            along the sequence dimension across the tensor-parallel group.
+        precision: Numeric format of activations and weights.
+        with_dropout: Whether dropout kernels are present (training only).
+        use_kv_cache: Whether the key/value projections of previous tokens are
+            read from the KV-cache instead of being recomputed (decode phase).
+    """
+
+    model: TransformerConfig
+    micro_batch: int
+    seq_len: int
+    kv_len: int = 0
+    tensor_parallel: int = 1
+    sequence_parallel: bool = False
+    precision: Precision = Precision.FP16
+    with_dropout: bool = True
+    use_kv_cache: bool = False
+
+    def __post_init__(self) -> None:
+        if self.micro_batch < 1 or self.seq_len < 1:
+            raise ConfigurationError("micro_batch and seq_len must be positive")
+        if self.tensor_parallel < 1:
+            raise ConfigurationError("tensor_parallel must be >= 1")
+        if self.model.num_heads % self.tensor_parallel != 0:
+            raise ConfigurationError(
+                f"tensor parallel degree {self.tensor_parallel} must divide "
+                f"the number of attention heads ({self.model.num_heads})"
+            )
+        if self.kv_len == 0:
+            object.__setattr__(self, "kv_len", self.seq_len)
+
+    # -- convenience dimensions -------------------------------------------------
+
+    @property
+    def tokens(self) -> int:
+        """Query tokens processed per device: micro_batch x seq_len."""
+        return self.micro_batch * self.seq_len
+
+    @property
+    def heads_per_device(self) -> int:
+        """Attention heads processed by one tensor-parallel rank."""
+        return self.model.num_heads // self.tensor_parallel
+
+    @property
+    def kv_heads_per_device(self) -> int:
+        """Key/value heads per tensor-parallel rank (at least 1)."""
+        return max(1, self.model.num_kv_heads // self.tensor_parallel)
+
+    @property
+    def hidden_per_device(self) -> int:
+        """Attention hidden width owned by one rank."""
+        return self.heads_per_device * self.model.head_dim
+
+    @property
+    def ffn_per_device(self) -> int:
+        """MLP hidden width owned by one rank."""
+        return max(1, self.model.ffn_hidden_size // self.tensor_parallel)
+
+    @property
+    def norm_elements(self) -> int:
+        """Elements seen by each layer-norm / dropout block on this rank.
+
+        With sequence parallelism these blocks are sharded along the sequence
+        dimension, dividing the element count by the tensor-parallel degree.
+        """
+        elements = self.tokens * self.model.hidden_size
+        if self.sequence_parallel and self.tensor_parallel > 1:
+            elements //= self.tensor_parallel
+        return elements
+
+
+class TransformerLayerBuilder:
+    """Builds the per-device operator list of one transformer layer."""
+
+    def __init__(self, spec: LayerExecutionSpec):
+        self.spec = spec
+
+    # -- attention block -------------------------------------------------------
+
+    def attention_gemms(self) -> List[GEMM]:
+        """The four GEMMs of the multi-head-attention block on one rank."""
+        spec = self.spec
+        model = spec.model
+        qkv_width = spec.hidden_per_device + 2 * spec.kv_heads_per_device * model.head_dim
+        gemms = [
+            GEMM(
+                name="qkv_projection",
+                precision=spec.precision,
+                m=spec.tokens,
+                n=qkv_width,
+                k=model.hidden_size,
+                weight_operand=True,
+            ),
+            GEMM(
+                name="attention_scores",
+                precision=spec.precision,
+                m=spec.seq_len,
+                n=spec.kv_len,
+                k=model.head_dim,
+                batch=spec.micro_batch * spec.heads_per_device,
+            ),
+            GEMM(
+                name="attention_context",
+                precision=spec.precision,
+                m=spec.seq_len,
+                n=model.head_dim,
+                k=spec.kv_len,
+                batch=spec.micro_batch * spec.heads_per_device,
+            ),
+            GEMM(
+                name="attention_output",
+                precision=spec.precision,
+                m=spec.tokens,
+                n=model.hidden_size,
+                k=spec.hidden_per_device,
+                weight_operand=True,
+            ),
+        ]
+        return gemms
+
+    def attention_auxiliary_ops(self) -> List[Operator]:
+        """Softmax, attention dropout, and the KV-cache update of one rank."""
+        spec = self.spec
+        score_elements = spec.micro_batch * spec.heads_per_device * spec.seq_len * spec.kv_len
+        ops: List[Operator] = [
+            NormalizationOp(
+                name="attention_softmax",
+                precision=spec.precision,
+                num_elements=score_elements,
+                flops_per_element=SOFTMAX_FLOPS_PER_ELEMENT,
+                variant="softmax",
+            )
+        ]
+        if spec.with_dropout:
+            ops.append(
+                ElementwiseOp(
+                    name="attention_dropout",
+                    precision=spec.precision,
+                    num_elements=score_elements,
+                    flops_per_element=DROPOUT_FLOPS_PER_ELEMENT,
+                    extra_bytes_per_element=DROPOUT_MASK_BYTES,
+                )
+            )
+        if spec.use_kv_cache:
+            # Append the freshly computed K/V of the new tokens to the cache.
+            new_kv_bytes = (
+                2.0
+                * spec.micro_batch
+                * spec.seq_len
+                * spec.kv_heads_per_device
+                * spec.model.head_dim
+                * spec.precision.bytes_per_element
+            )
+            ops.append(MemoryOp(name="kv_cache_append", precision=spec.precision, bytes_moved=new_kv_bytes, is_write=True))
+        return ops
+
+    # -- MLP block ---------------------------------------------------------------
+
+    def mlp_gemms(self) -> List[GEMM]:
+        """The MLP GEMMs of one rank (two for GELU models, three for SwiGLU)."""
+        spec = self.spec
+        model = spec.model
+        gemms: List[GEMM] = []
+        if model.mlp_activation is MLPActivation.SWIGLU:
+            for suffix in ("gate", "up"):
+                gemms.append(
+                    GEMM(
+                        name=f"mlp_h_to_4h_{suffix}" if suffix == "up" else "mlp_h_to_4h",
+                        precision=spec.precision,
+                        m=spec.tokens,
+                        n=spec.ffn_per_device,
+                        k=model.hidden_size,
+                        weight_operand=True,
+                    )
+                )
+        else:
+            gemms.append(
+                GEMM(
+                    name="mlp_h_to_4h",
+                    precision=spec.precision,
+                    m=spec.tokens,
+                    n=spec.ffn_per_device,
+                    k=model.hidden_size,
+                    weight_operand=True,
+                )
+            )
+        gemms.append(
+            GEMM(
+                name="mlp_4h_to_h",
+                precision=spec.precision,
+                m=spec.tokens,
+                n=model.hidden_size,
+                k=spec.ffn_per_device,
+                weight_operand=True,
+            )
+        )
+        return gemms
+
+    def mlp_auxiliary_ops(self) -> List[Operator]:
+        """The MLP non-linearity (GELU or SiLU-and-multiply) of one rank."""
+        spec = self.spec
+        elements = spec.tokens * spec.ffn_per_device
+        if spec.model.mlp_activation is MLPActivation.SWIGLU:
+            return [
+                ElementwiseOp(
+                    name="mlp_silu_mul",
+                    precision=spec.precision,
+                    num_elements=elements,
+                    flops_per_element=SILU_FLOPS_PER_ELEMENT,
+                    reads_per_element=2.0,
+                )
+            ]
+        return [
+            ElementwiseOp(
+                name="mlp_gelu",
+                precision=spec.precision,
+                num_elements=elements,
+                flops_per_element=GELU_FLOPS_PER_ELEMENT,
+            )
+        ]
+
+    # -- norms, dropouts, residuals ------------------------------------------------
+
+    def block_boundary_ops(self) -> List[Operator]:
+        """Layer-norms, residual additions and dropouts around the two blocks.
+
+        These are the kernels that sequence parallelism shards along the
+        sequence dimension (Korthikanti et al.): two layer-norms, two residual
+        additions, and (during training) two hidden-state dropouts per layer.
+        """
+        spec = self.spec
+        elements = spec.norm_elements
+        ops: List[Operator] = [
+            NormalizationOp(
+                name="input_layernorm",
+                precision=spec.precision,
+                num_elements=elements,
+                flops_per_element=LAYERNORM_FLOPS_PER_ELEMENT,
+                variant="layernorm",
+            ),
+            NormalizationOp(
+                name="post_attention_layernorm",
+                precision=spec.precision,
+                num_elements=elements,
+                flops_per_element=LAYERNORM_FLOPS_PER_ELEMENT,
+                variant="layernorm",
+            ),
+            ElementwiseOp(
+                name="attention_residual_add",
+                precision=spec.precision,
+                num_elements=elements,
+                flops_per_element=RESIDUAL_FLOPS_PER_ELEMENT,
+                reads_per_element=2.0,
+            ),
+            ElementwiseOp(
+                name="mlp_residual_add",
+                precision=spec.precision,
+                num_elements=elements,
+                flops_per_element=RESIDUAL_FLOPS_PER_ELEMENT,
+                reads_per_element=2.0,
+            ),
+        ]
+        if spec.with_dropout:
+            ops.extend(
+                [
+                    ElementwiseOp(
+                        name="attention_output_dropout",
+                        precision=spec.precision,
+                        num_elements=elements,
+                        flops_per_element=DROPOUT_FLOPS_PER_ELEMENT,
+                        extra_bytes_per_element=DROPOUT_MASK_BYTES,
+                    ),
+                    ElementwiseOp(
+                        name="mlp_output_dropout",
+                        precision=spec.precision,
+                        num_elements=elements,
+                        flops_per_element=DROPOUT_FLOPS_PER_ELEMENT,
+                        extra_bytes_per_element=DROPOUT_MASK_BYTES,
+                    ),
+                ]
+            )
+        return ops
+
+    # -- communication ----------------------------------------------------------------
+
+    def forward_communication(self, scope: str = "intra_node") -> List[CommunicationOp]:
+        """Tensor-parallel collectives of one layer's forward pass.
+
+        The Megatron mapping requires one all-reduce after the attention
+        output projection and one after the MLP down projection.  With
+        sequence parallelism each all-reduce is replaced by a reduce-scatter
+        plus an all-gather of the same total volume.
+        """
+        spec = self.spec
+        if spec.tensor_parallel <= 1:
+            return []
+        payload = spec.tokens * spec.model.hidden_size * spec.precision.bytes_per_element
+        if spec.sequence_parallel:
+            ops = []
+            for block in ("attention", "mlp"):
+                ops.append(
+                    CommunicationOp(
+                        name=f"{block}_reduce_scatter",
+                        collective=CollectiveKind.REDUCE_SCATTER,
+                        data_bytes=payload,
+                        group_size=spec.tensor_parallel,
+                        scope=scope,
+                    )
+                )
+                ops.append(
+                    CommunicationOp(
+                        name=f"{block}_all_gather",
+                        collective=CollectiveKind.ALL_GATHER,
+                        data_bytes=payload,
+                        group_size=spec.tensor_parallel,
+                        scope=scope,
+                    )
+                )
+            return ops
+        return [
+            CommunicationOp(
+                name="attention_all_reduce",
+                collective=CollectiveKind.ALL_REDUCE,
+                data_bytes=payload,
+                group_size=spec.tensor_parallel,
+                scope=scope,
+            ),
+            CommunicationOp(
+                name="mlp_all_reduce",
+                collective=CollectiveKind.ALL_REDUCE,
+                data_bytes=payload,
+                group_size=spec.tensor_parallel,
+                scope=scope,
+            ),
+        ]
+
+    # -- assembled views ---------------------------------------------------------------
+
+    def forward_gemms(self) -> List[GEMM]:
+        """All GEMMs of one layer's forward pass."""
+        return self.attention_gemms() + self.mlp_gemms()
+
+    def forward_compute_ops(self) -> List[Operator]:
+        """All compute kernels (GEMMs + memory-bound kernels) of the forward pass."""
+        ops: List[Operator] = []
+        ops.append(self.block_boundary_ops()[0])  # input layernorm first
+        ops.extend(self.attention_gemms()[:2])
+        ops.extend(self.attention_auxiliary_ops())
+        ops.extend(self.attention_gemms()[2:])
+        boundary = self.block_boundary_ops()
+        ops.extend(boundary[2:3])  # attention residual
+        ops.append(boundary[1])    # post-attention layernorm
+        ops.extend(self.mlp_gemms()[:-1])
+        ops.extend(self.mlp_auxiliary_ops())
+        ops.append(self.mlp_gemms()[-1])
+        ops.extend(boundary[3:4])  # mlp residual
+        ops.extend(boundary[4:])   # dropouts, if any
+        return ops
+
+    def backward_compute_ops(self) -> List[Operator]:
+        """Backward-pass kernels of one layer.
+
+        Every forward GEMM spawns two backward GEMMs (activation gradient and
+        weight gradient) of the same FLOP count; memory-bound kernels cost
+        roughly the same backward as forward and are duplicated with a
+        ``_grad`` suffix.
+        """
+        ops: List[Operator] = []
+        for gemm in self.forward_gemms():
+            ops.append(
+                GEMM(
+                    name=f"{gemm.name}_dgrad",
+                    precision=gemm.precision,
+                    m=gemm.m,
+                    n=gemm.k,
+                    k=gemm.n,
+                    batch=gemm.batch,
+                    weight_operand=gemm.weight_operand,
+                )
+            )
+            ops.append(
+                GEMM(
+                    name=f"{gemm.name}_wgrad",
+                    precision=gemm.precision,
+                    m=gemm.k,
+                    n=gemm.n,
+                    k=gemm.m,
+                    batch=gemm.batch,
+                    weight_operand=False,
+                    accumulate=True,
+                )
+            )
+        for op in self.forward_compute_ops():
+            if isinstance(op, GEMM):
+                continue
+            ops.append(dataclasses.replace(op, name=f"{op.name}_grad"))
+        return ops
+
+    def backward_communication(self, scope: str = "intra_node") -> List[CommunicationOp]:
+        """Tensor-parallel collectives of one layer's backward pass.
+
+        The Megatron mapping needs the mirror-image collectives of the
+        forward pass (same count and volume).
+        """
+        ops = []
+        for op in self.forward_communication(scope=scope):
+            ops.append(dataclasses.replace(op, name=f"{op.name}_bwd"))
+        return ops
+
+
+def build_layer_spec(
+    model: TransformerConfig,
+    micro_batch: int,
+    seq_len: int,
+    tensor_parallel: int = 1,
+    sequence_parallel: bool = False,
+    precision: Precision = Precision.FP16,
+    training: bool = True,
+    kv_len: int = 0,
+    use_kv_cache: bool = False,
+) -> LayerExecutionSpec:
+    """Convenience constructor for :class:`LayerExecutionSpec`."""
+    return LayerExecutionSpec(
+        model=model,
+        micro_batch=micro_batch,
+        seq_len=seq_len,
+        kv_len=kv_len,
+        tensor_parallel=tensor_parallel,
+        sequence_parallel=sequence_parallel,
+        precision=precision,
+        with_dropout=training,
+        use_kv_cache=use_kv_cache,
+    )

@@ -1,0 +1,72 @@
+"""Tests for the per-table/figure experiment drivers.
+
+The full sweeps run in the benchmark harness; here each driver is exercised on
+a reduced scope to check structure and the headline qualitative claims.
+"""
+
+import pytest
+
+from repro.analysis.experiments import (
+    fig3_gemv_validation,
+    fig4_memory_breakdown,
+    fig5_gpu_generation_scaling,
+    fig8_inference_boundedness,
+    table1_training_validation,
+    table2_inference_validation,
+    table4_gemm_bottlenecks,
+)
+from repro.validation.reference import TABLE1_TRAINING_ROWS, TABLE2_INFERENCE_ROWS
+
+
+def test_table1_driver_single_row_accuracy():
+    rows = table1_training_validation(rows=[TABLE1_TRAINING_ROWS[1]])  # GPT-175B, 64 GPUs, full
+    assert len(rows) == 1
+    row = rows[0]
+    assert row["model"] == "GPT-175B"
+    assert abs(row["relative_error_%"]) < 10.0
+    assert row["predicted_s"] == pytest.approx(row["compute_s"] + row["communication_s"] + row["other_s"], rel=1e-6)
+
+
+def test_table2_driver_single_row_accuracy():
+    target = [row for row in TABLE2_INFERENCE_ROWS if row.model == "Llama2-13B" and row.num_gpus == 1 and row.gpu == "A100"]
+    rows = table2_inference_validation(rows=target)
+    assert len(rows) == 1
+    assert abs(rows[0]["relative_error_%"]) < 13.0
+    assert rows[0]["predicted_ms"] > 0
+
+
+def test_table4_driver_structure():
+    rows = table4_gemm_bottlenecks(gpus=("A100",))
+    names = {row["gemm"] for row in rows}
+    assert {"qkv_projection", "mlp_4h_to_h"}.issubset(names)
+    assert all(row["bound"] in ("compute", "memory") for row in rows)
+
+
+def test_fig3_driver_errors():
+    result = fig3_gemv_validation()
+    assert result.mean_error_varied_percent < result.mean_error_constant_percent
+
+
+def test_fig4_driver_orderings():
+    rows = fig4_memory_breakdown(models=("GPT-175B",))
+    by_strategy = {row["strategy"]: row for row in rows}
+    assert by_strategy["none"]["total_gb"] > by_strategy["selective"]["total_gb"] > by_strategy["full"]["total_gb"]
+    assert not by_strategy["none"]["fits_80gb"]
+    assert by_strategy["full"]["fits_80gb"]
+
+
+def test_fig5_driver_small_subset():
+    rows = fig5_gpu_generation_scaling(systems=[("A100-HDR", 1024), ("H100-NDR", 1024)])
+    assert len(rows) == 2
+    assert rows[0]["speedup_vs_a100"] == pytest.approx(1.0)
+    assert rows[1]["speedup_vs_a100"] > 2.0
+    assert rows[1]["precision"] == "fp8"
+
+
+def test_fig8_driver_claims():
+    rows = fig8_inference_boundedness(gpus=("H100",), batch_sizes=(1, 16))
+    by_batch = {row["batch_size"]: row for row in rows}
+    assert by_batch[1]["compute_bound_fraction"] < 0.1
+    assert by_batch[16]["compute_bound_fraction"] > 0.6
+    assert by_batch[16]["kv_cache_gb"] > by_batch[1]["kv_cache_gb"]
+    assert by_batch[1]["weights_gb"] == pytest.approx(by_batch[16]["weights_gb"])

@@ -1,0 +1,43 @@
+"""Tests for text-table rendering helpers."""
+
+import pytest
+
+from repro.analysis.formatting import format_value, render_breakdown, render_table, summarize_errors
+
+
+def test_format_value_types():
+    assert format_value(True) == "yes"
+    assert format_value(False) == "no"
+    assert format_value(3.14159) == "3.14"
+    assert format_value(1234567.0) == "1.23e+06"
+    assert format_value(0.0000123) == "1.23e-05"
+    assert format_value("text") == "text"
+    assert format_value(42) == "42"
+
+
+def test_render_table_alignment_and_columns():
+    rows = [{"name": "a", "value": 1.0}, {"name": "bb", "value": 22.5}]
+    text = render_table(rows, title="demo")
+    lines = text.splitlines()
+    assert lines[0] == "demo"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert len(lines) == 2 + 1 + len(rows)
+    custom = render_table(rows, columns=["value"])
+    assert "name" not in custom.splitlines()[0]
+
+
+def test_render_table_empty():
+    assert "(no rows)" in render_table([], title="empty")
+
+
+def test_render_breakdown_shares():
+    text = render_breakdown({"compute": 3.0, "communication": 1.0, "total": 4.0}, title="step", unit="s")
+    assert "compute" in text and "75.0%" in text
+    assert text.splitlines()[0] == "step"
+
+
+def test_summarize_errors():
+    summary = summarize_errors([-10.0, 5.0, 2.5])
+    assert summary["mean_abs_error_%"] == pytest.approx(17.5 / 3)
+    assert summary["max_abs_error_%"] == pytest.approx(10.0)
+    assert summarize_errors([]) == {"mean_abs_error_%": 0.0, "max_abs_error_%": 0.0}

@@ -1,0 +1,100 @@
+"""Tests for the collective cost equations (Eqs. 3 and 4)."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.comm.collectives import (
+    CollectiveAlgorithm,
+    all_gather_time,
+    all_reduce_time,
+    broadcast_time,
+    point_to_point_time,
+    reduce_scatter_time,
+    ring_all_reduce_time,
+    tree_all_reduce_time,
+)
+
+GB = 1e9
+
+
+def test_ring_all_reduce_matches_equation_3():
+    data, group, bandwidth, latency = 1 * GB, 8, 100 * GB, 5e-6
+    expected = 2 * data * (group - 1) / (group * bandwidth) + 2 * latency * (group - 1)
+    assert ring_all_reduce_time(data, group, bandwidth, latency) == pytest.approx(expected)
+
+
+def test_tree_all_reduce_matches_equation_4():
+    data, group, bandwidth, latency = 1 * GB, 8, 100 * GB, 5e-6
+    expected = 2 * data * (group - 1) / (group * bandwidth) + 2 * latency * math.log2(group)
+    assert tree_all_reduce_time(data, group, bandwidth, latency) == pytest.approx(expected)
+
+
+def test_single_device_or_empty_payload_is_free():
+    assert ring_all_reduce_time(1 * GB, 1, 100 * GB, 1e-6) == 0.0
+    assert tree_all_reduce_time(0.0, 8, 100 * GB, 1e-6) == 0.0
+    assert all_gather_time(0.0, 8, 100 * GB) == 0.0
+
+
+def test_ring_bandwidth_term_independent_of_group_size():
+    """The ring's bandwidth term approaches 2K/BW regardless of N (bandwidth optimal)."""
+    data, bandwidth = 10 * GB, 100 * GB
+    small = ring_all_reduce_time(data, 4, bandwidth, 0.0)
+    large = ring_all_reduce_time(data, 64, bandwidth, 0.0)
+    assert small == pytest.approx(2 * data * 3 / (4 * bandwidth))
+    assert large < 2 * data / bandwidth
+    assert large > small
+
+
+def test_tree_beats_ring_for_small_latency_bound_messages():
+    data, group, bandwidth, latency = 10e3, 8, 100 * GB, 5e-6
+    assert tree_all_reduce_time(data, group, bandwidth, latency) < ring_all_reduce_time(data, group, bandwidth, latency)
+
+
+def test_tree_equals_ring_for_huge_messages():
+    data, group, bandwidth = 100 * GB, 8, 100 * GB
+    ring = ring_all_reduce_time(data, group, bandwidth, 5e-6)
+    tree = tree_all_reduce_time(data, group, bandwidth, 5e-6)
+    assert tree == pytest.approx(ring, rel=1e-4)
+
+
+def test_all_reduce_dispatch():
+    data, group, bandwidth, latency = 1 * GB, 8, 100 * GB, 5e-6
+    assert all_reduce_time(data, group, bandwidth, latency, CollectiveAlgorithm.RING) == pytest.approx(
+        ring_all_reduce_time(data, group, bandwidth, latency)
+    )
+    assert all_reduce_time(data, group, bandwidth, latency, CollectiveAlgorithm.DOUBLE_BINARY_TREE) == pytest.approx(
+        tree_all_reduce_time(data, group, bandwidth, latency)
+    )
+
+
+def test_all_gather_and_reduce_scatter_are_half_an_all_reduce():
+    data, group, bandwidth = 1 * GB, 8, 100 * GB
+    gather = all_gather_time(data, group, bandwidth, 0.0)
+    scatter = reduce_scatter_time(data, group, bandwidth, 0.0)
+    assert gather == pytest.approx(scatter)
+    assert gather == pytest.approx(ring_all_reduce_time(data, group, bandwidth, 0.0) / 2)
+
+
+def test_point_to_point_and_broadcast():
+    assert point_to_point_time(1 * GB, 100 * GB, 1e-6) == pytest.approx(0.01 + 1e-6)
+    assert point_to_point_time(0.0, 100 * GB, 1e-6) == 0.0
+    assert broadcast_time(1 * GB, 8, 100 * GB, 1e-6) == pytest.approx(0.01 + 3e-6)
+
+
+def test_time_decreases_with_bandwidth_and_increases_with_volume():
+    base = ring_all_reduce_time(1 * GB, 8, 100 * GB, 1e-6)
+    assert ring_all_reduce_time(1 * GB, 8, 200 * GB, 1e-6) < base
+    assert ring_all_reduce_time(2 * GB, 8, 100 * GB, 1e-6) > base
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        ring_all_reduce_time(-1, 8, 100 * GB)
+    with pytest.raises(ConfigurationError):
+        ring_all_reduce_time(1, 0, 100 * GB)
+    with pytest.raises(ConfigurationError):
+        ring_all_reduce_time(1, 8, 0)
+    with pytest.raises(ConfigurationError):
+        tree_all_reduce_time(1, 8, 100 * GB, latency=-1)

@@ -1,0 +1,82 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.accelerator import get_accelerator
+from repro.hardware.cluster import build_system
+from repro.models.transformer import MLPActivation, TransformerConfig
+from repro.models.zoo import get_model
+
+
+@pytest.fixture
+def a100():
+    """The A100-80GB accelerator spec."""
+    return get_accelerator("A100")
+
+
+@pytest.fixture
+def h100():
+    """The H100-SXM accelerator spec."""
+    return get_accelerator("H100")
+
+
+@pytest.fixture
+def tiny_model():
+    """A small decoder model that keeps tests fast."""
+    return TransformerConfig(
+        name="tiny-gpt",
+        num_layers=4,
+        hidden_size=512,
+        num_heads=8,
+        vocab_size=32000,
+        max_seq_len=256,
+    )
+
+
+@pytest.fixture
+def tiny_swiglu_model():
+    """A small Llama-style (SwiGLU, GQA) decoder model."""
+    return TransformerConfig(
+        name="tiny-llama",
+        num_layers=4,
+        hidden_size=512,
+        num_heads=8,
+        num_kv_heads=2,
+        ffn_hidden_size=1408,
+        vocab_size=32000,
+        max_seq_len=256,
+        mlp_activation=MLPActivation.SWIGLU,
+        tie_embeddings=False,
+    )
+
+
+@pytest.fixture
+def gpt_175b():
+    """The GPT-175B configuration from the model zoo."""
+    return get_model("GPT-175B")
+
+
+@pytest.fixture
+def llama2_13b():
+    """The Llama2-13B configuration from the model zoo."""
+    return get_model("Llama2-13B")
+
+
+@pytest.fixture
+def single_node_a100():
+    """An 8-GPU A100 node with NVLink3 inside and HDR InfiniBand outside."""
+    return build_system("A100", num_devices=8, intra_node="NVLink3", inter_node="HDR-IB")
+
+
+@pytest.fixture
+def a100_cluster_64():
+    """A 64-GPU A100 cluster (8 nodes)."""
+    return build_system("A100", num_devices=64, intra_node="NVLink3", inter_node="HDR-IB")
+
+
+@pytest.fixture
+def h100_node():
+    """An 8-GPU H100 node with NVLink4 inside and NDR InfiniBand outside."""
+    return build_system("H100", num_devices=8, intra_node="NVLink4", inter_node="NDR-IB")

@@ -1,0 +1,53 @@
+"""Tests for the PerformancePredictionEngine facade."""
+
+import pytest
+
+from repro.core.engine import PerformancePredictionEngine
+from repro.parallelism.config import ParallelismConfig
+
+
+@pytest.fixture
+def engine(a100_cluster_64):
+    return PerformancePredictionEngine(a100_cluster_64)
+
+
+def test_training_accepts_model_names_and_configs(engine, gpt_175b):
+    config = ParallelismConfig(tensor_parallel=8, pipeline_parallel=8, micro_batch_size=1)
+    by_name = engine.predict_training("GPT-175B", config, global_batch_size=64)
+    by_config = engine.predict_training(gpt_175b, config, global_batch_size=64)
+    assert by_name.step_time == pytest.approx(by_config.step_time)
+
+
+def test_inference_accepts_model_names(engine):
+    report = engine.predict_inference("Llama2-13B", tensor_parallel=8)
+    assert report.model_name == "Llama2-13B"
+    assert report.total_latency > 0
+
+
+def test_training_memory_helper(engine):
+    config = ParallelismConfig(tensor_parallel=8, pipeline_parallel=8, micro_batch_size=1)
+    breakdown = engine.training_memory("GPT-175B", config, global_batch_size=64, recompute="full")
+    assert breakdown.total_bytes > 0
+    assert breakdown.activation_bytes < breakdown.optimizer_bytes * 5
+
+
+def test_inference_memory_helper(engine):
+    breakdown = engine.inference_memory("Llama2-13B", batch_size=16, context_len=400)
+    assert breakdown.kv_cache_bytes > 0
+    assert breakdown.weight_bytes > breakdown.kv_cache_bytes
+
+
+def test_bottleneck_helpers(engine):
+    prefill = engine.prefill_bottlenecks("Llama2-13B", prompt_tokens=200)
+    decode = engine.decode_bottlenecks("Llama2-13B", kv_len=300)
+    assert {e.name for e in prefill} >= {"qkv_projection", "mlp_4h_to_h"}
+    assert all(e.bound_label == "memory" for e in decode)
+
+
+def test_engine_shares_kernel_model(engine):
+    assert engine.training_model.kernel_model is engine.kernel_model
+    assert engine.inference_model.kernel_model is engine.kernel_model
+
+
+def test_engine_system_exposed(engine, a100_cluster_64):
+    assert engine.system is a100_cluster_64

@@ -1,0 +1,52 @@
+"""Tests for the report dataclasses."""
+
+import pytest
+
+from repro.core.reports import (
+    GemmBottleneckEntry,
+    KernelTimeEntry,
+    PhaseReport,
+    aggregate_kernel_entries,
+)
+from repro.perf.roofline import BoundType
+
+
+def _entry(name="k", time=1e-3, count=2, bound=BoundType.COMPUTE):
+    return KernelTimeEntry(name=name, time=time, count=count, bound=bound, flops=1e9, bytes_moved=1e6)
+
+
+def test_kernel_entry_total_time_and_bound():
+    entry = _entry(time=2e-3, count=3)
+    assert entry.total_time == pytest.approx(6e-3)
+    assert entry.is_compute_bound
+    assert not _entry(bound=BoundType.MEMORY).is_compute_bound
+
+
+def test_aggregate_kernel_entries_merges_counts():
+    merged = aggregate_kernel_entries([_entry(count=2), _entry(count=3), _entry(name="other", count=1)])
+    assert merged["k"].count == 5
+    assert merged["other"].count == 1
+
+
+def test_phase_report_totals_and_fraction():
+    phase = PhaseReport(
+        name="prefill",
+        device_time=0.8,
+        communication_time=0.2,
+        compute_bound_time=0.6,
+        memory_bound_time=0.2,
+    )
+    assert phase.total_time == pytest.approx(1.0)
+    assert phase.compute_bound_fraction == pytest.approx(0.75)
+    empty = PhaseReport(name="x", device_time=0, communication_time=0, compute_bound_time=0, memory_bound_time=0)
+    assert empty.compute_bound_fraction == 0.0
+
+
+def test_gemm_bottleneck_entry_labels():
+    compute = GemmBottleneckEntry(name="g", time=1e-4, bound=BoundType.COMPUTE, m=1, n=2, k=3)
+    memory = GemmBottleneckEntry(name="g", time=1e-4, bound=BoundType.MEMORY, m=1, n=2, k=3)
+    cache = GemmBottleneckEntry(name="g", time=1e-4, bound=BoundType.CACHE, m=1, n=2, k=3)
+    assert compute.bound_label == "compute"
+    assert memory.bound_label == "memory"
+    assert cache.bound_label == "memory"
+    assert compute.time_us == pytest.approx(100.0)

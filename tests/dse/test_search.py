@@ -1,0 +1,74 @@
+"""Tests for the gradient-descent design-space search."""
+
+import pytest
+
+from repro.dse.search import GradientDescentSearch, optimize_allocation
+from repro.dse.space import DesignPoint, DesignSpace
+from repro.errors import SearchError
+
+
+def _quadratic_objective(optimum_compute=0.7, optimum_l2=0.1):
+    """A smooth objective minimized at a known allocation."""
+
+    def objective(point: DesignPoint) -> float:
+        return (point.compute_area_fraction - optimum_compute) ** 2 + (point.l2_area_fraction - optimum_l2) ** 2 + 1.0
+
+    return objective
+
+
+def test_search_finds_known_optimum():
+    space = DesignSpace(technology_nodes=("N7",), dram_technologies=("HBM2E",), inter_node_networks=("NDR-x8",))
+    search = GradientDescentSearch(space, initial_step=0.2, min_step=0.005)
+    result = search.search(_quadratic_objective(), starting_points=[DesignPoint(compute_area_fraction=0.4)])
+    assert result.best_point.compute_area_fraction == pytest.approx(0.7, abs=0.05)
+    assert result.best_cost == pytest.approx(1.0, abs=0.02)
+    assert result.evaluations > 5
+    assert result.history
+
+
+def test_search_respects_bounds():
+    space = DesignSpace(
+        technology_nodes=("N7",),
+        dram_technologies=("HBM2E",),
+        inter_node_networks=("NDR-x8",),
+        area_fraction_bounds=(0.3, 0.6),
+    )
+    search = GradientDescentSearch(space)
+    result = search.search(_quadratic_objective(optimum_compute=0.9))
+    assert result.best_point.compute_area_fraction <= 0.6 + 1e-9
+
+
+def test_search_skips_infeasible_points():
+    space = DesignSpace(technology_nodes=("N7",), dram_technologies=("HBM2E",), inter_node_networks=("NDR-x8",))
+
+    def objective(point: DesignPoint) -> float:
+        if point.compute_area_fraction > 0.55:
+            raise ValueError("infeasible")
+        return 10.0 - point.compute_area_fraction
+
+    result = GradientDescentSearch(space).search(objective, starting_points=[DesignPoint(compute_area_fraction=0.4)])
+    assert result.best_point.compute_area_fraction <= 0.55
+    assert result.best_cost < 10.0
+
+
+def test_search_all_infeasible_raises():
+    space = DesignSpace(technology_nodes=("N7",), dram_technologies=("HBM2E",), inter_node_networks=("NDR-x8",))
+
+    def objective(point: DesignPoint) -> float:
+        raise ValueError("never feasible")
+
+    with pytest.raises(SearchError):
+        GradientDescentSearch(space).search(objective, starting_points=[DesignPoint()])
+
+
+def test_search_without_starting_points_raises():
+    space = DesignSpace(technology_nodes=("N7",), dram_technologies=("HBM2E",), inter_node_networks=("NDR-x8",))
+    with pytest.raises(SearchError):
+        GradientDescentSearch(space).search(_quadratic_objective(), starting_points=[])
+
+
+def test_optimize_allocation_helper():
+    result = optimize_allocation(_quadratic_objective(optimum_compute=0.6, optimum_l2=0.2))
+    assert result.best_point.compute_area_fraction == pytest.approx(0.6, abs=0.08)
+    summary = result.summary()
+    assert "best_cost" in summary and "compute_area_fraction" in summary

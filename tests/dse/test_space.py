@@ -1,0 +1,77 @@
+"""Tests for the design space and design points."""
+
+import pytest
+
+from repro.dse.space import DesignPoint, DesignSpace
+from repro.errors import ConfigurationError
+from repro.hardware.datatypes import Precision
+from repro.hardware.uarch import ResourceBudget
+
+
+def test_design_point_builds_accelerator():
+    point = DesignPoint(technology_node="N5", dram_technology="HBM3")
+    device = point.build_accelerator()
+    assert device.dram_technology == "HBM3"
+    assert device.peak_flops(Precision.FP16) > 0
+
+
+def test_design_point_builds_system():
+    point = DesignPoint(technology_node="N7", dram_technology="HBM2E", inter_node_network="GDR-x8")
+    system = point.build_system(num_devices=32)
+    assert system.num_devices == 32
+    assert system.inter_node_fabric.name == "GDR-x8"
+    assert system.intra_node_fabric.name == "NVLink3"
+
+
+def test_design_point_fp8_fp4_support():
+    point = DesignPoint(technology_node="N3", supports_fp8=True, supports_fp4=True)
+    device = point.build_accelerator()
+    assert device.compute.supports(Precision.FP8)
+    assert device.compute.supports(Precision.FP4)
+
+
+def test_perturbed_and_label():
+    point = DesignPoint()
+    moved = point.perturbed(compute_area_fraction=0.7)
+    assert moved.compute_area_fraction == pytest.approx(0.7)
+    assert moved.technology_node == point.technology_node
+    assert point.label.startswith("N7-")
+
+
+def test_space_validation():
+    with pytest.raises(Exception):
+        DesignSpace(technology_nodes=("N99",))
+    with pytest.raises(ConfigurationError):
+        DesignSpace(area_fraction_bounds=(0.9, 0.1))
+
+
+def test_space_clip():
+    space = DesignSpace(area_fraction_bounds=(0.3, 0.8), l2_fraction_bounds=(0.05, 0.35))
+    clipped = space.clip(DesignPoint(compute_area_fraction=0.95, l2_area_fraction=0.5))
+    assert clipped.compute_area_fraction == pytest.approx(0.8)
+    assert clipped.l2_area_fraction <= 0.35
+    assert clipped.compute_area_fraction + clipped.l2_area_fraction < 0.95
+
+
+def test_space_contains():
+    space = DesignSpace(dram_technologies=("HBM2E",))
+    assert space.contains(DesignPoint(dram_technology="HBM2E", inter_node_network="NDR-x8"))
+    assert not space.contains(DesignPoint(dram_technology="HBM3", inter_node_network="NDR-x8"))
+
+
+def test_grid_covers_discrete_dimensions():
+    space = DesignSpace(
+        technology_nodes=("N7", "N5"),
+        dram_technologies=("HBM2E", "HBM3"),
+        inter_node_networks=("NDR-x8",),
+    )
+    grid = space.grid(fraction_steps=2)
+    assert len(grid) == 2 * 2 * 1 * 2
+    nodes = {point.technology_node for point in grid}
+    assert nodes == {"N7", "N5"}
+
+
+def test_budget_shared_across_grid():
+    budget = ResourceBudget(area_mm2=600, power_watts=500)
+    space = DesignSpace(budget=budget)
+    assert space.budget.area_mm2 == 600

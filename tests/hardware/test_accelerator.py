@@ -1,0 +1,104 @@
+"""Tests for the accelerator catalog."""
+
+import pytest
+
+from repro.errors import UnknownHardwareError
+from repro.hardware.accelerator import (
+    custom_accelerator,
+    get_accelerator,
+    list_accelerators,
+)
+from repro.hardware.datatypes import Precision
+from repro.units import GB, TBPS, TFLOPS
+
+
+def test_a100_headline_numbers():
+    a100 = get_accelerator("A100")
+    assert a100.peak_flops(Precision.FP16) == pytest.approx(312 * TFLOPS)
+    assert a100.dram_capacity == pytest.approx(80 * GB)
+    assert a100.dram_bandwidth == pytest.approx(1.935 * TBPS, rel=0.05)
+    assert not a100.compute.supports(Precision.FP8)
+
+
+def test_h100_headline_numbers():
+    h100 = get_accelerator("H100")
+    assert h100.peak_flops(Precision.FP16) == pytest.approx(989.4 * TFLOPS)
+    assert h100.peak_flops(Precision.FP8) == pytest.approx(1978.9 * TFLOPS)
+    assert h100.dram_bandwidth == pytest.approx(3.35 * TBPS)
+
+
+def test_h200_has_more_memory_than_h100():
+    h100 = get_accelerator("H100")
+    h200 = get_accelerator("H200")
+    assert h200.dram_capacity > h100.dram_capacity
+    assert h200.dram_bandwidth > h100.dram_bandwidth
+    assert h200.peak_flops(Precision.FP16) == pytest.approx(h100.peak_flops(Precision.FP16))
+
+
+def test_b200_supports_fp4_and_is_fastest():
+    b200 = get_accelerator("B200")
+    assert b200.compute.supports(Precision.FP4)
+    assert b200.peak_flops(Precision.FP4) > b200.peak_flops(Precision.FP8) > b200.peak_flops(Precision.FP16)
+    assert b200.peak_flops(Precision.FP16) > get_accelerator("H100").peak_flops(Precision.FP16)
+    assert b200.dram_bandwidth > get_accelerator("H200").dram_bandwidth
+
+
+def test_generation_ordering_of_compute_and_bandwidth():
+    names = ["A100", "H100", "H200", "B200"]
+    fp16 = [get_accelerator(n).peak_flops(Precision.FP16) for n in names]
+    assert fp16[0] < fp16[1] <= fp16[2] < fp16[3]
+    bandwidth = [get_accelerator(n).dram_bandwidth for n in names]
+    assert bandwidth == sorted(bandwidth)
+
+
+def test_lookup_is_case_insensitive_and_has_aliases():
+    assert get_accelerator("a100").name == get_accelerator("A100-80GB").name
+    assert get_accelerator("h100-sxm").name == "H100-SXM"
+
+
+def test_unknown_accelerator_raises():
+    with pytest.raises(UnknownHardwareError):
+        get_accelerator("MI300")
+
+
+def test_list_accelerators_returns_distinct_specs():
+    specs = list_accelerators()
+    assert "A100-80GB" in specs
+    assert "B200" in specs
+    assert len(specs) >= 5
+
+
+def test_with_dram_swaps_only_the_last_level():
+    a100 = get_accelerator("A100")
+    swapped = a100.with_dram("HBM3E", keep_capacity=True)
+    assert swapped.dram_bandwidth == pytest.approx(4.8 * TBPS)
+    assert swapped.dram_capacity == a100.dram_capacity
+    assert swapped.memory.level("L2").bandwidth == a100.memory.level("L2").bandwidth
+    assert swapped.dram_technology == "HBM3E"
+
+
+def test_with_compute_scale():
+    a100 = get_accelerator("A100")
+    faster = a100.with_compute_scale(2.0)
+    assert faster.peak_flops(Precision.FP16) == pytest.approx(2 * a100.peak_flops(Precision.FP16))
+
+
+def test_custom_accelerator_builder():
+    device = custom_accelerator(
+        name="future-gpu",
+        fp16_tflops=1000,
+        dram_bandwidth_tbps=5.0,
+        dram_capacity_gb=128,
+        fp8_tflops=2000,
+    )
+    assert device.peak_flops(Precision.FP16) == pytest.approx(1000 * TFLOPS)
+    assert device.peak_flops(Precision.FP8) == pytest.approx(2000 * TFLOPS)
+    assert device.dram_capacity == pytest.approx(128 * GB)
+    assert device.memory.has_level("L2")
+
+
+def test_summary_fields():
+    summary = get_accelerator("A100").summary()
+    assert summary["fp16_tflops"] == pytest.approx(312.0)
+    assert summary["dram_capacity_gb"] == pytest.approx(80.0)
+    assert summary["l2_capacity_mib"] == pytest.approx(40.0)

@@ -1,0 +1,75 @@
+"""Tests for the compute-engine spec."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.compute import ComputeSpec
+from repro.hardware.datatypes import Precision
+from repro.units import TFLOPS
+
+
+def _spec(efficiency=0.7):
+    return ComputeSpec(
+        peak_flops={Precision.FP16: 312 * TFLOPS, Precision.FP32: 19.5 * TFLOPS},
+        efficiency=efficiency,
+    )
+
+
+def test_peak_and_sustained():
+    spec = _spec(efficiency=0.5)
+    assert spec.peak(Precision.FP16) == pytest.approx(312 * TFLOPS)
+    assert spec.sustained(Precision.FP16) == pytest.approx(156 * TFLOPS)
+
+
+def test_supports():
+    spec = _spec()
+    assert spec.supports(Precision.FP16)
+    assert not spec.supports(Precision.FP8)
+
+
+def test_fallback_to_wider_format():
+    spec = _spec()
+    # BF16 falls back to FP16; FP8 falls back to FP16 as well.
+    assert spec.peak(Precision.BF16) == pytest.approx(312 * TFLOPS)
+    assert spec.peak(Precision.FP8) == pytest.approx(312 * TFLOPS)
+
+
+def test_unsupported_without_fallback_raises():
+    spec = ComputeSpec(peak_flops={Precision.FP64: 10 * TFLOPS})
+    with pytest.raises(ConfigurationError):
+        spec.peak(Precision.FP4)
+
+
+def test_vector_throughput_defaults_to_fraction_of_fp16():
+    spec = _spec()
+    assert spec.vector_throughput == pytest.approx(312 * TFLOPS * 0.125 * 0.7)
+
+
+def test_vector_throughput_explicit():
+    spec = ComputeSpec(peak_flops={Precision.FP16: 100 * TFLOPS}, efficiency=0.8, vector_flops=20 * TFLOPS)
+    assert spec.vector_throughput == pytest.approx(16 * TFLOPS)
+
+
+def test_scaled():
+    spec = _spec()
+    doubled = spec.scaled(2.0)
+    assert doubled.peak(Precision.FP16) == pytest.approx(624 * TFLOPS)
+    assert doubled.efficiency == spec.efficiency
+    with pytest.raises(ConfigurationError):
+        spec.scaled(0.0)
+
+
+def test_validation_rejects_bad_inputs():
+    with pytest.raises(ConfigurationError):
+        ComputeSpec(peak_flops={})
+    with pytest.raises(ConfigurationError):
+        ComputeSpec(peak_flops={Precision.FP16: -1})
+    with pytest.raises(ConfigurationError):
+        ComputeSpec(peak_flops={Precision.FP16: 1e12}, efficiency=1.5)
+
+
+def test_as_dict_round_trip():
+    spec = _spec()
+    as_dict = spec.as_dict()
+    assert as_dict["fp16"] == pytest.approx(312 * TFLOPS)
+    assert set(as_dict) == {"fp16", "fp32"}

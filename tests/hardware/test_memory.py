@@ -1,0 +1,111 @@
+"""Tests for memory technologies and the on-device hierarchy."""
+
+import pytest
+
+from repro.errors import ConfigurationError, UnknownHardwareError
+from repro.hardware.memory import (
+    DRAM_TECHNOLOGIES,
+    INFERENCE_MEMORY_SWEEP,
+    TRAINING_MEMORY_SWEEP,
+    MemoryHierarchy,
+    MemoryLevel,
+    get_dram_technology,
+    make_gpu_hierarchy,
+)
+from repro.units import GB, MIB, TBPS
+
+
+def test_dram_catalog_bandwidths_match_paper_values():
+    assert get_dram_technology("HBM2").bandwidth == pytest.approx(1.0 * TBPS)
+    assert get_dram_technology("HBM2E").bandwidth == pytest.approx(1.9 * TBPS)
+    assert get_dram_technology("HBM3").bandwidth == pytest.approx(2.6 * TBPS)
+    assert get_dram_technology("HBM3E").bandwidth == pytest.approx(4.8 * TBPS)
+    assert get_dram_technology("HBMX").bandwidth == pytest.approx(6.8 * TBPS)
+    assert get_dram_technology("GDDR6").bandwidth == pytest.approx(0.6 * TBPS)
+
+
+def test_dram_lookup_accepts_paper_spelling():
+    # The paper writes "GDR6" for GDDR6.
+    assert get_dram_technology("GDR6").name == "GDDR6"
+    assert get_dram_technology("hbm2e").name == "HBM2E"
+
+
+def test_dram_lookup_unknown_raises():
+    with pytest.raises(UnknownHardwareError):
+        get_dram_technology("HBM9")
+
+
+def test_sweep_orders_are_monotonic_in_bandwidth():
+    inference = [get_dram_technology(n).bandwidth for n in INFERENCE_MEMORY_SWEEP]
+    assert inference == sorted(inference)
+    training = [get_dram_technology(n).bandwidth for n in TRAINING_MEMORY_SWEEP]
+    assert training == sorted(training)
+
+
+def test_memory_technology_with_capacity_and_scaled():
+    hbm3 = get_dram_technology("HBM3")
+    bigger = hbm3.with_capacity(192 * GB)
+    assert bigger.capacity == 192 * GB
+    assert bigger.bandwidth == hbm3.bandwidth
+    faster = hbm3.scaled(2.0)
+    assert faster.bandwidth == pytest.approx(2 * hbm3.bandwidth)
+
+
+def test_memory_technology_validation():
+    with pytest.raises(ConfigurationError):
+        MemoryLevel("L2", capacity=-1, bandwidth=1e12)
+    with pytest.raises(ConfigurationError):
+        MemoryLevel("L2", capacity=1e6, bandwidth=0)
+    with pytest.raises(ConfigurationError):
+        MemoryLevel("L2", capacity=1e6, bandwidth=1e12, utilization=1.5)
+
+
+def test_hierarchy_order_and_lookup():
+    hierarchy = make_gpu_hierarchy(
+        shared_capacity=20 * MIB,
+        shared_bandwidth=80 * TBPS,
+        l2_capacity=40 * MIB,
+        l2_bandwidth=5 * TBPS,
+        dram_capacity=80 * GB,
+        dram_bandwidth=2 * TBPS,
+    )
+    assert len(hierarchy) == 3
+    assert hierarchy.innermost.name == "shared"
+    assert hierarchy.dram.name == "DRAM"
+    assert hierarchy.level("L2").capacity == 40 * MIB
+    assert hierarchy.has_level("L2")
+    assert not hierarchy.has_level("L3")
+    with pytest.raises(UnknownHardwareError):
+        hierarchy.level("L3")
+
+
+def test_hierarchy_requires_unique_names():
+    level = MemoryLevel("DRAM", capacity=1 * GB, bandwidth=1 * TBPS)
+    with pytest.raises(ConfigurationError):
+        MemoryHierarchy([level, level])
+
+
+def test_hierarchy_replace_dram_keeps_inner_levels():
+    hierarchy = make_gpu_hierarchy(20 * MIB, 80 * TBPS, 40 * MIB, 5 * TBPS, 80 * GB, 2 * TBPS)
+    swapped = hierarchy.replace_dram(get_dram_technology("HBM3E"))
+    assert swapped.dram.bandwidth == pytest.approx(4.8 * TBPS)
+    assert swapped.level("L2").bandwidth == hierarchy.level("L2").bandwidth
+    assert swapped.level("shared").capacity == hierarchy.level("shared").capacity
+
+
+def test_hierarchy_scaled():
+    hierarchy = make_gpu_hierarchy(20 * MIB, 80 * TBPS, 40 * MIB, 5 * TBPS, 80 * GB, 2 * TBPS)
+    scaled = hierarchy.scaled(bandwidth_factor=2.0, capacity_factor=0.5)
+    assert scaled.dram.bandwidth == pytest.approx(4 * TBPS)
+    assert scaled.dram.capacity == pytest.approx(40 * GB)
+
+
+def test_effective_bandwidth_applies_utilization():
+    level = MemoryLevel("DRAM", capacity=1 * GB, bandwidth=1 * TBPS, utilization=0.8)
+    assert level.effective_bandwidth == pytest.approx(0.8 * TBPS)
+
+
+def test_catalog_contains_all_generations_in_order():
+    generations = [tech.generation for tech in DRAM_TECHNOLOGIES.values()]
+    assert len(set(DRAM_TECHNOLOGIES)) == len(DRAM_TECHNOLOGIES)
+    assert max(generations) >= 6

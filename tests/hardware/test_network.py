@@ -1,0 +1,82 @@
+"""Tests for interconnect catalog and semantics."""
+
+import pytest
+
+from repro.errors import ConfigurationError, UnknownHardwareError
+from repro.hardware.network import (
+    INTERCONNECTS,
+    Interconnect,
+    custom_interconnect,
+    get_interconnect,
+)
+from repro.units import GBPS
+
+
+def test_catalog_bandwidths_match_paper():
+    assert get_interconnect("HDR-IB").bandwidth == pytest.approx(200 * GBPS)
+    assert get_interconnect("NDR-IB").bandwidth == pytest.approx(400 * GBPS)
+    assert get_interconnect("NVLink3").bandwidth == pytest.approx(300 * GBPS)
+    assert get_interconnect("NVLink4").bandwidth == pytest.approx(450 * GBPS)
+    assert get_interconnect("NVS").bandwidth == pytest.approx(900 * GBPS)
+    assert get_interconnect("NDR-x8").bandwidth == pytest.approx(100 * GBPS)
+    assert get_interconnect("XDR-x8").bandwidth == pytest.approx(200 * GBPS)
+    assert get_interconnect("GDR-x8").bandwidth == pytest.approx(400 * GBPS)
+
+
+def test_infiniband_fabrics_are_node_level_shared():
+    assert get_interconnect("HDR-IB").per_device is False
+    assert get_interconnect("NDR-IB").per_device is False
+    assert get_interconnect("NDR-x8").per_device is False
+
+
+def test_nvlink_fabrics_are_per_device():
+    assert get_interconnect("NVLink3").per_device is True
+    assert get_interconnect("NVS").per_device is True
+
+
+def test_scopes():
+    assert get_interconnect("NVLink3").scope == "intra_node"
+    assert get_interconnect("HDR-IB").scope == "inter_node"
+    assert get_interconnect("NVS").scope == "inter_node"
+
+
+def test_lookup_is_case_insensitive():
+    assert get_interconnect("nvlink3").name == "NVLink3"
+    assert get_interconnect("hdr-ib").name == "HDR-IB"
+
+
+def test_lookup_unknown_raises():
+    with pytest.raises(UnknownHardwareError):
+        get_interconnect("TokenRing")
+
+
+def test_interconnect_validation():
+    with pytest.raises(ConfigurationError):
+        Interconnect("bad", bandwidth=0, latency=1e-6)
+    with pytest.raises(ConfigurationError):
+        Interconnect("bad", bandwidth=1e9, latency=-1)
+    with pytest.raises(ConfigurationError):
+        Interconnect("bad", bandwidth=1e9, latency=1e-6, scope="sideways")
+    with pytest.raises(ConfigurationError):
+        Interconnect("bad", bandwidth=1e9, latency=1e-6, utilization=0.0)
+
+
+def test_scaled_and_with_utilization():
+    nvlink = get_interconnect("NVLink3")
+    doubled = nvlink.scaled(bandwidth_factor=2.0, name="NVLink3-x2")
+    assert doubled.bandwidth == pytest.approx(2 * nvlink.bandwidth)
+    assert doubled.name == "NVLink3-x2"
+    derated = nvlink.with_utilization(0.5)
+    assert derated.effective_bandwidth == pytest.approx(0.5 * nvlink.bandwidth)
+
+
+def test_custom_interconnect():
+    fabric = custom_interconnect("optical", bandwidth=2000 * GBPS, latency=1e-6)
+    assert fabric.bandwidth == pytest.approx(2000 * GBPS)
+    assert fabric.scope == "inter_node"
+
+
+def test_catalog_has_no_duplicate_latency_zero():
+    for fabric in INTERCONNECTS.values():
+        assert fabric.latency > 0
+        assert fabric.bandwidth > 0

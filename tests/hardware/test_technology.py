@@ -1,0 +1,58 @@
+"""Tests for logic technology nodes and scaling factors."""
+
+import pytest
+
+from repro.errors import UnknownHardwareError
+from repro.hardware.technology import (
+    AREA_SCALING_PER_NODE,
+    NODE_ORDER,
+    POWER_SCALING_PER_NODE,
+    all_nodes,
+    get_node,
+    scaling_factors,
+)
+
+
+def test_node_order_matches_paper():
+    assert NODE_ORDER == ["N12", "N10", "N7", "N5", "N3", "N2", "N1"]
+
+
+def test_scaling_constants_match_paper():
+    assert AREA_SCALING_PER_NODE == pytest.approx(1.8)
+    assert POWER_SCALING_PER_NODE == pytest.approx(1.3)
+
+
+def test_get_node_accepts_various_spellings():
+    assert get_node("N7").feature_nm == 7.0
+    assert get_node("n5").name == "N5"
+    assert get_node(3).name == "N3"
+    assert get_node("12").name == "N12"
+
+
+def test_get_node_unknown_raises():
+    with pytest.raises(UnknownHardwareError):
+        get_node("N14")
+
+
+def test_steps_and_scales():
+    n12 = get_node("N12")
+    n7 = get_node("N7")
+    assert n7.steps_from(n12) == 2
+    assert n7.area_scale_from(n12) == pytest.approx(1.8**2)
+    assert n7.power_scale_from(n12) == pytest.approx(1.3**2)
+    # Going backwards shrinks density.
+    assert n12.area_scale_from(n7) == pytest.approx(1.8**-2)
+
+
+def test_all_nodes_monotonic_feature_size():
+    nodes = all_nodes()
+    features = [node.feature_nm for node in nodes]
+    assert features == sorted(features, reverse=True)
+    assert len(nodes) == 7
+
+
+def test_scaling_factors_helper():
+    factors = scaling_factors("N7", "N1")
+    assert factors["steps"] == 4
+    assert factors["area_density"] == pytest.approx(1.8**4)
+    assert factors["power_efficiency"] == pytest.approx(1.3**4)

@@ -1,0 +1,89 @@
+"""Tests for the µArch engine (technology -> accelerator derivation)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.datatypes import Precision
+from repro.hardware.memory import get_dram_technology
+from repro.hardware.technology import get_node
+from repro.hardware.uarch import (
+    MicroArchitecture,
+    ResourceAllocation,
+    ResourceBudget,
+    derive_device,
+)
+from repro.units import TFLOPS
+
+
+def test_budget_and_allocation_validation():
+    with pytest.raises(ConfigurationError):
+        ResourceBudget(area_mm2=-1)
+    with pytest.raises(ConfigurationError):
+        ResourceAllocation(compute_area_fraction=0.9, l2_area_fraction=0.2)
+    with pytest.raises(ConfigurationError):
+        ResourceAllocation(compute_power_fraction=0.9, memory_power_fraction=0.2)
+    with pytest.raises(ConfigurationError):
+        ResourceAllocation(compute_area_fraction=1.5)
+
+
+def test_reference_node_reproduces_a100_class_throughput():
+    """With the A100's budget at N7, the derived FP16 peak is in the A100's class."""
+    device = derive_device("N7", dram="HBM2E")
+    fp16 = device.peak_flops(Precision.FP16)
+    assert 200 * TFLOPS < fp16 < 450 * TFLOPS
+
+
+def test_newer_nodes_give_more_compute():
+    older = derive_device("N12")
+    newer = derive_device("N3")
+    assert newer.peak_flops(Precision.FP16) > older.peak_flops(Precision.FP16)
+
+
+def test_compute_is_power_limited_at_advanced_nodes():
+    """Area scaling (1.8x/step) outpaces power scaling (1.3x/step), so the
+    power limit binds at advanced nodes and throughput grows slower than 1.8x."""
+    n7 = derive_device("N7").peak_flops(Precision.FP16)
+    n5 = derive_device("N5").peak_flops(Precision.FP16)
+    n3 = derive_device("N3").peak_flops(Precision.FP16)
+    assert n5 / n7 <= 1.8 + 1e-6
+    assert n3 / n5 == pytest.approx(1.3, rel=0.05)
+
+
+def test_dram_choice_is_respected():
+    device = derive_device("N5", dram="HBM3")
+    assert device.dram_bandwidth == pytest.approx(get_dram_technology("HBM3").bandwidth)
+    assert device.dram_technology == "HBM3"
+
+
+def test_more_compute_area_more_throughput_less_l2():
+    small_compute = MicroArchitecture(
+        node=get_node("N7"),
+        allocation=ResourceAllocation(compute_area_fraction=0.4, l2_area_fraction=0.3),
+    )
+    big_compute = MicroArchitecture(
+        node=get_node("N7"),
+        allocation=ResourceAllocation(compute_area_fraction=0.7, l2_area_fraction=0.1),
+    )
+    assert big_compute.compute_throughput_fp16() >= small_compute.compute_throughput_fp16()
+    assert big_compute.l2_capacity() < small_compute.l2_capacity()
+
+
+def test_bigger_power_budget_more_throughput():
+    base = MicroArchitecture(node=get_node("N3"), budget=ResourceBudget(power_watts=300))
+    boosted = MicroArchitecture(node=get_node("N3"), budget=ResourceBudget(power_watts=900))
+    assert boosted.compute_throughput_fp16() > base.compute_throughput_fp16()
+
+
+def test_derived_accelerator_structure():
+    device = derive_device("N5", dram="HBM3", supports_fp8=True, supports_fp4=True, name="proto")
+    assert device.name == "proto"
+    assert device.memory.has_level("L2")
+    assert device.memory.dram.name == "DRAM"
+    assert device.peak_flops(Precision.FP8) == pytest.approx(2 * device.peak_flops(Precision.FP16))
+    assert device.peak_flops(Precision.FP4) == pytest.approx(4 * device.peak_flops(Precision.FP16))
+
+
+def test_l2_bandwidth_scales_with_capacity():
+    small = MicroArchitecture(node=get_node("N7"), allocation=ResourceAllocation(l2_area_fraction=0.08))
+    large = MicroArchitecture(node=get_node("N7"), allocation=ResourceAllocation(l2_area_fraction=0.3))
+    assert large.l2_bandwidth() > small.l2_bandwidth()

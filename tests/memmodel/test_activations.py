@@ -1,0 +1,133 @@
+"""Tests for the activation-memory model and recomputation strategies."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memmodel.activations import ActivationModel, RecomputeStrategy
+from repro.models.zoo import get_model
+
+
+def _model_for(model, tp=1, sp=False, micro_batch=1, seq=2048):
+    return ActivationModel(
+        model=model,
+        micro_batch=micro_batch,
+        seq_len=seq,
+        tensor_parallel=tp,
+        sequence_parallel=sp,
+    )
+
+
+def test_strategy_parse():
+    assert RecomputeStrategy.parse("full") is RecomputeStrategy.FULL
+    assert RecomputeStrategy.parse("SELECTIVE") is RecomputeStrategy.SELECTIVE
+    assert RecomputeStrategy.parse(RecomputeStrategy.NONE) is RecomputeStrategy.NONE
+    with pytest.raises(ConfigurationError):
+        RecomputeStrategy.parse("partial")
+
+
+def test_korthikanti_per_layer_formula_no_parallelism():
+    """Without parallelism one GPT-175B layer stores sbh*(34 + 5as/h) bytes."""
+    gpt = get_model("GPT-175B")
+    activations = _model_for(gpt)
+    sbh = 2048 * gpt.hidden_size
+    expected = sbh * 34 + 5 * gpt.num_heads * 2048**2
+    assert activations.total_activation_bytes_per_layer() == pytest.approx(expected, rel=1e-6)
+
+
+def test_tensor_parallel_shards_only_part_of_the_activations():
+    gpt = get_model("GPT-175B")
+    full = _model_for(gpt, tp=1).total_activation_bytes_per_layer()
+    tp8 = _model_for(gpt, tp=8).total_activation_bytes_per_layer()
+    # TP shards the 24sbh + score terms but not the 10sbh term.
+    assert full / 8 < tp8 < full
+
+
+def test_sequence_parallel_shards_everything():
+    gpt = get_model("GPT-175B")
+    full = _model_for(gpt, tp=1).total_activation_bytes_per_layer()
+    tp_sp = _model_for(gpt, tp=8, sp=True).total_activation_bytes_per_layer()
+    assert tp_sp == pytest.approx(full / 8, rel=1e-6)
+
+
+def test_strategy_ordering(tiny_model):
+    activations = _model_for(tiny_model, seq=256)
+    none = activations.activation_bytes(4, RecomputeStrategy.NONE)
+    selective = activations.activation_bytes(4, RecomputeStrategy.SELECTIVE)
+    full = activations.activation_bytes(4, RecomputeStrategy.FULL)
+    assert none > selective > full > 0
+
+
+def test_selective_matches_equation_2(tiny_model):
+    activations = _model_for(tiny_model, seq=256)
+    layers = 4
+    expected = layers * (
+        activations.total_activation_bytes_per_layer() - activations.selective_saving_bytes_per_layer()
+    )
+    assert activations.activation_bytes(layers, "selective") == pytest.approx(expected)
+
+
+def test_full_matches_equation_1(tiny_model):
+    activations = _model_for(tiny_model, seq=256)
+    layers = 4
+    a_inp = activations.input_activation_bytes_per_layer()
+    a_tot = activations.total_activation_bytes_per_layer()
+    # Default checkpoints every layer.
+    expected = layers * a_inp + (a_tot - a_inp)
+    assert activations.activation_bytes(layers, "full") == pytest.approx(expected)
+    # Explicit checkpoint count.
+    expected_two = 2 * a_inp + (layers / 2) * (a_tot - a_inp)
+    assert activations.activation_bytes(layers, "full", checkpoints=2) == pytest.approx(expected_two)
+
+
+def test_full_in_flight_only_multiplies_stored_checkpoints(tiny_model):
+    activations = _model_for(tiny_model, seq=256)
+    single = activations.activation_bytes(4, "full", in_flight_microbatches=1)
+    multi = activations.activation_bytes(4, "full", in_flight_microbatches=4)
+    stored = activations.stored_activation_bytes(4, "full")
+    transient = activations.transient_recompute_bytes(4, "full")
+    assert multi == pytest.approx(4 * stored + transient)
+    assert multi < 4 * single
+
+
+def test_selective_savings_equal_score_terms(tiny_model):
+    activations = _model_for(tiny_model, seq=256)
+    savings = activations.selective_saving_bytes_per_layer()
+    assert savings == pytest.approx(
+        activations.softmax_activation_bytes()
+        + activations.dropout_mask_bytes()
+        + activations.dropout_output_bytes()
+    )
+    assert savings == pytest.approx(5 * activations._score_unit_bytes)
+
+
+def test_optimal_checkpoint_count_bounds(tiny_model):
+    activations = _model_for(tiny_model, seq=256)
+    optimum = activations.optimal_checkpoint_count(32)
+    assert 1 <= optimum <= 32
+
+
+def test_recompute_flops_overhead():
+    activations = _model_for(get_model("GPT-7B"))
+    assert activations.recompute_flops_overhead("full") == pytest.approx(1.0)
+    assert activations.recompute_flops_overhead("none") == 0.0
+    assert 0 < activations.recompute_flops_overhead("selective") < 0.1
+
+
+def test_activation_grows_with_sequence_and_batch(tiny_model):
+    short = _model_for(tiny_model, seq=128).total_activation_bytes_per_layer()
+    long = _model_for(tiny_model, seq=512).total_activation_bytes_per_layer()
+    assert long > 3 * short  # superlinear due to the attention-score terms
+    single = _model_for(tiny_model, micro_batch=1, seq=256).total_activation_bytes_per_layer()
+    double = _model_for(tiny_model, micro_batch=2, seq=256).total_activation_bytes_per_layer()
+    assert double == pytest.approx(2 * single)
+
+
+def test_summary_keys(tiny_model):
+    summary = _model_for(tiny_model, seq=256).summary(4)
+    assert summary["none"] > summary["selective"] > summary["full"]
+    assert summary["per_layer_total"] > summary["per_layer_input"]
+
+
+def test_validation(tiny_model):
+    with pytest.raises(ConfigurationError):
+        ActivationModel(model=tiny_model, micro_batch=0, seq_len=128)

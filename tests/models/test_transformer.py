@@ -1,0 +1,109 @@
+"""Tests for the transformer model configuration."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models.transformer import MLPActivation, TransformerConfig
+
+
+def _gpt(name="test", layers=4, hidden=1024, heads=16, **kwargs):
+    return TransformerConfig(name=name, num_layers=layers, hidden_size=hidden, num_heads=heads, **kwargs)
+
+
+def test_defaults():
+    model = _gpt()
+    assert model.num_kv_heads == model.num_heads
+    assert model.ffn_hidden_size == 4 * model.hidden_size
+    assert model.head_dim == 64
+    assert model.num_mlp_matrices == 2
+
+
+def test_validation_errors():
+    with pytest.raises(ConfigurationError):
+        _gpt(hidden=1000, heads=16)  # not divisible by heads
+    with pytest.raises(ConfigurationError):
+        _gpt(layers=0)
+    with pytest.raises(ConfigurationError):
+        TransformerConfig(name="bad", num_layers=2, hidden_size=512, num_heads=8, num_kv_heads=3)
+    with pytest.raises(ConfigurationError):
+        _gpt(vocab_size=0)
+
+
+def test_gqa_kv_hidden_size():
+    model = TransformerConfig(name="gqa", num_layers=2, hidden_size=1024, num_heads=16, num_kv_heads=4)
+    assert model.kv_hidden_size == 4 * model.head_dim
+    assert model.kv_hidden_size < model.hidden_size
+
+
+def test_parameter_counts_standard_attention():
+    model = _gpt(hidden=1024)
+    # Q, K, V, and output projections are each h*h for full MHA.
+    assert model.attention_parameters_per_layer == 4 * 1024 * 1024
+    assert model.mlp_parameters_per_layer == 2 * 1024 * 4096
+    assert model.norm_parameters_per_layer == 4 * 1024
+
+
+def test_parameter_counts_swiglu():
+    model = _gpt(mlp_activation=MLPActivation.SWIGLU, ffn_hidden_size=2816)
+    assert model.num_mlp_matrices == 3
+    assert model.mlp_parameters_per_layer == 3 * 1024 * 2816
+
+
+def test_total_parameters_match_headline_sizes():
+    gpt175 = TransformerConfig(name="gpt175", num_layers=96, hidden_size=12288, num_heads=96, vocab_size=51200)
+    assert gpt175.num_parameters == pytest.approx(175e9, rel=0.05)
+    gpt530 = TransformerConfig(name="gpt530", num_layers=105, hidden_size=20480, num_heads=128, vocab_size=51200)
+    assert gpt530.num_parameters == pytest.approx(530e9, rel=0.05)
+
+
+def test_llama_like_parameter_count():
+    llama13 = TransformerConfig(
+        name="llama13",
+        num_layers=40,
+        hidden_size=5120,
+        num_heads=40,
+        ffn_hidden_size=13824,
+        vocab_size=32000,
+        mlp_activation=MLPActivation.SWIGLU,
+        tie_embeddings=False,
+    )
+    assert llama13.num_parameters == pytest.approx(13e9, rel=0.05)
+
+
+def test_flops_per_token_scales_with_parameters():
+    small = _gpt(hidden=1024)
+    large = _gpt(hidden=2048, heads=16)
+    assert large.flops_per_token_forward() > small.flops_per_token_forward()
+    # Roughly 2 FLOPs per parameter per token for short sequences.
+    assert small.flops_per_token_forward(seq_len=1) == pytest.approx(
+        2 * (small.attention_parameters_per_layer + small.mlp_parameters_per_layer) * small.num_layers
+        + 2 * 2 * small.hidden_size * small.num_layers
+        + 2 * small.vocab_size * small.hidden_size
+    )
+
+
+def test_flops_per_sequence_training_is_three_times_forward():
+    model = _gpt()
+    assert model.flops_per_sequence_training(128) == pytest.approx(3 * model.flops_per_sequence_forward(128))
+
+
+def test_flops_quadratic_term_grows_with_sequence():
+    model = _gpt()
+    short = model.flops_per_sequence_forward(128) / 128
+    long = model.flops_per_sequence_forward(4096) / 4096
+    assert long > short
+
+
+def test_scaled_variant():
+    model = _gpt(hidden=1024, heads=16)
+    wider = model.scaled("wider", hidden_factor=2.0)
+    assert wider.hidden_size == 2048
+    assert wider.ffn_hidden_size == 4 * 2048
+    deeper = model.scaled("deeper", layer_factor=3.0)
+    assert deeper.num_layers == 12
+
+
+def test_summary_contents():
+    summary = _gpt().summary()
+    assert summary["layers"] == 4
+    assert summary["parameters"] > 0

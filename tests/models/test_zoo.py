@@ -1,0 +1,72 @@
+"""Tests for the model zoo."""
+
+import pytest
+
+from repro.errors import UnknownModelError
+from repro.models.transformer import MLPActivation, TransformerConfig
+from repro.models.zoo import get_model, list_models, register_model
+
+
+def test_gpt_sizes_match_names():
+    expectations = {
+        "GPT-7B": 7e9,
+        "GPT-22B": 22e9,
+        "GPT-175B": 175e9,
+        "GPT-310B": 310e9,
+        "GPT-530B": 530e9,
+        "GPT-1008B": 1008e9,
+    }
+    for name, size in expectations.items():
+        model = get_model(name)
+        assert model.num_parameters == pytest.approx(size, rel=0.12), name
+
+
+def test_llama_sizes_match_names():
+    for name, size in {"Llama2-7B": 6.7e9, "Llama2-13B": 13e9, "Llama2-70B": 69e9}.items():
+        model = get_model(name)
+        assert model.num_parameters == pytest.approx(size, rel=0.08), name
+
+
+def test_llama_models_use_swiglu_and_untied_embeddings():
+    for name in ("Llama2-7B", "Llama2-13B", "Llama2-70B"):
+        model = get_model(name)
+        assert model.mlp_activation is MLPActivation.SWIGLU
+        assert not model.tie_embeddings
+
+
+def test_llama70b_uses_grouped_query_attention():
+    model = get_model("Llama2-70B")
+    assert model.num_kv_heads == 8
+    assert model.num_kv_heads < model.num_heads
+
+
+def test_gpt_models_use_paper_vocab_and_sequence():
+    model = get_model("GPT-175B")
+    assert model.vocab_size == 51200
+    assert model.max_seq_len == 2048
+    assert model.num_layers == 96
+    assert model.hidden_size == 12288
+
+
+def test_aliases_and_case_insensitive_lookup():
+    assert get_model("gpt-1t").name == "GPT-1008B"
+    assert get_model("GPT3-175B").name == "GPT-175B"
+    assert get_model("llama-2-13b").name == "Llama2-13B"
+
+
+def test_unknown_model_raises():
+    with pytest.raises(UnknownModelError):
+        get_model("GPT-9000B")
+
+
+def test_list_models_contains_all_families():
+    names = list_models()
+    assert any(name.startswith("GPT") for name in names)
+    assert any(name.startswith("Llama2") for name in names)
+    assert len(names) >= 9
+
+
+def test_register_model_roundtrip():
+    custom = TransformerConfig(name="Custom-1B", num_layers=16, hidden_size=2048, num_heads=16)
+    register_model(custom)
+    assert get_model("custom-1b").hidden_size == 2048

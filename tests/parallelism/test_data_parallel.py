@@ -1,0 +1,39 @@
+"""Tests for the data-parallel gradient-synchronization plan."""
+
+import pytest
+
+from repro.hardware.datatypes import Precision
+from repro.parallelism.data_parallel import DataParallelPlan
+from repro.parallelism.megatron import TensorParallelShard
+
+
+def test_parameters_on_device_without_embedding(gpt_175b):
+    plan = DataParallelPlan(model=gpt_175b, data_parallel=8, tensor_parallel=8, layers_on_device=12)
+    shard = TensorParallelShard(model=gpt_175b, tensor_parallel=8)
+    assert plan.parameters_on_device == pytest.approx(12 * shard.parameters_per_layer)
+
+
+def test_parameters_include_embedding_when_requested(gpt_175b):
+    base = DataParallelPlan(model=gpt_175b, data_parallel=8, tensor_parallel=8, layers_on_device=12)
+    with_embedding = DataParallelPlan(
+        model=gpt_175b, data_parallel=8, tensor_parallel=8, layers_on_device=12, include_embedding=True
+    )
+    assert with_embedding.parameters_on_device > base.parameters_on_device
+
+
+def test_gradient_bytes_scale_with_precision(gpt_175b):
+    fp16 = DataParallelPlan(model=gpt_175b, data_parallel=4, tensor_parallel=8, layers_on_device=12)
+    fp32 = DataParallelPlan(
+        model=gpt_175b, data_parallel=4, tensor_parallel=8, layers_on_device=12, gradient_precision=Precision.FP32
+    )
+    assert fp32.gradient_bytes == pytest.approx(2 * fp16.gradient_bytes)
+
+
+def test_requires_all_reduce_only_with_dp(gpt_175b):
+    assert not DataParallelPlan(model=gpt_175b, data_parallel=1).requires_all_reduce
+    assert DataParallelPlan(model=gpt_175b, data_parallel=2).requires_all_reduce
+
+
+def test_optimizer_update_elements_equals_parameters(gpt_175b):
+    plan = DataParallelPlan(model=gpt_175b, data_parallel=2, tensor_parallel=8, layers_on_device=12)
+    assert plan.optimizer_update_elements() == pytest.approx(plan.parameters_on_device)

@@ -1,0 +1,67 @@
+"""Tests for Megatron tensor-parallel sharding bookkeeping."""
+
+import pytest
+
+from repro.hardware.datatypes import Precision
+from repro.parallelism.megatron import (
+    TensorParallelShard,
+    shard_summary,
+    tp_backward_communication_volume,
+    tp_forward_communication_volume,
+)
+
+
+def test_shard_divides_attention_and_mlp(gpt_175b):
+    shard = TensorParallelShard(model=gpt_175b, tensor_parallel=8)
+    assert shard.attention_parameters_per_layer == pytest.approx(gpt_175b.attention_parameters_per_layer / 8)
+    assert shard.mlp_parameters_per_layer == pytest.approx(gpt_175b.mlp_parameters_per_layer / 8)
+
+
+def test_norm_parameters_are_replicated(gpt_175b):
+    shard = TensorParallelShard(model=gpt_175b, tensor_parallel=8)
+    assert shard.norm_parameters_per_layer == gpt_175b.norm_parameters_per_layer
+
+
+def test_embedding_is_vocab_sharded(gpt_175b):
+    shard = TensorParallelShard(model=gpt_175b, tensor_parallel=8)
+    assert shard.embedding_parameters == pytest.approx(gpt_175b.embedding_parameters / 8)
+
+
+def test_parameters_per_rank_sums_layers(gpt_175b):
+    shard = TensorParallelShard(model=gpt_175b, tensor_parallel=8)
+    twelve_layers = shard.parameters_per_rank(layers=12)
+    assert twelve_layers == pytest.approx(12 * shard.parameters_per_layer + shard.embedding_parameters)
+
+
+def test_total_shards_reconstruct_model(gpt_175b):
+    """Summing the per-rank weights over the TP group recovers the full model (minus replicated norms)."""
+    tp = 8
+    shard = TensorParallelShard(model=gpt_175b, tensor_parallel=tp)
+    reconstructed = tp * (
+        shard.attention_parameters_per_layer + shard.mlp_parameters_per_layer
+    ) * gpt_175b.num_layers + tp * shard.embedding_parameters
+    expected = (
+        (gpt_175b.attention_parameters_per_layer + gpt_175b.mlp_parameters_per_layer) * gpt_175b.num_layers
+        + gpt_175b.embedding_parameters
+    )
+    assert reconstructed == pytest.approx(expected)
+
+
+def test_tp_communication_volume_formula(gpt_175b):
+    volume = tp_forward_communication_volume(gpt_175b, micro_batch=1, seq_len=2048, precision=Precision.FP16)
+    assert volume == pytest.approx(2 * 2048 * gpt_175b.hidden_size * 2)
+    assert tp_backward_communication_volume(gpt_175b, 1, 2048) == pytest.approx(volume)
+
+
+def test_tp_communication_scales_with_batch_and_precision(gpt_175b):
+    base = tp_forward_communication_volume(gpt_175b, 1, 2048, Precision.FP16)
+    double_batch = tp_forward_communication_volume(gpt_175b, 2, 2048, Precision.FP16)
+    fp8 = tp_forward_communication_volume(gpt_175b, 1, 2048, Precision.FP8)
+    assert double_batch == pytest.approx(2 * base)
+    assert fp8 == pytest.approx(base / 2)
+
+
+def test_shard_summary_keys(gpt_175b):
+    summary = shard_summary(gpt_175b, tensor_parallel=8, layers=12)
+    assert set(summary) == {"attention_per_layer", "mlp_per_layer", "norm_per_layer", "per_layer", "embedding", "total"}
+    assert summary["total"] > summary["per_layer"]

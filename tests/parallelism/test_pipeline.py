@@ -1,0 +1,73 @@
+"""Tests for pipeline schedules and bubble modeling."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.datatypes import Precision
+from repro.parallelism.pipeline import (
+    PipelineSchedule,
+    bubble_fraction,
+    pipeline_p2p_volume_per_microbatch,
+)
+
+
+def test_no_pipeline_no_bubble():
+    assert bubble_fraction(1, 8) == 0.0
+
+
+def test_gpipe_and_1f1b_have_same_bubble():
+    assert bubble_fraction(8, 64, "gpipe") == pytest.approx(7 / 64)
+    assert bubble_fraction(8, 64, "1f1b") == pytest.approx(7 / 64)
+
+
+def test_interleaved_reduces_bubble():
+    plain = bubble_fraction(8, 64, "1f1b")
+    interleaved = bubble_fraction(8, 64, "interleaved", virtual_stages=4)
+    assert interleaved == pytest.approx(plain / 4)
+
+
+def test_bubble_decreases_with_more_microbatches():
+    fractions = [bubble_fraction(8, m) for m in (8, 16, 64, 256)]
+    assert fractions == sorted(fractions, reverse=True)
+
+
+def test_bubble_validation():
+    with pytest.raises(ConfigurationError):
+        bubble_fraction(0, 8)
+    with pytest.raises(ConfigurationError):
+        bubble_fraction(8, 8, "unknown")
+
+
+def test_schedule_bubble_time_and_fraction():
+    schedule = PipelineSchedule(pipeline_parallel=4, num_microbatches=16)
+    assert schedule.bubble_fraction == pytest.approx(3 / 16)
+    assert schedule.bubble_time(10.0) == pytest.approx(10.0 * 3 / 16)
+
+
+def test_in_flight_microbatches_by_schedule():
+    gpipe = PipelineSchedule(pipeline_parallel=8, num_microbatches=64, schedule="gpipe")
+    onefb = PipelineSchedule(pipeline_parallel=8, num_microbatches=64, schedule="1f1b")
+    assert gpipe.in_flight_microbatches == 64
+    assert onefb.in_flight_microbatches == 8
+    small = PipelineSchedule(pipeline_parallel=8, num_microbatches=4, schedule="1f1b")
+    assert small.in_flight_microbatches == 4
+
+
+def test_p2p_volume_formula(gpt_175b):
+    volume = pipeline_p2p_volume_per_microbatch(gpt_175b, micro_batch=1, seq_len=2048, precision=Precision.FP16)
+    hidden_bytes = 2048 * gpt_175b.hidden_size * 2
+    assert volume == pytest.approx(2 * hidden_bytes)
+
+
+def test_p2p_volume_with_interleaving_and_sp(gpt_175b):
+    base = pipeline_p2p_volume_per_microbatch(gpt_175b, 1, 2048)
+    interleaved = pipeline_p2p_volume_per_microbatch(gpt_175b, 1, 2048, virtual_stages=4)
+    assert interleaved == pytest.approx(4 * base)
+    sharded = pipeline_p2p_volume_per_microbatch(gpt_175b, 1, 2048, tensor_parallel=8, sequence_parallel=True)
+    assert sharded == pytest.approx(base / 8)
+
+
+def test_schedule_summary():
+    summary = PipelineSchedule(pipeline_parallel=8, num_microbatches=32, schedule="interleaved", virtual_stages=2).summary()
+    assert summary["bubble_fraction"] == pytest.approx(7 / 64)
+    assert summary["schedule"] == "interleaved"

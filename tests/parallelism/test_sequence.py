@@ -1,0 +1,35 @@
+"""Tests for the sequence-parallelism plan."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.parallelism.sequence import SequenceParallelPlan
+
+
+def test_disabled_plan_is_neutral():
+    plan = SequenceParallelPlan(enabled=False, tensor_parallel=8)
+    assert plan.degree == 1
+    assert plan.activation_shard_factor == 1.0
+
+
+def test_enabled_plan_shards_by_tp_degree():
+    plan = SequenceParallelPlan(enabled=True, tensor_parallel=8)
+    assert plan.degree == 8
+    assert plan.activation_shard_factor == pytest.approx(1 / 8)
+    assert plan.label == "8"
+
+
+def test_sp_over_single_device_normalizes_to_disabled():
+    plan = SequenceParallelPlan(enabled=True, tensor_parallel=1)
+    assert not plan.enabled
+    assert plan.degree == 1
+
+
+def test_sp_adds_no_communication_volume():
+    plan = SequenceParallelPlan(enabled=True, tensor_parallel=4)
+    assert plan.extra_communication_volume_factor == pytest.approx(1.0)
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        SequenceParallelPlan(enabled=True, tensor_parallel=0)

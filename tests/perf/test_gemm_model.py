@@ -1,0 +1,135 @@
+"""Tests for the GEMM/GEMV execution-time model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.datatypes import Precision
+from repro.perf.gemm import GemmTimeModel, GemvUtilizationModel
+from repro.perf.roofline import BoundType
+from repro.units import MICROSECOND
+from repro.workload.operators import GEMM, make_gemv
+
+
+@pytest.fixture
+def model(a100):
+    return GemmTimeModel(accelerator=a100)
+
+
+def _fat_gemm(m=4096, n=4096, k=4096):
+    return GEMM(name="fat", m=m, n=n, k=k, precision=Precision.FP16, weight_operand=True)
+
+
+def test_fat_gemm_is_compute_bound(model):
+    point = model.evaluate(_fat_gemm())
+    assert point.bound is BoundType.COMPUTE
+    assert point.compute_time > point.memory_time
+
+
+def test_fat_gemm_time_matches_flops_over_throughput(model, a100):
+    gemm = _fat_gemm()
+    expected = gemm.flops / a100.sustained_flops(Precision.FP16)
+    assert model.time(gemm, include_overhead=False) == pytest.approx(expected, rel=1e-6)
+
+
+def test_gemv_is_memory_bound(model):
+    gemv = make_gemv("v", rows=12288, cols=12288)
+    point = model.evaluate(gemv)
+    assert point.bound.is_memory_like
+    assert point.memory_time > point.compute_time
+
+
+def test_gemv_time_matches_weight_streaming(model, a100):
+    gemv = make_gemv("v", rows=12288, cols=12288)
+    utilization = model.gemv_utilization.utilization(gemv)
+    expected = gemv.b_bytes / (a100.dram_bandwidth * utilization)
+    assert model.time(gemv, include_overhead=False) == pytest.approx(expected, rel=0.05)
+
+
+def test_kernel_overhead_added_once(model):
+    gemv = make_gemv("v", rows=1024, cols=1024)
+    with_overhead = model.time(gemv, include_overhead=True)
+    without = model.time(gemv, include_overhead=False)
+    assert with_overhead - without == pytest.approx(model.kernel_overhead)
+
+
+def test_gemv_utilization_constant_model():
+    util = GemvUtilizationModel.constant_model(0.5)
+    assert util.utilization(make_gemv("v", rows=1024, cols=1024)) == pytest.approx(0.5)
+    assert util.utilization(make_gemv("v", rows=32768, cols=8192)) == pytest.approx(0.5)
+
+
+def test_gemv_utilization_table_is_size_dependent():
+    util = GemvUtilizationModel.from_pairs([(0, 0.5), (100e6, 0.8)])
+    small = make_gemv("s", rows=1024, cols=1024)       # ~2 MB of weights
+    large = make_gemv("l", rows=16384, cols=8192)      # ~268 MB of weights
+    assert util.utilization(small) == pytest.approx(0.5)
+    assert util.utilization(large) == pytest.approx(0.8)
+
+
+def test_default_utilization_table_monotonic():
+    util = GemvUtilizationModel()
+    sizes = [make_gemv("g", rows=r, cols=4096) for r in (512, 8192, 32768)]
+    factors = [util.utilization(g) for g in sizes]
+    assert factors == sorted(factors)
+
+
+def test_gemv_utilization_validation():
+    with pytest.raises(ConfigurationError):
+        GemvUtilizationModel(constant=0.0)
+    with pytest.raises(ConfigurationError):
+        GemvUtilizationModel.from_pairs([(0, 1.5)])
+
+
+def test_higher_bandwidth_accelerator_speeds_memory_bound_kernels(a100, h100):
+    gemv = make_gemv("v", rows=12288, cols=12288)
+    a100_time = GemmTimeModel(accelerator=a100).time(gemv)
+    h100_time = GemmTimeModel(accelerator=h100).time(gemv)
+    assert h100_time < a100_time
+    assert h100_time > a100_time * (a100.dram_bandwidth / h100.dram_bandwidth) * 0.8
+
+
+def test_faster_compute_does_not_speed_memory_bound_kernels(a100):
+    gemv = make_gemv("v", rows=12288, cols=12288)
+    base = GemmTimeModel(accelerator=a100)
+    boosted = GemmTimeModel(accelerator=a100.with_compute_scale(4.0))
+    assert boosted.time(gemv) == pytest.approx(base.time(gemv), rel=1e-6)
+
+
+def test_compute_bound_kernel_scales_with_compute(a100):
+    gemm = _fat_gemm()
+    base = GemmTimeModel(accelerator=a100).time(gemm, include_overhead=False)
+    boosted = GemmTimeModel(accelerator=a100.with_compute_scale(2.0)).time(gemm, include_overhead=False)
+    assert boosted == pytest.approx(base / 2, rel=1e-6)
+
+
+def test_prefill_shape_transition_a100_vs_h100(a100, h100, llama2_13b):
+    """The same 200-token prefill GEMM is compute bound on A100 but memory bound on H100 (Table 4)."""
+    gemm = GEMM(
+        name="mlp_h_to_4h",
+        m=200,
+        n=llama2_13b.ffn_hidden_size,
+        k=llama2_13b.hidden_size,
+        weight_operand=True,
+    )
+    assert GemmTimeModel(accelerator=a100).bound_type(gemm) is BoundType.COMPUTE
+    assert GemmTimeModel(accelerator=h100).bound_type(gemm).is_memory_like
+
+
+def test_level_traffic_has_every_level(model, a100):
+    traffic = model.level_traffic(_fat_gemm())
+    assert set(traffic) == {level.name for level in a100.memory.levels}
+    assert traffic["DRAM"] <= traffic["L2"] <= traffic["shared"] * 100  # sanity: all positive and ordered-ish
+    assert all(value > 0 for value in traffic.values())
+
+
+def test_evaluate_many(model):
+    points = model.evaluate_many([_fat_gemm(), make_gemv("v", rows=2048, cols=2048)])
+    assert len(points) == 2
+    assert points[0].bound is BoundType.COMPUTE
+
+
+def test_model_validation(a100):
+    with pytest.raises(ConfigurationError):
+        GemmTimeModel(accelerator=a100, fat_gemm_dram_utilization=0.0)
+    with pytest.raises(ConfigurationError):
+        GemmTimeModel(accelerator=a100, kernel_overhead=-1 * MICROSECOND)

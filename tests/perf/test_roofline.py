@@ -1,0 +1,62 @@
+"""Tests for the hierarchical roofline classification."""
+
+import pytest
+
+from repro.perf.roofline import BoundType, classify, roofline_time
+
+
+def test_roofline_time_is_max_of_components():
+    assert roofline_time(flops=100, bytes_moved=10, throughput=10, bandwidth=100) == pytest.approx(10.0)
+    assert roofline_time(flops=10, bytes_moved=1000, throughput=100, bandwidth=10) == pytest.approx(100.0)
+
+
+def test_roofline_time_handles_zero_resources():
+    assert roofline_time(1.0, 1.0, 0.0, 1.0) == float("inf")
+    assert roofline_time(1.0, 1.0, 1.0, 0.0) == float("inf")
+
+
+def test_classify_compute_bound():
+    point = classify("k", flops=1e9, compute_time=2.0, level_times={"L2": 0.5, "DRAM": 1.0}, level_bytes={"DRAM": 1e6})
+    assert point.bound is BoundType.COMPUTE
+    assert point.is_compute_bound
+    assert point.time == pytest.approx(2.0)
+    assert point.bound_level == ""
+
+
+def test_classify_dram_bound():
+    point = classify("k", flops=1e9, compute_time=0.5, level_times={"L2": 0.2, "DRAM": 1.5}, level_bytes={"DRAM": 1e6})
+    assert point.bound is BoundType.MEMORY
+    assert point.bound_level == "DRAM"
+    assert point.memory_time == pytest.approx(1.5)
+    assert point.bound.is_memory_like
+
+
+def test_classify_cache_bound():
+    point = classify("k", flops=1e9, compute_time=0.5, level_times={"L2": 2.0, "DRAM": 1.0}, level_bytes={})
+    assert point.bound is BoundType.CACHE
+    assert point.bound_level == "L2"
+    assert point.bound.is_memory_like
+
+
+def test_tie_goes_to_compute():
+    point = classify("k", flops=1.0, compute_time=1.0, level_times={"DRAM": 1.0}, level_bytes={})
+    assert point.bound is BoundType.COMPUTE
+
+
+def test_arithmetic_intensity_uses_dram_bytes():
+    point = classify("k", flops=2e6, compute_time=1.0, level_times={"DRAM": 0.1}, level_bytes={"DRAM": 1e6})
+    assert point.arithmetic_intensity == pytest.approx(2.0)
+    no_bytes = classify("k", flops=1.0, compute_time=1.0, level_times={}, level_bytes={})
+    assert no_bytes.arithmetic_intensity == float("inf")
+
+
+def test_time_is_envelope_of_all_levels():
+    point = classify("k", flops=1.0, compute_time=0.1, level_times={"shared": 0.3, "L2": 0.2, "DRAM": 0.25}, level_bytes={})
+    assert point.time == pytest.approx(0.3)
+    assert point.bound is BoundType.CACHE
+    assert point.bound_level == "shared"
+
+
+def test_network_bound_enum_exists():
+    assert BoundType.NETWORK.value == "network"
+    assert not BoundType.NETWORK.is_memory_like

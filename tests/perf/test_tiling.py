@@ -1,0 +1,71 @@
+"""Tests for cache-aware GEMM tiling."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perf.tiling import choose_tile, compulsory_traffic, traffic_through_level
+from repro.units import MIB
+from repro.workload.operators import GEMM
+
+
+def _gemm(m=1024, n=1024, k=1024, **kwargs):
+    return GEMM(name="g", m=m, n=n, k=k, **kwargs)
+
+
+def test_choose_tile_fits_in_capacity():
+    gemm = _gemm()
+    tile = choose_tile(gemm, 4 * MIB, occupancy=0.5)
+    assert tile.working_set_bytes <= 4 * MIB
+    assert 1 <= tile.tile_m <= gemm.m
+    assert 1 <= tile.tile_n <= gemm.n
+    assert 1 <= tile.tile_k <= gemm.k
+
+
+def test_choose_tile_clamps_to_gemm_dimensions():
+    small = _gemm(m=8, n=8, k=8)
+    tile = choose_tile(small, 64 * MIB)
+    assert tile.tile_m == 8 and tile.tile_n == 8 and tile.tile_k == 8
+
+
+def test_choose_tile_validation():
+    with pytest.raises(ConfigurationError):
+        choose_tile(_gemm(), 0)
+    with pytest.raises(ConfigurationError):
+        choose_tile(_gemm(), 1 * MIB, occupancy=0.0)
+
+
+def test_compulsory_traffic_is_lower_bound():
+    gemm = _gemm()
+    assert traffic_through_level(gemm, 1 * MIB) >= compulsory_traffic(gemm)
+    assert traffic_through_level(gemm, None) == pytest.approx(compulsory_traffic(gemm))
+
+
+def test_bigger_cache_means_less_traffic():
+    gemm = _gemm(m=4096, n=4096, k=4096)
+    small_cache = traffic_through_level(gemm, 1 * MIB)
+    large_cache = traffic_through_level(gemm, 64 * MIB)
+    assert large_cache < small_cache
+
+
+def test_huge_cache_approaches_compulsory_traffic():
+    gemm = _gemm(m=2048, n=2048, k=2048)
+    traffic = traffic_through_level(gemm, 10_000 * MIB, occupancy=1.0)
+    assert traffic == pytest.approx(compulsory_traffic(gemm), rel=0.01)
+
+
+def test_gemv_traffic_is_weight_dominated():
+    gemv = GEMM(name="v", m=1, n=8192, k=8192, weight_operand=True)
+    traffic = traffic_through_level(gemv, 40 * MIB)
+    assert traffic == pytest.approx(gemv.b_bytes, rel=0.01)
+
+
+def test_batched_weight_gemm_loads_weights_once():
+    shared = GEMM(name="w", m=64, n=256, k=256, batch=16, weight_operand=True)
+    replicated = GEMM(name="a", m=64, n=256, k=256, batch=16, weight_operand=False)
+    assert traffic_through_level(shared, 16 * MIB) < traffic_through_level(replicated, 16 * MIB)
+
+
+def test_traffic_scales_with_problem_size():
+    small = traffic_through_level(_gemm(m=512, n=512, k=512), 4 * MIB)
+    large = traffic_through_level(_gemm(m=2048, n=2048, k=2048), 4 * MIB)
+    assert large > 8 * small

@@ -1,0 +1,144 @@
+"""Tests for the energy and TCO models (the performance-per-TCO extension)."""
+
+import pytest
+
+from repro.core.engine import PerformancePredictionEngine
+from repro.cost.energy import EnergyModel
+from repro.cost.tco import TCOModel
+from repro.errors import ConfigurationError
+from repro.hardware.cluster import build_system
+from repro.parallelism.config import ParallelismConfig
+
+
+@pytest.fixture(scope="module")
+def a100_system():
+    return build_system("A100", num_devices=64, intra_node="NVLink3", inter_node="HDR-IB")
+
+
+@pytest.fixture(scope="module")
+def h100_system():
+    return build_system("H100", num_devices=64, intra_node="NVLink4", inter_node="NDR-IB")
+
+
+@pytest.fixture(scope="module")
+def training_report(a100_system):
+    engine = PerformancePredictionEngine(a100_system)
+    config = ParallelismConfig(tensor_parallel=8, pipeline_parallel=8, micro_batch_size=1)
+    return engine.predict_training("GPT-175B", config, global_batch_size=64, recompute="selective")
+
+
+@pytest.fixture(scope="module")
+def inference_report(a100_system):
+    engine = PerformancePredictionEngine(a100_system)
+    return engine.predict_inference("Llama2-13B", tensor_parallel=8)
+
+
+def test_energy_model_validation(a100_system):
+    with pytest.raises(ConfigurationError):
+        EnergyModel(system=a100_system, compute_power_fraction=0.3, idle_power_fraction=0.5)
+    with pytest.raises(ConfigurationError):
+        EnergyModel(system=a100_system, pue=0.9)
+    with pytest.raises(ConfigurationError):
+        EnergyModel(system=a100_system, host_power_per_device=-1)
+
+
+def test_training_step_energy_bounds(a100_system, training_report):
+    energy_model = EnergyModel(system=a100_system)
+    energy = energy_model.training_step_energy(training_report)
+    # Bounded above by every device at full board power (plus host and PUE) for the whole step.
+    upper = 64 * (400 + energy_model.host_power_per_device) * training_report.step_time * energy_model.pue
+    lower = 64 * 400 * energy_model.idle_power_fraction * training_report.step_time
+    assert lower < energy < upper
+
+
+def test_training_energy_per_token_is_reasonable(a100_system, training_report):
+    energy_model = EnergyModel(system=a100_system)
+    per_token = energy_model.training_energy_per_token(training_report)
+    # GPT-175B training costs on the order of a few joules per token on A100-class hardware.
+    assert 0.5 < per_token < 100.0
+
+
+def test_inference_energy_scales_with_tensor_parallel(a100_system):
+    engine = PerformancePredictionEngine(a100_system)
+    energy_model = EnergyModel(system=a100_system)
+    one = energy_model.inference_request_energy(engine.predict_inference("Llama2-13B", tensor_parallel=1))
+    eight = energy_model.inference_request_energy(engine.predict_inference("Llama2-13B", tensor_parallel=8))
+    # Eight GPUs finish faster but burn more aggregate power; energy should not drop 8x.
+    assert eight > one * 0.8
+
+
+def test_to_kwh():
+    assert EnergyModel.to_kwh(3.6e6) == pytest.approx(1.0)
+
+
+def test_tco_validation(a100_system):
+    with pytest.raises(ConfigurationError):
+        TCOModel(system=a100_system, device_price=-1)
+    with pytest.raises(ConfigurationError):
+        TCOModel(system=a100_system, fleet_utilization=0)
+    with pytest.raises(ConfigurationError):
+        TCOModel(system=a100_system, amortization_years=0)
+
+
+def test_tco_uses_catalog_price(a100_system, h100_system):
+    a100_tco = TCOModel(system=a100_system)
+    h100_tco = TCOModel(system=h100_system)
+    assert a100_tco.device_price == pytest.approx(15_000.0)
+    assert h100_tco.device_price > a100_tco.device_price
+    assert a100_tco.capital_cost_per_device > a100_tco.device_price
+
+
+def test_training_step_cost_components(a100_system, training_report):
+    tco = TCOModel(system=a100_system)
+    cost = tco.training_step_cost(training_report)
+    capital_only = TCOModel(system=a100_system, electricity_cost_per_kwh=0.0).training_step_cost(training_report)
+    assert cost > capital_only > 0
+    # One ~14s step on 64 A100s should cost on the order of dollars, not cents or thousands.
+    assert 0.2 < cost < 100.0
+
+
+def test_gpt3_full_training_run_cost_order_of_magnitude(a100_system, training_report):
+    """Training GPT-3 (300B tokens) lands within an order of magnitude of the paper's ~$10M quote.
+
+    With owned hardware amortized over four years the model predicts roughly
+    $0.5-1M; renting cloud GPUs at ~$2-3/GPU-hour (3-4x the amortized rate)
+    and a lower achieved utilization recovers the often-quoted multi-million
+    figure, so the acceptable band here spans both accounting styles.
+    """
+    tco = TCOModel(system=a100_system)
+    total = tco.full_training_run_cost(training_report, total_training_tokens=300e9)
+    assert 3e5 < total < 3e7
+    cloud_like = TCOModel(system=a100_system, amortization_years=1.5, fleet_utilization=0.4)
+    assert cloud_like.full_training_run_cost(training_report, total_training_tokens=300e9) > 1.5e6
+
+
+def test_inference_cost_per_million_tokens(a100_system, inference_report):
+    tco = TCOModel(system=a100_system)
+    cost = tco.inference_cost_per_million_tokens(inference_report)
+    # Serving Llama2-13B at batch 1 is expensive per token but within a sane range.
+    assert 1.0 < cost < 500.0
+    assert tco.inference_performance_per_dollar(inference_report) > 0
+
+
+def test_newer_generation_improves_performance_per_dollar(a100_system, h100_system):
+    """H100 costs twice as much but trains >3x faster, so tokens-per-dollar improves."""
+    config = ParallelismConfig(tensor_parallel=8, pipeline_parallel=8, micro_batch_size=1)
+    a100_report = PerformancePredictionEngine(a100_system).predict_training("GPT-175B", config, global_batch_size=64)
+    h100_report = PerformancePredictionEngine(h100_system).predict_training(
+        "GPT-175B", config, global_batch_size=64, precision="fp8"
+    )
+    a100_tokens_per_dollar = TCOModel(system=a100_system).training_performance_per_dollar(a100_report)
+    h100_tokens_per_dollar = TCOModel(system=h100_system).training_performance_per_dollar(h100_report)
+    assert h100_tokens_per_dollar > a100_tokens_per_dollar
+
+
+def test_tco_summary_keys(a100_system, training_report):
+    summary = TCOModel(system=a100_system).summary(training_report)
+    assert set(summary) == {
+        "capital_per_device_usd",
+        "step_cost_usd",
+        "cost_per_million_tokens_usd",
+        "tokens_per_usd",
+        "step_energy_kwh",
+    }
+    assert summary["tokens_per_usd"] > 0

@@ -1,0 +1,45 @@
+"""Tests for unit constants and conversions."""
+
+import pytest
+
+from repro import units
+
+
+def test_data_volume_constants():
+    assert units.KIB == 1024
+    assert units.MIB == 1024**2
+    assert units.GIB == 1024**3
+    assert units.GB == 1e9
+    assert units.TB == 1e12
+
+
+def test_bandwidth_and_throughput_constants():
+    assert units.GBPS == 1e9
+    assert units.TBPS == 1e12
+    assert units.TFLOPS == 1e12
+    assert units.PFLOPS == 1e15
+
+
+def test_time_constants_are_consistent():
+    assert units.MILLISECOND == pytest.approx(1e-3)
+    assert units.MICROSECOND == pytest.approx(1e-6)
+    assert units.MILLISECOND / units.MICROSECOND == pytest.approx(1000.0)
+
+
+def test_to_milliseconds_and_back():
+    assert units.to_milliseconds(1.5) == pytest.approx(1500.0)
+    assert units.from_milliseconds(units.to_milliseconds(0.123)) == pytest.approx(0.123)
+
+
+def test_to_microseconds():
+    assert units.to_microseconds(2e-6) == pytest.approx(2.0)
+
+
+def test_to_gigabytes_decimal_vs_binary():
+    assert units.to_gigabytes(80e9) == pytest.approx(80.0)
+    assert units.to_gibibytes(units.GIB) == pytest.approx(1.0)
+    assert units.to_gigabytes(units.GIB) > 1.0
+
+
+def test_to_teraflops():
+    assert units.to_teraflops(312e12) == pytest.approx(312.0)

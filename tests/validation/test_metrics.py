@@ -1,0 +1,44 @@
+"""Tests for validation error metrics."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.validation.metrics import (
+    absolute_percentage_error,
+    geometric_mean,
+    max_absolute_percentage_error,
+    mean_absolute_percentage_error,
+    relative_error,
+)
+
+
+def test_relative_error_signed():
+    assert relative_error(11, 10) == pytest.approx(0.1)
+    assert relative_error(9, 10) == pytest.approx(-0.1)
+    with pytest.raises(ConfigurationError):
+        relative_error(1, 0)
+
+
+def test_absolute_percentage_error():
+    assert absolute_percentage_error(11, 10) == pytest.approx(10.0)
+    assert absolute_percentage_error(9, 10) == pytest.approx(10.0)
+
+
+def test_mean_and_max_ape():
+    predicted = [11, 9, 10]
+    reference = [10, 10, 10]
+    assert mean_absolute_percentage_error(predicted, reference) == pytest.approx(20 / 3)
+    assert max_absolute_percentage_error(predicted, reference) == pytest.approx(10.0)
+    with pytest.raises(ConfigurationError):
+        mean_absolute_percentage_error([1], [1, 2])
+    with pytest.raises(ConfigurationError):
+        mean_absolute_percentage_error([], [])
+
+
+def test_geometric_mean():
+    assert geometric_mean([1, 4]) == pytest.approx(2.0)
+    assert geometric_mean([3, 3, 3]) == pytest.approx(3.0)
+    with pytest.raises(ConfigurationError):
+        geometric_mean([])
+    with pytest.raises(ConfigurationError):
+        geometric_mean([1, -1])

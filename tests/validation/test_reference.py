@@ -1,0 +1,91 @@
+"""Tests for the published reference tables."""
+
+import pytest
+
+from repro.models.zoo import get_model
+from repro.parallelism.config import parse_parallelism_label
+from repro.validation.reference import (
+    CASE_STUDY_CONFIGS,
+    GPU_GENERATION_SCALING_SYSTEMS,
+    GPU_GENERATION_SPEEDUP_CLAIMS,
+    TABLE1_TRAINING_ROWS,
+    TABLE2_INFERENCE_ROWS,
+    find_inference_row,
+    find_training_row,
+)
+
+
+def test_table1_row_count_and_models():
+    assert len(TABLE1_TRAINING_ROWS) == 11
+    models = {row.model for row in TABLE1_TRAINING_ROWS}
+    assert {"GPT-22B", "GPT-175B", "GPT-310B", "GPT-530B", "GPT-1008B"} == models
+
+
+def test_table1_configurations_are_internally_consistent():
+    """DP x TP x PP equals the GPU count and the model zoo accepts every configuration."""
+    for row in TABLE1_TRAINING_ROWS:
+        config = parse_parallelism_label(row.parallelism_label, micro_batch_size=row.micro_batch_size)
+        assert config.total_devices == row.num_gpus, row
+        config.validate_for_model(get_model(row.model))
+        assert row.global_batch_size % config.data_parallel == 0
+
+
+def test_table1_reference_times_positive_and_paper_errors_small():
+    for row in TABLE1_TRAINING_ROWS:
+        assert row.reference_seconds > 0
+        paper_error = abs(row.paper_prediction_seconds - row.reference_seconds) / row.reference_seconds
+        assert paper_error < 0.11
+
+
+def test_table2_row_count_and_coverage():
+    assert len(TABLE2_INFERENCE_ROWS) == 22
+    assert {row.gpu for row in TABLE2_INFERENCE_ROWS} == {"A100", "H100"}
+    assert {row.model for row in TABLE2_INFERENCE_ROWS} == {"Llama2-7B", "Llama2-13B", "Llama2-70B"}
+    # The 70B model never runs on a single GPU in the reference data (it does not fit).
+    assert all(row.num_gpus >= 2 for row in TABLE2_INFERENCE_ROWS if row.model == "Llama2-70B")
+
+
+def test_table2_latencies_decrease_with_more_gpus():
+    for model in ("Llama2-7B", "Llama2-13B", "Llama2-70B"):
+        for gpu in ("A100", "H100"):
+            rows = sorted(
+                (row for row in TABLE2_INFERENCE_ROWS if row.model == model and row.gpu == gpu),
+                key=lambda row: row.num_gpus,
+            )
+            latencies = [row.nvidia_latency_ms for row in rows]
+            assert latencies == sorted(latencies, reverse=True)
+
+
+def test_table2_h100_faster_than_a100():
+    for row in TABLE2_INFERENCE_ROWS:
+        if row.gpu == "A100":
+            partner = find_inference_row(row.model, row.num_gpus, "H100")
+            assert partner is not None
+            assert partner.nvidia_latency_ms < row.nvidia_latency_ms
+
+
+def test_find_helpers():
+    row = find_training_row("GPT-175B", 64, "full")
+    assert row is not None and row.reference_seconds == pytest.approx(18.1)
+    assert find_training_row("GPT-175B", 999, "full") is None
+    assert find_inference_row("Llama2-13B", 1, "A100").nvidia_latency_ms == pytest.approx(3884)
+    assert find_inference_row("Llama2-13B", 3, "A100") is None
+
+
+def test_case_study_configs_match_paper_table3():
+    gpt175 = CASE_STUDY_CONFIGS["GPT-175B"]
+    assert gpt175.num_gpus == 8192
+    assert gpt175.batch_sizes == (1024, 4096)
+    assert gpt175.seq_len == 2048
+    gpt7 = CASE_STUDY_CONFIGS["GPT-7B"]
+    assert gpt7.num_gpus == 1024
+    assert gpt7.parallelism_label == "64-4-4-4"
+
+
+def test_gpu_generation_scaling_list():
+    names = [name for name, _ in GPU_GENERATION_SCALING_SYSTEMS]
+    assert names[0] == "A100-HDR"
+    assert names[-1] == "B200-NVS-L"
+    assert set(GPU_GENERATION_SPEEDUP_CLAIMS) <= set(names)
+    for low, high in GPU_GENERATION_SPEEDUP_CLAIMS.values():
+        assert 1.0 < low < high

@@ -1,0 +1,96 @@
+"""Tests for the task graph."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workload.graph import TaskGraph
+from repro.workload.operators import CollectiveKind, CommunicationOp, ElementwiseOp, GEMM, OperatorKind
+
+
+def _ops(n=3):
+    return [GEMM(name=f"g{i}", m=16, n=16, k=16) for i in range(n)]
+
+
+def test_add_and_chain():
+    graph = TaskGraph("test")
+    ids = graph.add_chain(_ops(3), tags=["layer0"])
+    assert len(graph) == 3
+    assert graph.node(ids[1]).predecessors == [ids[0]]
+    assert graph.node(ids[0]).has_tag("layer0")
+
+
+def test_add_with_missing_dependency_raises():
+    graph = TaskGraph()
+    with pytest.raises(ConfigurationError):
+        graph.add(_ops(1)[0], deps=[42])
+
+
+def test_topological_order_linear_chain():
+    graph = TaskGraph()
+    ids = graph.add_chain(_ops(4))
+    order = [node.node_id for node in graph.topological_order()]
+    assert order == ids
+
+
+def test_topological_order_diamond():
+    graph = TaskGraph()
+    a = graph.add(GEMM(name="a", m=8, n=8, k=8))
+    b = graph.add(GEMM(name="b", m=8, n=8, k=8), deps=[a])
+    c = graph.add(GEMM(name="c", m=8, n=8, k=8), deps=[a])
+    d = graph.add(GEMM(name="d", m=8, n=8, k=8), deps=[b, c])
+    order = [node.node_id for node in graph.topological_order()]
+    assert order.index(a) < order.index(b) < order.index(d)
+    assert order.index(a) < order.index(c) < order.index(d)
+
+
+def test_merge_appends_other_graph():
+    first = TaskGraph("first")
+    first_ids = first.add_chain(_ops(2))
+    second = TaskGraph("second")
+    second.add_chain(_ops(2))
+    mapping = first.merge(second, deps=[first_ids[-1]])
+    assert len(first) == 4
+    new_root = mapping[0]
+    assert first.node(new_root).predecessors == [first_ids[-1]]
+
+
+def test_filters_and_aggregates():
+    graph = TaskGraph()
+    gemm = GEMM(name="g", m=32, n=32, k=32)
+    eltwise = ElementwiseOp(name="e", num_elements=100)
+    comm = CommunicationOp(name="c", collective=CollectiveKind.ALL_REDUCE, data_bytes=1024, group_size=4)
+    graph.add_chain([gemm, eltwise, comm], tags=["fwd"])
+    assert len(graph.operators(kind=OperatorKind.GEMM)) == 1
+    assert len(graph.operators(tag="fwd")) == 3
+    assert len(graph.compute_operators()) == 2
+    assert len(graph.communication_operators()) == 1
+    assert graph.total_flops == gemm.flops + eltwise.flops
+    assert graph.total_communication_bytes == 1024
+    assert graph.total_compute_bytes > 0
+
+
+def test_critical_path_vs_serial_time():
+    graph = TaskGraph()
+    a = graph.add(GEMM(name="a", m=8, n=8, k=8))
+    graph.add(GEMM(name="b", m=8, n=8, k=8), deps=[a])
+    graph.add(GEMM(name="c", m=8, n=8, k=8), deps=[a])
+    # Unit time per op: serial = 3, critical path = 2 (b and c run in parallel).
+    assert graph.serial_time(lambda op: 1.0) == pytest.approx(3.0)
+    assert graph.critical_path_time(lambda op: 1.0) == pytest.approx(2.0)
+
+
+def test_cycle_detection():
+    graph = TaskGraph()
+    a = graph.add(GEMM(name="a", m=8, n=8, k=8))
+    b = graph.add(GEMM(name="b", m=8, n=8, k=8), deps=[a])
+    # Manually create a cycle to validate detection.
+    graph.node(a).predecessors.append(b)
+    with pytest.raises(ConfigurationError):
+        graph.topological_order()
+
+
+def test_empty_graph_behaviour():
+    graph = TaskGraph()
+    assert len(graph) == 0
+    assert graph.total_flops == 0
+    assert graph.critical_path_time(lambda op: 1.0) == 0.0

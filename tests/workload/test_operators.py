@@ -1,0 +1,133 @@
+"""Tests for operator descriptors (GEMM, element-wise, normalization, comm)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.datatypes import Precision
+from repro.workload.operators import (
+    CollectiveKind,
+    CommunicationOp,
+    ElementwiseOp,
+    GEMM,
+    MemoryOp,
+    NormalizationOp,
+    OperatorKind,
+    make_gemv,
+)
+
+
+def test_gemm_flops_and_bytes():
+    gemm = GEMM(name="g", m=128, n=256, k=512, precision=Precision.FP16)
+    assert gemm.flops == 2 * 128 * 256 * 512
+    assert gemm.a_bytes == 128 * 512 * 2
+    assert gemm.b_bytes == 512 * 256 * 2
+    assert gemm.c_bytes == 128 * 256 * 2
+    assert gemm.bytes_read == gemm.a_bytes + gemm.b_bytes
+    assert gemm.bytes_written == gemm.c_bytes
+    assert gemm.kind is OperatorKind.GEMM
+
+
+def test_gemm_batched_weight_operand_not_replicated():
+    weight = GEMM(name="w", m=16, n=64, k=64, batch=8, weight_operand=True)
+    activation = GEMM(name="a", m=16, n=64, k=64, batch=8, weight_operand=False)
+    assert weight.flops == activation.flops
+    assert weight.b_bytes * 8 == activation.b_bytes
+    assert weight.a_bytes == activation.a_bytes
+
+
+def test_gemm_accumulate_reads_output():
+    base = GEMM(name="g", m=32, n=32, k=32)
+    accumulating = GEMM(name="g", m=32, n=32, k=32, accumulate=True)
+    assert accumulating.bytes_read == base.bytes_read + base.c_bytes
+
+
+def test_gemm_arithmetic_intensity_grows_with_size():
+    small = GEMM(name="s", m=64, n=64, k=64)
+    large = GEMM(name="l", m=1024, n=1024, k=1024)
+    assert large.arithmetic_intensity > small.arithmetic_intensity
+
+
+def test_gemm_is_gemv_like():
+    assert GEMM(name="v", m=1, n=4096, k=4096).is_gemv_like
+    assert GEMM(name="v", m=16, n=4096, k=4096).is_gemv_like
+    assert not GEMM(name="f", m=2048, n=4096, k=4096).is_gemv_like
+
+
+def test_gemm_validation_and_helpers():
+    with pytest.raises(ConfigurationError):
+        GEMM(name="bad", m=0, n=1, k=1)
+    gemm = GEMM(name="g", m=2, n=3, k=4, batch=5)
+    assert gemm.shape == (2, 3, 4, 5)
+    assert gemm.scaled_batch(2).batch == 10
+
+
+def test_make_gemv():
+    gemv = make_gemv("v", rows=4096, cols=1024)
+    assert gemv.m == 1
+    assert gemv.n == 4096
+    assert gemv.k == 1024
+    assert gemv.weight_operand
+    assert gemv.is_gemv_like
+
+
+def test_elementwise_op_bytes_and_flops():
+    op = ElementwiseOp(
+        name="gelu",
+        num_elements=1000,
+        flops_per_element=8.0,
+        reads_per_element=1.0,
+        writes_per_element=1.0,
+        precision=Precision.FP16,
+    )
+    assert op.flops == 8000
+    assert op.bytes_read == 2000
+    assert op.bytes_written == 2000
+    assert op.kind is OperatorKind.ELEMENTWISE
+
+
+def test_elementwise_dropout_mask_extra_bytes():
+    dropout = ElementwiseOp(name="dropout", num_elements=100, extra_bytes_per_element=1.0)
+    plain = ElementwiseOp(name="plain", num_elements=100)
+    assert dropout.bytes_read == plain.bytes_read + 100
+
+
+def test_normalization_op():
+    op = NormalizationOp(name="softmax", num_elements=500, flops_per_element=5.0, variant="softmax")
+    assert op.flops == 2500
+    assert op.bytes_total == 2 * 500 * 2
+    assert op.kind is OperatorKind.NORMALIZATION
+
+
+def test_memory_op_read_vs_write():
+    read = MemoryOp(name="kv_read", bytes_moved=1024)
+    write = MemoryOp(name="kv_write", bytes_moved=1024, is_write=True)
+    assert read.bytes_read == 1024 and read.bytes_written == 0
+    assert write.bytes_written == 1024 and write.bytes_read == 0
+    assert read.flops == 0
+
+
+def test_communication_op():
+    op = CommunicationOp(
+        name="ar",
+        collective=CollectiveKind.ALL_REDUCE,
+        data_bytes=1 << 20,
+        group_size=8,
+        scope="intra_node",
+    )
+    assert op.kind is OperatorKind.COMMUNICATION
+    assert not op.is_trivial
+    assert CommunicationOp(name="t", collective=CollectiveKind.ALL_REDUCE, data_bytes=0, group_size=8).is_trivial
+    assert CommunicationOp(name="t", collective=CollectiveKind.ALL_REDUCE, data_bytes=10, group_size=1).is_trivial
+
+
+def test_communication_op_validation():
+    with pytest.raises(ConfigurationError):
+        CommunicationOp(name="bad", data_bytes=-1)
+    with pytest.raises(ConfigurationError):
+        CommunicationOp(name="bad", group_size=0)
+
+
+def test_zero_element_ops_have_infinite_intensity():
+    op = ElementwiseOp(name="noop", num_elements=0)
+    assert op.flops == 0
+    assert op.arithmetic_intensity == float("inf")

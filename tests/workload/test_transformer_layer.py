@@ -1,0 +1,141 @@
+"""Tests for the per-layer operator builders (Megatron TP sharding)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.datatypes import Precision
+from repro.workload.operators import CollectiveKind, GEMM
+from repro.workload.transformer_layer import LayerExecutionSpec, TransformerLayerBuilder
+
+
+def _spec(model, tp=1, sp=False, micro_batch=2, seq=128, **kwargs):
+    return LayerExecutionSpec(
+        model=model,
+        micro_batch=micro_batch,
+        seq_len=seq,
+        tensor_parallel=tp,
+        sequence_parallel=sp,
+        **kwargs,
+    )
+
+
+def test_spec_validation(tiny_model):
+    with pytest.raises(ConfigurationError):
+        _spec(tiny_model, micro_batch=0)
+    with pytest.raises(ConfigurationError):
+        _spec(tiny_model, tp=3)  # does not divide 8 heads
+    spec = _spec(tiny_model)
+    assert spec.kv_len == spec.seq_len
+
+
+def test_attention_gemm_shapes_no_tp(tiny_model):
+    spec = _spec(tiny_model, micro_batch=2, seq=128)
+    gemms = {g.name: g for g in TransformerLayerBuilder(spec).attention_gemms()}
+    qkv = gemms["qkv_projection"]
+    assert qkv.m == 2 * 128
+    assert qkv.k == tiny_model.hidden_size
+    assert qkv.n == 3 * tiny_model.hidden_size
+    scores = gemms["attention_scores"]
+    assert scores.m == 128 and scores.n == 128 and scores.k == tiny_model.head_dim
+    assert scores.batch == 2 * tiny_model.num_heads
+    out = gemms["attention_output"]
+    assert out.k == tiny_model.hidden_size and out.n == tiny_model.hidden_size
+
+
+def test_tp_shards_attention_and_mlp(tiny_model):
+    full = TransformerLayerBuilder(_spec(tiny_model, tp=1))
+    sharded = TransformerLayerBuilder(_spec(tiny_model, tp=4))
+    full_flops = sum(g.flops for g in full.forward_gemms())
+    sharded_flops = sum(g.flops for g in sharded.forward_gemms())
+    # The per-rank FLOPs shrink by the TP degree (the LM head is not included here).
+    assert sharded_flops == pytest.approx(full_flops / 4, rel=1e-6)
+
+
+def test_gqa_qkv_width(tiny_swiglu_model):
+    spec = _spec(tiny_swiglu_model, tp=1)
+    qkv = TransformerLayerBuilder(spec).attention_gemms()[0]
+    expected = tiny_swiglu_model.hidden_size + 2 * tiny_swiglu_model.num_kv_heads * tiny_swiglu_model.head_dim
+    assert qkv.n == expected
+
+
+def test_swiglu_has_three_mlp_gemms(tiny_swiglu_model, tiny_model):
+    swiglu = TransformerLayerBuilder(_spec(tiny_swiglu_model)).mlp_gemms()
+    gelu = TransformerLayerBuilder(_spec(tiny_model)).mlp_gemms()
+    assert len(swiglu) == 3
+    assert len(gelu) == 2
+
+
+def test_forward_gemm_names_match_paper_table4(tiny_model):
+    names = [g.name for g in TransformerLayerBuilder(_spec(tiny_model)).forward_gemms()]
+    for expected in ("qkv_projection", "attention_scores", "attention_context", "attention_output", "mlp_h_to_4h", "mlp_4h_to_h"):
+        assert expected in names
+
+
+def test_dropout_only_in_training(tiny_model):
+    training = TransformerLayerBuilder(_spec(tiny_model, with_dropout=True))
+    inference = TransformerLayerBuilder(_spec(tiny_model, with_dropout=False))
+    training_names = [op.name for op in training.forward_compute_ops()]
+    inference_names = [op.name for op in inference.forward_compute_ops()]
+    assert any("dropout" in name for name in training_names)
+    assert not any("dropout" in name for name in inference_names)
+
+
+def test_kv_cache_append_present_when_enabled(tiny_model):
+    builder = TransformerLayerBuilder(_spec(tiny_model, use_kv_cache=True, with_dropout=False))
+    names = [op.name for op in builder.forward_compute_ops()]
+    assert "kv_cache_append" in names
+
+
+def test_decode_spec_uses_kv_len(tiny_model):
+    spec = _spec(tiny_model, seq=1, kv_len=333, with_dropout=False, use_kv_cache=True)
+    gemms = {g.name: g for g in TransformerLayerBuilder(spec).attention_gemms()}
+    assert gemms["attention_scores"].n == 333
+    assert gemms["attention_context"].k == 333
+    assert gemms["qkv_projection"].m == spec.micro_batch
+
+
+def test_forward_communication_all_reduce_count_and_volume(tiny_model):
+    spec = _spec(tiny_model, tp=4, micro_batch=2, seq=128)
+    comm = TransformerLayerBuilder(spec).forward_communication()
+    assert len(comm) == 2
+    expected_payload = 2 * 128 * tiny_model.hidden_size * Precision.FP16.bytes_per_element
+    for op in comm:
+        assert op.collective is CollectiveKind.ALL_REDUCE
+        assert op.data_bytes == pytest.approx(expected_payload)
+        assert op.group_size == 4
+
+
+def test_sequence_parallel_swaps_collectives_same_volume(tiny_model):
+    plain = TransformerLayerBuilder(_spec(tiny_model, tp=4)).forward_communication()
+    sp = TransformerLayerBuilder(_spec(tiny_model, tp=4, sp=True)).forward_communication()
+    assert len(sp) == 4  # reduce-scatter + all-gather per block
+    kinds = {op.collective for op in sp}
+    assert kinds == {CollectiveKind.REDUCE_SCATTER, CollectiveKind.ALL_GATHER}
+    assert sum(op.data_bytes for op in sp) == pytest.approx(2 * sum(op.data_bytes for op in plain))
+    # A reduce-scatter + all-gather pair moves the same volume as one all-reduce,
+    # so SP adds no communication volume overall.
+
+
+def test_no_communication_without_tp(tiny_model):
+    assert TransformerLayerBuilder(_spec(tiny_model, tp=1)).forward_communication() == []
+
+
+def test_sequence_parallel_shards_norm_elements(tiny_model):
+    plain = _spec(tiny_model, tp=4, sp=False)
+    sp = _spec(tiny_model, tp=4, sp=True)
+    assert sp.norm_elements == plain.norm_elements // 4
+
+
+def test_backward_ops_flops_are_double_forward(tiny_model):
+    builder = TransformerLayerBuilder(_spec(tiny_model, tp=2))
+    forward_gemm_flops = sum(g.flops for g in builder.forward_gemms())
+    backward_gemm_flops = sum(op.flops for op in builder.backward_compute_ops() if isinstance(op, GEMM))
+    assert backward_gemm_flops == pytest.approx(2 * forward_gemm_flops, rel=1e-6)
+
+
+def test_backward_communication_mirrors_forward(tiny_model):
+    builder = TransformerLayerBuilder(_spec(tiny_model, tp=4))
+    fwd = builder.forward_communication()
+    bwd = builder.backward_communication()
+    assert len(fwd) == len(bwd)
+    assert sum(op.data_bytes for op in fwd) == pytest.approx(sum(op.data_bytes for op in bwd))
