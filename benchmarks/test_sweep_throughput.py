@@ -1,0 +1,95 @@
+"""Micro-benchmark: cached sweep pipeline vs naive per-point engine rebuilds.
+
+A repeated-scenario grid (the shape every paper sweep has: a few unique
+configurations queried over and over across tables, figures, and search
+iterations) is evaluated two ways:
+
+* **naive**: the pre-sweep idiom -- build a fresh
+  ``PerformancePredictionEngine`` for every grid point and predict.
+* **cached**: one ``SweepRunner`` with scenario dedup, the LRU result cache,
+  and the shared per-system engine cache.
+
+The benchmark asserts the cached path is at least ~2x faster, which is the
+architectural point of the sweep subsystem (in practice the gap is far
+larger because only the unique scenarios are ever evaluated).
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import emit
+
+from repro.core.engine import PerformancePredictionEngine
+from repro.hardware.cluster import build_system
+from repro.models.zoo import get_model
+from repro.sweep import Scenario, SweepRunner
+
+#: Unique scenario axes: (tensor_parallel, batch_size).
+_UNIQUE_POINTS = ((1, 1), (2, 1), (2, 4))
+#: How many times the grid repeats each unique point.
+_REPEATS = 24
+
+
+def _grid():
+    model = get_model("Llama2-13B")
+    system = build_system("A100", num_devices=8, intra_node="NVLink3", inter_node="HDR-IB")
+    points = [
+        (system, model, tensor_parallel, batch_size)
+        for _ in range(_REPEATS)
+        for tensor_parallel, batch_size in _UNIQUE_POINTS
+    ]
+    return points
+
+
+def _run_naive(points):
+    latencies = []
+    for system, model, tensor_parallel, batch_size in points:
+        engine = PerformancePredictionEngine(system)
+        report = engine.predict_inference(
+            model, batch_size=batch_size, tensor_parallel=tensor_parallel
+        )
+        latencies.append(report.total_latency)
+    return latencies
+
+
+def _run_cached(points):
+    runner = SweepRunner()
+    results = runner.run(
+        Scenario.inference(system, model, batch_size=batch_size, tensor_parallel=tensor_parallel)
+        for system, model, tensor_parallel, batch_size in points
+    )
+    return [result.value.total_latency for result in results], runner.stats
+
+
+def test_cached_sweep_beats_naive_engine_rebuilds(benchmark):
+    points = _grid()
+
+    start = time.perf_counter()
+    naive_latencies = _run_naive(points)
+    naive_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    (cached_latencies, stats) = benchmark.pedantic(_run_cached, args=(points,), rounds=1, iterations=1)
+    cached_seconds = time.perf_counter() - start
+
+    speedup = naive_seconds / cached_seconds
+    benchmark.extra_info["naive_seconds"] = naive_seconds
+    benchmark.extra_info["cached_seconds"] = cached_seconds
+    benchmark.extra_info["speedup"] = speedup
+    benchmark.extra_info["evaluations"] = stats.evaluations
+    benchmark.extra_info["cache_hits"] = stats.cache_hits
+
+    emit(
+        f"sweep throughput: {len(points)} grid points, {len(_UNIQUE_POINTS)} unique\n"
+        f"  naive per-point engines : {naive_seconds * 1e3:8.1f} ms\n"
+        f"  cached sweep runner     : {cached_seconds * 1e3:8.1f} ms\n"
+        f"  speedup                 : {speedup:8.1f}x "
+        f"({stats.evaluations} evaluations, {stats.cache_hits} cache hits)"
+    )
+
+    # Identical numbers, far less work.
+    assert cached_latencies == naive_latencies
+    assert stats.evaluations == len(_UNIQUE_POINTS)
+    assert stats.cache_hits == len(points) - len(_UNIQUE_POINTS)
+    assert speedup >= 2.0, f"cached sweep only {speedup:.2f}x faster than naive loop"

@@ -14,24 +14,30 @@ Run it with ``python examples/inference_serving_study.py``.
 
 from __future__ import annotations
 
-from repro import PerformancePredictionEngine, build_system
+from repro import Scenario, SweepRunner, build_system
 from repro.analysis.formatting import render_table
 from repro.dse.scaling import inference_memory_scaling_study
-from repro.errors import MemoryCapacityError
 from repro.units import GB
+
+#: One runner for the whole study: scenarios shared between the sections
+#: (and with any other analysis in this process) are evaluated once.
+RUNNER = SweepRunner(capture_errors=True)
 
 
 def tensor_parallel_study() -> None:
     """Latency and cost-efficiency of Llama2-70B vs the number of A100s."""
     system = build_system("A100", num_devices=8, intra_node="NVLink3", inter_node="HDR-IB")
-    engine = PerformancePredictionEngine(system)
+    results = RUNNER.run_grid(
+        lambda tensor_parallel: Scenario.inference(system, "Llama2-70B", tensor_parallel=tensor_parallel),
+        tensor_parallel=[1, 2, 4, 8],
+    )
     rows = []
-    for tensor_parallel in (1, 2, 4, 8):
-        try:
-            report = engine.predict_inference("Llama2-70B", tensor_parallel=tensor_parallel)
-        except MemoryCapacityError as error:
-            rows.append({"gpus": tensor_parallel, "latency_ms": None, "note": f"does not fit: {error}"[:60]})
+    for result in results:
+        tensor_parallel = result.scenario.tensor_parallel
+        if not result.ok:  # the model does not fit this few devices
+            rows.append({"gpus": tensor_parallel, "latency_ms": None, "note": f"does not fit: {result.error}"[:60]})
             continue
+        report = result.report
         rows.append(
             {
                 "gpus": tensor_parallel,
@@ -51,13 +57,19 @@ def tensor_parallel_study() -> None:
 def batch_size_study() -> None:
     """Throughput/latency trade-off of batched serving on a single A100."""
     system = build_system("A100", num_devices=1)
-    engine = PerformancePredictionEngine(system)
+    results = RUNNER.run_grid(
+        lambda batch_size: Scenario.inference(system, "Llama2-13B", batch_size=batch_size, tensor_parallel=1),
+        batch_size=[1, 2, 4, 8, 16],
+    )
     rows = []
-    for batch_size in (1, 2, 4, 8, 16):
-        report = engine.predict_inference("Llama2-13B", batch_size=batch_size, tensor_parallel=1)
+    for result in results:
+        if not result.ok:
+            rows.append({"batch": result.scenario.batch_size, "latency_ms": None, "note": result.error[:60]})
+            continue
+        report = result.report
         rows.append(
             {
-                "batch": batch_size,
+                "batch": result.scenario.batch_size,
                 "latency_ms": report.total_latency_ms,
                 "ms_per_token": report.time_per_output_token * 1e3,
                 "throughput_tokens_per_s": report.throughput_tokens_per_second(),

@@ -24,8 +24,9 @@ from .hardware.datatypes import Precision
 from .memmodel.activations import RecomputeStrategy
 from .models.zoo import get_model, list_models
 from .parallelism.config import ParallelismConfig, parse_parallelism_label
+from .sweep import Scenario, SweepResult, SweepRunner, expand_grid
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "InferencePerformanceModel",
@@ -34,9 +35,13 @@ __all__ = [
     "PerformancePredictionEngine",
     "Precision",
     "RecomputeStrategy",
+    "Scenario",
+    "SweepResult",
+    "SweepRunner",
     "SystemSpec",
     "TrainingPerformanceModel",
     "TrainingReport",
+    "expand_grid",
     "build_system",
     "custom_accelerator",
     "get_accelerator",

@@ -16,15 +16,19 @@ benchmark harness prints and asserts on.  The mapping to the paper is:
 :func:`fig8_inference_boundedness`        Fig. 8 (prefill bound fractions + memory inset)
 :func:`fig9_memory_technology_scaling`    Fig. 9 (DRAM technology scaling, inference)
 ========================================  =======================================
+
+All drivers route their evaluations through the shared
+:class:`~repro.sweep.runner.SweepRunner` (or one passed via ``runner=``), so
+identical scenarios across tables/figures -- and across repeated calls within
+one process -- are evaluated exactly once.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from ..calibration.gemv import GemvValidationResult, run_gemv_validation
-from ..core.bottleneck import gemm_time_by_bound, prefill_gemm_table
-from ..core.engine import PerformancePredictionEngine
+from ..calibration.gemv import GemvValidationResult
+from ..core.bottleneck import gemm_time_by_bound
 from ..dse.scaling import (
     MemoryScalingRow,
     NodeScalingRow,
@@ -32,13 +36,12 @@ from ..dse.scaling import (
     inference_memory_scaling_study,
     technology_node_scaling_study,
 )
-from ..hardware.accelerator import get_accelerator
 from ..hardware.cluster import build_system, preset_cluster
 from ..hardware.datatypes import Precision
 from ..memmodel.activations import RecomputeStrategy
-from ..memmodel.footprint import inference_memory_breakdown, training_memory_breakdown
 from ..models.zoo import get_model
 from ..parallelism.config import ParallelismConfig, parse_parallelism_label
+from ..sweep import Scenario, SweepRunner, default_runner
 from ..units import GB, to_milliseconds
 from ..validation.metrics import relative_error
 from ..validation.reference import (
@@ -53,26 +56,29 @@ from ..validation.reference import (
 # Table 1: training-time validation on A100 clusters
 # ---------------------------------------------------------------------------
 
-def table1_training_validation(rows=None) -> List[Dict[str, object]]:
+def table1_training_validation(rows=None, runner: Optional[SweepRunner] = None) -> List[Dict[str, object]]:
     """Reproduce Table 1: predicted vs published training time per batch."""
     rows = rows if rows is not None else TABLE1_TRAINING_ROWS
-    results: List[Dict[str, object]] = []
-    for row in rows:
-        system = build_system(
-            "A100",
-            num_devices=row.num_gpus,
-            intra_node="NVLink3",
-            inter_node="HDR-IB",
-            devices_per_node=8,
-        )
-        engine = PerformancePredictionEngine(system)
-        config = parse_parallelism_label(row.parallelism_label, micro_batch_size=row.micro_batch_size)
-        report = engine.predict_training(
+    runner = runner or default_runner()
+    scenarios = [
+        Scenario.training(
+            build_system(
+                "A100",
+                num_devices=row.num_gpus,
+                intra_node="NVLink3",
+                inter_node="HDR-IB",
+                devices_per_node=8,
+            ),
             row.model,
-            config,
+            parse_parallelism_label(row.parallelism_label, micro_batch_size=row.micro_batch_size),
             global_batch_size=row.global_batch_size,
             recompute=row.recompute,
         )
+        for row in rows
+    ]
+    results: List[Dict[str, object]] = []
+    for row, result in zip(rows, runner.run(scenarios)):
+        report = result.report
         results.append(
             {
                 "model": row.model,
@@ -95,27 +101,30 @@ def table1_training_validation(rows=None) -> List[Dict[str, object]]:
 # Table 2: inference-latency validation on A100 / H100 systems
 # ---------------------------------------------------------------------------
 
-def table2_inference_validation(rows=None) -> List[Dict[str, object]]:
+def table2_inference_validation(rows=None, runner: Optional[SweepRunner] = None) -> List[Dict[str, object]]:
     """Reproduce Table 2: predicted vs NVIDIA-reported Llama-2 inference latency."""
     rows = rows if rows is not None else TABLE2_INFERENCE_ROWS
-    results: List[Dict[str, object]] = []
-    for row in rows:
-        intra = "NVLink3" if row.gpu.upper() == "A100" else "NVLink4"
-        system = build_system(
-            row.gpu,
-            num_devices=max(1, row.num_gpus),
-            intra_node=intra,
-            inter_node="NDR-IB",
-            devices_per_node=8,
-        )
-        engine = PerformancePredictionEngine(system)
-        report = engine.predict_inference(
+    runner = runner or default_runner()
+    scenarios = [
+        Scenario.inference(
+            build_system(
+                row.gpu,
+                num_devices=max(1, row.num_gpus),
+                intra_node="NVLink3" if row.gpu.upper() == "A100" else "NVLink4",
+                inter_node="NDR-IB",
+                devices_per_node=8,
+            ),
             row.model,
             batch_size=row.batch_size,
             prompt_tokens=row.prompt_tokens,
             generated_tokens=row.generated_tokens,
             tensor_parallel=row.num_gpus,
         )
+        for row in rows
+    ]
+    results: List[Dict[str, object]] = []
+    for row, result in zip(rows, runner.run(scenarios)):
+        report = result.report
         results.append(
             {
                 "model": row.model,
@@ -142,21 +151,24 @@ def table4_gemm_bottlenecks(
     gpus: Sequence[str] = ("A100", "H100"),
     batch_size: int = 1,
     prompt_tokens: int = 200,
+    runner: Optional[SweepRunner] = None,
 ) -> List[Dict[str, object]]:
     """Reproduce Table 4: time and bound type of each prefill GEMM per layer."""
-    model = get_model(model_name)
-    results: List[Dict[str, object]] = []
-    for gpu in gpus:
-        accelerator = get_accelerator(gpu)
-        entries = prefill_gemm_table(
-            model,
-            accelerator=accelerator,
+    runner = runner or default_runner()
+    scenarios = [
+        Scenario.prefill_bottlenecks(
+            gpu,
+            model_name,
             batch_size=batch_size,
             prompt_tokens=prompt_tokens,
             tensor_parallel=1,
             precision=Precision.FP16,
         )
-        for entry in entries:
+        for gpu in gpus
+    ]
+    results: List[Dict[str, object]] = []
+    for gpu, result in zip(gpus, runner.run(scenarios)):
+        for entry in result.value:
             results.append(
                 {
                     "gpu": gpu,
@@ -176,9 +188,12 @@ def table4_gemm_bottlenecks(
 # Fig. 3: GEMV validation with varied vs constant DRAM utilization
 # ---------------------------------------------------------------------------
 
-def fig3_gemv_validation(num_clusters: int = 3, seed: int = 2024) -> GemvValidationResult:
+def fig3_gemv_validation(
+    num_clusters: int = 3, seed: int = 2024, runner: Optional[SweepRunner] = None
+) -> GemvValidationResult:
     """Reproduce the Fig. 3 flow on the synthetic GEMV measurement set."""
-    return run_gemv_validation(num_clusters=num_clusters, seed=seed)
+    runner = runner or default_runner()
+    return runner.evaluate(Scenario.gemv_validation(num_clusters=num_clusters, seed=seed))
 
 
 # ---------------------------------------------------------------------------
@@ -189,6 +204,7 @@ def fig4_memory_breakdown(
     models: Sequence[str] = ("GPT-175B", "GPT-530B", "GPT-1008B"),
     strategies: Sequence[str] = ("none", "selective", "full"),
     device_memory_gb: float = 80.0,
+    runner: Optional[SweepRunner] = None,
 ) -> List[Dict[str, object]]:
     """Reproduce Fig. 4: per-device memory breakdown under each recompute strategy.
 
@@ -199,29 +215,36 @@ def fig4_memory_breakdown(
         "GPT-530B": ("1-8-35-1", 280),
         "GPT-1008B": ("1-8-64-1", 512),
     }
-    results: List[Dict[str, object]] = []
+    runner = runner or default_runner()
+    labels = []
+    scenarios = []
     for model_name in models:
         label, batch = table1_config[model_name]
         config = parse_parallelism_label(label, micro_batch_size=1)
-        model = get_model(model_name)
         for strategy in strategies:
-            breakdown = training_memory_breakdown(
-                model,
-                config,
-                global_batch_size=batch,
-                strategy=strategy,
+            labels.append((model_name, strategy))
+            scenarios.append(
+                Scenario.training_memory(
+                    model_name,
+                    config,
+                    global_batch_size=batch,
+                    recompute=strategy,
+                )
             )
-            results.append(
-                {
-                    "model": model_name,
-                    "strategy": strategy,
-                    "parameters_gb": breakdown.parameter_bytes / GB,
-                    "optimizer_gb": (breakdown.optimizer_bytes + breakdown.gradient_bytes) / GB,
-                    "activations_gb": breakdown.activation_bytes / GB,
-                    "total_gb": breakdown.total_bytes / GB,
-                    "fits_80gb": breakdown.total_bytes / GB <= device_memory_gb,
-                }
-            )
+    results: List[Dict[str, object]] = []
+    for (model_name, strategy), result in zip(labels, runner.run(scenarios)):
+        breakdown = result.value
+        results.append(
+            {
+                "model": model_name,
+                "strategy": strategy,
+                "parameters_gb": breakdown.parameter_bytes / GB,
+                "optimizer_gb": (breakdown.optimizer_bytes + breakdown.gradient_bytes) / GB,
+                "activations_gb": breakdown.activation_bytes / GB,
+                "total_gb": breakdown.total_bytes / GB,
+                "fits_80gb": breakdown.total_bytes / GB <= device_memory_gb,
+            }
+        )
     return results
 
 
@@ -243,6 +266,7 @@ def fig5_gpu_generation_scaling(
     systems: Optional[Sequence] = None,
     model_name: str = "GPT-175B",
     virtual_pipeline_stages: int = 6,
+    runner: Optional[SweepRunner] = None,
 ) -> List[Dict[str, object]]:
     """Reproduce Fig. 5: GPT-175B training time across A100..B200 clusters.
 
@@ -256,7 +280,9 @@ def fig5_gpu_generation_scaling(
     systems = systems if systems is not None else GPU_GENERATION_SCALING_SYSTEMS
     case = CASE_STUDY_CONFIGS[model_name]
     model = get_model(model_name)
-    rows: List[Dict[str, object]] = []
+    runner = runner or default_runner()
+    precisions = []
+    scenarios = []
     for system_name, batch_size in systems:
         cluster = preset_cluster(system_name, num_devices=case.num_gpus)
         generation = system_name.split("-")[0].upper()
@@ -271,15 +297,22 @@ def fig5_gpu_generation_scaling(
             pipeline_schedule="interleaved",
             virtual_pipeline_stages=virtual_pipeline_stages,
         )
-        engine = PerformancePredictionEngine(cluster)
-        report = engine.predict_training(
-            model,
-            config,
-            global_batch_size=batch_size,
-            seq_len=case.seq_len,
-            precision=precision,
-            recompute=RecomputeStrategy.SELECTIVE,
+        precisions.append(precision)
+        scenarios.append(
+            Scenario.training(
+                cluster,
+                model,
+                config,
+                global_batch_size=batch_size,
+                seq_len=case.seq_len,
+                precision=precision,
+                recompute=RecomputeStrategy.SELECTIVE,
+                tag=system_name,
+            )
         )
+    rows: List[Dict[str, object]] = []
+    for (system_name, batch_size), precision, result in zip(systems, precisions, runner.run(scenarios)):
+        report = result.report
         rows.append(
             {
                 "system": system_name,
@@ -348,41 +381,49 @@ def fig8_inference_boundedness(
     batch_sizes: Sequence[int] = (1, 16),
     prompt_tokens: int = 200,
     context_tokens: int = 400,
+    runner: Optional[SweepRunner] = None,
 ) -> List[Dict[str, object]]:
     """Reproduce Fig. 8: prefill GEMM-time bound fractions plus the memory inset."""
-    model = get_model(model_name)
+    runner = runner or default_runner()
+    cases = [(gpu, batch) for gpu in gpus for batch in batch_sizes]
+    prefill_results = runner.run(
+        Scenario.prefill_bottlenecks(
+            gpu,
+            model_name,
+            batch_size=batch,
+            prompt_tokens=prompt_tokens,
+            tensor_parallel=1,
+            precision=Precision.FP16,
+        )
+        for gpu, batch in cases
+    )
+    memory_results = runner.run(
+        Scenario.inference_memory(
+            model_name,
+            batch_size=batch,
+            context_len=context_tokens,
+            tensor_parallel=1,
+            precision=Precision.FP16,
+        )
+        for _, batch in cases
+    )
     results: List[Dict[str, object]] = []
-    for gpu in gpus:
-        accelerator = get_accelerator(gpu)
-        for batch in batch_sizes:
-            entries = prefill_gemm_table(
-                model,
-                accelerator=accelerator,
-                batch_size=batch,
-                prompt_tokens=prompt_tokens,
-                tensor_parallel=1,
-                precision=Precision.FP16,
-            )
-            totals = gemm_time_by_bound(entries)
-            memory = inference_memory_breakdown(
-                model,
-                batch_size=batch,
-                context_len=context_tokens,
-                precision=Precision.FP16,
-                tensor_parallel=1,
-            )
-            results.append(
-                {
-                    "gpu": gpu,
-                    "batch_size": batch,
-                    "compute_bound_ms": totals["compute"] * 1e3,
-                    "memory_bound_ms": totals["memory"] * 1e3,
-                    "compute_bound_fraction": totals["compute_fraction"],
-                    "weights_gb": memory.weight_bytes / GB,
-                    "kv_cache_gb": memory.kv_cache_bytes / GB,
-                    "device_memory_gb": accelerator.dram_capacity / GB,
-                }
-            )
+    for (gpu, batch), prefill, memory_result in zip(cases, prefill_results, memory_results):
+        totals = gemm_time_by_bound(prefill.value)
+        memory = memory_result.value
+        accelerator = prefill.scenario.system.accelerator
+        results.append(
+            {
+                "gpu": gpu,
+                "batch_size": batch,
+                "compute_bound_ms": totals["compute"] * 1e3,
+                "memory_bound_ms": totals["memory"] * 1e3,
+                "compute_bound_fraction": totals["compute_fraction"],
+                "weights_gb": memory.weight_bytes / GB,
+                "kv_cache_gb": memory.kv_cache_bytes / GB,
+                "device_memory_gb": accelerator.dram_capacity / GB,
+            }
+        )
     return results
 
 

@@ -1,0 +1,28 @@
+"""Tiny bounded-memoization helper shared by the kernel and collective models.
+
+The performance models attach plain-dict caches (outside their dataclass
+fields) keyed by frozen operator descriptors.  This module centralizes the
+bound/eviction policy so all of them stay in sync.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, TypeVar
+
+Value = TypeVar("Value")
+
+#: Default entry bound of a per-model memoization cache.
+DEFAULT_MEMO_SIZE = 65536
+
+
+def memo_put(cache: Dict[Hashable, Value], key: Hashable, value: Value, max_size: int = DEFAULT_MEMO_SIZE) -> Value:
+    """Store ``value`` under ``key``, clearing the cache first when full.
+
+    A full clear is deliberate: the caches hold repeated queries of a small
+    working set, so reaching the bound at all means the keys are churning and
+    tracking recency would cost more than re-evaluating.
+    """
+    if len(cache) >= max_size:
+        cache.clear()
+    cache[key] = value
+    return value

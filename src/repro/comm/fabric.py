@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import dataclasses
 
+from ..caching import memo_put
 from ..errors import ConfigurationError
 from ..hardware.cluster import SystemSpec
 from ..hardware.network import Interconnect
@@ -63,6 +64,11 @@ class CollectiveModel:
             raise ConfigurationError("min_utilization must be in (0, 1]")
         if self.software_latency < 0:
             raise ConfigurationError("software_latency must be non-negative")
+        # Memoization of repeated collective queries: scenario sweeps price the
+        # same (collective, bytes, group, scope) tuples over and over.  Keyed
+        # by the frozen CommunicationOp; not a dataclass field, so model
+        # equality and replace() semantics are unchanged.
+        object.__setattr__(self, "_time_cache", {})
 
     # -- fabric selection and effective bandwidth ------------------------------------
 
@@ -104,6 +110,9 @@ class CollectiveModel:
         """Execution time of one communication operator in seconds."""
         if op.is_trivial:
             return 0.0
+        cached = self._time_cache.get(op)
+        if cached is not None:
+            return cached
         fabric = self.fabric_for_scope(op.scope)
         bandwidth = self.effective_bandwidth(fabric, op.data_bytes)
         latency = fabric.latency
@@ -117,7 +126,7 @@ class CollectiveModel:
             base = broadcast_time(op.data_bytes, op.group_size, bandwidth, latency)
         else:
             base = point_to_point_time(op.data_bytes, bandwidth, latency)
-        return base + self.software_latency
+        return memo_put(self._time_cache, op, base + self.software_latency)
 
     def all_reduce(self, data_bytes: float, group_size: int, scope: str = "intra_node") -> float:
         """Convenience: time of a raw all-reduce outside a task graph."""

@@ -9,6 +9,7 @@ GPU-generation scaling study, and the memory footprints.
 from __future__ import annotations
 
 import dataclasses
+import json
 from typing import Dict, List, Optional
 
 from ..memmodel.footprint import InferenceMemoryBreakdown, TrainingMemoryBreakdown
@@ -45,6 +46,19 @@ class KernelTimeEntry:
     def is_compute_bound(self) -> bool:
         """Whether a single invocation is compute bound."""
         return self.bound is BoundType.COMPUTE
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dict view (the bound type becomes its string value)."""
+        data = dataclasses.asdict(self)
+        data["bound"] = self.bound.value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "KernelTimeEntry":
+        """Rebuild an entry from :meth:`to_dict` output."""
+        data = dict(data)
+        data["bound"] = BoundType(data["bound"])
+        return cls(**data)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -106,6 +120,34 @@ class TrainingReport:
         tokens = self.global_batch_size * self.seq_len
         return tokens / self.step_time if self.step_time > 0 else 0.0
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dict view of the whole report, memory breakdown included."""
+        data = {
+            field.name: getattr(self, field.name)
+            for field in dataclasses.fields(self)
+            if field.name not in ("memory", "kernel_breakdown")
+        }
+        data["memory"] = self.memory.to_dict()
+        data["kernel_breakdown"] = [entry.to_dict() for entry in self.kernel_breakdown]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "TrainingReport":
+        """Rebuild a report from :meth:`to_dict` output."""
+        data = dict(data)
+        data["memory"] = TrainingMemoryBreakdown.from_dict(data["memory"])
+        data["kernel_breakdown"] = [KernelTimeEntry.from_dict(entry) for entry in data.get("kernel_breakdown", [])]
+        return cls(**data)
+
+    def to_json(self, **kwargs: object) -> str:
+        """Serialize the report to a JSON string."""
+        return json.dumps(self.to_dict(), **kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "TrainingReport":
+        """Rebuild a report from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
 
 @dataclasses.dataclass(frozen=True)
 class PhaseReport:
@@ -128,6 +170,23 @@ class PhaseReport:
         """Fraction of GEMM time spent in compute-bound kernels."""
         denominator = self.compute_bound_time + self.memory_bound_time
         return self.compute_bound_time / denominator if denominator > 0 else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dict view."""
+        data = {
+            field.name: getattr(self, field.name)
+            for field in dataclasses.fields(self)
+            if field.name != "kernel_breakdown"
+        }
+        data["kernel_breakdown"] = [entry.to_dict() for entry in self.kernel_breakdown]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "PhaseReport":
+        """Rebuild a phase report from :meth:`to_dict` output."""
+        data = dict(data)
+        data["kernel_breakdown"] = [KernelTimeEntry.from_dict(entry) for entry in data.get("kernel_breakdown", [])]
+        return cls(**data)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -186,6 +245,36 @@ class InferenceReport:
             return 0.0
         return self.batch_size * self.generated_tokens / self.decode.total_time
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dict view of the whole report, phases and memory included."""
+        data = {
+            field.name: getattr(self, field.name)
+            for field in dataclasses.fields(self)
+            if field.name not in ("prefill", "decode", "memory")
+        }
+        data["prefill"] = self.prefill.to_dict()
+        data["decode"] = self.decode.to_dict()
+        data["memory"] = self.memory.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "InferenceReport":
+        """Rebuild a report from :meth:`to_dict` output."""
+        data = dict(data)
+        data["prefill"] = PhaseReport.from_dict(data["prefill"])
+        data["decode"] = PhaseReport.from_dict(data["decode"])
+        data["memory"] = InferenceMemoryBreakdown.from_dict(data["memory"])
+        return cls(**data)
+
+    def to_json(self, **kwargs: object) -> str:
+        """Serialize the report to a JSON string."""
+        return json.dumps(self.to_dict(), **kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "InferenceReport":
+        """Rebuild a report from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
 
 @dataclasses.dataclass(frozen=True)
 class GemmBottleneckEntry:
@@ -209,6 +298,19 @@ class GemmBottleneckEntry:
     def bound_label(self) -> str:
         """``"compute"`` or ``"memory"`` (cache-bound counts as memory)."""
         return "compute" if self.bound is BoundType.COMPUTE else "memory"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dict view (the bound type becomes its string value)."""
+        data = dataclasses.asdict(self)
+        data["bound"] = self.bound.value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "GemmBottleneckEntry":
+        """Rebuild an entry from :meth:`to_dict` output."""
+        data = dict(data)
+        data["bound"] = BoundType(data["bound"])
+        return cls(**data)
 
 
 def aggregate_kernel_entries(entries: List[KernelTimeEntry]) -> Dict[str, KernelTimeEntry]:

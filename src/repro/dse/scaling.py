@@ -10,6 +10,12 @@ Two sweeps from the paper's case studies live here:
   on 2- and 8-GPU systems as the DRAM technology scales from GDDR6 to a
   futuristic HBMX while the compute die stays at the A100's 7 nm node
   (paper Fig. 9).
+
+Both studies express their grid as :class:`~repro.sweep.scenario.Scenario`
+lists and evaluate through a :class:`~repro.sweep.runner.SweepRunner`, so
+shared sub-evaluations (e.g. the Fig.-7 bound breakdown, which depends only
+on the derived accelerator, not on the network choice) are deduplicated and
+repeated calls hit the result cache.
 """
 
 from __future__ import annotations
@@ -17,9 +23,6 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional, Sequence
 
-from ..core.bottleneck import attention_layer_bound_breakdown
-from ..core.inference import InferencePerformanceModel
-from ..core.training import TrainingPerformanceModel
 from ..hardware.accelerator import get_accelerator
 from ..hardware.cluster import build_system
 from ..hardware.datatypes import Precision
@@ -30,6 +33,7 @@ from ..memmodel.activations import RecomputeStrategy
 from ..models.transformer import TransformerConfig
 from ..models.zoo import get_model
 from ..parallelism.config import ParallelismConfig
+from ..sweep import Scenario, SweepRunner, default_runner
 from .search import GradientDescentSearch, SearchResult
 from .space import DesignPoint, DesignSpace
 
@@ -65,6 +69,7 @@ def technology_node_scaling_study(
     recompute: RecomputeStrategy = RecomputeStrategy.SELECTIVE,
     optimize_allocation: bool = False,
     budget: Optional[ResourceBudget] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> List[NodeScalingRow]:
     """Sweep logic technology nodes for the GPT-7B training case study (Fig. 6).
 
@@ -82,6 +87,8 @@ def technology_node_scaling_study(
         optimize_allocation: Run the per-node DSE allocation search instead of
             using the default area/power split.
         budget: Area/power budget of the derived devices.
+        runner: Sweep runner to evaluate through (the shared default when
+            omitted).
 
     Returns:
         One row per (node, dram, network) combination.
@@ -105,49 +112,64 @@ def technology_node_scaling_study(
             {"dram": "HBM4", "network": "GDR-x8"},
         ]
     budget = budget or ResourceBudget()
+    runner = runner or default_runner()
     space = DesignSpace(budget=budget)
+
+    grid = [(node, combo) for node in nodes for combo in combinations]
+    systems = []
+    for node, combo in grid:
+        point = DesignPoint(
+            technology_node=node,
+            dram_technology=combo["dram"],
+            inter_node_network=combo["network"],
+        )
+        if optimize_allocation:
+            point = _optimize_point(
+                point, space, model, parallelism, global_batch_size, num_devices, precision, recompute, budget, runner
+            )
+        systems.append(point.build_system(num_devices=num_devices, budget=budget))
+
+    training_results = runner.run(
+        Scenario.training(
+            system,
+            model,
+            parallelism,
+            global_batch_size=global_batch_size,
+            precision=precision,
+            recompute=recompute,
+        )
+        for system in systems
+    )
+    # The bound breakdown depends on the accelerator only, so grid points that
+    # differ just in the network dedup onto one evaluation inside the runner.
+    bound_results = runner.run(
+        Scenario.attention_bound(
+            system.accelerator,
+            model,
+            micro_batch=parallelism.micro_batch_size,
+            seq_len=model.max_seq_len,
+            tensor_parallel=parallelism.tensor_parallel,
+            precision=precision,
+        )
+        for system in systems
+    )
+
     rows: List[NodeScalingRow] = []
-    for node in nodes:
-        for combo in combinations:
-            point = DesignPoint(
+    for (node, combo), training, bound in zip(grid, training_results, bound_results):
+        report = training.report
+        rows.append(
+            NodeScalingRow(
                 technology_node=node,
                 dram_technology=combo["dram"],
                 inter_node_network=combo["network"],
+                step_time=report.step_time,
+                compute_time=report.compute_time + report.recompute_time,
+                communication_time=report.communication_time,
+                other_time=report.other_time,
+                gemm_compute_bound_time=bound.value["compute_bound"],
+                gemm_memory_bound_time=bound.value["memory_bound"],
             )
-            if optimize_allocation:
-                point = _optimize_point(
-                    point, space, model, parallelism, global_batch_size, num_devices, precision, recompute, budget
-                )
-            system = point.build_system(num_devices=num_devices, budget=budget)
-            training = TrainingPerformanceModel(system=system)
-            report = training.predict(
-                model,
-                parallelism,
-                global_batch_size=global_batch_size,
-                precision=precision,
-                recompute=recompute,
-            )
-            bound = attention_layer_bound_breakdown(
-                model,
-                accelerator=system.accelerator,
-                micro_batch=parallelism.micro_batch_size,
-                seq_len=model.max_seq_len,
-                tensor_parallel=parallelism.tensor_parallel,
-                precision=precision,
-            )
-            rows.append(
-                NodeScalingRow(
-                    technology_node=node,
-                    dram_technology=combo["dram"],
-                    inter_node_network=combo["network"],
-                    step_time=report.step_time,
-                    compute_time=report.compute_time + report.recompute_time,
-                    communication_time=report.communication_time,
-                    other_time=report.other_time,
-                    gemm_compute_bound_time=bound["compute_bound"],
-                    gemm_memory_bound_time=bound["memory_bound"],
-                )
-            )
+        )
     return rows
 
 
@@ -161,20 +183,21 @@ def _optimize_point(
     precision: Precision,
     recompute: RecomputeStrategy,
     budget: ResourceBudget,
+    runner: Optional[SweepRunner] = None,
 ) -> DesignPoint:
     """Optimize the area/power allocation of ``point`` for the training workload."""
+    runner = runner or default_runner()
 
     def objective(candidate: DesignPoint) -> float:
-        system = candidate.build_system(num_devices=num_devices, budget=budget)
-        training = TrainingPerformanceModel(system=system)
-        report = training.predict(
+        scenario = Scenario.training(
+            candidate.build_system(num_devices=num_devices, budget=budget),
             model,
             parallelism,
             global_batch_size=global_batch_size,
             precision=precision,
             recompute=recompute,
         )
-        return report.step_time
+        return runner.evaluate(scenario).step_time
 
     search = GradientDescentSearch(space, initial_step=0.1, min_step=0.02, max_iterations=15)
     result: SearchResult = search.search(objective, starting_points=[point])
@@ -212,6 +235,7 @@ def inference_memory_scaling_study(
     generated_tokens: int = 200,
     precision: Precision = Precision.FP16,
     base_accelerator: str = "A100",
+    runner: Optional[SweepRunner] = None,
 ) -> List[MemoryScalingRow]:
     """Sweep DRAM technologies for multi-GPU inference (paper Fig. 9).
 
@@ -225,21 +249,24 @@ def inference_memory_scaling_study(
     base = get_accelerator(base_accelerator)
     sweep = [{"dram": tech, "network": "NVLink3"} for tech in memory_technologies]
     sweep.extend(extra_points)
-    rows: List[MemoryScalingRow] = []
-    for num_gpus in gpu_counts:
-        for combo in sweep:
-            technology = get_dram_technology(combo["dram"]).with_capacity(base.dram_capacity)
-            accelerator = base.with_dram(technology, keep_capacity=True)
-            system = build_system(
-                accelerator,
-                num_devices=num_gpus,
-                intra_node=combo["network"],
-                inter_node="HDR-IB",
-                devices_per_node=8,
-                name=f"{base.name}-{combo['dram']}-{combo['network']}",
-            )
-            inference = InferencePerformanceModel(system=system)
-            report = inference.predict(
+    runner = runner or default_runner()
+
+    grid = [(num_gpus, combo) for num_gpus in gpu_counts for combo in sweep]
+    scenarios = []
+    for num_gpus, combo in grid:
+        technology = get_dram_technology(combo["dram"]).with_capacity(base.dram_capacity)
+        accelerator = base.with_dram(technology, keep_capacity=True)
+        system = build_system(
+            accelerator,
+            num_devices=num_gpus,
+            intra_node=combo["network"],
+            inter_node="HDR-IB",
+            devices_per_node=8,
+            name=f"{base.name}-{combo['dram']}-{combo['network']}",
+        )
+        scenarios.append(
+            Scenario.inference(
+                system,
                 model,
                 batch_size=batch_size,
                 prompt_tokens=prompt_tokens,
@@ -247,15 +274,19 @@ def inference_memory_scaling_study(
                 tensor_parallel=num_gpus,
                 precision=precision,
             )
-            rows.append(
-                MemoryScalingRow(
-                    dram_technology=combo["dram"],
-                    network=combo["network"],
-                    num_gpus=num_gpus,
-                    memory_time=report.device_time,
-                    communication_time=report.communication_time,
-                )
+        )
+    rows: List[MemoryScalingRow] = []
+    for (num_gpus, combo), result in zip(grid, runner.run(scenarios)):
+        report = result.report
+        rows.append(
+            MemoryScalingRow(
+                dram_technology=combo["dram"],
+                network=combo["network"],
+                num_gpus=num_gpus,
+                memory_time=report.device_time,
+                communication_time=report.communication_time,
             )
+        )
     return rows
 
 
@@ -266,9 +297,10 @@ def h100_reference_latency(
     prompt_tokens: int = 200,
     generated_tokens: int = 200,
     precision: Precision = Precision.FP16,
+    runner: Optional[SweepRunner] = None,
 ) -> float:
     """The H100-HBM3e reference latency drawn as a dashed line in Fig. 9."""
-    model = get_model(model) if isinstance(model, str) else model
+    runner = runner or default_runner()
     system = build_system(
         "H100",
         num_devices=num_gpus,
@@ -277,13 +309,15 @@ def h100_reference_latency(
         devices_per_node=8,
         name=f"H100x{num_gpus}",
     )
-    inference = InferencePerformanceModel(system=system)
-    report = inference.predict(
-        model,
-        batch_size=batch_size,
-        prompt_tokens=prompt_tokens,
-        generated_tokens=generated_tokens,
-        tensor_parallel=num_gpus,
-        precision=precision,
+    report = runner.evaluate(
+        Scenario.inference(
+            system,
+            model,
+            batch_size=batch_size,
+            prompt_tokens=prompt_tokens,
+            generated_tokens=generated_tokens,
+            tensor_parallel=num_gpus,
+            precision=precision,
+        )
     )
     return report.total_latency

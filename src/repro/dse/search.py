@@ -13,13 +13,34 @@ the design-space grid as starting points.
 from __future__ import annotations
 
 import dataclasses
+import logging
 from typing import Callable, Dict, List, Optional, Tuple
 
-from ..errors import SearchError
+from ..errors import ReproError, SearchError
 from .space import DesignPoint, DesignSpace
+
+logger = logging.getLogger(__name__)
 
 #: Objective: maps a design point to a cost (seconds); lower is better.
 Objective = Callable[[DesignPoint], float]
+
+
+@dataclasses.dataclass(frozen=True)
+class EvaluationRecord:
+    """One cached objective evaluation.
+
+    Attributes:
+        cost: Objective value; infinity for infeasible points.
+        error: The library error that made the point infeasible, if any.
+    """
+
+    cost: float
+    error: Optional[str] = None
+
+    @property
+    def feasible(self) -> bool:
+        """Whether the evaluation produced a finite cost."""
+        return self.error is None and self.cost != float("inf")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -75,22 +96,29 @@ class GradientDescentSearch:
 
     # -- internals --------------------------------------------------------------
 
-    def _evaluate(self, objective: Objective, point: DesignPoint, cache: Dict[str, float]) -> float:
-        key = repr(point.as_dict())
-        if key not in cache:
+    def _evaluate(
+        self, objective: Objective, point: DesignPoint, cache: Dict[DesignPoint, EvaluationRecord]
+    ) -> float:
+        # DesignPoint is frozen and hashable, so it keys the cache directly;
+        # infeasible points are recorded structurally instead of via string
+        # sentinels, keeping the evaluation count honest.
+        record = cache.get(point)
+        if record is None:
             try:
-                cache[key] = float(objective(point))
-            except Exception as error:  # infeasible points get an infinite cost
-                cache[key] = float("inf")
-                cache[f"{key}::error"] = 0.0
-                _ = error
-        return cache[key]
+                record = EvaluationRecord(cost=float(objective(point)))
+            except ReproError as error:
+                # Only the library's own errors mark a point infeasible; a
+                # genuine bug in the objective (TypeError, ...) still raises.
+                logger.debug("design point %s infeasible: %s", point.label, error)
+                record = EvaluationRecord(cost=float("inf"), error=str(error))
+            cache[point] = record
+        return record.cost
 
     def _descend(
         self,
         objective: Objective,
         start: DesignPoint,
-        cache: Dict[str, float],
+        cache: Dict[DesignPoint, EvaluationRecord],
     ) -> Tuple[DesignPoint, float, List[Tuple[float, DesignPoint]]]:
         point = self.space.clip(start)
         cost = self._evaluate(objective, point, cache)
@@ -125,15 +153,18 @@ class GradientDescentSearch:
         """Run the search and return the best feasible design point.
 
         Args:
-            objective: Cost function; may raise for infeasible points, which
-                are treated as infinitely expensive.
+            objective: Cost function; may raise a :class:`~repro.errors.ReproError`
+                (e.g. :class:`~repro.errors.MemoryCapacityError`) for
+                infeasible points, which are treated as infinitely expensive.
+                Any other exception type is considered a bug in the objective
+                and propagates.
             starting_points: Starting points (defaults to a coarse grid over
                 the discrete choices of the space).
 
         Raises:
             SearchError: When no feasible point is found.
         """
-        cache: Dict[str, float] = {}
+        cache: Dict[DesignPoint, EvaluationRecord] = {}
         starts = starting_points if starting_points is not None else self.space.grid(fraction_steps=2)
         if not starts:
             raise SearchError("no starting points to search from")
@@ -147,7 +178,7 @@ class GradientDescentSearch:
             full_history.extend(history)
             if cost < best_cost:
                 best_point, best_cost = point, cost
-        evaluations = len([key for key in cache if not key.endswith("::error")])
+        evaluations = len(cache)
         if best_point is None or best_cost == float("inf"):
             raise SearchError("design-space search found no feasible design point")
         return SearchResult(

@@ -42,6 +42,14 @@ class ComputeSpec:
             raise ConfigurationError("efficiency must be in (0, 1]")
         object.__setattr__(self, "peak_flops", dict(self.peak_flops))
 
+    def __hash__(self) -> int:
+        # The generated hash of a frozen dataclass cannot handle the
+        # peak_flops mapping; hash a canonically ordered tuple instead so
+        # equal specs (dict equality) hash equally and the spec can key
+        # engine/result caches.
+        peaks = tuple(sorted((p.value, f) for p, f in self.peak_flops.items()))
+        return hash((peaks, self.efficiency, self.vector_flops))
+
     def supports(self, precision: Precision) -> bool:
         """Whether the device has a matrix path for ``precision``."""
         return precision in self.peak_flops

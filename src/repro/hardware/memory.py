@@ -159,6 +159,16 @@ class MemoryHierarchy:
             ]
         )
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MemoryHierarchy):
+            return NotImplemented
+        return self._levels == other._levels
+
+    def __hash__(self) -> int:
+        # Value-based hash (the levels are frozen dataclasses) so accelerator
+        # and system specs that embed a hierarchy can key scenario caches.
+        return hash(tuple(self._levels))
+
     def __repr__(self) -> str:
         parts = ", ".join(f"{lvl.name}={lvl.bandwidth / TBPS:.2f}TB/s" for lvl in self._levels)
         return f"MemoryHierarchy({parts})"

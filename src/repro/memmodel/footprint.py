@@ -68,6 +68,15 @@ class TrainingMemoryBreakdown:
             "total": self.total_bytes,
         }
 
+    def to_dict(self) -> Dict[str, float]:
+        """JSON-safe dict view (field names, in bytes)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, float]) -> "TrainingMemoryBreakdown":
+        """Rebuild a breakdown from :meth:`to_dict` output."""
+        return cls(**{field.name: data[field.name] for field in dataclasses.fields(cls)})
+
 
 @dataclasses.dataclass(frozen=True)
 class InferenceMemoryBreakdown:
@@ -94,6 +103,15 @@ class InferenceMemoryBreakdown:
             "activations": self.activation_bytes,
             "total": self.total_bytes,
         }
+
+    def to_dict(self) -> Dict[str, float]:
+        """JSON-safe dict view (field names, in bytes)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, float]) -> "InferenceMemoryBreakdown":
+        """Rebuild a breakdown from :meth:`to_dict` output."""
+        return cls(**{field.name: data[field.name] for field in dataclasses.fields(cls)})
 
 
 def kv_cache_bytes(

@@ -22,6 +22,7 @@ import bisect
 import dataclasses
 from typing import List, Optional, Sequence, Tuple
 
+from ..caching import memo_put
 from ..errors import ConfigurationError
 from ..hardware.accelerator import AcceleratorSpec
 from ..units import MICROSECOND
@@ -120,6 +121,11 @@ class GemmTimeModel:
             raise ConfigurationError("fat_gemm_dram_utilization must be in (0, 1]")
         if self.kernel_overhead < 0:
             raise ConfigurationError("kernel_overhead must be non-negative")
+        # Memoization of evaluated kernels: sweeps re-ask the same GEMM shapes
+        # thousands of times (layers x micro-batches x scenarios).  The cache
+        # is keyed by the frozen GEMM descriptor and is not a dataclass field,
+        # so equality/hashing of the model itself are unaffected.
+        object.__setattr__(self, "_evaluation_cache", {})
 
     # -- helpers ---------------------------------------------------------------
 
@@ -161,6 +167,9 @@ class GemmTimeModel:
         levels as well; this is what makes very fast DRAM technologies
         eventually L2-bound (paper Section 6.2).
         """
+        cached = self._evaluation_cache.get(gemm)
+        if cached is not None:
+            return cached
         compute_time = self.compute_time(gemm)
         traffic = self.level_traffic(gemm)
         dram_name = self.accelerator.memory.dram.name
@@ -175,7 +184,7 @@ class GemmTimeModel:
             else:
                 bandwidth *= level.utilization
             level_times[level.name] = traffic[level.name] / bandwidth
-        return classify(
+        point = classify(
             name=gemm.name,
             flops=gemm.flops,
             compute_time=compute_time,
@@ -183,6 +192,7 @@ class GemmTimeModel:
             level_bytes=traffic,
             outermost_level=dram_name,
         )
+        return memo_put(self._evaluation_cache, gemm, point)
 
     def time(self, gemm: GEMM, include_overhead: bool = True) -> float:
         """Execution time of one GEMM in seconds."""

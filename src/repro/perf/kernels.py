@@ -13,6 +13,7 @@ import dataclasses
 from ..errors import ConfigurationError
 from ..hardware.accelerator import AcceleratorSpec
 from ..units import MICROSECOND
+from ..caching import memo_put
 from ..workload.operators import GEMM, Operator, OperatorKind
 from .gemm import GemmTimeModel
 from .roofline import RooflinePoint, classify
@@ -43,14 +44,20 @@ class MemoryBoundKernelModel:
             raise ConfigurationError("dram_utilization must be in (0, 1]")
         if self.kernel_overhead < 0:
             raise ConfigurationError("kernel_overhead must be non-negative")
+        # Memoization of repeated kernel queries (see GemmTimeModel); keyed by
+        # the frozen operator descriptor, attached outside the dataclass fields.
+        object.__setattr__(self, "_evaluation_cache", {})
 
     def evaluate(self, op: Operator) -> RooflinePoint:
         """Time and classify one memory-bound kernel."""
+        cached = self._evaluation_cache.get(op)
+        if cached is not None:
+            return cached
         dram = self.accelerator.memory.dram
         bandwidth = dram.bandwidth * self.dram_utilization
         memory_time = op.bytes_total / bandwidth if op.bytes_total > 0 else 0.0
         compute_time = op.flops / self.accelerator.compute.vector_throughput if op.flops > 0 else 0.0
-        return classify(
+        point = classify(
             name=op.name,
             flops=op.flops,
             compute_time=compute_time,
@@ -58,6 +65,7 @@ class MemoryBoundKernelModel:
             level_bytes={dram.name: op.bytes_total},
             outermost_level=dram.name,
         )
+        return memo_put(self._evaluation_cache, op, point)
 
     def time(self, op: Operator, include_overhead: bool = True) -> float:
         """Execution time of one kernel in seconds."""

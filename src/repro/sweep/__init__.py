@@ -1,0 +1,28 @@
+"""Scenario/sweep subsystem: one cached, parallel evaluation pipeline.
+
+Public surface:
+
+* :class:`~repro.sweep.scenario.Scenario` -- frozen, hashable spec of one
+  evaluation (system + model + parallelism + workload knobs) with a
+  canonical cache key.
+* :class:`~repro.sweep.runner.SweepRunner` -- deduplicates, caches, and
+  executes scenario grids serially or across a thread/process pool.
+* :func:`~repro.sweep.runner.expand_grid` -- cartesian-product helper.
+* :func:`~repro.sweep.runner.default_runner` -- the process-wide shared
+  runner the analysis and DSE layers route through.
+"""
+
+from .runner import SweepResult, SweepRunner, SweepStats, default_runner, expand_grid
+from .scenario import Scenario, ScenarioKind, engine_for, evaluate_scenario
+
+__all__ = [
+    "Scenario",
+    "ScenarioKind",
+    "SweepResult",
+    "SweepRunner",
+    "SweepStats",
+    "default_runner",
+    "engine_for",
+    "evaluate_scenario",
+    "expand_grid",
+]

@@ -1,0 +1,286 @@
+"""The sweep runner: deduplicated, cached, optionally parallel evaluation.
+
+``SweepRunner`` turns a list of :class:`~repro.sweep.scenario.Scenario`
+objects into :class:`SweepResult` rows.  It deduplicates scenarios by their
+canonical cache key, serves repeats from an LRU result cache, and evaluates
+the remaining unique scenarios through a pluggable executor::
+
+    runner = SweepRunner()                     # serial, in-process
+    runner = SweepRunner(executor="process")   # fan out across CPUs
+
+    results = runner.run(scenarios)
+    report = runner.evaluate(scenario)         # single scenario, same cache
+
+Grids expand with :func:`expand_grid`::
+
+    scenarios = [
+        Scenario.inference(system, "Llama2-13B", **combo)
+        for combo in expand_grid(batch_size=[1, 4, 16], tensor_parallel=[1, 2, 4])
+    ]
+"""
+
+from __future__ import annotations
+
+import collections
+import concurrent.futures
+import dataclasses
+import itertools
+from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence
+
+from ..errors import ConfigurationError, ReproError
+from .scenario import Scenario, evaluate_scenario
+
+#: Executor names accepted by :class:`SweepRunner`.
+EXECUTORS = ("serial", "thread", "process")
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepResult:
+    """Outcome of one scenario evaluation.
+
+    Attributes:
+        scenario: The scenario that was evaluated.
+        value: The evaluation result (a report, breakdown, table, ...), or
+            ``None`` when the evaluation failed and errors are captured.
+        from_cache: Whether the value was served from the result cache
+            (including duplicates within one :meth:`SweepRunner.run` call).
+        error: The captured library error message, if any.
+    """
+
+    scenario: Scenario
+    value: object
+    from_cache: bool = False
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the evaluation produced a value."""
+        return self.error is None
+
+    @property
+    def report(self) -> object:
+        """Alias for :attr:`value`, reading naturally for report-producing kinds."""
+        return self.value
+
+    def row(self) -> Dict[str, object]:
+        """Scenario summary merged with an ``error`` column, for tables."""
+        row = self.scenario.describe()
+        row["error"] = self.error
+        return row
+
+
+@dataclasses.dataclass
+class SweepStats:
+    """Running counters of a :class:`SweepRunner` (across all calls)."""
+
+    evaluations: int = 0
+    cache_hits: int = 0
+    errors: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        """Plain-dict view for logs and benchmark extra_info."""
+        return dataclasses.asdict(self)
+
+
+class _CacheEntry:
+    """A cached evaluation: either a value or the library error it raised."""
+
+    __slots__ = ("value", "error")
+
+    def __init__(self, value: object = None, error: Optional[ReproError] = None):
+        self.value = value
+        self.error = error
+
+
+class SweepRunner:
+    """Expands, deduplicates, caches, and executes scenario evaluations.
+
+    Attributes:
+        executor: ``"serial"``, ``"thread"``, or ``"process"``.
+        max_workers: Worker count for the pooled executors.
+        cache_size: Maximum number of cached evaluation results.
+        capture_errors: When True, library errors (:class:`ReproError`) are
+            recorded on the result row instead of raised -- useful for grids
+            that contain infeasible corners.  Non-library exceptions always
+            propagate: a bug in the model must not masquerade as an
+            infeasible scenario.
+    """
+
+    def __init__(
+        self,
+        executor: str = "serial",
+        max_workers: Optional[int] = None,
+        cache_size: int = 4096,
+        capture_errors: bool = False,
+    ):
+        if executor not in EXECUTORS:
+            raise ConfigurationError(f"executor must be one of {EXECUTORS}, got {executor!r}")
+        if cache_size < 0:
+            raise ConfigurationError("cache_size must be non-negative")
+        self.executor = executor
+        self.max_workers = max_workers
+        self.cache_size = cache_size
+        self.capture_errors = capture_errors
+        self.stats = SweepStats()
+        self._cache: "collections.OrderedDict[str, _CacheEntry]" = collections.OrderedDict()
+
+    # -- cache ------------------------------------------------------------------------
+
+    def clear_cache(self) -> None:
+        """Drop every cached result (the stats keep counting)."""
+        self._cache.clear()
+
+    def _cache_get(self, key: str) -> Optional[_CacheEntry]:
+        entry = self._cache.get(key)
+        if entry is not None:
+            self._cache.move_to_end(key)
+        return entry
+
+    def _cache_put(self, key: str, entry: _CacheEntry) -> None:
+        if self.cache_size == 0:
+            return
+        while len(self._cache) >= self.cache_size:
+            self._cache.popitem(last=False)
+        self._cache[key] = entry
+
+    # -- execution --------------------------------------------------------------------
+
+    def run(self, scenarios: Iterable[Scenario]) -> List[SweepResult]:
+        """Evaluate ``scenarios`` and return one result per input, in order.
+
+        Scenarios with equal cache keys are evaluated once; later occurrences
+        (and scenarios already in the cache from previous calls) are marked
+        ``from_cache``.
+        """
+        ordered = list(scenarios)
+        keys = [scenario.cache_key() for scenario in ordered]
+
+        # Snapshot cache hits up front: entries may be evicted from the LRU
+        # while the pending scenarios are stored, so the assembly loop below
+        # must never depend on re-reading the evictable cache.
+        hits: Dict[str, _CacheEntry] = {}
+        pending: Dict[str, Scenario] = {}
+        for scenario, key in zip(ordered, keys):
+            if key in hits or key in pending:
+                continue
+            entry = self._cache_get(key)
+            if entry is not None:
+                hits[key] = entry
+            else:
+                pending[key] = scenario
+
+        fresh = self._evaluate_pending(pending)
+
+        results: List[SweepResult] = []
+        seen_fresh: set = set()
+        for scenario, key in zip(ordered, keys):
+            if key in fresh:
+                entry = fresh[key]
+                from_cache = key in seen_fresh
+                seen_fresh.add(key)
+            else:
+                entry = hits[key]
+                from_cache = True
+            if from_cache:
+                self.stats.cache_hits += 1
+            if entry.error is not None:
+                if not self.capture_errors:
+                    raise entry.error
+                results.append(SweepResult(scenario=scenario, value=None, from_cache=from_cache, error=str(entry.error)))
+            else:
+                results.append(SweepResult(scenario=scenario, value=entry.value, from_cache=from_cache))
+        return results
+
+    def evaluate(self, scenario: Scenario) -> object:
+        """Evaluate one scenario through the cache and return its value.
+
+        Library errors raise (regardless of :attr:`capture_errors`); this is
+        the building block for objective functions and one-off queries.
+        """
+        key = scenario.cache_key()
+        entry = self._cache_get(key)
+        if entry is None:
+            entry = self._evaluate_pending({key: scenario})[key]
+        else:
+            self.stats.cache_hits += 1
+        if entry.error is not None:
+            raise entry.error
+        return entry.value
+
+    def run_grid(self, factory: Callable[..., Scenario], **axes: Sequence[object]) -> List[SweepResult]:
+        """Expand the cartesian product of ``axes`` through ``factory`` and run it.
+
+        ``factory`` receives one keyword argument per axis, e.g.::
+
+            runner.run_grid(
+                lambda batch_size, tensor_parallel: Scenario.inference(system, model, ...),
+                batch_size=[1, 4, 16],
+                tensor_parallel=[1, 2, 4],
+            )
+        """
+        return self.run(factory(**combo) for combo in expand_grid(**axes))
+
+    # -- internals --------------------------------------------------------------------
+
+    def _evaluate_pending(self, pending: Mapping[str, Scenario]) -> Dict[str, _CacheEntry]:
+        if not pending:
+            return {}
+        keys = list(pending)
+        scenarios = [pending[key] for key in keys]
+        if self.executor == "serial" or len(scenarios) == 1:
+            entries = [self._evaluate_one(scenario) for scenario in scenarios]
+        else:
+            pool_cls = (
+                concurrent.futures.ThreadPoolExecutor
+                if self.executor == "thread"
+                else concurrent.futures.ProcessPoolExecutor
+            )
+            with pool_cls(max_workers=self.max_workers) as pool:
+                futures = [pool.submit(evaluate_scenario, scenario) for scenario in scenarios]
+                entries = []
+                for future in futures:
+                    try:
+                        entries.append(_CacheEntry(value=future.result()))
+                    except ReproError as error:
+                        entries.append(_CacheEntry(error=error))
+        fresh: Dict[str, _CacheEntry] = {}
+        for key, entry in zip(keys, entries):
+            self.stats.evaluations += 1
+            if entry.error is not None:
+                self.stats.errors += 1
+            self._cache_put(key, entry)
+            fresh[key] = entry
+        return fresh
+
+    def _evaluate_one(self, scenario: Scenario) -> _CacheEntry:
+        try:
+            return _CacheEntry(value=evaluate_scenario(scenario))
+        except ReproError as error:
+            return _CacheEntry(error=error)
+
+
+def expand_grid(**axes: Sequence[object]) -> Iterator[Dict[str, object]]:
+    """Yield every combination of the given axes as a keyword dict.
+
+    ``expand_grid(a=[1, 2], b=["x"])`` yields ``{"a": 1, "b": "x"}`` and
+    ``{"a": 2, "b": "x"}``.  Axis order follows the keyword order, with the
+    last axis varying fastest.
+    """
+    if not axes:
+        return
+    names = list(axes)
+    for values in itertools.product(*(axes[name] for name in names)):
+        yield dict(zip(names, values))
+
+
+#: Lazily created module-level runner shared by the analysis and DSE layers,
+#: so separate tables/figures reuse each other's evaluations within a process.
+_SHARED_RUNNER: Optional[SweepRunner] = None
+
+
+def default_runner() -> SweepRunner:
+    """The process-wide shared runner (serial executor, capture off)."""
+    global _SHARED_RUNNER
+    if _SHARED_RUNNER is None:
+        _SHARED_RUNNER = SweepRunner()
+    return _SHARED_RUNNER

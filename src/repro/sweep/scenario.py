@@ -1,0 +1,481 @@
+"""Frozen, hashable scenario specifications for the sweep subsystem.
+
+A :class:`Scenario` bundles everything one evaluation of the performance
+model needs -- the system, the model, the parallelization, and the workload
+knobs -- into a single immutable value object with a canonical
+:meth:`~Scenario.cache_key`.  Every paper table/figure, every DSE objective,
+and every example script can therefore express its work as a list of
+scenarios, and the :class:`~repro.sweep.runner.SweepRunner` can deduplicate,
+cache, and parallelize the evaluations without knowing what is being swept.
+
+The module also hosts :func:`evaluate_scenario`, the single dispatch point
+from a scenario to the underlying engine call, plus a small per-process
+engine cache so scenarios sharing a :class:`~repro.hardware.cluster.SystemSpec`
+reuse one :class:`~repro.core.engine.PerformancePredictionEngine` (and with
+it the memoized kernel/collective models).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..core.bottleneck import attention_layer_bound_breakdown
+from ..core.engine import PerformancePredictionEngine
+from ..errors import ConfigurationError
+from ..hardware.accelerator import AcceleratorSpec, get_accelerator
+from ..hardware.cluster import SystemSpec, build_system
+from ..hardware.datatypes import Precision
+from ..memmodel.activations import RecomputeStrategy
+from ..memmodel.footprint import inference_memory_breakdown, training_memory_breakdown
+from ..models.transformer import TransformerConfig
+from ..models.zoo import get_model
+from ..parallelism.config import ParallelismConfig
+
+
+class ScenarioKind(enum.Enum):
+    """What one scenario evaluation produces."""
+
+    TRAINING = "training"                        # -> TrainingReport
+    INFERENCE = "inference"                      # -> InferenceReport
+    TRAINING_MEMORY = "training_memory"          # -> TrainingMemoryBreakdown
+    INFERENCE_MEMORY = "inference_memory"        # -> InferenceMemoryBreakdown
+    PREFILL_BOTTLENECKS = "prefill_bottlenecks"  # -> List[GemmBottleneckEntry]
+    DECODE_BOTTLENECKS = "decode_bottlenecks"    # -> List[GemmBottleneckEntry]
+    ATTENTION_BOUND = "attention_bound"          # -> Dict[str, float]
+    GEMV_VALIDATION = "gemv_validation"          # -> GemvValidationResult
+
+
+#: Scenario kinds that need a system (and hence an engine) to evaluate.
+_SYSTEM_KINDS = frozenset(
+    {
+        ScenarioKind.TRAINING,
+        ScenarioKind.INFERENCE,
+        ScenarioKind.PREFILL_BOTTLENECKS,
+        ScenarioKind.DECODE_BOTTLENECKS,
+        ScenarioKind.ATTENTION_BOUND,
+    }
+)
+#: Scenario kinds that need a model.
+_MODEL_KINDS = _SYSTEM_KINDS | {ScenarioKind.TRAINING_MEMORY, ScenarioKind.INFERENCE_MEMORY}
+
+
+def _resolve_model(model: "TransformerConfig | str") -> TransformerConfig:
+    return get_model(model) if isinstance(model, str) else model
+
+
+def _canonical_extras(extras: Optional[Mapping[str, object]]) -> Tuple[Tuple[str, object], ...]:
+    """Canonicalize evaluator-specific parameters into a sorted, hashable tuple."""
+    if not extras:
+        return ()
+    items = tuple(sorted(extras.items()))
+    for key, value in items:
+        hash(value)  # raises for unhashable extras up front
+        _ = key
+    return items
+
+
+@dataclasses.dataclass(frozen=True)
+class Scenario:
+    """One point of a sweep: system + model + parallelism + workload knobs.
+
+    Prefer the classmethod constructors (:meth:`training`, :meth:`inference`,
+    ...) over the raw constructor: they resolve catalog names, apply the
+    kind-specific defaults, and read like the engine API.
+
+    Attributes:
+        kind: What evaluating the scenario produces.
+        system: The hardware system (``None`` for engine-free kinds such as
+            the memory breakdowns and the GEMV validation).
+        model: The transformer architecture under study.
+        parallelism: DP/TP/PP/SP configuration (training kinds only).
+        precision: Numeric precision of the workload.
+        recompute: Activation-recomputation strategy (training kinds only).
+        global_batch_size: Training global batch size.
+        seq_len: Sequence length override (training) or the layer sequence
+            length (attention-bound); ``None`` uses the model default.
+        batch_size: Inference batch size, or the micro-batch of the
+            attention-bound breakdown.
+        prompt_tokens: Prompt length of an inference request.
+        generated_tokens: Generated tokens of an inference request.
+        context_len: KV context length for inference memory (defaults to
+            ``prompt_tokens + generated_tokens``).
+        kv_len: KV length of one decode step (decode bottlenecks).
+        tensor_parallel: TP degree of inference-style kinds.
+        tag: Free-form label carried into results; excluded from the cache
+            key so differently-tagged duplicates still share one evaluation.
+        extras: Canonicalized evaluator-specific parameters (e.g. the GEMV
+            validation's ``num_clusters``/``seed``).
+    """
+
+    kind: ScenarioKind
+    system: Optional[SystemSpec] = None
+    model: Optional[TransformerConfig] = None
+    parallelism: Optional[ParallelismConfig] = None
+    precision: Precision = Precision.FP16
+    recompute: RecomputeStrategy = RecomputeStrategy.SELECTIVE
+    global_batch_size: int = 1
+    seq_len: Optional[int] = None
+    batch_size: int = 1
+    prompt_tokens: int = 200
+    generated_tokens: int = 200
+    context_len: Optional[int] = None
+    kv_len: Optional[int] = None
+    tensor_parallel: int = 1
+    tag: str = ""
+    extras: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind in _SYSTEM_KINDS and self.system is None:
+            raise ConfigurationError(f"{self.kind.value} scenarios need a system")
+        if self.kind in _MODEL_KINDS and self.model is None:
+            raise ConfigurationError(f"{self.kind.value} scenarios need a model")
+        if self.kind in (ScenarioKind.TRAINING, ScenarioKind.TRAINING_MEMORY) and self.parallelism is None:
+            raise ConfigurationError(f"{self.kind.value} scenarios need a parallelism configuration")
+        if self.kind is ScenarioKind.ATTENTION_BOUND and self.seq_len is None:
+            raise ConfigurationError("attention_bound scenarios need a seq_len")
+
+    # -- constructors ----------------------------------------------------------------
+
+    @classmethod
+    def training(
+        cls,
+        system: SystemSpec,
+        model: "TransformerConfig | str",
+        parallelism: ParallelismConfig,
+        global_batch_size: int,
+        seq_len: Optional[int] = None,
+        precision: "Precision | str" = Precision.FP16,
+        recompute: "RecomputeStrategy | str" = RecomputeStrategy.SELECTIVE,
+        tag: str = "",
+    ) -> "Scenario":
+        """A training-step prediction (evaluates to a :class:`TrainingReport`)."""
+        return cls(
+            kind=ScenarioKind.TRAINING,
+            system=system,
+            model=_resolve_model(model),
+            parallelism=parallelism,
+            global_batch_size=global_batch_size,
+            seq_len=seq_len,
+            precision=Precision.parse(precision),
+            recompute=RecomputeStrategy.parse(recompute),
+            tag=tag,
+        )
+
+    @classmethod
+    def inference(
+        cls,
+        system: SystemSpec,
+        model: "TransformerConfig | str",
+        batch_size: int = 1,
+        prompt_tokens: int = 200,
+        generated_tokens: int = 200,
+        tensor_parallel: int = 1,
+        precision: "Precision | str" = Precision.FP16,
+        tag: str = "",
+    ) -> "Scenario":
+        """An end-to-end inference prediction (evaluates to an :class:`InferenceReport`)."""
+        return cls(
+            kind=ScenarioKind.INFERENCE,
+            system=system,
+            model=_resolve_model(model),
+            batch_size=batch_size,
+            prompt_tokens=prompt_tokens,
+            generated_tokens=generated_tokens,
+            tensor_parallel=tensor_parallel,
+            precision=Precision.parse(precision),
+            tag=tag,
+        )
+
+    @classmethod
+    def training_memory(
+        cls,
+        model: "TransformerConfig | str",
+        parallelism: ParallelismConfig,
+        global_batch_size: int,
+        seq_len: Optional[int] = None,
+        precision: "Precision | str" = Precision.FP16,
+        recompute: "RecomputeStrategy | str" = RecomputeStrategy.SELECTIVE,
+        tag: str = "",
+    ) -> "Scenario":
+        """A per-device training memory breakdown (no system required)."""
+        return cls(
+            kind=ScenarioKind.TRAINING_MEMORY,
+            model=_resolve_model(model),
+            parallelism=parallelism,
+            global_batch_size=global_batch_size,
+            seq_len=seq_len,
+            precision=Precision.parse(precision),
+            recompute=RecomputeStrategy.parse(recompute),
+            tag=tag,
+        )
+
+    @classmethod
+    def inference_memory(
+        cls,
+        model: "TransformerConfig | str",
+        batch_size: int = 1,
+        context_len: int = 400,
+        tensor_parallel: int = 1,
+        precision: "Precision | str" = Precision.FP16,
+        tag: str = "",
+    ) -> "Scenario":
+        """A per-device inference memory breakdown (no system required)."""
+        return cls(
+            kind=ScenarioKind.INFERENCE_MEMORY,
+            model=_resolve_model(model),
+            batch_size=batch_size,
+            context_len=context_len,
+            tensor_parallel=tensor_parallel,
+            precision=Precision.parse(precision),
+            tag=tag,
+        )
+
+    @classmethod
+    def prefill_bottlenecks(
+        cls,
+        accelerator: "AcceleratorSpec | SystemSpec | str",
+        model: "TransformerConfig | str",
+        batch_size: int = 1,
+        prompt_tokens: int = 200,
+        tensor_parallel: int = 1,
+        precision: "Precision | str" = Precision.FP16,
+        tag: str = "",
+    ) -> "Scenario":
+        """The per-GEMM bound-type table of the prefill phase (paper Table 4)."""
+        return cls(
+            kind=ScenarioKind.PREFILL_BOTTLENECKS,
+            system=_device_system(accelerator),
+            model=_resolve_model(model),
+            batch_size=batch_size,
+            prompt_tokens=prompt_tokens,
+            tensor_parallel=tensor_parallel,
+            precision=Precision.parse(precision),
+            tag=tag,
+        )
+
+    @classmethod
+    def decode_bottlenecks(
+        cls,
+        accelerator: "AcceleratorSpec | SystemSpec | str",
+        model: "TransformerConfig | str",
+        batch_size: int = 1,
+        kv_len: int = 200,
+        tensor_parallel: int = 1,
+        precision: "Precision | str" = Precision.FP16,
+        tag: str = "",
+    ) -> "Scenario":
+        """The per-GEMM bound-type table of one decode step."""
+        return cls(
+            kind=ScenarioKind.DECODE_BOTTLENECKS,
+            system=_device_system(accelerator),
+            model=_resolve_model(model),
+            batch_size=batch_size,
+            kv_len=kv_len,
+            tensor_parallel=tensor_parallel,
+            precision=Precision.parse(precision),
+            tag=tag,
+        )
+
+    @classmethod
+    def attention_bound(
+        cls,
+        accelerator: "AcceleratorSpec | SystemSpec | str",
+        model: "TransformerConfig | str",
+        micro_batch: int,
+        seq_len: int,
+        tensor_parallel: int = 1,
+        precision: "Precision | str" = Precision.FP16,
+        tag: str = "",
+    ) -> "Scenario":
+        """Compute- vs memory-bound GEMM time of one training layer (Fig. 7).
+
+        Keyed on the accelerator only (wrapped into a canonical single-device
+        system), so sweeps that vary the network share one evaluation.
+        """
+        return cls(
+            kind=ScenarioKind.ATTENTION_BOUND,
+            system=_device_system(accelerator),
+            model=_resolve_model(model),
+            batch_size=micro_batch,
+            seq_len=seq_len,
+            tensor_parallel=tensor_parallel,
+            precision=Precision.parse(precision),
+            tag=tag,
+        )
+
+    @classmethod
+    def gemv_validation(cls, num_clusters: int = 3, seed: int = 2024, tag: str = "") -> "Scenario":
+        """The Fig.-3 GEMV calibration/validation flow on the synthetic set."""
+        return cls(
+            kind=ScenarioKind.GEMV_VALIDATION,
+            extras=_canonical_extras({"num_clusters": num_clusters, "seed": seed}),
+            tag=tag,
+        )
+
+    # -- identity --------------------------------------------------------------------
+
+    def cache_key(self) -> str:
+        """Canonical digest of everything that influences the evaluation.
+
+        The ``tag`` field is deliberately excluded: it labels results, it does
+        not change them.  Two scenarios with equal keys are guaranteed to
+        evaluate to the same value.
+        """
+        payload = tuple(
+            (field.name, _canonical(getattr(self, field.name)))
+            for field in dataclasses.fields(self)
+            if field.name != "tag"
+        )
+        return hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()
+
+    def with_tag(self, tag: str) -> "Scenario":
+        """Return a copy carrying a different result label."""
+        return dataclasses.replace(self, tag=tag)
+
+    def describe(self) -> Dict[str, object]:
+        """Flat summary for result rows and logs."""
+        return {
+            "kind": self.kind.value,
+            "system": self.system.name if self.system is not None else None,
+            "model": self.model.name if self.model is not None else None,
+            "parallelism": self.parallelism.label if self.parallelism is not None else None,
+            "precision": self.precision.value,
+            "tag": self.tag,
+        }
+
+
+def _device_system(accelerator: "AcceleratorSpec | SystemSpec | str") -> SystemSpec:
+    """Wrap a bare accelerator into a canonical single-node system.
+
+    Bottleneck and attention-bound scenarios depend only on the device, so a
+    canonical wrapper keeps their cache keys independent of whatever cluster
+    the caller happened to hold.
+    """
+    if isinstance(accelerator, SystemSpec):
+        device = accelerator.accelerator
+    elif isinstance(accelerator, AcceleratorSpec):
+        device = accelerator
+    else:
+        device = get_accelerator(accelerator)
+    return build_system(device, num_devices=8, intra_node="NVLink3", inter_node="HDR-IB", name=device.name)
+
+
+def _canonical(value: object) -> object:
+    """Reduce a value to a stable, hashable canonical form for cache keys."""
+    if isinstance(value, enum.Enum):
+        return (type(value).__name__, value.value)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return (
+            type(value).__name__,
+            tuple((field.name, _canonical(getattr(value, field.name))) for field in dataclasses.fields(value)),
+        )
+    if isinstance(value, Mapping):
+        return tuple(sorted((str(k), _canonical(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_canonical(item) for item in value)
+    if hasattr(value, "levels"):  # MemoryHierarchy
+        return (type(value).__name__, tuple(_canonical(level) for level in value.levels))
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Evaluation: scenario -> result, with a per-process engine cache.
+# ---------------------------------------------------------------------------
+
+#: Engines kept per process, keyed by the (value-hashable) system spec.
+_ENGINE_CACHE_SIZE = 64
+_ENGINE_CACHE: Dict[SystemSpec, PerformancePredictionEngine] = {}
+
+
+def engine_for(system: SystemSpec) -> PerformancePredictionEngine:
+    """Return a (cached) prediction engine for ``system``.
+
+    Reusing the engine also reuses its memoized kernel and collective models,
+    which is where most of a sweep's repeated work is saved.
+    """
+    engine = _ENGINE_CACHE.get(system)
+    if engine is None:
+        if len(_ENGINE_CACHE) >= _ENGINE_CACHE_SIZE:
+            _ENGINE_CACHE.pop(next(iter(_ENGINE_CACHE)))
+        engine = PerformancePredictionEngine(system)
+        _ENGINE_CACHE[system] = engine
+    return engine
+
+
+def evaluate_scenario(scenario: Scenario) -> object:
+    """Evaluate one scenario to its result object.
+
+    This is the single dispatch point the sweep runner (and its process-pool
+    workers) call; it must stay importable at module top level so scenarios
+    can be shipped to worker processes.
+    """
+    kind = scenario.kind
+    if kind is ScenarioKind.GEMV_VALIDATION:
+        from ..calibration.gemv import run_gemv_validation
+
+        return run_gemv_validation(**dict(scenario.extras))
+    if kind is ScenarioKind.TRAINING_MEMORY:
+        return training_memory_breakdown(
+            scenario.model,
+            scenario.parallelism,
+            global_batch_size=scenario.global_batch_size,
+            seq_len=scenario.seq_len,
+            precision=scenario.precision,
+            strategy=scenario.recompute,
+        )
+    if kind is ScenarioKind.INFERENCE_MEMORY:
+        return inference_memory_breakdown(
+            scenario.model,
+            batch_size=scenario.batch_size,
+            context_len=scenario.context_len if scenario.context_len is not None else 400,
+            precision=scenario.precision,
+            tensor_parallel=scenario.tensor_parallel,
+        )
+    if kind is ScenarioKind.ATTENTION_BOUND:
+        return attention_layer_bound_breakdown(
+            scenario.model,
+            accelerator=scenario.system.accelerator,
+            micro_batch=scenario.batch_size,
+            seq_len=scenario.seq_len,
+            tensor_parallel=scenario.tensor_parallel,
+            precision=scenario.precision,
+        )
+    engine = engine_for(scenario.system)
+    if kind is ScenarioKind.TRAINING:
+        return engine.predict_training(
+            scenario.model,
+            scenario.parallelism,
+            global_batch_size=scenario.global_batch_size,
+            seq_len=scenario.seq_len,
+            precision=scenario.precision,
+            recompute=scenario.recompute,
+        )
+    if kind is ScenarioKind.INFERENCE:
+        return engine.predict_inference(
+            scenario.model,
+            batch_size=scenario.batch_size,
+            prompt_tokens=scenario.prompt_tokens,
+            generated_tokens=scenario.generated_tokens,
+            tensor_parallel=scenario.tensor_parallel,
+            precision=scenario.precision,
+        )
+    if kind is ScenarioKind.PREFILL_BOTTLENECKS:
+        return engine.prefill_bottlenecks(
+            scenario.model,
+            batch_size=scenario.batch_size,
+            prompt_tokens=scenario.prompt_tokens,
+            tensor_parallel=scenario.tensor_parallel,
+            precision=scenario.precision,
+        )
+    if kind is ScenarioKind.DECODE_BOTTLENECKS:
+        return engine.decode_bottlenecks(
+            scenario.model,
+            batch_size=scenario.batch_size,
+            kv_len=scenario.kv_len if scenario.kv_len is not None else 200,
+            tensor_parallel=scenario.tensor_parallel,
+            precision=scenario.precision,
+        )
+    raise ConfigurationError(f"unknown scenario kind: {kind!r}")

@@ -2,9 +2,9 @@
 
 import pytest
 
-from repro.dse.search import GradientDescentSearch, optimize_allocation
+from repro.dse.search import EvaluationRecord, GradientDescentSearch, optimize_allocation
 from repro.dse.space import DesignPoint, DesignSpace
-from repro.errors import SearchError
+from repro.errors import MemoryCapacityError, SearchError
 
 
 def _quadratic_objective(optimum_compute=0.7, optimum_l2=0.1):
@@ -43,7 +43,7 @@ def test_search_skips_infeasible_points():
 
     def objective(point: DesignPoint) -> float:
         if point.compute_area_fraction > 0.55:
-            raise ValueError("infeasible")
+            raise MemoryCapacityError("infeasible")
         return 10.0 - point.compute_area_fraction
 
     result = GradientDescentSearch(space).search(objective, starting_points=[DesignPoint(compute_area_fraction=0.4)])
@@ -55,10 +55,55 @@ def test_search_all_infeasible_raises():
     space = DesignSpace(technology_nodes=("N7",), dram_technologies=("HBM2E",), inter_node_networks=("NDR-x8",))
 
     def objective(point: DesignPoint) -> float:
-        raise ValueError("never feasible")
+        raise MemoryCapacityError("never feasible")
 
     with pytest.raises(SearchError):
         GradientDescentSearch(space).search(objective, starting_points=[DesignPoint()])
+
+
+def test_search_propagates_objective_bugs():
+    """Non-library exceptions are bugs in the objective, not infeasibility."""
+    space = DesignSpace(technology_nodes=("N7",), dram_technologies=("HBM2E",), inter_node_networks=("NDR-x8",))
+
+    def objective(point: DesignPoint) -> float:
+        raise TypeError("a genuine bug")
+
+    with pytest.raises(TypeError):
+        GradientDescentSearch(space).search(objective, starting_points=[DesignPoint()])
+
+
+def test_evaluate_caches_by_design_point_hash():
+    """Repeated evaluations of an equal point hit the structured cache."""
+    space = DesignSpace(technology_nodes=("N7",), dram_technologies=("HBM2E",), inter_node_networks=("NDR-x8",))
+    search = GradientDescentSearch(space)
+    calls = []
+
+    def objective(point: DesignPoint) -> float:
+        calls.append(point)
+        return 1.0
+
+    cache = {}
+    point = DesignPoint(compute_area_fraction=0.5)
+    twin = DesignPoint(compute_area_fraction=0.5)
+    assert search._evaluate(objective, point, cache) == 1.0
+    assert search._evaluate(objective, twin, cache) == 1.0
+    assert len(calls) == 1
+    assert cache[point] == EvaluationRecord(cost=1.0)
+
+
+def test_infeasible_points_do_not_pollute_evaluation_count():
+    space = DesignSpace(technology_nodes=("N7",), dram_technologies=("HBM2E",), inter_node_networks=("NDR-x8",))
+    search = GradientDescentSearch(space)
+    cache = {}
+
+    def objective(point: DesignPoint) -> float:
+        raise MemoryCapacityError("does not fit")
+
+    point = DesignPoint()
+    assert search._evaluate(objective, point, cache) == float("inf")
+    assert len(cache) == 1
+    assert not cache[point].feasible
+    assert cache[point].error is not None
 
 
 def test_search_without_starting_points_raises():

@@ -1,0 +1,160 @@
+"""Tests for the sweep runner: dedup, caching, executors, error capture."""
+
+import pytest
+
+from repro.errors import MemoryCapacityError, ReproError
+from repro.hardware.cluster import build_system
+from repro.parallelism.config import ParallelismConfig
+from repro.sweep import Scenario, SweepRunner, default_runner, expand_grid
+
+
+@pytest.fixture
+def system():
+    return build_system("A100", num_devices=8, intra_node="NVLink3", inter_node="HDR-IB")
+
+
+@pytest.fixture
+def training_scenario(system, tiny_model):
+    parallelism = ParallelismConfig(data_parallel=2, tensor_parallel=4, micro_batch_size=1)
+    return Scenario.training(system, tiny_model, parallelism, global_batch_size=4)
+
+
+def test_same_scenario_twice_evaluates_once(training_scenario):
+    runner = SweepRunner()
+    results = runner.run([training_scenario, training_scenario])
+    assert runner.stats.evaluations == 1
+    assert runner.stats.cache_hits == 1
+    assert results[0].value == results[1].value
+    assert not results[0].from_cache
+    assert results[1].from_cache
+
+
+def test_cache_persists_across_run_calls(training_scenario):
+    runner = SweepRunner()
+    first = runner.run([training_scenario])[0]
+    second = runner.run([training_scenario])[0]
+    assert runner.stats.evaluations == 1
+    assert second.from_cache
+    assert first.value == second.value
+
+
+def test_differently_tagged_duplicates_share_one_evaluation(training_scenario):
+    runner = SweepRunner()
+    results = runner.run([training_scenario.with_tag("a"), training_scenario.with_tag("b")])
+    assert runner.stats.evaluations == 1
+    assert results[0].scenario.tag == "a"
+    assert results[1].scenario.tag == "b"
+
+
+def test_evaluate_single_scenario_uses_cache(training_scenario):
+    runner = SweepRunner()
+    first = runner.evaluate(training_scenario)
+    second = runner.evaluate(training_scenario)
+    assert runner.stats.evaluations == 1
+    assert runner.stats.cache_hits == 1
+    assert first == second
+
+
+def test_results_preserve_input_order(system, tiny_model):
+    runner = SweepRunner()
+    scenarios = [Scenario.inference(system, tiny_model, batch_size=batch) for batch in (4, 1, 2)]
+    results = runner.run(scenarios)
+    assert [r.scenario.batch_size for r in results] == [4, 1, 2]
+
+
+@pytest.mark.parametrize("executor", ["thread", "process"])
+def test_parallel_executors_match_serial(executor, system, tiny_model):
+    grid = [
+        Scenario.inference(system, tiny_model, batch_size=combo["batch_size"], tensor_parallel=combo["tensor_parallel"])
+        for combo in expand_grid(batch_size=[1, 2], tensor_parallel=[1, 2])
+    ]
+    serial = [r.value.total_latency for r in SweepRunner().run(grid)]
+    parallel = [r.value.total_latency for r in SweepRunner(executor=executor, max_workers=2).run(grid)]
+    assert parallel == pytest.approx(serial)
+
+
+def test_unknown_executor_rejected():
+    with pytest.raises(ReproError):
+        SweepRunner(executor="gpu")
+
+
+def test_infeasible_scenarios_raise_by_default(system):
+    # Llama2-70B FP16 weights do not fit a single A100.
+    scenario = Scenario.inference(system, "Llama2-70B", tensor_parallel=1)
+    with pytest.raises(MemoryCapacityError):
+        SweepRunner().run([scenario])
+
+
+def test_infeasible_scenarios_captured_on_request(system, tiny_model):
+    runner = SweepRunner(capture_errors=True)
+    bad = Scenario.inference(system, "Llama2-70B", tensor_parallel=1)
+    good = Scenario.inference(system, tiny_model)
+    results = runner.run([bad, good])
+    assert not results[0].ok
+    assert results[0].value is None
+    assert "needs" in results[0].error.lower()
+    assert results[1].ok
+    assert runner.stats.errors == 1
+
+
+def test_non_library_errors_always_propagate(monkeypatch, training_scenario):
+    runner = SweepRunner(capture_errors=True)
+    monkeypatch.setattr("repro.sweep.runner.evaluate_scenario", lambda scenario: (_ for _ in ()).throw(TypeError("bug")))
+    with pytest.raises(TypeError):
+        runner.run([training_scenario])
+
+
+def test_duplicates_survive_a_disabled_cache(system, tiny_model):
+    """cache_size=0 must still dedup within one run() call, not crash."""
+    runner = SweepRunner(cache_size=0)
+    scenario = Scenario.inference(system, tiny_model)
+    results = runner.run([scenario, scenario])
+    assert runner.stats.evaluations == 1
+    assert results[0].value == results[1].value
+    assert results[1].from_cache
+
+
+def test_duplicates_survive_mid_run_eviction(system, tiny_model):
+    """A repeat of an early scenario must not depend on the evictable LRU."""
+    runner = SweepRunner(cache_size=1)
+    first = Scenario.inference(system, tiny_model, batch_size=1)
+    second = Scenario.inference(system, tiny_model, batch_size=2)
+    results = runner.run([first, second, first])
+    assert runner.stats.evaluations == 2
+    assert results[0].value == results[2].value
+    assert results[2].from_cache
+
+
+def test_cache_eviction_keeps_runner_usable(system, tiny_model):
+    runner = SweepRunner(cache_size=2)
+    scenarios = [Scenario.inference(system, tiny_model, batch_size=batch) for batch in (1, 2, 3)]
+    runner.run(scenarios)
+    assert runner.stats.evaluations == 3
+    # The oldest entry was evicted, so re-running it evaluates again.
+    runner.run([scenarios[0]])
+    assert runner.stats.evaluations == 4
+
+
+def test_run_grid_expands_cartesian_product(system, tiny_model):
+    runner = SweepRunner()
+    results = runner.run_grid(
+        lambda batch_size, tensor_parallel: Scenario.inference(
+            system, tiny_model, batch_size=batch_size, tensor_parallel=tensor_parallel
+        ),
+        batch_size=[1, 2],
+        tensor_parallel=[1, 2],
+    )
+    assert len(results) == 4
+    assert runner.stats.evaluations == 4
+
+
+def test_expand_grid_orders_and_counts():
+    combos = list(expand_grid(a=[1, 2], b=["x", "y", "z"]))
+    assert len(combos) == 6
+    assert combos[0] == {"a": 1, "b": "x"}
+    assert combos[-1] == {"a": 2, "b": "z"}
+    assert list(expand_grid()) == []
+
+
+def test_default_runner_is_shared():
+    assert default_runner() is default_runner()

@@ -1,0 +1,91 @@
+"""Tests for the frozen scenario spec and its canonical cache key."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.accelerator import get_accelerator
+from repro.hardware.cluster import build_system
+from repro.parallelism.config import ParallelismConfig
+from repro.sweep import Scenario, ScenarioKind, evaluate_scenario
+from repro.core.reports import InferenceReport, TrainingReport
+
+
+@pytest.fixture
+def parallelism():
+    return ParallelismConfig(data_parallel=2, tensor_parallel=4, micro_batch_size=1)
+
+
+def test_scenarios_are_hashable_and_value_equal(single_node_a100, tiny_model, parallelism):
+    first = Scenario.training(single_node_a100, tiny_model, parallelism, global_batch_size=4)
+    # A structurally identical system built from scratch, not the same object.
+    twin_system = build_system("A100", num_devices=8, intra_node="NVLink3", inter_node="HDR-IB")
+    second = Scenario.training(twin_system, tiny_model, parallelism, global_batch_size=4)
+    assert first == second
+    assert hash(first) == hash(second)
+    assert len({first, second}) == 1
+
+
+def test_cache_key_stable_and_tag_independent(single_node_a100, tiny_model, parallelism):
+    base = Scenario.training(single_node_a100, tiny_model, parallelism, global_batch_size=4)
+    tagged = base.with_tag("labelled")
+    assert base.cache_key() == tagged.cache_key()
+    assert tagged.tag == "labelled"
+
+
+def test_cache_key_separates_different_scenarios(single_node_a100, tiny_model, parallelism):
+    keys = {
+        Scenario.training(single_node_a100, tiny_model, parallelism, global_batch_size=4).cache_key(),
+        Scenario.training(single_node_a100, tiny_model, parallelism, global_batch_size=8).cache_key(),
+        Scenario.inference(single_node_a100, tiny_model).cache_key(),
+        Scenario.inference(single_node_a100, tiny_model, batch_size=2).cache_key(),
+        Scenario.training_memory(tiny_model, parallelism, global_batch_size=4).cache_key(),
+    }
+    assert len(keys) == 5
+
+
+def test_cache_key_sees_system_differences(tiny_model, parallelism):
+    a100 = build_system("A100", num_devices=8)
+    h100 = build_system("H100", num_devices=8)
+    assert (
+        Scenario.training(a100, tiny_model, parallelism, global_batch_size=4).cache_key()
+        != Scenario.training(h100, tiny_model, parallelism, global_batch_size=4).cache_key()
+    )
+
+
+def test_model_names_resolve_through_the_zoo(single_node_a100):
+    scenario = Scenario.inference(single_node_a100, "Llama2-13B")
+    assert scenario.model.name == "Llama2-13B"
+
+
+def test_kind_validation():
+    with pytest.raises(ConfigurationError):
+        Scenario(kind=ScenarioKind.TRAINING)  # no system / model / parallelism
+    with pytest.raises(ConfigurationError):
+        Scenario(kind=ScenarioKind.INFERENCE)  # no system
+
+
+def test_evaluate_training_scenario(single_node_a100, tiny_model, parallelism):
+    scenario = Scenario.training(single_node_a100, tiny_model, parallelism, global_batch_size=4)
+    report = evaluate_scenario(scenario)
+    assert isinstance(report, TrainingReport)
+    assert report.step_time > 0
+
+
+def test_evaluate_inference_scenario(single_node_a100, tiny_model):
+    scenario = Scenario.inference(single_node_a100, tiny_model, tensor_parallel=2)
+    report = evaluate_scenario(scenario)
+    assert isinstance(report, InferenceReport)
+    assert report.total_latency > 0
+
+
+def test_bottleneck_scenarios_key_on_the_accelerator_only(tiny_model):
+    """Wrapping into a canonical system makes the cluster shape irrelevant."""
+    from_device = Scenario.prefill_bottlenecks(get_accelerator("A100"), tiny_model)
+    from_cluster = Scenario.prefill_bottlenecks(build_system("A100", num_devices=64), tiny_model)
+    assert from_device.cache_key() == from_cluster.cache_key()
+
+
+def test_attention_bound_evaluates_to_breakdown(tiny_model):
+    scenario = Scenario.attention_bound(get_accelerator("A100"), tiny_model, micro_batch=1, seq_len=256)
+    breakdown = evaluate_scenario(scenario)
+    assert set(breakdown) >= {"compute_bound", "memory_bound"}

@@ -1,0 +1,62 @@
+"""JSON round-trip tests for the report and memory-breakdown classes."""
+
+import json
+
+import pytest
+
+from repro.core.engine import PerformancePredictionEngine
+from repro.core.reports import InferenceReport, TrainingReport
+from repro.hardware.cluster import build_system
+from repro.memmodel.footprint import InferenceMemoryBreakdown, TrainingMemoryBreakdown
+from repro.parallelism.config import ParallelismConfig
+
+
+@pytest.fixture
+def engine():
+    return PerformancePredictionEngine(build_system("A100", num_devices=8))
+
+
+@pytest.fixture
+def training_report(engine, tiny_model):
+    parallelism = ParallelismConfig(data_parallel=2, tensor_parallel=4, micro_batch_size=1)
+    return engine.predict_training(tiny_model, parallelism, global_batch_size=4)
+
+
+@pytest.fixture
+def inference_report(engine, tiny_model):
+    return engine.predict_inference(tiny_model, batch_size=2, tensor_parallel=2)
+
+
+def test_training_report_json_round_trip(training_report):
+    restored = TrainingReport.from_json(training_report.to_json())
+    assert restored == training_report
+    assert restored.step_time == pytest.approx(training_report.step_time)
+    assert restored.memory == training_report.memory
+    assert restored.kernel_breakdown == training_report.kernel_breakdown
+
+
+def test_training_report_to_dict_is_json_safe(training_report):
+    # json.dumps would raise on enums / dataclasses; to_dict must be plain.
+    text = json.dumps(training_report.to_dict())
+    assert training_report.model_name in text
+
+
+def test_inference_report_json_round_trip(inference_report):
+    restored = InferenceReport.from_json(inference_report.to_json())
+    assert restored == inference_report
+    assert restored.total_latency == pytest.approx(inference_report.total_latency)
+    assert restored.prefill == inference_report.prefill
+    assert restored.decode == inference_report.decode
+
+
+def test_inference_report_preserves_bound_types(inference_report):
+    restored = InferenceReport.from_json(inference_report.to_json())
+    for original, copied in zip(inference_report.decode.kernel_breakdown, restored.decode.kernel_breakdown):
+        assert original.bound is copied.bound
+
+
+def test_memory_breakdown_round_trips(training_report, inference_report):
+    training_memory = TrainingMemoryBreakdown.from_dict(training_report.memory.to_dict())
+    assert training_memory == training_report.memory
+    inference_memory = InferenceMemoryBreakdown.from_dict(inference_report.memory.to_dict())
+    assert inference_memory == inference_report.memory
