@@ -24,9 +24,9 @@ from .hardware.datatypes import Precision
 from .memmodel.activations import RecomputeStrategy
 from .models.zoo import get_model, list_models
 from .parallelism.config import ParallelismConfig, parse_parallelism_label
-from .sweep import Scenario, SweepResult, SweepRunner, expand_grid
+from .sweep import Scenario, SweepResult, SweepRunner, SweepTable, expand_grid
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "InferencePerformanceModel",
@@ -38,6 +38,7 @@ __all__ = [
     "Scenario",
     "SweepResult",
     "SweepRunner",
+    "SweepTable",
     "SystemSpec",
     "TrainingPerformanceModel",
     "TrainingReport",

@@ -20,18 +20,22 @@ benchmark harness prints and asserts on.  The mapping to the paper is:
 All drivers route their evaluations through the shared
 :class:`~repro.sweep.runner.SweepRunner` (or one passed via ``runner=``), so
 identical scenarios across tables/figures -- and across repeated calls within
-one process -- are evaluated exactly once.
+one process -- are evaluated exactly once.  Results come back as columnar
+:class:`~repro.sweep.table.SweepTable` objects (one NumPy array per column);
+derived metrics (relative errors, speedups, bound fractions) are computed
+vectorized instead of row by row, and iteration still yields row views for
+row-oriented consumers.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
+
+import numpy as np
 
 from ..calibration.gemv import GemvValidationResult
 from ..core.bottleneck import gemm_time_by_bound
 from ..dse.scaling import (
-    MemoryScalingRow,
-    NodeScalingRow,
     h100_reference_latency,
     inference_memory_scaling_study,
     technology_node_scaling_study,
@@ -41,9 +45,9 @@ from ..hardware.datatypes import Precision
 from ..memmodel.activations import RecomputeStrategy
 from ..models.zoo import get_model
 from ..parallelism.config import ParallelismConfig, parse_parallelism_label
-from ..sweep import Scenario, SweepRunner, default_runner
+from ..sweep import Scenario, SweepRunner, SweepTable, default_runner
 from ..units import GB, to_milliseconds
-from ..validation.metrics import relative_error
+from ..validation.metrics import relative_error_percent
 from ..validation.reference import (
     CASE_STUDY_CONFIGS,
     GPU_GENERATION_SCALING_SYSTEMS,
@@ -56,7 +60,7 @@ from ..validation.reference import (
 # Table 1: training-time validation on A100 clusters
 # ---------------------------------------------------------------------------
 
-def table1_training_validation(rows=None, runner: Optional[SweepRunner] = None) -> List[Dict[str, object]]:
+def table1_training_validation(rows=None, runner: Optional[SweepRunner] = None) -> SweepTable:
     """Reproduce Table 1: predicted vs published training time per batch."""
     rows = rows if rows is not None else TABLE1_TRAINING_ROWS
     runner = runner or default_runner()
@@ -76,33 +80,37 @@ def table1_training_validation(rows=None, runner: Optional[SweepRunner] = None) 
         )
         for row in rows
     ]
-    results: List[Dict[str, object]] = []
-    for row, result in zip(rows, runner.run(scenarios)):
-        report = result.report
-        results.append(
-            {
-                "model": row.model,
-                "num_gpus": row.num_gpus,
-                "parallelism": row.parallelism_label,
-                "recompute": row.recompute,
-                "reference_s": row.reference_seconds,
-                "paper_pred_s": row.paper_prediction_seconds,
-                "predicted_s": report.step_time,
-                "relative_error_%": relative_error(report.step_time, row.reference_seconds) * 100.0,
-                "compute_s": report.compute_time + report.recompute_time,
-                "communication_s": report.communication_time,
-                "other_s": report.other_time,
-            }
-        )
-    return results
+    reports = [result.report for result in runner.run(scenarios)]
+    table = SweepTable(
+        {
+            "model": [row.model for row in rows],
+            "num_gpus": [row.num_gpus for row in rows],
+            "parallelism": [row.parallelism_label for row in rows],
+            "recompute": [row.recompute for row in rows],
+            "reference_s": [row.reference_seconds for row in rows],
+            "paper_pred_s": [row.paper_prediction_seconds for row in rows],
+            "predicted_s": [report.step_time for report in reports],
+            "compute_s": [report.compute_time + report.recompute_time for report in reports],
+            "communication_s": [report.communication_time for report in reports],
+            "other_s": [report.other_time for report in reports],
+        }
+    )
+    table["relative_error_%"] = relative_error_percent(table["predicted_s"], table["reference_s"])
+    return table
 
 
 # ---------------------------------------------------------------------------
 # Table 2: inference-latency validation on A100 / H100 systems
 # ---------------------------------------------------------------------------
 
-def table2_inference_validation(rows=None, runner: Optional[SweepRunner] = None) -> List[Dict[str, object]]:
-    """Reproduce Table 2: predicted vs NVIDIA-reported Llama-2 inference latency."""
+def table2_inference_validation(
+    rows=None, runner: Optional[SweepRunner] = None, decode_mode: str = "average"
+) -> SweepTable:
+    """Reproduce Table 2: predicted vs NVIDIA-reported Llama-2 inference latency.
+
+    ``decode_mode="exact"`` prices every generated token at its true KV length
+    (through the batched roofline backend) instead of the mid-point closed form.
+    """
     rows = rows if rows is not None else TABLE2_INFERENCE_ROWS
     runner = runner or default_runner()
     scenarios = [
@@ -119,27 +127,26 @@ def table2_inference_validation(rows=None, runner: Optional[SweepRunner] = None)
             prompt_tokens=row.prompt_tokens,
             generated_tokens=row.generated_tokens,
             tensor_parallel=row.num_gpus,
+            decode_mode=decode_mode,
         )
         for row in rows
     ]
-    results: List[Dict[str, object]] = []
-    for row, result in zip(rows, runner.run(scenarios)):
-        report = result.report
-        results.append(
-            {
-                "model": row.model,
-                "gpu": row.gpu,
-                "num_gpus": row.num_gpus,
-                "nvidia_ms": row.nvidia_latency_ms,
-                "paper_pred_ms": row.paper_prediction_ms,
-                "predicted_ms": report.total_latency_ms,
-                "relative_error_%": relative_error(report.total_latency_ms, row.nvidia_latency_ms) * 100.0,
-                "prefill_ms": to_milliseconds(report.prefill.total_time),
-                "decode_ms": to_milliseconds(report.decode.total_time),
-                "communication_ms": to_milliseconds(report.communication_time),
-            }
-        )
-    return results
+    reports = [result.report for result in runner.run(scenarios)]
+    table = SweepTable(
+        {
+            "model": [row.model for row in rows],
+            "gpu": [row.gpu for row in rows],
+            "num_gpus": [row.num_gpus for row in rows],
+            "nvidia_ms": [row.nvidia_latency_ms for row in rows],
+            "paper_pred_ms": [row.paper_prediction_ms for row in rows],
+            "predicted_ms": [report.total_latency_ms for report in reports],
+            "prefill_ms": [to_milliseconds(report.prefill.total_time) for report in reports],
+            "decode_ms": [to_milliseconds(report.decode.total_time) for report in reports],
+            "communication_ms": [to_milliseconds(report.communication_time) for report in reports],
+        }
+    )
+    table["relative_error_%"] = relative_error_percent(table["predicted_ms"], table["nvidia_ms"])
+    return table
 
 
 # ---------------------------------------------------------------------------
@@ -152,7 +159,7 @@ def table4_gemm_bottlenecks(
     batch_size: int = 1,
     prompt_tokens: int = 200,
     runner: Optional[SweepRunner] = None,
-) -> List[Dict[str, object]]:
+) -> SweepTable:
     """Reproduce Table 4: time and bound type of each prefill GEMM per layer."""
     runner = runner or default_runner()
     scenarios = [
@@ -166,22 +173,23 @@ def table4_gemm_bottlenecks(
         )
         for gpu in gpus
     ]
-    results: List[Dict[str, object]] = []
-    for gpu, result in zip(gpus, runner.run(scenarios)):
-        for entry in result.value:
-            results.append(
-                {
-                    "gpu": gpu,
-                    "gemm": entry.name,
-                    "m": entry.m,
-                    "n": entry.n,
-                    "k": entry.k,
-                    "batch": entry.batch,
-                    "time_us": entry.time_us,
-                    "bound": entry.bound_label,
-                }
-            )
-    return results
+    flat = [
+        (gpu, entry)
+        for gpu, result in zip(gpus, runner.run(scenarios))
+        for entry in result.value
+    ]
+    return SweepTable(
+        {
+            "gpu": [gpu for gpu, _ in flat],
+            "gemm": [entry.name for _, entry in flat],
+            "m": [entry.m for _, entry in flat],
+            "n": [entry.n for _, entry in flat],
+            "k": [entry.k for _, entry in flat],
+            "batch": [entry.batch for _, entry in flat],
+            "time_us": [entry.time_us for _, entry in flat],
+            "bound": [entry.bound_label for _, entry in flat],
+        }
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -205,7 +213,7 @@ def fig4_memory_breakdown(
     strategies: Sequence[str] = ("none", "selective", "full"),
     device_memory_gb: float = 80.0,
     runner: Optional[SweepRunner] = None,
-) -> List[Dict[str, object]]:
+) -> SweepTable:
     """Reproduce Fig. 4: per-device memory breakdown under each recompute strategy.
 
     The parallelism settings follow the corresponding Table 1 configurations.
@@ -231,21 +239,19 @@ def fig4_memory_breakdown(
                     recompute=strategy,
                 )
             )
-    results: List[Dict[str, object]] = []
-    for (model_name, strategy), result in zip(labels, runner.run(scenarios)):
-        breakdown = result.value
-        results.append(
-            {
-                "model": model_name,
-                "strategy": strategy,
-                "parameters_gb": breakdown.parameter_bytes / GB,
-                "optimizer_gb": (breakdown.optimizer_bytes + breakdown.gradient_bytes) / GB,
-                "activations_gb": breakdown.activation_bytes / GB,
-                "total_gb": breakdown.total_bytes / GB,
-                "fits_80gb": breakdown.total_bytes / GB <= device_memory_gb,
-            }
-        )
-    return results
+    breakdowns = [result.value for result in runner.run(scenarios)]
+    table = SweepTable(
+        {
+            "model": [model_name for model_name, _ in labels],
+            "strategy": [strategy for _, strategy in labels],
+            "parameters_gb": np.array([b.parameter_bytes for b in breakdowns]) / GB,
+            "optimizer_gb": np.array([b.optimizer_bytes + b.gradient_bytes for b in breakdowns]) / GB,
+            "activations_gb": np.array([b.activation_bytes for b in breakdowns]) / GB,
+            "total_gb": np.array([b.total_bytes for b in breakdowns]) / GB,
+        }
+    )
+    table["fits_80gb"] = table["total_gb"] <= device_memory_gb
+    return table
 
 
 # ---------------------------------------------------------------------------
@@ -267,7 +273,7 @@ def fig5_gpu_generation_scaling(
     model_name: str = "GPT-175B",
     virtual_pipeline_stages: int = 6,
     runner: Optional[SweepRunner] = None,
-) -> List[Dict[str, object]]:
+) -> SweepTable:
     """Reproduce Fig. 5: GPT-175B training time across A100..B200 clusters.
 
     Returns one row per cluster with the compute / communication / other
@@ -310,65 +316,61 @@ def fig5_gpu_generation_scaling(
                 tag=system_name,
             )
         )
-    rows: List[Dict[str, object]] = []
-    for (system_name, batch_size), precision, result in zip(systems, precisions, runner.run(scenarios)):
-        report = result.report
-        rows.append(
-            {
-                "system": system_name,
-                "batch_size": batch_size,
-                "precision": precision.value,
-                "step_time_s": report.step_time,
-                "time_per_sequence_ms": to_milliseconds(report.step_time / batch_size),
-                "compute_s": report.compute_time + report.recompute_time,
-                "communication_s": report.communication_time,
-                "other_s": report.other_time,
-            }
-        )
+    reports = [result.report for result in runner.run(scenarios)]
+    batch_sizes = np.array([batch_size for _, batch_size in systems], dtype=np.float64)
+    step_times = np.array([report.step_time for report in reports])
+    table = SweepTable(
+        {
+            "system": [system_name for system_name, _ in systems],
+            "batch_size": [batch_size for _, batch_size in systems],
+            "precision": [precision.value for precision in precisions],
+            "step_time_s": step_times,
+            "time_per_sequence_ms": to_milliseconds(step_times / batch_sizes),
+            "compute_s": [report.compute_time + report.recompute_time for report in reports],
+            "communication_s": [report.communication_time for report in reports],
+            "other_s": [report.other_time for report in reports],
+        }
+    )
     # Normalizations: per-sequence speed-up vs the A100 baseline and time
     # normalized to the fastest (B200-NVS-L) system, as in the figure.
-    baseline = rows[0]["time_per_sequence_ms"]
-    fastest = min(row["time_per_sequence_ms"] for row in rows)
-    for row in rows:
-        row["speedup_vs_a100"] = baseline / row["time_per_sequence_ms"]
-        row["normalized_time"] = row["time_per_sequence_ms"] / fastest
-    return rows
+    per_sequence = table["time_per_sequence_ms"]
+    table["speedup_vs_a100"] = per_sequence[0] / per_sequence
+    table["normalized_time"] = per_sequence / per_sequence.min()
+    return table
 
 
 # ---------------------------------------------------------------------------
 # Fig. 6 / Fig. 7: technology-node scaling
 # ---------------------------------------------------------------------------
 
-def fig6_technology_node_scaling(**kwargs) -> List[NodeScalingRow]:
+def fig6_technology_node_scaling(**kwargs) -> SweepTable:
     """Reproduce Fig. 6: GPT-7B training time across logic nodes / HBM / networks."""
     return technology_node_scaling_study(**kwargs)
 
 
-def fig7_bound_breakdown(rows: Optional[List[NodeScalingRow]] = None, **kwargs) -> List[Dict[str, object]]:
+def fig7_bound_breakdown(rows: Optional[SweepTable] = None, **kwargs) -> SweepTable:
     """Reproduce Fig. 7: compute- vs memory-bound GEMM time per layer across nodes.
 
-    Accepts the rows already produced by :func:`fig6_technology_node_scaling`
+    Accepts the table already produced by :func:`fig6_technology_node_scaling`
     to avoid recomputing the sweep.
     """
     if rows is None:
         rows = technology_node_scaling_study(**kwargs)
-    results = []
-    for row in rows:
-        results.append(
-            {
-                "technology_node": row.technology_node,
-                "dram": row.dram_technology,
-                "network": row.inter_node_network,
-                "compute_bound_ms": row.gemm_compute_bound_time * 1e3,
-                "memory_bound_ms": row.gemm_memory_bound_time * 1e3,
-                "memory_bound_fraction": (
-                    row.gemm_memory_bound_time / (row.gemm_memory_bound_time + row.gemm_compute_bound_time)
-                    if (row.gemm_memory_bound_time + row.gemm_compute_bound_time) > 0
-                    else 0.0
-                ),
-            }
-        )
-    return results
+    compute_bound = rows["gemm_compute_bound_time"]
+    memory_bound = rows["gemm_memory_bound_time"]
+    total = compute_bound + memory_bound
+    return SweepTable(
+        {
+            "technology_node": rows["technology_node"],
+            "dram": rows["dram_technology"],
+            "network": rows["inter_node_network"],
+            "compute_bound_ms": compute_bound * 1e3,
+            "memory_bound_ms": memory_bound * 1e3,
+            "memory_bound_fraction": np.divide(
+                memory_bound, total, out=np.zeros_like(memory_bound), where=total > 0
+            ),
+        }
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -382,7 +384,7 @@ def fig8_inference_boundedness(
     prompt_tokens: int = 200,
     context_tokens: int = 400,
     runner: Optional[SweepRunner] = None,
-) -> List[Dict[str, object]]:
+) -> SweepTable:
     """Reproduce Fig. 8: prefill GEMM-time bound fractions plus the memory inset."""
     runner = runner or default_runner()
     cases = [(gpu, batch) for gpu in gpus for batch in batch_sizes]
@@ -407,24 +409,23 @@ def fig8_inference_boundedness(
         )
         for _, batch in cases
     )
-    results: List[Dict[str, object]] = []
-    for (gpu, batch), prefill, memory_result in zip(cases, prefill_results, memory_results):
-        totals = gemm_time_by_bound(prefill.value)
-        memory = memory_result.value
-        accelerator = prefill.scenario.system.accelerator
-        results.append(
-            {
-                "gpu": gpu,
-                "batch_size": batch,
-                "compute_bound_ms": totals["compute"] * 1e3,
-                "memory_bound_ms": totals["memory"] * 1e3,
-                "compute_bound_fraction": totals["compute_fraction"],
-                "weights_gb": memory.weight_bytes / GB,
-                "kv_cache_gb": memory.kv_cache_bytes / GB,
-                "device_memory_gb": accelerator.dram_capacity / GB,
-            }
-        )
-    return results
+    totals = [gemm_time_by_bound(prefill.value) for prefill in prefill_results]
+    breakdowns = [memory_result.value for memory_result in memory_results]
+    return SweepTable(
+        {
+            "gpu": [gpu for gpu, _ in cases],
+            "batch_size": [batch for _, batch in cases],
+            "compute_bound_ms": np.array([total["compute"] for total in totals]) * 1e3,
+            "memory_bound_ms": np.array([total["memory"] for total in totals]) * 1e3,
+            "compute_bound_fraction": [total["compute_fraction"] for total in totals],
+            "weights_gb": np.array([memory.weight_bytes for memory in breakdowns]) / GB,
+            "kv_cache_gb": np.array([memory.kv_cache_bytes for memory in breakdowns]) / GB,
+            "device_memory_gb": np.array(
+                [prefill.scenario.system.accelerator.dram_capacity for prefill in prefill_results]
+            )
+            / GB,
+        }
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -434,12 +435,12 @@ def fig8_inference_boundedness(
 def fig9_memory_technology_scaling(**kwargs) -> Dict[str, object]:
     """Reproduce Fig. 9: inference latency vs DRAM technology, 2 and 8 GPUs.
 
-    Returns the sweep rows plus the H100 reference latencies drawn as dashed
+    Returns the sweep table plus the H100 reference latencies drawn as dashed
     lines in the paper's figure.
     """
-    rows: List[MemoryScalingRow] = inference_memory_scaling_study(**kwargs)
+    rows: SweepTable = inference_memory_scaling_study(**kwargs)
     references = {
         f"H100x{count}": h100_reference_latency(num_gpus=count)
-        for count in sorted({row.num_gpus for row in rows})
+        for count in sorted(set(rows["num_gpus"].tolist()))
     }
     return {"rows": rows, "h100_reference_latency_s": references}

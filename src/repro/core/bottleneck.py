@@ -48,6 +48,24 @@ def _layer_gemms(
     return TransformerLayerBuilder(spec).forward_gemms()
 
 
+def _bottleneck_entries(gemm_model: GemmTimeModel, gemms: List[GEMM]) -> List[GemmBottleneckEntry]:
+    """Evaluate the table's GEMMs in one batched call and shape the rows."""
+    points = gemm_model.evaluate_many(gemms)
+    return [
+        GemmBottleneckEntry(
+            name=gemm.name,
+            time=point.time,
+            bound=point.bound,
+            m=gemm.m,
+            n=gemm.n,
+            k=gemm.k,
+            batch=gemm.batch,
+            arithmetic_intensity=point.arithmetic_intensity,
+        )
+        for gemm, point in zip(gemms, points)
+    ]
+
+
 def prefill_gemm_table(
     model: TransformerConfig,
     accelerator: AcceleratorSpec,
@@ -59,7 +77,6 @@ def prefill_gemm_table(
 ) -> List[GemmBottleneckEntry]:
     """Per-GEMM time and bound type for one layer of the prefill phase (Table 4)."""
     gemm_model = gemm_model or GemmTimeModel(accelerator=accelerator)
-    entries: List[GemmBottleneckEntry] = []
     gemms = _layer_gemms(
         model,
         batch_size=batch_size,
@@ -69,21 +86,7 @@ def prefill_gemm_table(
         precision=precision,
         use_kv_cache=False,
     )
-    for gemm in gemms:
-        point = gemm_model.evaluate(gemm)
-        entries.append(
-            GemmBottleneckEntry(
-                name=gemm.name,
-                time=point.time,
-                bound=point.bound,
-                m=gemm.m,
-                n=gemm.n,
-                k=gemm.k,
-                batch=gemm.batch,
-                arithmetic_intensity=point.arithmetic_intensity,
-            )
-        )
-    return entries
+    return _bottleneck_entries(gemm_model, gemms)
 
 
 def decode_gemm_table(
@@ -97,7 +100,6 @@ def decode_gemm_table(
 ) -> List[GemmBottleneckEntry]:
     """Per-GEMM time and bound type for one decode step attending to ``kv_len`` tokens."""
     gemm_model = gemm_model or GemmTimeModel(accelerator=accelerator)
-    entries: List[GemmBottleneckEntry] = []
     gemms = _layer_gemms(
         model,
         batch_size=batch_size,
@@ -107,21 +109,7 @@ def decode_gemm_table(
         precision=precision,
         use_kv_cache=True,
     )
-    for gemm in gemms:
-        point = gemm_model.evaluate(gemm)
-        entries.append(
-            GemmBottleneckEntry(
-                name=gemm.name,
-                time=point.time,
-                bound=point.bound,
-                m=gemm.m,
-                n=gemm.n,
-                k=gemm.k,
-                batch=gemm.batch,
-                arithmetic_intensity=point.arithmetic_intensity,
-            )
-        )
-    return entries
+    return _bottleneck_entries(gemm_model, gemms)
 
 
 def gemm_time_by_bound(entries: List[GemmBottleneckEntry]) -> Dict[str, float]:
@@ -160,8 +148,8 @@ def attention_layer_bound_breakdown(
     builder = TransformerLayerBuilder(spec)
     compute_bound = 0.0
     memory_bound = 0.0
-    for gemm in builder.forward_gemms():
-        point = kernel_model.gemm_model.evaluate(gemm)
+    gemms = builder.forward_gemms()
+    for point in kernel_model.gemm_model.evaluate_many(gemms):
         if point.bound is BoundType.COMPUTE:
             compute_bound += point.time
         else:

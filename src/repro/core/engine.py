@@ -117,8 +117,13 @@ class PerformancePredictionEngine:
         generated_tokens: int = 200,
         tensor_parallel: int = 1,
         precision: Precision = Precision.FP16,
+        decode_mode: Optional[str] = None,
     ) -> InferenceReport:
-        """Predict end-to-end inference latency; see :class:`InferencePerformanceModel`."""
+        """Predict end-to-end inference latency; see :class:`InferencePerformanceModel`.
+
+        ``decode_mode`` selects between the default ``"average"`` closed form
+        and the batched ``"exact"`` per-token KV pricing.
+        """
         model = get_model(model) if isinstance(model, str) else model
         precision = Precision.parse(precision)
         return self.inference_model.predict(
@@ -128,6 +133,7 @@ class PerformancePredictionEngine:
             generated_tokens=generated_tokens,
             tensor_parallel=tensor_parallel,
             precision=precision,
+            decode_mode=decode_mode,
         )
 
     def inference_memory(

@@ -10,6 +10,14 @@ devices within one node (paper Section 1.3).  The model prices:
   a single query token, dominated by streaming the weights and the KV-cache
   from DRAM, plus the per-layer tensor-parallel all-reduces whose latency term
   matters at these tiny message sizes (hence the double-binary-tree algorithm).
+
+The decode phase supports two pricing modes (``decode_mode``):
+
+* ``"average"`` (default): one representative decode step at the mid-point KV
+  length, multiplied by the number of generated tokens -- the fast closed form.
+* ``"exact"``: every generated token is priced at its true KV-cache length;
+  the per-token GEMMs are evaluated as one batch through the vectorized
+  roofline backend (:mod:`repro.perf.batched`), so exact pricing stays cheap.
 """
 
 from __future__ import annotations
@@ -19,7 +27,7 @@ from typing import List, Optional
 
 from ..comm.collectives import CollectiveAlgorithm
 from ..comm.fabric import CollectiveModel
-from ..errors import MemoryCapacityError
+from ..errors import ConfigurationError, MemoryCapacityError
 from ..hardware.cluster import SystemSpec
 from ..hardware.datatypes import Precision
 from ..memmodel.footprint import inference_memory_breakdown
@@ -30,6 +38,9 @@ from ..workload.inference import InferencePhaseSpec
 from ..workload.operators import GEMM
 from ..workload.transformer_layer import TransformerLayerBuilder
 from .reports import InferenceReport, KernelTimeEntry, PhaseReport
+
+#: Supported decode pricing modes.
+DECODE_MODES = ("average", "exact")
 
 
 @dataclasses.dataclass
@@ -46,14 +57,21 @@ class InferencePerformanceModel:
             messages of the decode phase.
         check_memory: Whether to raise when weights + KV-cache exceed the
             aggregate device memory of the tensor-parallel group.
+        decode_mode: Default decode pricing mode: ``"average"`` prices one
+            representative step at the mid-point KV length, ``"exact"`` prices
+            every generated token at its true KV length through the batched
+            roofline backend.  Overridable per :meth:`predict` call.
     """
 
     system: SystemSpec
     kernel_model: Optional[DeviceKernelModel] = None
     collective_model: Optional[CollectiveModel] = None
     check_memory: bool = True
+    decode_mode: str = "average"
 
     def __post_init__(self) -> None:
+        if self.decode_mode not in DECODE_MODES:
+            raise ConfigurationError(f"decode_mode must be one of {DECODE_MODES}, got {self.decode_mode!r}")
         if self.kernel_model is None:
             self.kernel_model = DeviceKernelModel(accelerator=self.system.accelerator)
         if self.collective_model is None:
@@ -80,7 +98,7 @@ class InferencePerformanceModel:
         entries: List[KernelTimeEntry] = []
         for op in builder.forward_compute_ops():
             point = self.kernel_model.evaluate(op)
-            time = self.kernel_model.time(op)
+            time = point.time + self.kernel_model.overhead(op)
             device_time += time * num_layers
             if isinstance(op, GEMM):
                 if point.bound is BoundType.COMPUTE:
@@ -101,29 +119,125 @@ class InferencePerformanceModel:
         for comm in builder.forward_communication(scope=tp_scope):
             communication_time += self.collective_model.time(comm) * num_layers
         if lm_head is not None:
-            head_point = self.kernel_model.evaluate(lm_head)
-            head_time = self.kernel_model.time(lm_head)
+            head_point, head_time, entry = self._lm_head_entry(lm_head, count=repeats)
             device_time += head_time
             if head_point.bound is BoundType.COMPUTE:
                 compute_bound_time += head_point.time
             else:
                 memory_bound_time += head_point.time
-            entries.append(
-                KernelTimeEntry(
-                    name=lm_head.name,
-                    time=head_time,
-                    count=repeats,
-                    bound=head_point.bound,
-                    flops=lm_head.flops,
-                    bytes_moved=head_point.level_bytes.get("DRAM", lm_head.bytes_total),
-                )
-            )
+            entries.append(entry)
         return PhaseReport(
             name=name,
             device_time=device_time * repeats,
             communication_time=communication_time * repeats,
             compute_bound_time=compute_bound_time * repeats,
             memory_bound_time=memory_bound_time * repeats,
+            kernel_breakdown=entries,
+        )
+
+    def _lm_head_entry(self, lm_head: GEMM, count: int):
+        """Price the logits GEMM once and shape its breakdown entry.
+
+        Shared by the average and exact decode paths (the lm_head cost does
+        not depend on the KV length); callers scale the returned times by
+        their own repeat count.
+        """
+        head_point = self.kernel_model.evaluate(lm_head)
+        head_time = head_point.time + self.kernel_model.overhead(lm_head)
+        entry = KernelTimeEntry(
+            name=lm_head.name,
+            time=head_time,
+            count=count,
+            bound=head_point.bound,
+            flops=lm_head.flops,
+            bytes_moved=head_point.level_bytes.get("DRAM", lm_head.bytes_total),
+        )
+        return head_point, head_time, entry
+
+    def _decode_report_exact(
+        self,
+        spec: InferencePhaseSpec,
+        num_layers: int,
+        lm_head: Optional[GEMM],
+        tp_scope: str,
+    ) -> PhaseReport:
+        """Price the decode phase with every token at its true KV length.
+
+        The KV-cache grows from ``prompt_len`` to ``prompt_len + T - 1`` over
+        the ``T`` generated tokens, so the per-token operator lists differ
+        only in the KV-dependent kernels (attention scores/context, softmax).
+        All GEMMs of all steps are evaluated in **one** call through the
+        vectorized roofline backend; the kernel breakdown reports the mean
+        per-invocation time (so ``entry.time * entry.count`` stays the exact
+        phase total) and the bound type of the median-KV step.
+        """
+        steps = max(0, spec.generated_tokens)
+        if steps == 0:
+            return PhaseReport(
+                name="decode",
+                device_time=0.0,
+                communication_time=0.0,
+                compute_bound_time=0.0,
+                memory_bound_time=0.0,
+                kernel_breakdown=[],
+            )
+        builders = [
+            TransformerLayerBuilder(spec.decode_layer_spec(spec.prompt_len + step))
+            for step in range(steps)
+        ]
+        step_ops = [builder.forward_compute_ops() for builder in builders]
+        # One batched evaluation warms the kernel memo for every GEMM of every
+        # step; the per-slot loop below then only takes cache hits.
+        self.kernel_model.gemm_model.evaluate_many(
+            [op for ops in step_ops for op in ops if isinstance(op, GEMM)]
+        )
+
+        device_time = 0.0
+        compute_bound_time = 0.0
+        memory_bound_time = 0.0
+        entries: List[KernelTimeEntry] = []
+        median_step = steps // 2
+        for slot in zip(*step_ops):
+            overhead = self.kernel_model.overhead(slot[0])
+            points = [self.kernel_model.evaluate(op) for op in slot]
+            slot_kernel_time = sum(point.time for point in points)
+            slot_time = slot_kernel_time + overhead * steps
+            device_time += slot_time * num_layers
+            if isinstance(slot[0], GEMM):
+                slot_compute = sum(point.time for point in points if point.bound is BoundType.COMPUTE)
+                compute_bound_time += slot_compute * num_layers
+                memory_bound_time += (slot_kernel_time - slot_compute) * num_layers
+            entries.append(
+                KernelTimeEntry(
+                    name=slot[0].name,
+                    time=slot_time / steps,
+                    count=num_layers * steps,
+                    bound=points[median_step].bound,
+                    flops=sum(op.flops for op in slot) / steps,
+                    bytes_moved=sum(
+                        point.level_bytes.get("DRAM", op.bytes_total) for op, point in zip(slot, points)
+                    )
+                    / steps,
+                )
+            )
+        communication_time = 0.0
+        for comm in builders[0].forward_communication(scope=tp_scope):
+            communication_time += self.collective_model.time(comm) * num_layers
+        communication_time *= steps
+        if lm_head is not None:
+            head_point, head_time, entry = self._lm_head_entry(lm_head, count=steps)
+            device_time += head_time * steps
+            if head_point.bound is BoundType.COMPUTE:
+                compute_bound_time += head_point.time * steps
+            else:
+                memory_bound_time += head_point.time * steps
+            entries.append(entry)
+        return PhaseReport(
+            name="decode",
+            device_time=device_time,
+            communication_time=communication_time,
+            compute_bound_time=compute_bound_time,
+            memory_bound_time=memory_bound_time,
             kernel_breakdown=entries,
         )
 
@@ -151,6 +265,7 @@ class InferencePerformanceModel:
         tensor_parallel: int = 1,
         precision: Precision = Precision.FP16,
         include_lm_head: bool = True,
+        decode_mode: Optional[str] = None,
     ) -> InferenceReport:
         """Predict the end-to-end latency of one inference request.
 
@@ -162,11 +277,16 @@ class InferencePerformanceModel:
             tensor_parallel: TP degree (number of devices used).
             precision: Weight/activation precision.
             include_lm_head: Whether to include the logits GEMM.
+            decode_mode: ``"average"`` or ``"exact"``; defaults to the
+                model-level :attr:`decode_mode`.
 
         Raises:
             MemoryCapacityError: When the weights plus the KV-cache do not fit
                 into the devices' memory and ``check_memory`` is enabled.
         """
+        decode_mode = self.decode_mode if decode_mode is None else decode_mode
+        if decode_mode not in DECODE_MODES:
+            raise ConfigurationError(f"decode_mode must be one of {DECODE_MODES}, got {decode_mode!r}")
         spec = InferencePhaseSpec(
             model=model,
             batch_size=batch_size,
@@ -201,15 +321,23 @@ class InferencePerformanceModel:
             tp_scope=tp_scope,
         )
 
-        decode_builder = TransformerLayerBuilder(spec.decode_layer_spec(spec.average_decode_kv_len))
-        decode = self._phase_report(
-            name="decode",
-            builder=decode_builder,
-            num_layers=model.num_layers,
-            lm_head=self._lm_head(spec),
-            repeats=max(0, generated_tokens),
-            tp_scope=tp_scope,
-        )
+        if decode_mode == "exact":
+            decode = self._decode_report_exact(
+                spec,
+                num_layers=model.num_layers,
+                lm_head=self._lm_head(spec),
+                tp_scope=tp_scope,
+            )
+        else:
+            decode_builder = TransformerLayerBuilder(spec.decode_layer_spec(spec.average_decode_kv_len))
+            decode = self._phase_report(
+                name="decode",
+                builder=decode_builder,
+                num_layers=model.num_layers,
+                lm_head=self._lm_head(spec),
+                repeats=max(0, generated_tokens),
+                tp_scope=tp_scope,
+            )
 
         return InferenceReport(
             model_name=model.name,

@@ -1,8 +1,6 @@
 """Design-space exploration: design points, search, and technology-scaling studies."""
 
 from .scaling import (
-    MemoryScalingRow,
-    NodeScalingRow,
     h100_reference_latency,
     inference_memory_scaling_study,
     technology_node_scaling_study,
@@ -14,8 +12,6 @@ __all__ = [
     "DesignPoint",
     "DesignSpace",
     "GradientDescentSearch",
-    "MemoryScalingRow",
-    "NodeScalingRow",
     "SearchResult",
     "h100_reference_latency",
     "inference_memory_scaling_study",

@@ -15,13 +15,17 @@ Both studies express their grid as :class:`~repro.sweep.scenario.Scenario`
 lists and evaluate through a :class:`~repro.sweep.runner.SweepRunner`, so
 shared sub-evaluations (e.g. the Fig.-7 bound breakdown, which depends only
 on the derived accelerator, not on the network choice) are deduplicated and
-repeated calls hit the result cache.
+repeated calls hit the result cache.  Results are returned as columnar
+:class:`~repro.sweep.table.SweepTable` objects (one NumPy array per column);
+iterating still yields row views with attribute access (``row.step_time``,
+``row.label``), so row-oriented consumers keep working.
 """
 
 from __future__ import annotations
 
-import dataclasses
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
+
+import numpy as np
 
 from ..hardware.accelerator import get_accelerator
 from ..hardware.cluster import build_system
@@ -33,29 +37,9 @@ from ..memmodel.activations import RecomputeStrategy
 from ..models.transformer import TransformerConfig
 from ..models.zoo import get_model
 from ..parallelism.config import ParallelismConfig
-from ..sweep import Scenario, SweepRunner, default_runner
+from ..sweep import Scenario, SweepRunner, SweepTable, default_runner
 from .search import GradientDescentSearch, SearchResult
 from .space import DesignPoint, DesignSpace
-
-
-@dataclasses.dataclass(frozen=True)
-class NodeScalingRow:
-    """One point of the technology-node scaling sweep (Fig. 6 / Fig. 7)."""
-
-    technology_node: str
-    dram_technology: str
-    inter_node_network: str
-    step_time: float
-    compute_time: float
-    communication_time: float
-    other_time: float
-    gemm_compute_bound_time: float
-    gemm_memory_bound_time: float
-
-    @property
-    def label(self) -> str:
-        """Series label as the paper's legend writes it."""
-        return f"{self.dram_technology}-{self.inter_node_network}"
 
 
 def technology_node_scaling_study(
@@ -70,7 +54,7 @@ def technology_node_scaling_study(
     optimize_allocation: bool = False,
     budget: Optional[ResourceBudget] = None,
     runner: Optional[SweepRunner] = None,
-) -> List[NodeScalingRow]:
+) -> SweepTable:
     """Sweep logic technology nodes for the GPT-7B training case study (Fig. 6).
 
     Args:
@@ -91,7 +75,8 @@ def technology_node_scaling_study(
             omitted).
 
     Returns:
-        One row per (node, dram, network) combination.
+        A :class:`SweepTable` with one row per (node, dram, network)
+        combination; the ``label`` column carries the paper's legend labels.
     """
     model = get_model(model) if isinstance(model, str) else model
     if parallelism is None:
@@ -154,23 +139,23 @@ def technology_node_scaling_study(
         for system in systems
     )
 
-    rows: List[NodeScalingRow] = []
-    for (node, combo), training, bound in zip(grid, training_results, bound_results):
-        report = training.report
-        rows.append(
-            NodeScalingRow(
-                technology_node=node,
-                dram_technology=combo["dram"],
-                inter_node_network=combo["network"],
-                step_time=report.step_time,
-                compute_time=report.compute_time + report.recompute_time,
-                communication_time=report.communication_time,
-                other_time=report.other_time,
-                gemm_compute_bound_time=bound.value["compute_bound"],
-                gemm_memory_bound_time=bound.value["memory_bound"],
-            )
-        )
-    return rows
+    reports = [training.report for training in training_results]
+    table = SweepTable(
+        {
+            "technology_node": [node for node, _ in grid],
+            "dram_technology": [combo["dram"] for _, combo in grid],
+            "inter_node_network": [combo["network"] for _, combo in grid],
+            "step_time": [report.step_time for report in reports],
+            "compute_time": [report.compute_time + report.recompute_time for report in reports],
+            "communication_time": [report.communication_time for report in reports],
+            "other_time": [report.other_time for report in reports],
+            "gemm_compute_bound_time": [bound.value["compute_bound"] for bound in bound_results],
+            "gemm_memory_bound_time": [bound.value["memory_bound"] for bound in bound_results],
+        }
+    )
+    # Series label as the paper's legend writes it.
+    table["label"] = [f"{combo['dram']}-{combo['network']}" for _, combo in grid]
+    return table
 
 
 def _optimize_point(
@@ -185,11 +170,17 @@ def _optimize_point(
     budget: ResourceBudget,
     runner: Optional[SweepRunner] = None,
 ) -> DesignPoint:
-    """Optimize the area/power allocation of ``point`` for the training workload."""
+    """Optimize the area/power allocation of ``point`` for the training workload.
+
+    The descent's gradient probes go through ``probe_objective`` -- one
+    batched :meth:`SweepRunner.run` call per descent iteration -- so the
+    runner deduplicates repeated probe points and infeasible corners are
+    captured per-probe instead of aborting the whole batch.
+    """
     runner = runner or default_runner()
 
-    def objective(candidate: DesignPoint) -> float:
-        scenario = Scenario.training(
+    def scenario_for(candidate: DesignPoint) -> Scenario:
+        return Scenario.training(
             candidate.build_system(num_devices=num_devices, budget=budget),
             model,
             parallelism,
@@ -197,32 +188,19 @@ def _optimize_point(
             precision=precision,
             recompute=recompute,
         )
-        return runner.evaluate(scenario).step_time
 
-    search = GradientDescentSearch(space, initial_step=0.1, min_step=0.02, max_iterations=15)
+    def objective(candidate: DesignPoint) -> float:
+        return runner.evaluate(scenario_for(candidate)).step_time
+
+    def probe_objective(candidates: Sequence[DesignPoint]) -> Sequence[float]:
+        results = runner.run((scenario_for(candidate) for candidate in candidates), capture_errors=True)
+        return [float("inf") if result.error is not None else result.value.step_time for result in results]
+
+    search = GradientDescentSearch(
+        space, initial_step=0.1, min_step=0.02, max_iterations=15, batch_objective=probe_objective
+    )
     result: SearchResult = search.search(objective, starting_points=[point])
     return result.best_point
-
-
-@dataclasses.dataclass(frozen=True)
-class MemoryScalingRow:
-    """One bar of the inference memory-technology scaling study (Fig. 9)."""
-
-    dram_technology: str
-    network: str
-    num_gpus: int
-    memory_time: float
-    communication_time: float
-
-    @property
-    def total_latency(self) -> float:
-        """End-to-end latency in seconds."""
-        return self.memory_time + self.communication_time
-
-    @property
-    def label(self) -> str:
-        """Series label as the paper's x-axis writes it."""
-        return f"{self.dram_technology}-{self.network}"
 
 
 def inference_memory_scaling_study(
@@ -235,13 +213,16 @@ def inference_memory_scaling_study(
     generated_tokens: int = 200,
     precision: Precision = Precision.FP16,
     base_accelerator: str = "A100",
+    decode_mode: str = "average",
     runner: Optional[SweepRunner] = None,
-) -> List[MemoryScalingRow]:
+) -> SweepTable:
     """Sweep DRAM technologies for multi-GPU inference (paper Fig. 9).
 
     The compute die is kept at the base accelerator's (A100, 7 nm) while the
     DRAM technology scales from GDDR6 up to the futuristic HBMX; intra-node
     networking is NVLink-Gen3 except for the extra HBMX-NVLink-Gen4 point.
+    ``decode_mode="exact"`` prices the decode phase per token through the
+    batched roofline backend instead of the average-KV closed form.
     """
     model = get_model(model) if isinstance(model, str) else model
     if extra_points is None:
@@ -273,21 +254,23 @@ def inference_memory_scaling_study(
                 generated_tokens=generated_tokens,
                 tensor_parallel=num_gpus,
                 precision=precision,
+                decode_mode=decode_mode,
             )
         )
-    rows: List[MemoryScalingRow] = []
-    for (num_gpus, combo), result in zip(grid, runner.run(scenarios)):
-        report = result.report
-        rows.append(
-            MemoryScalingRow(
-                dram_technology=combo["dram"],
-                network=combo["network"],
-                num_gpus=num_gpus,
-                memory_time=report.device_time,
-                communication_time=report.communication_time,
-            )
-        )
-    return rows
+    reports = [result.report for result in runner.run(scenarios)]
+    table = SweepTable(
+        {
+            "dram_technology": [combo["dram"] for _, combo in grid],
+            "network": [combo["network"] for _, combo in grid],
+            "num_gpus": [num_gpus for num_gpus, _ in grid],
+            "memory_time": [report.device_time for report in reports],
+            "communication_time": [report.communication_time for report in reports],
+        }
+    )
+    # End-to-end latency and the paper's x-axis labels, as derived columns.
+    table["total_latency"] = table["memory_time"] + table["communication_time"]
+    table["label"] = [f"{combo['dram']}-{combo['network']}" for _, combo in grid]
+    return table
 
 
 def h100_reference_latency(

@@ -8,13 +8,19 @@ of our space is low-dimensional (two area fractions plus one power
 fraction), a numerical-gradient coordinate descent with shrinking step sizes
 is both simple and robust; discrete dimensions are handled by enumerating
 the design-space grid as starting points.
+
+Each descent iteration generates every gradient probe (both directions of
+every continuous knob) up front and evaluates the uncached ones in **one**
+batched call when a ``batch_objective`` is supplied -- the scaling studies
+route that call through the sweep runner, which deduplicates probes and
+evaluates the underlying GEMM grids through the vectorized roofline backend.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import logging
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ReproError, SearchError
 from .space import DesignPoint, DesignSpace
@@ -23,6 +29,9 @@ logger = logging.getLogger(__name__)
 
 #: Objective: maps a design point to a cost (seconds); lower is better.
 Objective = Callable[[DesignPoint], float]
+#: Batched objective: maps a list of design points to one cost each; returns
+#: ``float("inf")`` for infeasible points instead of raising.
+BatchObjective = Callable[[Sequence[DesignPoint]], Sequence[float]]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -80,6 +89,16 @@ class GradientDescentSearch:
         initial_step: Initial step size applied to the area fractions.
         min_step: Search terminates once the step shrinks below this value.
         max_iterations: Hard cap on descent iterations per starting point.
+        batch_objective: Optional vectorized objective; when given, every
+            descent iteration evaluates its uncached gradient probes in one
+            call instead of one objective call per probe.  Must return
+            ``float("inf")`` for infeasible points instead of raising.
+
+    Every iteration generates all (at most six) gradient probes up front and
+    moves to the best strictly-improving one.  This eager probing is what the
+    batched call needs, and it is applied in the serial path too -- on
+    purpose, so the descent trajectory is identical with and without a batch
+    objective (the probe cache keeps re-visited points free either way).
     """
 
     def __init__(
@@ -88,11 +107,13 @@ class GradientDescentSearch:
         initial_step: float = 0.10,
         min_step: float = 0.01,
         max_iterations: int = 40,
+        batch_objective: Optional[BatchObjective] = None,
     ):
         self.space = space
         self.initial_step = initial_step
         self.min_step = min_step
         self.max_iterations = max_iterations
+        self.batch_objective = batch_objective
 
     # -- internals --------------------------------------------------------------
 
@@ -114,6 +135,28 @@ class GradientDescentSearch:
             cache[point] = record
         return record.cost
 
+    def _evaluate_probes(
+        self,
+        objective: Objective,
+        probes: List[DesignPoint],
+        cache: Dict[DesignPoint, EvaluationRecord],
+    ) -> None:
+        """Evaluate the uncached probes, batched when a batch objective exists."""
+        pending = [probe for probe in dict.fromkeys(probes) if probe not in cache]
+        if not pending:
+            return
+        if self.batch_objective is None:
+            for probe in pending:
+                self._evaluate(objective, probe, cache)
+            return
+        costs = list(self.batch_objective(pending))
+        if len(costs) != len(pending):
+            raise SearchError(
+                f"batch objective returned {len(costs)} costs for {len(pending)} design points"
+            )
+        for probe, cost in zip(pending, costs):
+            cache[probe] = EvaluationRecord(cost=float(cost))
+
     def _descend(
         self,
         objective: Objective,
@@ -128,18 +171,27 @@ class GradientDescentSearch:
         iteration = 0
         while step >= self.min_step and iteration < self.max_iterations:
             iteration += 1
-            improved = False
+            # Generate every gradient probe of this iteration up front and
+            # evaluate the uncached ones in one batched call, then move to
+            # the best strictly-improving probe (or shrink the step).
+            probes = []
             for knob in knobs:
                 current_value = getattr(point, knob)
                 for direction in (+1.0, -1.0):
                     candidate = self.space.clip(point.perturbed(**{knob: current_value + direction * step}))
-                    candidate_cost = self._evaluate(objective, candidate, cache)
-                    if candidate_cost < cost:
-                        point, cost = candidate, candidate_cost
-                        history.append((cost, point))
-                        improved = True
-                        break
-            if not improved:
+                    if candidate != point:
+                        probes.append(candidate)
+            self._evaluate_probes(objective, probes, cache)
+            best_candidate: Optional[DesignPoint] = None
+            best_cost = cost
+            for candidate in probes:
+                candidate_cost = self._evaluate(objective, candidate, cache)
+                if candidate_cost < best_cost:
+                    best_candidate, best_cost = candidate, candidate_cost
+            if best_candidate is not None:
+                point, cost = best_candidate, best_cost
+                history.append((cost, point))
+            else:
                 step /= 2.0
         return point, cost, history
 
@@ -193,6 +245,7 @@ def optimize_allocation(
     objective: Objective,
     space: Optional[DesignSpace] = None,
     base_point: Optional[DesignPoint] = None,
+    batch_objective: Optional[BatchObjective] = None,
 ) -> SearchResult:
     """Optimize only the continuous allocation knobs around ``base_point``.
 
@@ -201,5 +254,5 @@ def optimize_allocation(
     """
     space = space or DesignSpace()
     base = base_point or DesignPoint()
-    search = GradientDescentSearch(space)
+    search = GradientDescentSearch(space, batch_objective=batch_objective)
     return search.search(objective, starting_points=[base])

@@ -1,5 +1,6 @@
 """Device-level performance models: tiling, hierarchical roofline, kernel timing."""
 
+from .batched import BatchedGemmTimeModel, BatchedRooflineResult, GemmBatch
 from .gemm import (
     DEFAULT_FAT_GEMM_DRAM_UTILIZATION,
     DEFAULT_GEMV_DRAM_UTILIZATION,
@@ -11,10 +12,13 @@ from .roofline import BoundType, RooflinePoint, classify, roofline_time
 from .tiling import TileChoice, choose_tile, compulsory_traffic, traffic_through_level
 
 __all__ = [
+    "BatchedGemmTimeModel",
+    "BatchedRooflineResult",
     "BoundType",
     "DEFAULT_FAT_GEMM_DRAM_UTILIZATION",
     "DEFAULT_GEMV_DRAM_UTILIZATION",
     "DeviceKernelModel",
+    "GemmBatch",
     "GemmTimeModel",
     "GemvUtilizationModel",
     "MemoryBoundKernelModel",

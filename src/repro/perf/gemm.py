@@ -22,6 +22,8 @@ import bisect
 import dataclasses
 from typing import List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..caching import memo_put
 from ..errors import ConfigurationError
 from ..hardware.accelerator import AcceleratorSpec
@@ -70,22 +72,49 @@ class GemvUtilizationModel:
     def __post_init__(self) -> None:
         if not 0 < self.constant <= 1:
             raise ConfigurationError("constant utilization must be in (0, 1]")
+        # Precomputed break-point size/utilization arrays: utilization() runs
+        # once per kernel query (and the batched backend once per batch), so
+        # the sorted sizes are derived once here instead of on every lookup.
+        sizes: Tuple[float, ...] = ()
+        factors: Tuple[float, ...] = ()
         if self.table is not None:
             ordered = tuple(sorted((float(size), float(util)) for size, util in self.table))
             for _, util in ordered:
                 if not 0 < util <= 1:
                     raise ConfigurationError("table utilizations must be in (0, 1]")
             object.__setattr__(self, "table", ordered)
+            sizes = tuple(size for size, _ in ordered)
+            factors = tuple(util for _, util in ordered)
+        object.__setattr__(self, "_sizes", sizes)
+        object.__setattr__(self, "_factors", factors)
+        object.__setattr__(self, "_sizes_array", np.asarray(sizes, dtype=np.float64))
+        object.__setattr__(self, "_factors_array", np.asarray(factors, dtype=np.float64))
+
+    @property
+    def break_sizes(self) -> Tuple[float, ...]:
+        """The sorted break-point sizes of the table (empty for constant models)."""
+        return self._sizes
 
     def utilization(self, gemm: GEMM) -> float:
         """DRAM utilization factor for ``gemm``."""
         if self.table:
-            weight_bytes = gemm.b_bytes
-            sizes = [size for size, _ in self.table]
-            index = bisect.bisect_right(sizes, weight_bytes) - 1
+            index = bisect.bisect_right(self._sizes, gemm.b_bytes) - 1
             index = max(0, index)
-            return self.table[index][1]
+            return self._factors[index]
         return self.constant
+
+    def utilization_for_weight_bytes(self, weight_bytes):
+        """Vectorized utilization lookup for an array of weight-operand volumes.
+
+        Accepts and returns NumPy ``float64`` arrays; matches
+        :meth:`utilization` element-wise (same ``bisect_right`` semantics).
+        """
+        weight_bytes = np.asarray(weight_bytes, dtype=np.float64)
+        if self.table:
+            index = np.searchsorted(self._sizes_array, weight_bytes, side="right") - 1
+            index = np.maximum(index, 0)
+            return self._factors_array[index]
+        return np.full(weight_bytes.shape, self.constant, dtype=np.float64)
 
     @classmethod
     def from_pairs(cls, pairs: Sequence[Tuple[float, float]], constant: float = DEFAULT_GEMV_DRAM_UTILIZATION) -> "GemvUtilizationModel":
@@ -126,6 +155,7 @@ class GemmTimeModel:
         # is keyed by the frozen GEMM descriptor and is not a dataclass field,
         # so equality/hashing of the model itself are unaffected.
         object.__setattr__(self, "_evaluation_cache", {})
+        object.__setattr__(self, "_batched", None)
 
     # -- helpers ---------------------------------------------------------------
 
@@ -204,6 +234,29 @@ class GemmTimeModel:
         """The limiting resource for one GEMM."""
         return self.evaluate(gemm).bound
 
+    @property
+    def batched(self) -> "BatchedGemmTimeModel":
+        """The vectorized twin of this model (lazily built, parameters shared)."""
+        if self._batched is None:
+            from .batched import BatchedGemmTimeModel
+
+            object.__setattr__(self, "_batched", BatchedGemmTimeModel.from_scalar(self))
+        return self._batched
+
     def evaluate_many(self, gemms: Sequence[GEMM]) -> List[RooflinePoint]:
-        """Evaluate a batch of GEMMs."""
+        """Evaluate a batch of GEMMs through the vectorized backend.
+
+        Cached kernels are served from the memo; the remaining unique shapes
+        are evaluated in one :meth:`BatchedGemmTimeModel.evaluate_batch` call
+        (bit-for-bit identical to :meth:`evaluate`) and memoized, so scalar
+        and batched queries stay interchangeable.
+        """
+        from .batched import GemmBatch
+
+        gemms = list(gemms)
+        missing = [gemm for gemm in dict.fromkeys(gemms) if gemm not in self._evaluation_cache]
+        if missing:
+            result = self.batched.evaluate_batch(GemmBatch.from_gemms(missing))
+            for gemm, point in zip(missing, result.to_points()):
+                memo_put(self._evaluation_cache, gemm, point)
         return [self.evaluate(gemm) for gemm in gemms]

@@ -106,6 +106,16 @@ class DeviceKernelModel:
             return self.gemm_model.time(op, include_overhead=include_overhead)
         return self.memory_model.time(op, include_overhead=include_overhead)
 
+    def overhead(self, op: Operator) -> float:
+        """The per-kernel launch overhead the dispatcher applies to ``op``.
+
+        Lets callers derive ``time`` from an already-evaluated point as
+        ``point.time + overhead(op)`` without a second ``evaluate`` pass.
+        """
+        if isinstance(op, GEMM):
+            return self.gemm_model.kernel_overhead
+        return self.memory_model.kernel_overhead
+
     @property
     def kernel_overhead(self) -> float:
         """The per-kernel software overhead applied to GEMMs (for reports)."""

@@ -10,17 +10,23 @@ Public surface:
 * :func:`~repro.sweep.runner.expand_grid` -- cartesian-product helper.
 * :func:`~repro.sweep.runner.default_runner` -- the process-wide shared
   runner the analysis and DSE layers route through.
+* :class:`~repro.sweep.table.SweepTable` -- columnar (struct-of-NumPy-arrays)
+  sweep results produced by :meth:`SweepRunner.run_table
+  <repro.sweep.runner.SweepRunner.run_table>` and the analysis drivers.
 """
 
 from .runner import SweepResult, SweepRunner, SweepStats, default_runner, expand_grid
 from .scenario import Scenario, ScenarioKind, engine_for, evaluate_scenario
+from .table import SweepRow, SweepTable
 
 __all__ = [
     "Scenario",
     "ScenarioKind",
     "SweepResult",
+    "SweepRow",
     "SweepRunner",
     "SweepStats",
+    "SweepTable",
     "default_runner",
     "engine_for",
     "evaluate_scenario",

@@ -29,6 +29,7 @@ from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, 
 
 from ..errors import ConfigurationError, ReproError
 from .scenario import Scenario, evaluate_scenario
+from .table import SweepTable
 
 #: Executor names accepted by :class:`SweepRunner`.
 EXECUTORS = ("serial", "thread", "process")
@@ -145,13 +146,16 @@ class SweepRunner:
 
     # -- execution --------------------------------------------------------------------
 
-    def run(self, scenarios: Iterable[Scenario]) -> List[SweepResult]:
+    def run(self, scenarios: Iterable[Scenario], capture_errors: Optional[bool] = None) -> List[SweepResult]:
         """Evaluate ``scenarios`` and return one result per input, in order.
 
         Scenarios with equal cache keys are evaluated once; later occurrences
         (and scenarios already in the cache from previous calls) are marked
-        ``from_cache``.
+        ``from_cache``.  ``capture_errors`` overrides the runner-level setting
+        for this call only (useful for probe batches that must survive
+        infeasible corners without reconfiguring the shared runner).
         """
+        capture = self.capture_errors if capture_errors is None else capture_errors
         ordered = list(scenarios)
         keys = [scenario.cache_key() for scenario in ordered]
 
@@ -184,7 +188,7 @@ class SweepRunner:
             if from_cache:
                 self.stats.cache_hits += 1
             if entry.error is not None:
-                if not self.capture_errors:
+                if not capture:
                     raise entry.error
                 results.append(SweepResult(scenario=scenario, value=None, from_cache=from_cache, error=str(entry.error)))
             else:
@@ -219,6 +223,33 @@ class SweepRunner:
             )
         """
         return self.run(factory(**combo) for combo in expand_grid(**axes))
+
+    def run_table(
+        self,
+        scenarios: Iterable[Scenario],
+        extract: Optional[Callable[[SweepResult], Mapping[str, object]]] = None,
+        capture_errors: Optional[bool] = None,
+    ) -> SweepTable:
+        """Evaluate ``scenarios`` and columnize the results into a :class:`SweepTable`.
+
+        ``extract`` maps one :class:`SweepResult` to the record that becomes
+        the table's row (default: :meth:`SweepResult.row`, i.e. the scenario
+        summary plus the error column).  The records are transposed into one
+        NumPy array per column, so downstream consumers work on columns
+        instead of per-row dicts::
+
+            table = runner.run_table(
+                scenarios,
+                extract=lambda result: {
+                    "model": result.scenario.model.name,
+                    "latency_ms": result.report.total_latency_ms,
+                },
+            )
+            fastest = table["latency_ms"].min()
+        """
+        results = self.run(scenarios, capture_errors=capture_errors)
+        extract = extract or (lambda result: result.row())
+        return SweepTable.from_records(extract(result) for result in results)
 
     # -- internals --------------------------------------------------------------------
 

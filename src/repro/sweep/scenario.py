@@ -104,6 +104,8 @@ class Scenario:
             ``prompt_tokens + generated_tokens``).
         kv_len: KV length of one decode step (decode bottlenecks).
         tensor_parallel: TP degree of inference-style kinds.
+        decode_mode: Decode pricing mode of inference scenarios
+            (``"average"`` or ``"exact"``); part of the cache key.
         tag: Free-form label carried into results; excluded from the cache
             key so differently-tagged duplicates still share one evaluation.
         extras: Canonicalized evaluator-specific parameters (e.g. the GEMV
@@ -124,6 +126,7 @@ class Scenario:
     context_len: Optional[int] = None
     kv_len: Optional[int] = None
     tensor_parallel: int = 1
+    decode_mode: str = "average"
     tag: str = ""
     extras: Tuple[Tuple[str, object], ...] = ()
 
@@ -174,9 +177,15 @@ class Scenario:
         generated_tokens: int = 200,
         tensor_parallel: int = 1,
         precision: "Precision | str" = Precision.FP16,
+        decode_mode: str = "average",
         tag: str = "",
     ) -> "Scenario":
-        """An end-to-end inference prediction (evaluates to an :class:`InferenceReport`)."""
+        """An end-to-end inference prediction (evaluates to an :class:`InferenceReport`).
+
+        ``decode_mode="exact"`` prices every generated token at its true KV
+        length through the batched roofline backend; ``"average"`` (default)
+        uses the mid-point closed form.
+        """
         return cls(
             kind=ScenarioKind.INFERENCE,
             system=system,
@@ -186,6 +195,7 @@ class Scenario:
             generated_tokens=generated_tokens,
             tensor_parallel=tensor_parallel,
             precision=Precision.parse(precision),
+            decode_mode=decode_mode,
             tag=tag,
         )
 
@@ -461,6 +471,7 @@ def evaluate_scenario(scenario: Scenario) -> object:
             generated_tokens=scenario.generated_tokens,
             tensor_parallel=scenario.tensor_parallel,
             precision=scenario.precision,
+            decode_mode=scenario.decode_mode,
         )
     if kind is ScenarioKind.PREFILL_BOTTLENECKS:
         return engine.prefill_bottlenecks(

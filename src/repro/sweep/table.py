@@ -1,0 +1,202 @@
+"""Columnar sweep results: struct-of-arrays tables backed by NumPy.
+
+Large sweeps used to materialize one Python dict (or dataclass) per grid
+point, which dominates the runtime of result post-processing once grids reach
+thousands of rows.  :class:`SweepTable` stores one NumPy array per column
+instead; derived metrics (relative errors, speedups, fractions) become single
+vectorized expressions, and the table still *reads* like the old row lists:
+
+* ``len(table)`` is the row count, ``table["step_time"]`` is the NumPy column,
+* iterating yields lightweight :class:`SweepRow` views that support both
+  mapping access (``row["step_time"]``) and attribute access
+  (``row.step_time``), so existing row-oriented code keeps working without
+  per-row dict materialization,
+* ``table.to_json()`` serializes the columns, and
+  :meth:`SweepTable.from_json` round-trips them.
+
+Array-shape contract: every column is a one-dimensional array of the common
+length ``len(table)``; numeric columns keep their NumPy dtype, everything
+else is stored as an object column of plain Python values.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Mapping
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+def _object_column(values: Sequence[object]) -> np.ndarray:
+    """Build an object column holding the given Python values verbatim."""
+    array = np.empty(len(values), dtype=object)
+    array[:] = [value.item() if isinstance(value, np.generic) else value for value in values]
+    return array
+
+
+def _as_column(values: object) -> np.ndarray:
+    """Normalize a column to a 1-D NumPy array.
+
+    Numeric/boolean data keeps its native dtype; strings, ``None`` and mixed
+    payloads become object columns of plain Python values.
+    """
+    if isinstance(values, np.ndarray):
+        if values.ndim != 1:
+            raise ConfigurationError(f"SweepTable columns must be one-dimensional, got shape {values.shape}")
+        if values.dtype.kind in "USV" or values.dtype == object:
+            return _object_column(values.tolist())
+        return values
+    values = list(values)
+    try:
+        array = np.asarray(values)
+    except (ValueError, TypeError):
+        return _object_column(values)
+    if array.ndim != 1 or array.dtype.kind in "USV" or array.dtype == object:
+        return _object_column(values)
+    return array
+
+
+class SweepRow(Mapping):
+    """Read-only view of one table row; mapping *and* attribute access.
+
+    NumPy scalars are converted to plain Python scalars on access, so rows
+    behave exactly like the dict rows they replace (hashing, formatting,
+    ``isinstance(value, float)`` checks).
+    """
+
+    __slots__ = ("_table", "_index")
+
+    def __init__(self, table: "SweepTable", index: int):
+        self._table = table
+        self._index = index
+
+    def __getitem__(self, key: str) -> object:
+        value = self._table.columns[key][self._index]
+        return value.item() if isinstance(value, np.generic) else value
+
+    def __getattr__(self, name: str) -> object:
+        try:
+            return self[name]
+        except KeyError:
+            raise AttributeError(f"row has no column {name!r}") from None
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._table.columns)
+
+    def __len__(self) -> int:
+        return len(self._table.columns)
+
+    def __repr__(self) -> str:
+        return f"SweepRow({self.to_dict()!r})"
+
+    def to_dict(self) -> Dict[str, object]:
+        """Materialize the row as a plain dict (explicit, not implicit)."""
+        return {name: self[name] for name in self._table.columns}
+
+
+class SweepTable:
+    """Struct-of-arrays sweep results: a dict of equal-length NumPy columns.
+
+    Attributes:
+        columns: Mapping from column name to 1-D array; all arrays share the
+            table's row count.
+    """
+
+    def __init__(self, columns: "Mapping[str, object]"):
+        self.columns: Dict[str, np.ndarray] = {name: _as_column(values) for name, values in columns.items()}
+        lengths = {array.shape[0] for array in self.columns.values()}
+        if len(lengths) > 1:
+            raise ConfigurationError(f"SweepTable columns differ in length: { {n: a.shape[0] for n, a in self.columns.items()} }")
+        self._length = lengths.pop() if lengths else 0
+
+    # -- construction -----------------------------------------------------------------
+
+    @classmethod
+    def from_records(cls, records: Iterable[Mapping[str, object]]) -> "SweepTable":
+        """Columnize an iterable of per-row mappings (the transposing ingest)."""
+        records = list(records)
+        if not records:
+            return cls({})
+        names = list(records[0].keys())
+        for record in records:
+            if list(record.keys()) != names:
+                raise ConfigurationError("all records must share the same keys, in the same order")
+        return cls({name: [record[name] for record in records] for name in names})
+
+    # -- container protocol -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __bool__(self) -> bool:
+        return self._length > 0
+
+    def __iter__(self) -> Iterator[SweepRow]:
+        for index in range(self._length):
+            yield SweepRow(self, index)
+
+    def __getitem__(self, key: "str | int | slice"):
+        """``table[name]`` -> column array; ``table[i]`` -> row view; slices -> row list."""
+        if isinstance(key, str):
+            return self.columns[key]
+        if isinstance(key, slice):
+            return [SweepRow(self, index) for index in range(*key.indices(self._length))]
+        index = int(key)
+        if index < 0:
+            index += self._length
+        if not 0 <= index < self._length:
+            raise IndexError(f"row index {key} out of range for {self._length} rows")
+        return SweepRow(self, index)
+
+    def __setitem__(self, name: str, values: object) -> None:
+        """Add or replace a column (used for derived, vectorized metrics)."""
+        column = _as_column(values)
+        if self.columns and column.shape[0] != self._length:
+            raise ConfigurationError(f"column {name!r} has {column.shape[0]} rows, table has {self._length}")
+        self.columns[name] = column
+        self._length = column.shape[0]
+
+    def __repr__(self) -> str:
+        return f"SweepTable({self._length} rows x {len(self.columns)} columns: {list(self.columns)})"
+
+    # -- views ------------------------------------------------------------------------
+
+    def keys(self) -> List[str]:
+        """Column names, in insertion order."""
+        return list(self.columns)
+
+    def column(self, name: str) -> np.ndarray:
+        """The NumPy array backing one column."""
+        return self.columns[name]
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Materialize every row as a plain dict (compat/export helper)."""
+        return [row.to_dict() for row in self]
+
+    def where(self, mask: "np.ndarray | Sequence[bool]") -> "SweepTable":
+        """Select the rows where ``mask`` is true, as a new table."""
+        mask = np.asarray(mask, dtype=bool)
+        return SweepTable({name: array[mask] for name, array in self.columns.items()})
+
+    # -- serialization ----------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, List[object]]:
+        """JSON-safe dict view: ``{"columns": {name: [values...]}}``."""
+        return {"columns": {name: array.tolist() for name, array in self.columns.items()}}
+
+    def to_json(self, **kwargs: object) -> str:
+        """Serialize the table's columns to a JSON string."""
+        return json.dumps(self.to_dict(), **kwargs)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "SweepTable":
+        """Rebuild a table from :meth:`to_dict` output."""
+        return cls(data["columns"])
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepTable":
+        """Rebuild a table from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))

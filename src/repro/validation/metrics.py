@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from ..errors import ConfigurationError
 
 
@@ -12,6 +14,19 @@ def relative_error(predicted: float, reference: float) -> float:
     if reference == 0:
         raise ConfigurationError("reference value must be non-zero")
     return (predicted - reference) / reference
+
+
+def relative_error_percent(predicted, reference) -> "np.ndarray":
+    """Vectorized signed relative error in percent, with the zero-reference guard.
+
+    The array twin of :func:`relative_error`, used by the columnar validation
+    drivers: ``(predicted - reference) / reference * 100`` element-wise.
+    """
+    predicted = np.asarray(predicted, dtype=np.float64)
+    reference = np.asarray(reference, dtype=np.float64)
+    if (reference == 0).any():
+        raise ConfigurationError("reference values must be non-zero")
+    return (predicted - reference) / reference * 100.0
 
 
 def absolute_percentage_error(predicted: float, reference: float) -> float:

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.inference import InferencePerformanceModel
-from repro.errors import MemoryCapacityError
+from repro.errors import ConfigurationError, MemoryCapacityError
 from repro.hardware.cluster import build_system
 from repro.hardware.datatypes import Precision
 from repro.models.zoo import get_model
@@ -121,3 +121,51 @@ def test_breakdown_dict(a100_inference, llama2_13b):
     breakdown = report.breakdown()
     assert breakdown["total"] == pytest.approx(report.total_latency)
     assert breakdown["memory"] + breakdown["communication"] == pytest.approx(report.total_latency)
+
+
+# -- exact decode pricing -------------------------------------------------------------
+
+
+def test_exact_decode_equals_average_for_one_token(a100_inference, llama2_13b):
+    """With one generated token the exact and average KV lengths coincide exactly."""
+    average = a100_inference.predict(llama2_13b, generated_tokens=1, tensor_parallel=1)
+    exact = a100_inference.predict(llama2_13b, generated_tokens=1, tensor_parallel=1, decode_mode="exact")
+    assert exact == average
+
+
+def test_exact_decode_close_to_average_for_long_generation(a100_inference, llama2_13b):
+    """Per-token attention cost is near-linear in KV length, so the mid-point closed form tracks the exact sum."""
+    average = a100_inference.predict(llama2_13b, generated_tokens=200, tensor_parallel=1)
+    exact = a100_inference.predict(llama2_13b, generated_tokens=200, tensor_parallel=1, decode_mode="exact")
+    assert exact.decode.total_time == pytest.approx(average.decode.total_time, rel=0.02)
+    assert exact.decode.total_time != average.decode.total_time  # genuinely different pricing
+    assert exact.prefill == average.prefill  # prefill is untouched by the decode mode
+
+
+def test_exact_decode_breakdown_is_consistent(a100_inference, llama2_13b):
+    report = a100_inference.predict(llama2_13b, generated_tokens=64, tensor_parallel=1, decode_mode="exact")
+    decode = report.decode
+    assert sum(entry.total_time for entry in decode.kernel_breakdown) == pytest.approx(decode.device_time)
+    assert decode.memory_bound_time > decode.compute_bound_time  # decode stays memory bound
+    names = {entry.name for entry in decode.kernel_breakdown}
+    assert {"attention_scores", "attention_context", "lm_head"}.issubset(names)
+
+
+def test_exact_decode_with_zero_generated_tokens(a100_inference, llama2_13b):
+    report = a100_inference.predict(llama2_13b, generated_tokens=0, tensor_parallel=1, decode_mode="exact")
+    assert report.decode.total_time == 0.0
+    assert report.decode.kernel_breakdown == []
+
+
+def test_decode_mode_model_default(single_node_a100, llama2_13b):
+    model = InferencePerformanceModel(system=single_node_a100, decode_mode="exact")
+    default_exact = model.predict(llama2_13b, generated_tokens=32, tensor_parallel=1)
+    explicit_exact = model.predict(llama2_13b, generated_tokens=32, tensor_parallel=1, decode_mode="exact")
+    assert default_exact == explicit_exact
+
+
+def test_invalid_decode_mode_rejected(single_node_a100, a100_inference, llama2_13b):
+    with pytest.raises(ConfigurationError):
+        InferencePerformanceModel(system=single_node_a100, decode_mode="median")
+    with pytest.raises(ConfigurationError):
+        a100_inference.predict(llama2_13b, decode_mode="median")

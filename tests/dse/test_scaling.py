@@ -124,3 +124,15 @@ def test_eight_gpus_trade_memory_for_communication(memory_rows):
 def test_h100_reference_latency_reasonable():
     latency = h100_reference_latency(num_gpus=2)
     assert 1.0 < latency < 3.0
+
+
+def test_memory_scaling_study_supports_exact_decode():
+    """The sweep driver threads decode_mode through to the inference engine."""
+    kwargs = dict(gpu_counts=(2,), memory_technologies=("HBM2E",), extra_points=[])
+    average = inference_memory_scaling_study(**kwargs)
+    exact = inference_memory_scaling_study(decode_mode="exact", **kwargs)
+    assert len(average) == len(exact) == 1
+    assert exact[0].memory_time != average[0].memory_time
+    assert exact[0].total_latency == pytest.approx(average[0].total_latency, rel=0.05)
+    # Communication does not depend on the decode pricing mode.
+    assert exact[0].communication_time == pytest.approx(average[0].communication_time, rel=1e-9)

@@ -1,0 +1,137 @@
+"""Batched-vs-scalar equivalence tests for the vectorized roofline backend.
+
+The contract of :class:`~repro.perf.batched.BatchedGemmTimeModel` is exact
+float equality with the scalar :class:`~repro.perf.gemm.GemmTimeModel` (same
+operation order, float64 throughout), so every assertion here is ``==``, not
+``approx``.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.accelerator import get_accelerator
+from repro.hardware.datatypes import Precision
+from repro.perf.batched import BatchedGemmTimeModel, GemmBatch
+from repro.perf.gemm import GemmTimeModel, GemvUtilizationModel
+from repro.workload.operators import GEMM, make_gemv
+
+#: Fat, skinny, and GEMV-ish dimensions crossed into the equivalence grid.
+_DIMS = (1, 3, 16, 17, 200, 1024, 4096)
+_PRECISIONS = (Precision.FP16, Precision.BF16, Precision.INT8)
+_ACCELERATORS = ("A100", "H100", "TPU")
+
+
+def _equivalence_gemms():
+    gemms = []
+    for m, n, k in itertools.product(_DIMS, repeat=3):
+        for precision in _PRECISIONS:
+            gemms.append(
+                GEMM(
+                    name=f"g_{m}x{n}x{k}_{precision.value}",
+                    m=m,
+                    n=n,
+                    k=k,
+                    precision=precision,
+                    batch=4 if m == 200 else 1,
+                    weight_operand=(n >= k),
+                    accumulate=(m == 17),
+                )
+            )
+    return gemms
+
+
+@pytest.mark.parametrize("accelerator_name", _ACCELERATORS)
+def test_batched_matches_scalar_bit_for_bit(accelerator_name):
+    accelerator = get_accelerator(accelerator_name)
+    scalar = GemmTimeModel(accelerator=accelerator)
+    batched = BatchedGemmTimeModel.from_scalar(scalar)
+    gemms = _equivalence_gemms()
+    result = batched.evaluate_batch(GemmBatch.from_gemms(gemms))
+    assert len(result) == len(gemms)
+    for gemm, point in zip(gemms, result.to_points()):
+        expected = scalar.evaluate(gemm)
+        assert point == expected, f"{accelerator_name} {gemm.name}: {point} != {expected}"
+
+
+def test_batched_times_include_overhead(a100):
+    scalar = GemmTimeModel(accelerator=a100)
+    batched = BatchedGemmTimeModel.from_scalar(scalar)
+    gemms = [make_gemv("v", rows=2048, cols=2048), GEMM(name="f", m=512, n=512, k=512)]
+    times = batched.times(GemmBatch.from_gemms(gemms))
+    for gemm, time in zip(gemms, times):
+        assert float(time) == scalar.time(gemm, include_overhead=True)
+
+
+def test_evaluate_many_routes_through_batched_backend(a100):
+    model = GemmTimeModel(accelerator=a100)
+    gemms = _equivalence_gemms()[:64]
+    points = model.evaluate_many(gemms)
+    fresh = GemmTimeModel(accelerator=a100)
+    assert points == [fresh.evaluate(gemm) for gemm in gemms]
+    # The batched pass memoizes every kernel, so scalar queries now hit the cache.
+    assert all(gemm in model._evaluation_cache for gemm in gemms)
+
+
+def test_evaluate_many_mixes_cached_and_fresh(a100):
+    model = GemmTimeModel(accelerator=a100)
+    first = GEMM(name="a", m=256, n=256, k=256)
+    second = GEMM(name="b", m=1, n=4096, k=4096, weight_operand=True)
+    cached_point = model.evaluate(first)
+    points = model.evaluate_many([first, second, first])
+    assert points[0] is cached_point
+    assert points[2] is cached_point
+    assert points[1] == GemmTimeModel(accelerator=a100).evaluate(second)
+
+
+def test_gemm_batch_from_arrays_broadcasts_scalars():
+    batch = GemmBatch.from_arrays(m=[1, 2, 3], n=128, k=256, weight_operand=True)
+    assert batch.size == 3
+    assert batch.n.tolist() == [128.0, 128.0, 128.0]
+    assert batch.weight_operand.all()
+    assert batch.precisions == (Precision.FP16,) * 3
+
+
+def test_gemm_batch_validates_shapes_and_dimensions():
+    with pytest.raises(ConfigurationError):
+        GemmBatch.from_arrays(m=[1, 2], n=[1, 2, 3], k=1)
+    with pytest.raises(ConfigurationError):
+        GemmBatch.from_arrays(m=[0], n=[1], k=[1])
+
+
+def test_empty_batch_evaluates_to_empty_result(a100):
+    batched = BatchedGemmTimeModel(accelerator=a100)
+    result = batched.evaluate_batch(GemmBatch.from_arrays(m=[], n=[], k=[]))
+    assert len(result) == 0
+    assert result.to_points() == []
+
+
+def test_vectorized_utilization_matches_bisect_lookup():
+    util = GemvUtilizationModel()
+    gemvs = [make_gemv("v", rows=rows, cols=4096) for rows in (64, 512, 8192, 32768)]
+    weight_bytes = np.array([gemv.b_bytes for gemv in gemvs])
+    vectorized = util.utilization_for_weight_bytes(weight_bytes)
+    assert vectorized.tolist() == [util.utilization(gemv) for gemv in gemvs]
+
+
+def test_vectorized_utilization_constant_model():
+    util = GemvUtilizationModel.constant_model(0.55)
+    factors = util.utilization_for_weight_bytes(np.array([1.0, 1e9]))
+    assert factors.tolist() == [0.55, 0.55]
+
+
+def test_batched_model_validates_parameters_like_scalar_twin(a100):
+    with pytest.raises(ConfigurationError):
+        BatchedGemmTimeModel(accelerator=a100, fat_gemm_dram_utilization=0.0)
+    with pytest.raises(ConfigurationError):
+        BatchedGemmTimeModel(accelerator=a100, kernel_overhead=-1e-6)
+    with pytest.raises(ConfigurationError):
+        BatchedGemmTimeModel(accelerator=a100, cache_occupancy=1.5)
+
+
+def test_gemm_batch_from_arrays_parses_precision_strings():
+    batch = GemmBatch.from_arrays(m=1, n=64, k=64, precision="int8")
+    assert batch.size == 1
+    assert batch.precisions == (Precision.INT8,)

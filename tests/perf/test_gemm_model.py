@@ -133,3 +133,21 @@ def test_model_validation(a100):
         GemmTimeModel(accelerator=a100, fat_gemm_dram_utilization=0.0)
     with pytest.raises(ConfigurationError):
         GemmTimeModel(accelerator=a100, kernel_overhead=-1 * MICROSECOND)
+
+
+def test_utilization_break_sizes_precomputed():
+    """The sorted break-point sizes are derived once at construction time."""
+    util = GemvUtilizationModel.from_pairs([(100e6, 0.8), (0, 0.5), (32e6, 0.65)])
+    assert util.break_sizes == (0.0, 32e6, 100e6)
+    # The lookup agrees with a manual scan over the (sorted) table.
+    for rows in (512, 4096, 16384):
+        gemv = make_gemv("v", rows=rows, cols=4096)
+        at_or_below = [u for s, u in util.table if s <= gemv.b_bytes]
+        expected = at_or_below[-1] if at_or_below else util.table[0][1]
+        assert util.utilization(gemv) == expected
+
+
+def test_constant_model_has_no_break_sizes():
+    util = GemvUtilizationModel.constant_model(0.6)
+    assert util.break_sizes == ()
+    assert util.utilization(make_gemv("v", rows=1024, cols=1024)) == pytest.approx(0.6)

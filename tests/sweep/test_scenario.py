@@ -6,7 +6,7 @@ from repro.errors import ConfigurationError
 from repro.hardware.accelerator import get_accelerator
 from repro.hardware.cluster import build_system
 from repro.parallelism.config import ParallelismConfig
-from repro.sweep import Scenario, ScenarioKind, evaluate_scenario
+from repro.sweep import Scenario, ScenarioKind, SweepRunner, evaluate_scenario
 from repro.core.reports import InferenceReport, TrainingReport
 
 
@@ -89,3 +89,24 @@ def test_attention_bound_evaluates_to_breakdown(tiny_model):
     scenario = Scenario.attention_bound(get_accelerator("A100"), tiny_model, micro_batch=1, seq_len=256)
     breakdown = evaluate_scenario(scenario)
     assert set(breakdown) >= {"compute_bound", "memory_bound"}
+
+
+def test_decode_mode_distinguishes_cache_keys(single_node_a100):
+    average = Scenario.inference(single_node_a100, "Llama2-13B")
+    exact = Scenario.inference(single_node_a100, "Llama2-13B", decode_mode="exact")
+    assert average.decode_mode == "average"
+    assert average.cache_key() != exact.cache_key()
+
+
+def test_decode_mode_exact_through_sweep_runner(single_node_a100):
+    runner = SweepRunner()
+    results = runner.run(
+        [
+            Scenario.inference(single_node_a100, "Llama2-13B", generated_tokens=50),
+            Scenario.inference(single_node_a100, "Llama2-13B", generated_tokens=50, decode_mode="exact"),
+        ]
+    )
+    average, exact = (result.report for result in results)
+    assert runner.stats.evaluations == 2  # different cache keys, two evaluations
+    assert exact.decode.total_time != average.decode.total_time
+    assert exact.decode.total_time == pytest.approx(average.decode.total_time, rel=0.05)

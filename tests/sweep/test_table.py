@@ -1,0 +1,121 @@
+"""Tests for the columnar SweepTable and SweepRunner.run_table."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, MemoryCapacityError
+from repro.hardware.cluster import build_system
+from repro.sweep import Scenario, SweepRunner, SweepTable
+
+
+@pytest.fixture
+def system():
+    return build_system("A100", num_devices=8, intra_node="NVLink3", inter_node="HDR-IB")
+
+
+def _sample_table():
+    return SweepTable(
+        {
+            "model": ["a", "b", "c"],
+            "latency_ms": [1.5, 2.5, 3.5],
+            "batch": [1, 2, 4],
+            "ok": [True, True, False],
+        }
+    )
+
+
+def test_columns_are_numpy_arrays():
+    table = _sample_table()
+    assert isinstance(table["latency_ms"], np.ndarray)
+    assert table["latency_ms"].dtype == np.float64
+    assert table["batch"].dtype.kind == "i"
+    assert table["ok"].dtype == bool
+    assert table["model"].dtype == object
+
+
+def test_row_views_support_mapping_and_attribute_access():
+    table = _sample_table()
+    assert len(table) == 3
+    row = table[1]
+    assert row["model"] == "b"
+    assert row.latency_ms == 2.5
+    assert isinstance(row["latency_ms"], float)  # plain Python scalar, not np.generic
+    assert isinstance(row["batch"], int)
+    assert sorted(row.keys()) == ["batch", "latency_ms", "model", "ok"]
+    assert table[-1]["model"] == "c"
+    with pytest.raises(AttributeError):
+        _ = row.missing_column
+
+
+def test_iteration_and_row_materialization():
+    table = _sample_table()
+    assert [row["model"] for row in table] == ["a", "b", "c"]
+    assert table.rows()[0] == {"model": "a", "latency_ms": 1.5, "batch": 1, "ok": True}
+
+
+def test_derived_columns_and_where():
+    table = _sample_table()
+    table["latency_s"] = table["latency_ms"] / 1e3
+    assert table[0]["latency_s"] == 0.0015
+    fast = table.where(table["latency_ms"] < 3.0)
+    assert len(fast) == 2
+    assert fast["model"].tolist() == ["a", "b"]
+
+
+def test_length_mismatch_rejected():
+    with pytest.raises(ConfigurationError):
+        SweepTable({"a": [1, 2], "b": [1, 2, 3]})
+    table = _sample_table()
+    with pytest.raises(ConfigurationError):
+        table["bad"] = [1.0]
+
+
+def test_json_round_trip():
+    table = _sample_table()
+    rebuilt = SweepTable.from_json(table.to_json())
+    assert rebuilt.keys() == table.keys()
+    assert rebuilt.rows() == table.rows()
+    assert rebuilt["latency_ms"].dtype == np.float64
+
+
+def test_from_records_requires_consistent_keys():
+    with pytest.raises(ConfigurationError):
+        SweepTable.from_records([{"a": 1}, {"b": 2}])
+    assert len(SweepTable.from_records([])) == 0
+
+
+def test_run_table_default_extraction(system):
+    runner = SweepRunner()
+    scenarios = [Scenario.inference(system, "Llama2-13B", batch_size=batch) for batch in (1, 4)]
+    table = runner.run_table(scenarios)
+    assert len(table) == 2
+    assert table[0]["model"] == "Llama2-13B"
+    assert table["error"].tolist() == [None, None]
+
+
+def test_run_table_custom_extraction(system):
+    runner = SweepRunner()
+    scenarios = [Scenario.inference(system, "Llama2-13B", batch_size=batch) for batch in (1, 2, 4)]
+    table = runner.run_table(
+        scenarios,
+        extract=lambda result: {
+            "batch": result.scenario.batch_size,
+            "latency_ms": result.report.total_latency_ms,
+        },
+    )
+    assert table["batch"].tolist() == [1, 2, 4]
+    assert (table["latency_ms"] > 0).all()
+    # Larger batches never reduce the request latency.
+    assert (np.diff(table["latency_ms"]) >= 0).all()
+
+
+def test_run_capture_errors_override(system):
+    runner = SweepRunner()  # capture off by default
+    infeasible = Scenario.inference(system, "GPT-175B", batch_size=512, tensor_parallel=1)
+    with pytest.raises(MemoryCapacityError):
+        runner.run([infeasible])
+    results = runner.run([infeasible], capture_errors=True)
+    assert results[0].error is not None
+    # The override is per call: the runner default still raises.
+    with pytest.raises(MemoryCapacityError):
+        runner.run([infeasible])
