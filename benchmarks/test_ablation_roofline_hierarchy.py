@@ -21,7 +21,7 @@ from repro.hardware.memory import MemoryHierarchy
 from repro.models.zoo import get_model
 from repro.perf.gemm import GemmTimeModel
 from repro.perf.roofline import BoundType
-from repro.workload.operators import GEMM, make_gemv
+from repro.workload.operators import GEMM
 from repro.workload.transformer_layer import LayerExecutionSpec, TransformerLayerBuilder
 
 

@@ -1,0 +1,72 @@
+"""Micro-benchmark of the request-level serving simulator.
+
+Simulates a continuously-batched Llama2-7B deployment on one A100 and
+records how fast the discrete-event loop runs: simulated requests, engine
+steps, and generated tokens per wall-clock second.  The headline numbers are
+written to ``BENCH_serving.json`` at the repo root so CI can archive the
+serving-throughput trajectory as an artifact (next to ``BENCH_batched.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from conftest import emit
+
+from repro.hardware.cluster import build_system
+from repro.models.zoo import get_model
+from repro.serving import LengthDistribution, ServingSimulator, TraceConfig
+
+#: Where the serving benchmark records its headline numbers.
+BENCH_SERVING_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+
+#: Workload: mixed prompts, open-loop Poisson arrivals near saturation.
+TRACE = TraceConfig(
+    rate=6.0,
+    num_requests=96,
+    prompt_lengths=LengthDistribution.uniform(64, 384),
+    output_lengths=LengthDistribution.constant(48),
+    seed=2024,
+)
+
+
+def test_serving_simulator_throughput(benchmark):
+    system = build_system("A100", num_devices=1)
+    model = get_model("Llama2-7B")
+    simulator = ServingSimulator(system=system, model=model, tensor_parallel=1)
+
+    start = time.perf_counter()
+    report = benchmark.pedantic(simulator.run, args=(TRACE,), rounds=1, iterations=1)
+    wall_seconds = time.perf_counter() - start
+
+    assert report.completed_requests == TRACE.num_requests
+    assert report.rejected_requests == 0
+    steps = report.prefill_steps + report.decode_steps
+    output_tokens = sum(metrics.output_tokens for metrics in report.per_request)
+    requests_per_second = report.completed_requests / wall_seconds
+    payload = {
+        "benchmark": "serving_simulator",
+        "model": model.name,
+        "system": system.name,
+        "num_requests": report.completed_requests,
+        "engine_steps": steps,
+        "simulated_seconds": report.simulated_time,
+        "wall_seconds": wall_seconds,
+        "simulated_requests_per_second": requests_per_second,
+        "steps_per_second": steps / wall_seconds,
+        "simulated_tokens_per_second": output_tokens / wall_seconds,
+        "speedup_vs_realtime": report.simulated_time / wall_seconds,
+    }
+    BENCH_SERVING_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    benchmark.extra_info.update(payload)
+    emit(
+        f"serving simulator: {report.completed_requests} requests / {steps} steps in "
+        f"{wall_seconds:.2f}s wall = {requests_per_second:.0f} req/s, "
+        f"{payload['speedup_vs_realtime']:.0f}x faster than real time"
+    )
+    # The simulator must stay far faster than the system it models, or
+    # serving sweeps become impractical.
+    assert payload["speedup_vs_realtime"] > 5.0
+    assert requests_per_second > 10.0

@@ -1,109 +1,155 @@
 #!/usr/bin/env python
-"""Inference serving study: TP degree, batch size, and memory technology for Llama-2.
+"""Inference serving study: request-level simulation of a Llama-2 deployment.
 
 Three practical questions a serving team would ask, answered with the
-analytical model (mirroring the paper's Section 6):
+request-level serving simulator (arrival traces -> continuous batching with
+KV-memory admission -> analytically priced prefill/decode steps):
 
-1. How many GPUs should serve Llama2-70B, and what does each extra GPU buy?
-2. What does growing the batch size do to latency and throughput on one GPU?
-3. If the accelerator kept its compute but used faster DRAM, how far would
-   the latency drop before the on-chip memory becomes the bottleneck?
+1. How hard can one A100 be pushed before tail latency collapses?  The
+   latency-throughput frontier of Llama2-13B vs the arrival rate.
+2. How many GPUs should serve Llama2-70B under load?  Goodput and tail
+   latency vs the tensor-parallel degree at a fixed arrival rate.
+3. What does bursty traffic cost?  Poisson vs bursty arrivals at the same
+   mean rate, and the p99 inflation the bursts cause.
 
 Run it with ``python examples/inference_serving_study.py``.
 """
 
 from __future__ import annotations
 
-from repro import Scenario, SweepRunner, build_system
+from repro import (
+    LengthDistribution,
+    Scenario,
+    SchedulerConfig,
+    ServingConfig,
+    ServingSLO,
+    SweepRunner,
+    TraceConfig,
+    build_system,
+)
+from repro.analysis.experiments import serving_latency_throughput_frontier
 from repro.analysis.formatting import render_table
-from repro.dse.scaling import inference_memory_scaling_study
-from repro.units import GB
 
 #: One runner for the whole study: scenarios shared between the sections
 #: (and with any other analysis in this process) are evaluated once.
 RUNNER = SweepRunner(capture_errors=True)
 
+#: Mixed prompt lengths and a fixed generation budget, shared by all studies.
+PROMPTS = LengthDistribution.uniform(64, 512)
+OUTPUTS = LengthDistribution.constant(96)
+SLO = ServingSLO(ttft=1.0, tpot=0.05)
+
+
+def load_frontier_study() -> None:
+    """Latency-throughput frontier of Llama2-13B serving on a single A100."""
+    table = serving_latency_throughput_frontier(
+        model_name="Llama2-13B",
+        gpu="A100",
+        num_devices=1,
+        arrival_rates=(0.5, 1.0, 2.0, 4.0, 8.0, 16.0),
+        tensor_parallels=(1,),
+        num_requests=48,
+        prompt_lengths=PROMPTS,
+        output_lengths=OUTPUTS,
+        slo=SLO,
+        runner=RUNNER,
+    )
+    view = table.select(
+        ["arrival_rate", "ttft_p50_s", "ttft_p99_s", "tpot_p99_s", "requests_per_s", "goodput_rps", "utilization"]
+    )
+    print(render_table(view.rows(), title="Llama2-13B on one A100: arrival rate vs tail latency", precision=3))
+    print("Throughput tracks the offered load until the device saturates; past that")
+    print("point extra arrivals only queue, TTFT p99 explodes, and goodput (requests")
+    print("meeting the SLO) falls away from raw throughput.\n")
+
 
 def tensor_parallel_study() -> None:
-    """Latency and cost-efficiency of Llama2-70B vs the number of A100s."""
+    """Goodput of Llama2-70B under load vs the number of A100s serving it."""
     system = build_system("A100", num_devices=8, intra_node="NVLink3", inter_node="HDR-IB")
-    results = RUNNER.run_grid(
-        lambda tensor_parallel: Scenario.inference(system, "Llama2-70B", tensor_parallel=tensor_parallel),
-        tensor_parallel=[1, 2, 4, 8],
+    config = ServingConfig(
+        trace=TraceConfig(
+            rate=1.0,
+            num_requests=32,
+            prompt_lengths=PROMPTS,
+            output_lengths=OUTPUTS,
+            seed=11,
+        ),
+        scheduler=SchedulerConfig(max_batch_size=16),
+        slo=SLO,
     )
+    results = RUNNER.run(
+        [
+            Scenario.serving(system, "Llama2-70B", config, tensor_parallel=tensor_parallel)
+            for tensor_parallel in (1, 2, 4, 8)
+        ]
+    )
+    columns = ["gpus", "ttft_p99_s", "tpot_p99_s", "tokens_per_s", "goodput_rps", "goodput_per_gpu", "utilization", "note"]
     rows = []
     for result in results:
         tensor_parallel = result.scenario.tensor_parallel
         if not result.ok:  # the model does not fit this few devices
-            rows.append({"gpus": tensor_parallel, "latency_ms": None, "note": f"does not fit: {result.error}"[:60]})
+            rows.append({"gpus": tensor_parallel, "note": "does not fit (weights exceed device memory)"})
             continue
         report = result.report
         rows.append(
             {
                 "gpus": tensor_parallel,
-                "latency_ms": report.total_latency_ms,
-                "ms_per_token": report.time_per_output_token * 1e3,
-                "communication_ms": report.communication_time * 1e3,
-                "memory_per_gpu_gb": report.memory.total_bytes / GB,
-                "tokens_per_s_per_gpu": report.throughput_tokens_per_second() / tensor_parallel,
+                "ttft_p99_s": report.ttft_p99,
+                "tpot_p99_s": report.tpot_p99,
+                "tokens_per_s": report.output_token_throughput,
+                "goodput_rps": report.goodput,
+                "goodput_per_gpu": report.goodput / tensor_parallel,
+                "utilization": report.device_utilization,
+                "note": "",
             }
         )
-    print(render_table(rows, title="Llama2-70B on A100s: tensor-parallel scaling (batch 1, 200+200 tokens)", precision=1))
-    print("Two GPUs are required just to fit the weights; beyond four GPUs the extra")
-    print("devices mostly buy latency (at falling per-GPU efficiency) because token")
-    print("generation is memory-bound and every layer adds two all-reduces.\n")
-
-
-def batch_size_study() -> None:
-    """Throughput/latency trade-off of batched serving on a single A100."""
-    system = build_system("A100", num_devices=1)
-    results = RUNNER.run_grid(
-        lambda batch_size: Scenario.inference(system, "Llama2-13B", batch_size=batch_size, tensor_parallel=1),
-        batch_size=[1, 2, 4, 8, 16],
+    print(
+        render_table(
+            rows, columns=columns, title="Llama2-70B at 1 req/s: tensor-parallel scaling under load", precision=3
+        )
     )
+    print("Two GPUs are required just to fit the weights.  More GPUs keep cutting")
+    print("TPOT (decode is memory-bound, so each device streams a smaller shard),")
+    print("but per-GPU goodput falls -- capacity should be added as replicas once")
+    print("the SLO is met.\n")
+
+
+def burstiness_study() -> None:
+    """Poisson vs bursty arrivals at the same mean rate on one A100."""
+    system = build_system("A100", num_devices=1)
     rows = []
-    for result in results:
-        if not result.ok:
-            rows.append({"batch": result.scenario.batch_size, "latency_ms": None, "note": result.error[:60]})
-            continue
-        report = result.report
+    for arrival in ("poisson", "bursty"):
+        config = ServingConfig(
+            trace=TraceConfig(
+                rate=4.0,
+                num_requests=96,
+                arrival=arrival,
+                prompt_lengths=PROMPTS,
+                output_lengths=OUTPUTS,
+                seed=23,
+                burstiness=12.0,
+                burst_fraction=0.5,
+            ),
+            slo=SLO,
+        )
+        report = RUNNER.evaluate(Scenario.serving(system, "Llama2-13B", config))
         rows.append(
             {
-                "batch": result.scenario.batch_size,
-                "latency_ms": report.total_latency_ms,
-                "ms_per_token": report.time_per_output_token * 1e3,
-                "throughput_tokens_per_s": report.throughput_tokens_per_second(),
-                "kv_cache_gb": report.memory.kv_cache_bytes / GB,
+                "arrival": arrival,
+                "ttft_p50_s": report.ttft_p50,
+                "ttft_p99_s": report.ttft_p99,
+                "queue_p99_s": report.queue_p99,
+                "tpot_p99_s": report.tpot_p99,
+                "slo_attainment": report.slo_attainment,
             }
         )
-    print(render_table(rows, title="Llama2-13B on one A100: batch size vs latency and throughput", precision=1))
-    baseline, biggest = rows[0], rows[-1]
-    print(
-        f"Growing the batch from 1 to {biggest['batch']} multiplies throughput by "
-        f"{biggest['throughput_tokens_per_s'] / baseline['throughput_tokens_per_s']:.1f}x while the request latency grows only "
-        f"{biggest['latency_ms'] / baseline['latency_ms']:.1f}x -- the weights are streamed once per step either way.\n"
-    )
-
-
-def memory_technology_study() -> None:
-    """DRAM technology what-if for a 2-GPU Llama2-13B server (paper Fig. 9)."""
-    rows = inference_memory_scaling_study(gpu_counts=(2,))
-    table = [
-        {
-            "memory": row.dram_technology,
-            "network": row.network,
-            "memory_s": row.memory_time,
-            "communication_s": row.communication_time,
-            "total_s": row.total_latency,
-        }
-        for row in rows
-    ]
-    print(render_table(table, title="Llama2-13B on 2 GPUs: DRAM technology scaling at fixed (A100) compute", precision=2))
-    print("Latency tracks the DRAM bandwidth until roughly HBM3e; beyond that the")
-    print("problem becomes L2-bound and only faster on-chip memory or interconnect helps.")
+    print(render_table(rows, title="Llama2-13B on one A100 at 4 req/s: Poisson vs bursty arrivals", precision=3))
+    print("The mean load is identical, but bursts of back-to-back arrivals queue")
+    print("behind each other's prefills: queueing delay inflates the p99")
+    print("time-to-first-token well beyond what the average rate predicts.")
 
 
 if __name__ == "__main__":
+    load_frontier_study()
     tensor_parallel_study()
-    batch_size_study()
-    memory_technology_study()
+    burstiness_study()

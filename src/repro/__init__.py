@@ -24,22 +24,38 @@ from .hardware.datatypes import Precision
 from .memmodel.activations import RecomputeStrategy
 from .models.zoo import get_model, list_models
 from .parallelism.config import ParallelismConfig, parse_parallelism_label
+from .serving import (
+    LengthDistribution,
+    SchedulerConfig,
+    ServingConfig,
+    ServingReport,
+    ServingSimulator,
+    ServingSLO,
+    TraceConfig,
+)
 from .sweep import Scenario, SweepResult, SweepRunner, SweepTable, expand_grid
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "InferencePerformanceModel",
     "InferenceReport",
+    "LengthDistribution",
     "ParallelismConfig",
     "PerformancePredictionEngine",
     "Precision",
     "RecomputeStrategy",
     "Scenario",
+    "SchedulerConfig",
+    "ServingConfig",
+    "ServingReport",
+    "ServingSLO",
+    "ServingSimulator",
     "SweepResult",
     "SweepRunner",
     "SweepTable",
     "SystemSpec",
+    "TraceConfig",
     "TrainingPerformanceModel",
     "TrainingReport",
     "expand_grid",

@@ -17,6 +17,11 @@ benchmark harness prints and asserts on.  The mapping to the paper is:
 :func:`fig9_memory_technology_scaling`    Fig. 9 (DRAM technology scaling, inference)
 ========================================  =======================================
 
+Beyond the paper's artifacts, :func:`serving_latency_throughput_frontier`
+sweeps the request-level serving simulator (:mod:`repro.serving`) over
+arrival rates and tensor-parallel degrees and returns the TTFT/TPOT tail
+latencies, goodput, and utilization of each point as one columnar table.
+
 All drivers route their evaluations through the shared
 :class:`~repro.sweep.runner.SweepRunner` (or one passed via ``runner=``), so
 identical scenarios across tables/figures -- and across repeated calls within
@@ -45,6 +50,7 @@ from ..hardware.datatypes import Precision
 from ..memmodel.activations import RecomputeStrategy
 from ..models.zoo import get_model
 from ..parallelism.config import ParallelismConfig, parse_parallelism_label
+from ..serving import LengthDistribution, SchedulerConfig, ServingConfig, ServingSLO, TraceConfig
 from ..sweep import Scenario, SweepRunner, SweepTable, default_runner
 from ..units import GB, to_milliseconds
 from ..validation.metrics import relative_error_percent
@@ -426,6 +432,98 @@ def fig8_inference_boundedness(
             / GB,
         }
     )
+
+
+# ---------------------------------------------------------------------------
+# Serving: latency-throughput frontier from the request-level simulator
+# ---------------------------------------------------------------------------
+
+def serving_latency_throughput_frontier(
+    model_name: str = "Llama2-13B",
+    gpu: str = "A100",
+    num_devices: int = 8,
+    arrival_rates: Sequence[float] = (0.5, 1.0, 2.0, 4.0),
+    tensor_parallels: Sequence[int] = (1,),
+    arrival: str = "poisson",
+    num_requests: int = 48,
+    prompt_lengths: Optional[LengthDistribution] = None,
+    output_lengths: Optional[LengthDistribution] = None,
+    seed: int = 2024,
+    max_batch_size: int = 32,
+    slo: Optional[ServingSLO] = None,
+    precision: "Precision | str" = Precision.FP16,
+    runner: Optional[SweepRunner] = None,
+) -> SweepTable:
+    """Sweep the serving simulator over arrival rate and TP degree.
+
+    Beyond the paper: the request-level latency-throughput frontier of a
+    continuous-batching server, one simulation per (rate, TP) grid point.
+    Each row carries the TTFT/TPOT p50/p99 tail latencies, throughput,
+    goodput under the SLO, and device utilization; infeasible corners (e.g.
+    the model does not fit one device) land in the ``error`` column instead
+    of aborting the sweep.
+    """
+    runner = runner or default_runner()
+    system = build_system(
+        gpu,
+        num_devices=num_devices,
+        intra_node="NVLink3" if gpu.upper().startswith("A100") else "NVLink4",
+        inter_node="HDR-IB",
+    )
+    slo = slo or ServingSLO()
+    prompt_lengths = prompt_lengths or LengthDistribution.uniform(64, 512)
+    output_lengths = output_lengths or LengthDistribution.constant(128)
+    scenarios = []
+    for tensor_parallel in tensor_parallels:
+        for rate in arrival_rates:
+            config = ServingConfig(
+                trace=TraceConfig(
+                    rate=rate,
+                    num_requests=num_requests,
+                    arrival=arrival,
+                    prompt_lengths=prompt_lengths,
+                    output_lengths=output_lengths,
+                    seed=seed,
+                ),
+                scheduler=SchedulerConfig(max_batch_size=max_batch_size),
+                slo=slo,
+            )
+            scenarios.append(
+                Scenario.serving(
+                    system,
+                    model_name,
+                    config,
+                    tensor_parallel=tensor_parallel,
+                    precision=precision,
+                )
+            )
+
+    def extract(result):
+        scenario = result.scenario
+        report = result.report
+        row = {
+            "model": scenario.model.name,
+            "gpu": gpu,
+            "tensor_parallel": scenario.tensor_parallel,
+            "arrival_rate": scenario.serving_config.trace.rate,
+            "arrival": scenario.serving_config.trace.arrival,
+            "completed": report.completed_requests if result.ok else 0,
+            "rejected": report.rejected_requests if result.ok else 0,
+            "ttft_p50_s": report.ttft_p50 if result.ok else None,
+            "ttft_p99_s": report.ttft_p99 if result.ok else None,
+            "tpot_p50_s": report.tpot_p50 if result.ok else None,
+            "tpot_p99_s": report.tpot_p99 if result.ok else None,
+            "requests_per_s": report.request_throughput if result.ok else None,
+            "tokens_per_s": report.output_token_throughput if result.ok else None,
+            "goodput_rps": report.goodput if result.ok else None,
+            "slo_attainment": report.slo_attainment if result.ok else None,
+            "utilization": report.device_utilization if result.ok else None,
+            "mean_decode_batch": report.mean_decode_batch if result.ok else None,
+            "error": result.error,
+        }
+        return row
+
+    return runner.run_table(scenarios, extract=extract, capture_errors=True)
 
 
 # ---------------------------------------------------------------------------

@@ -25,7 +25,7 @@ from ..hardware.accelerator import AcceleratorSpec, get_accelerator
 from ..hardware.datatypes import Precision
 from ..perf.gemm import GemmTimeModel, GemvUtilizationModel
 from ..validation.metrics import absolute_percentage_error
-from ..workload.operators import GEMM, make_gemv
+from ..workload.operators import make_gemv
 
 #: Shape sweep loosely covering the weight matrices found in LLM layers.
 DEFAULT_GEMV_SHAPES: Tuple[Tuple[int, int], ...] = (

@@ -16,6 +16,7 @@ from .reports import (
     TrainingReport,
     aggregate_kernel_entries,
 )
+from .stepcost import StepCost, StepCostModel
 from .training import OPTIMIZER_BYTES_PER_PARAMETER, TrainingPerformanceModel
 
 __all__ = [
@@ -26,6 +27,8 @@ __all__ = [
     "OPTIMIZER_BYTES_PER_PARAMETER",
     "PerformancePredictionEngine",
     "PhaseReport",
+    "StepCost",
+    "StepCostModel",
     "TrainingPerformanceModel",
     "TrainingReport",
     "aggregate_kernel_entries",

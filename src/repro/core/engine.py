@@ -20,7 +20,7 @@ entry point for users of the library::
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from ..comm.fabric import CollectiveModel
 from ..hardware.cluster import SystemSpec
@@ -36,6 +36,10 @@ from ..models.transformer import TransformerConfig
 from ..models.zoo import get_model
 from ..parallelism.config import ParallelismConfig
 from ..perf.kernels import DeviceKernelModel
+from ..serving.report import ServingReport, ServingSLO
+from ..serving.request import Request, TraceConfig
+from ..serving.scheduler import SchedulerConfig
+from ..serving.simulator import ServingSimulator
 from .bottleneck import decode_gemm_table, prefill_gemm_table
 from .inference import InferencePerformanceModel
 from .reports import GemmBottleneckEntry, InferenceReport, TrainingReport
@@ -153,6 +157,40 @@ class PerformancePredictionEngine:
             precision=precision,
             tensor_parallel=tensor_parallel,
         )
+
+    # -- serving -------------------------------------------------------------------------
+
+    def predict_serving(
+        self,
+        model: "TransformerConfig | str",
+        workload: "TraceConfig | Sequence[Request]",
+        tensor_parallel: int = 1,
+        precision: Precision = Precision.FP16,
+        scheduler: Optional[SchedulerConfig] = None,
+        slo: Optional[ServingSLO] = None,
+        include_lm_head: bool = True,
+    ) -> ServingReport:
+        """Simulate request-level serving of ``model`` on this system.
+
+        ``workload`` is a seeded :class:`~repro.serving.request.TraceConfig`
+        (or an explicit request list); the simulation advances in continuous-
+        batching prefill/decode steps priced by the step-cost layer, sharing
+        this engine's memoized kernel and collective models.  See
+        :class:`~repro.serving.simulator.ServingSimulator`.
+        """
+        model = get_model(model) if isinstance(model, str) else model
+        precision = Precision.parse(precision)
+        simulator = ServingSimulator(
+            system=self.system,
+            model=model,
+            tensor_parallel=tensor_parallel,
+            precision=precision,
+            step_cost=self.inference_model.step_cost,
+            scheduler_config=scheduler,
+            slo=slo,
+            include_lm_head=include_lm_head,
+        )
+        return simulator.run(workload)
 
     # -- bottleneck views ----------------------------------------------------------------
 

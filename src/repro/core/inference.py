@@ -18,14 +18,18 @@ The decode phase supports two pricing modes (``decode_mode``):
 * ``"exact"``: every generated token is priced at its true KV-cache length;
   the per-token GEMMs are evaluated as one batch through the vectorized
   roofline backend (:mod:`repro.perf.batched`), so exact pricing stays cheap.
+
+All per-phase pricing lives in the reusable step-cost layer
+(:class:`~repro.core.stepcost.StepCostModel`); this module supplies the
+request-level workload description, the memory admission check, and the
+:class:`~repro.core.reports.InferenceReport` assembly on top of it.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional
+from typing import Optional
 
-from ..comm.collectives import CollectiveAlgorithm
 from ..comm.fabric import CollectiveModel
 from ..errors import ConfigurationError, MemoryCapacityError
 from ..hardware.cluster import SystemSpec
@@ -33,11 +37,10 @@ from ..hardware.datatypes import Precision
 from ..memmodel.footprint import inference_memory_breakdown
 from ..models.transformer import TransformerConfig
 from ..perf.kernels import DeviceKernelModel
-from ..perf.roofline import BoundType
 from ..workload.inference import InferencePhaseSpec
-from ..workload.operators import GEMM
 from ..workload.transformer_layer import TransformerLayerBuilder
-from .reports import InferenceReport, KernelTimeEntry, PhaseReport
+from .reports import InferenceReport
+from .stepcost import StepCostModel
 
 #: Supported decode pricing modes.
 DECODE_MODES = ("average", "exact")
@@ -61,6 +64,9 @@ class InferencePerformanceModel:
             representative step at the mid-point KV length, ``"exact"`` prices
             every generated token at its true KV length through the batched
             roofline backend.  Overridable per :meth:`predict` call.
+        step_cost: The step-cost layer the phase reports are priced through
+            (built in ``__post_init__``; shares the kernel and collective
+            models above).
     """
 
     system: SystemSpec
@@ -68,191 +74,18 @@ class InferencePerformanceModel:
     collective_model: Optional[CollectiveModel] = None
     check_memory: bool = True
     decode_mode: str = "average"
+    step_cost: StepCostModel = dataclasses.field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.decode_mode not in DECODE_MODES:
             raise ConfigurationError(f"decode_mode must be one of {DECODE_MODES}, got {self.decode_mode!r}")
-        if self.kernel_model is None:
-            self.kernel_model = DeviceKernelModel(accelerator=self.system.accelerator)
-        if self.collective_model is None:
-            self.collective_model = CollectiveModel(
-                system=self.system,
-                algorithm=CollectiveAlgorithm.DOUBLE_BINARY_TREE,
-            )
-
-    # -- phase pricing ---------------------------------------------------------------
-
-    def _phase_report(
-        self,
-        name: str,
-        builder: TransformerLayerBuilder,
-        num_layers: int,
-        lm_head: Optional[GEMM],
-        repeats: int,
-        tp_scope: str,
-    ) -> PhaseReport:
-        """Price one phase: ``repeats`` executions of ``num_layers`` layers."""
-        device_time = 0.0
-        compute_bound_time = 0.0
-        memory_bound_time = 0.0
-        entries: List[KernelTimeEntry] = []
-        for op in builder.forward_compute_ops():
-            point = self.kernel_model.evaluate(op)
-            time = point.time + self.kernel_model.overhead(op)
-            device_time += time * num_layers
-            if isinstance(op, GEMM):
-                if point.bound is BoundType.COMPUTE:
-                    compute_bound_time += point.time * num_layers
-                else:
-                    memory_bound_time += point.time * num_layers
-            entries.append(
-                KernelTimeEntry(
-                    name=op.name,
-                    time=time,
-                    count=num_layers * repeats,
-                    bound=point.bound,
-                    flops=op.flops,
-                    bytes_moved=point.level_bytes.get("DRAM", op.bytes_total),
-                )
-            )
-        communication_time = 0.0
-        for comm in builder.forward_communication(scope=tp_scope):
-            communication_time += self.collective_model.time(comm) * num_layers
-        if lm_head is not None:
-            head_point, head_time, entry = self._lm_head_entry(lm_head, count=repeats)
-            device_time += head_time
-            if head_point.bound is BoundType.COMPUTE:
-                compute_bound_time += head_point.time
-            else:
-                memory_bound_time += head_point.time
-            entries.append(entry)
-        return PhaseReport(
-            name=name,
-            device_time=device_time * repeats,
-            communication_time=communication_time * repeats,
-            compute_bound_time=compute_bound_time * repeats,
-            memory_bound_time=memory_bound_time * repeats,
-            kernel_breakdown=entries,
+        self.step_cost = StepCostModel(
+            system=self.system,
+            kernel_model=self.kernel_model,
+            collective_model=self.collective_model,
         )
-
-    def _lm_head_entry(self, lm_head: GEMM, count: int):
-        """Price the logits GEMM once and shape its breakdown entry.
-
-        Shared by the average and exact decode paths (the lm_head cost does
-        not depend on the KV length); callers scale the returned times by
-        their own repeat count.
-        """
-        head_point = self.kernel_model.evaluate(lm_head)
-        head_time = head_point.time + self.kernel_model.overhead(lm_head)
-        entry = KernelTimeEntry(
-            name=lm_head.name,
-            time=head_time,
-            count=count,
-            bound=head_point.bound,
-            flops=lm_head.flops,
-            bytes_moved=head_point.level_bytes.get("DRAM", lm_head.bytes_total),
-        )
-        return head_point, head_time, entry
-
-    def _decode_report_exact(
-        self,
-        spec: InferencePhaseSpec,
-        num_layers: int,
-        lm_head: Optional[GEMM],
-        tp_scope: str,
-    ) -> PhaseReport:
-        """Price the decode phase with every token at its true KV length.
-
-        The KV-cache grows from ``prompt_len`` to ``prompt_len + T - 1`` over
-        the ``T`` generated tokens, so the per-token operator lists differ
-        only in the KV-dependent kernels (attention scores/context, softmax).
-        All GEMMs of all steps are evaluated in **one** call through the
-        vectorized roofline backend; the kernel breakdown reports the mean
-        per-invocation time (so ``entry.time * entry.count`` stays the exact
-        phase total) and the bound type of the median-KV step.
-        """
-        steps = max(0, spec.generated_tokens)
-        if steps == 0:
-            return PhaseReport(
-                name="decode",
-                device_time=0.0,
-                communication_time=0.0,
-                compute_bound_time=0.0,
-                memory_bound_time=0.0,
-                kernel_breakdown=[],
-            )
-        builders = [
-            TransformerLayerBuilder(spec.decode_layer_spec(spec.prompt_len + step))
-            for step in range(steps)
-        ]
-        step_ops = [builder.forward_compute_ops() for builder in builders]
-        # One batched evaluation warms the kernel memo for every GEMM of every
-        # step; the per-slot loop below then only takes cache hits.
-        self.kernel_model.gemm_model.evaluate_many(
-            [op for ops in step_ops for op in ops if isinstance(op, GEMM)]
-        )
-
-        device_time = 0.0
-        compute_bound_time = 0.0
-        memory_bound_time = 0.0
-        entries: List[KernelTimeEntry] = []
-        median_step = steps // 2
-        for slot in zip(*step_ops):
-            overhead = self.kernel_model.overhead(slot[0])
-            points = [self.kernel_model.evaluate(op) for op in slot]
-            slot_kernel_time = sum(point.time for point in points)
-            slot_time = slot_kernel_time + overhead * steps
-            device_time += slot_time * num_layers
-            if isinstance(slot[0], GEMM):
-                slot_compute = sum(point.time for point in points if point.bound is BoundType.COMPUTE)
-                compute_bound_time += slot_compute * num_layers
-                memory_bound_time += (slot_kernel_time - slot_compute) * num_layers
-            entries.append(
-                KernelTimeEntry(
-                    name=slot[0].name,
-                    time=slot_time / steps,
-                    count=num_layers * steps,
-                    bound=points[median_step].bound,
-                    flops=sum(op.flops for op in slot) / steps,
-                    bytes_moved=sum(
-                        point.level_bytes.get("DRAM", op.bytes_total) for op, point in zip(slot, points)
-                    )
-                    / steps,
-                )
-            )
-        communication_time = 0.0
-        for comm in builders[0].forward_communication(scope=tp_scope):
-            communication_time += self.collective_model.time(comm) * num_layers
-        communication_time *= steps
-        if lm_head is not None:
-            head_point, head_time, entry = self._lm_head_entry(lm_head, count=steps)
-            device_time += head_time * steps
-            if head_point.bound is BoundType.COMPUTE:
-                compute_bound_time += head_point.time * steps
-            else:
-                memory_bound_time += head_point.time * steps
-            entries.append(entry)
-        return PhaseReport(
-            name="decode",
-            device_time=device_time,
-            communication_time=communication_time,
-            compute_bound_time=compute_bound_time,
-            memory_bound_time=memory_bound_time,
-            kernel_breakdown=entries,
-        )
-
-    def _lm_head(self, spec: InferencePhaseSpec) -> Optional[GEMM]:
-        if not spec.include_lm_head:
-            return None
-        vocab_per_rank = max(1, spec.model.vocab_size // spec.tensor_parallel)
-        return GEMM(
-            name="lm_head",
-            precision=spec.precision,
-            m=spec.batch_size,
-            n=vocab_per_rank,
-            k=spec.model.hidden_size,
-            weight_operand=True,
-        )
+        self.kernel_model = self.step_cost.kernel_model
+        self.collective_model = self.step_cost.collective_model
 
     # -- main entry point -----------------------------------------------------------------
 
@@ -309,32 +142,32 @@ class InferencePerformanceModel:
                 f"but {self.system.accelerator.name} provides {self.system.accelerator.dram_capacity / 1e9:.1f} GB"
             )
 
-        tp_scope = "intra_node" if tensor_parallel <= self.system.devices_per_node else "inter_node"
+        tp_scope = self.step_cost.tp_scope(tensor_parallel)
 
         prefill_builder = TransformerLayerBuilder(spec.prefill_layer_spec())
-        prefill = self._phase_report(
+        prefill = self.step_cost.phase_report(
             name="prefill",
             builder=prefill_builder,
             num_layers=model.num_layers,
-            lm_head=self._lm_head(spec),
+            lm_head=self.step_cost.lm_head_gemm(spec),
             repeats=1,
             tp_scope=tp_scope,
         )
 
         if decode_mode == "exact":
-            decode = self._decode_report_exact(
+            decode = self.step_cost.decode_report_exact(
                 spec,
                 num_layers=model.num_layers,
-                lm_head=self._lm_head(spec),
+                lm_head=self.step_cost.lm_head_gemm(spec),
                 tp_scope=tp_scope,
             )
         else:
             decode_builder = TransformerLayerBuilder(spec.decode_layer_spec(spec.average_decode_kv_len))
-            decode = self._phase_report(
+            decode = self.step_cost.phase_report(
                 name="decode",
                 builder=decode_builder,
                 num_layers=model.num_layers,
-                lm_head=self._lm_head(spec),
+                lm_head=self.step_cost.lm_head_gemm(spec),
                 repeats=max(0, generated_tokens),
                 tp_scope=tp_scope,
             )

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from ..memmodel.footprint import InferenceMemoryBreakdown, TrainingMemoryBreakdown
 from ..perf.roofline import BoundType

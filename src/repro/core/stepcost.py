@@ -1,0 +1,517 @@
+"""Step-cost API: price one prefill or one decode step of an inference engine.
+
+This module is the reusable pricing core that both the end-to-end
+:class:`~repro.core.inference.InferencePerformanceModel` and the serving
+simulator (:mod:`repro.serving`) are built on.  It answers two questions
+directly:
+
+* **What does one prefill over this set of prompt lengths cost?**
+  (:meth:`StepCostModel.prefill_step`) -- a continuous-batching engine packs
+  the admitted prompts into one forward pass: the weight GEMMs see the
+  *total* token count, while attention stays per-sequence.
+* **What does one decode step over this mixed batch of per-request KV
+  lengths cost?** (:meth:`StepCostModel.decode_step`) -- one token per
+  request through the weight GEMMs, plus one attention-scores/context GEMM
+  pair per request at its own KV-cache length.
+
+Both questions are evaluated in **one** call through the vectorized roofline
+backend (:meth:`GemmTimeModel.evaluate_many
+<repro.perf.gemm.GemmTimeModel.evaluate_many>` /
+:mod:`repro.perf.batched`), which is what makes a discrete-event serving
+simulation over thousands of steps tractable.
+
+The module also hosts the phase-report builders
+(:meth:`StepCostModel.phase_report`, :meth:`StepCostModel.decode_report_exact`)
+that :meth:`InferencePerformanceModel.predict
+<repro.core.inference.InferencePerformanceModel.predict>` is reimplemented on
+top of; their numbers are bit-identical to the pre-refactor scalar path
+(pinned by ``tests/core/test_inference_golden.py``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..comm.collectives import CollectiveAlgorithm
+from ..comm.fabric import CollectiveModel
+from ..hardware.cluster import SystemSpec
+from ..hardware.datatypes import Precision
+from ..models.transformer import TransformerConfig
+from ..perf.kernels import DeviceKernelModel
+from ..perf.roofline import BoundType
+from ..workload.inference import InferencePhaseSpec
+from ..workload.operators import GEMM, Operator
+from ..workload.transformer_layer import LayerExecutionSpec, TransformerLayerBuilder
+from .reports import KernelTimeEntry, PhaseReport
+
+
+@dataclasses.dataclass(frozen=True)
+class StepCost:
+    """Cost of one engine step (a prefill or a decode iteration).
+
+    Attributes:
+        device_time: On-device kernel time of the step, in seconds.
+        communication_time: Tensor-parallel collective time of the step.
+        compute_bound_time: GEMM time spent in compute-bound kernels.
+        memory_bound_time: GEMM time spent in memory/cache-bound kernels.
+        num_requests: Requests processed by the step.
+        tokens: Query tokens processed by the step (total prompt tokens for a
+            prefill, one per request for a decode step).
+    """
+
+    device_time: float
+    communication_time: float
+    compute_bound_time: float
+    memory_bound_time: float
+    num_requests: int = 0
+    tokens: int = 0
+
+    @property
+    def total_time(self) -> float:
+        """Wall-clock time of the step: device kernels plus communication."""
+        return self.device_time + self.communication_time
+
+    @property
+    def is_idle(self) -> bool:
+        """Whether the step priced no work at all."""
+        return self.num_requests == 0
+
+
+ZERO_STEP = StepCost(0.0, 0.0, 0.0, 0.0)
+
+
+@dataclasses.dataclass
+class StepCostModel:
+    """Prices individual inference-engine steps on one system.
+
+    Attributes:
+        system: The hardware system; steps use ``tensor_parallel`` of its
+            devices.
+        kernel_model: Device kernel timing model (defaults to the system's
+            accelerator with standard GEMV utilization).
+        collective_model: Communication model; defaults to the double-binary-
+            tree algorithm, the latency-optimal choice for the small messages
+            of the decode phase.
+    """
+
+    system: SystemSpec
+    kernel_model: Optional[DeviceKernelModel] = None
+    collective_model: Optional[CollectiveModel] = None
+
+    def __post_init__(self) -> None:
+        if self.kernel_model is None:
+            self.kernel_model = DeviceKernelModel(accelerator=self.system.accelerator)
+        if self.collective_model is None:
+            self.collective_model = CollectiveModel(
+                system=self.system,
+                algorithm=CollectiveAlgorithm.DOUBLE_BINARY_TREE,
+            )
+        # Per-shape operator lists and per-layer collective times recur across
+        # thousands of simulation steps; memoizing them keeps the
+        # discrete-event loop allocation-light.
+        self._attention_ops_cache: Dict[Tuple, Tuple[Operator, ...]] = {}
+        self._token_ops_cache: Dict[Tuple, Tuple[Operator, ...]] = {}
+        self._comm_time_cache: Dict[Tuple, float] = {}
+
+    def tp_scope(self, tensor_parallel: int) -> str:
+        """Collective scope of a TP group of the given size on this system."""
+        return "intra_node" if tensor_parallel <= self.system.devices_per_node else "inter_node"
+
+    # -- phase reports (the InferencePerformanceModel backend) -------------------------
+
+    def phase_report(
+        self,
+        name: str,
+        builder: TransformerLayerBuilder,
+        num_layers: int,
+        lm_head: Optional[GEMM],
+        repeats: int,
+        tp_scope: str,
+    ) -> PhaseReport:
+        """Price one phase: ``repeats`` executions of ``num_layers`` layers."""
+        device_time = 0.0
+        compute_bound_time = 0.0
+        memory_bound_time = 0.0
+        entries: List[KernelTimeEntry] = []
+        for op in builder.forward_compute_ops():
+            point = self.kernel_model.evaluate(op)
+            time = point.time + self.kernel_model.overhead(op)
+            device_time += time * num_layers
+            if isinstance(op, GEMM):
+                if point.bound is BoundType.COMPUTE:
+                    compute_bound_time += point.time * num_layers
+                else:
+                    memory_bound_time += point.time * num_layers
+            entries.append(
+                KernelTimeEntry(
+                    name=op.name,
+                    time=time,
+                    count=num_layers * repeats,
+                    bound=point.bound,
+                    flops=op.flops,
+                    bytes_moved=point.level_bytes.get("DRAM", op.bytes_total),
+                )
+            )
+        communication_time = 0.0
+        for comm in builder.forward_communication(scope=tp_scope):
+            communication_time += self.collective_model.time(comm) * num_layers
+        if lm_head is not None:
+            head_point, head_time, entry = self.lm_head_entry(lm_head, count=repeats)
+            device_time += head_time
+            if head_point.bound is BoundType.COMPUTE:
+                compute_bound_time += head_point.time
+            else:
+                memory_bound_time += head_point.time
+            entries.append(entry)
+        return PhaseReport(
+            name=name,
+            device_time=device_time * repeats,
+            communication_time=communication_time * repeats,
+            compute_bound_time=compute_bound_time * repeats,
+            memory_bound_time=memory_bound_time * repeats,
+            kernel_breakdown=entries,
+        )
+
+    def lm_head_entry(self, lm_head: GEMM, count: int):
+        """Price the logits GEMM once and shape its breakdown entry.
+
+        Shared by the average and exact decode paths (the lm_head cost does
+        not depend on the KV length); callers scale the returned times by
+        their own repeat count.
+        """
+        head_point = self.kernel_model.evaluate(lm_head)
+        head_time = head_point.time + self.kernel_model.overhead(lm_head)
+        entry = KernelTimeEntry(
+            name=lm_head.name,
+            time=head_time,
+            count=count,
+            bound=head_point.bound,
+            flops=lm_head.flops,
+            bytes_moved=head_point.level_bytes.get("DRAM", lm_head.bytes_total),
+        )
+        return head_point, head_time, entry
+
+    def decode_report_exact(
+        self,
+        spec: InferencePhaseSpec,
+        num_layers: int,
+        lm_head: Optional[GEMM],
+        tp_scope: str,
+    ) -> PhaseReport:
+        """Price the decode phase with every token at its true KV length.
+
+        The KV-cache grows from ``prompt_len`` to ``prompt_len + T - 1`` over
+        the ``T`` generated tokens, so the per-token operator lists differ
+        only in the KV-dependent kernels (attention scores/context, softmax).
+        All GEMMs of all steps are evaluated in **one** call through the
+        vectorized roofline backend; the kernel breakdown reports the mean
+        per-invocation time (so ``entry.time * entry.count`` stays the exact
+        phase total) and the bound type of the median-KV step.
+        """
+        steps = max(0, spec.generated_tokens)
+        if steps == 0:
+            return PhaseReport(
+                name="decode",
+                device_time=0.0,
+                communication_time=0.0,
+                compute_bound_time=0.0,
+                memory_bound_time=0.0,
+                kernel_breakdown=[],
+            )
+        builders = [
+            TransformerLayerBuilder(spec.decode_layer_spec(spec.prompt_len + step))
+            for step in range(steps)
+        ]
+        step_ops = [builder.forward_compute_ops() for builder in builders]
+        # One batched evaluation warms the kernel memo for every GEMM of every
+        # step; the per-slot loop below then only takes cache hits.
+        self.kernel_model.gemm_model.evaluate_many(
+            [op for ops in step_ops for op in ops if isinstance(op, GEMM)]
+        )
+
+        device_time = 0.0
+        compute_bound_time = 0.0
+        memory_bound_time = 0.0
+        entries: List[KernelTimeEntry] = []
+        median_step = steps // 2
+        for slot in zip(*step_ops):
+            overhead = self.kernel_model.overhead(slot[0])
+            points = [self.kernel_model.evaluate(op) for op in slot]
+            slot_kernel_time = sum(point.time for point in points)
+            slot_time = slot_kernel_time + overhead * steps
+            device_time += slot_time * num_layers
+            if isinstance(slot[0], GEMM):
+                slot_compute = sum(point.time for point in points if point.bound is BoundType.COMPUTE)
+                compute_bound_time += slot_compute * num_layers
+                memory_bound_time += (slot_kernel_time - slot_compute) * num_layers
+            entries.append(
+                KernelTimeEntry(
+                    name=slot[0].name,
+                    time=slot_time / steps,
+                    count=num_layers * steps,
+                    bound=points[median_step].bound,
+                    flops=sum(op.flops for op in slot) / steps,
+                    bytes_moved=sum(
+                        point.level_bytes.get("DRAM", op.bytes_total) for op, point in zip(slot, points)
+                    )
+                    / steps,
+                )
+            )
+        communication_time = 0.0
+        for comm in builders[0].forward_communication(scope=tp_scope):
+            communication_time += self.collective_model.time(comm) * num_layers
+        communication_time *= steps
+        if lm_head is not None:
+            head_point, head_time, entry = self.lm_head_entry(lm_head, count=steps)
+            device_time += head_time * steps
+            if head_point.bound is BoundType.COMPUTE:
+                compute_bound_time += head_point.time * steps
+            else:
+                memory_bound_time += head_point.time * steps
+            entries.append(entry)
+        return PhaseReport(
+            name="decode",
+            device_time=device_time,
+            communication_time=communication_time,
+            compute_bound_time=compute_bound_time,
+            memory_bound_time=memory_bound_time,
+            kernel_breakdown=entries,
+        )
+
+    def lm_head_gemm(self, spec: InferencePhaseSpec) -> Optional[GEMM]:
+        """The logits GEMM of one phase (one query token per request)."""
+        if not spec.include_lm_head:
+            return None
+        return self._lm_head(spec.model, spec.batch_size, spec.tensor_parallel, spec.precision)
+
+    def _lm_head(
+        self, model: TransformerConfig, tokens: int, tensor_parallel: int, precision: Precision
+    ) -> GEMM:
+        vocab_per_rank = max(1, model.vocab_size // tensor_parallel)
+        return GEMM(
+            name="lm_head",
+            precision=precision,
+            m=tokens,
+            n=vocab_per_rank,
+            k=model.hidden_size,
+            weight_operand=True,
+        )
+
+    # -- mixed-batch step costs (the serving-simulator backend) ------------------------
+
+    def _token_ops(
+        self, model: TransformerConfig, tokens: int, tensor_parallel: int, precision: Precision
+    ) -> Tuple[Operator, ...]:
+        """Kernels whose cost depends only on the *total* token count.
+
+        A continuous-batching engine concatenates the step's query tokens into
+        one activation matrix, so the weight GEMMs (QKV / attention output /
+        MLP), the layer-norms, residuals, and the KV-cache append all see
+        ``tokens`` rows regardless of how those rows split across requests.
+        """
+        key = (model, tokens, tensor_parallel, precision)
+        ops = self._token_ops_cache.get(key)
+        if ops is not None:
+            return ops
+        builder = TransformerLayerBuilder(
+            LayerExecutionSpec(
+                model=model,
+                micro_batch=1,
+                seq_len=tokens,
+                tensor_parallel=tensor_parallel,
+                precision=precision,
+                with_dropout=False,
+                use_kv_cache=True,
+            )
+        )
+        attention = builder.attention_gemms()
+        boundary = builder.block_boundary_ops()
+        kv_append = builder.attention_auxiliary_ops()[-1]  # the MemoryOp, softmax is per-request
+        assembled: List[Operator] = [boundary[0], attention[0], kv_append, attention[3]]
+        assembled.extend(boundary[1:4])
+        assembled.extend(builder.mlp_gemms())
+        assembled.extend(builder.mlp_auxiliary_ops())
+        return self._cache_ops(self._token_ops_cache, key, tuple(assembled))
+
+    def _attention_ops(
+        self,
+        model: TransformerConfig,
+        seq_len: int,
+        kv_len: int,
+        tensor_parallel: int,
+        precision: Precision,
+    ) -> Tuple[Operator, ...]:
+        """Per-request attention kernels: scores and context GEMMs plus softmax."""
+        key = (model, seq_len, kv_len, tensor_parallel, precision)
+        ops = self._attention_ops_cache.get(key)
+        if ops is not None:
+            return ops
+        builder = TransformerLayerBuilder(
+            LayerExecutionSpec(
+                model=model,
+                micro_batch=1,
+                seq_len=seq_len,
+                kv_len=max(1, kv_len),
+                tensor_parallel=tensor_parallel,
+                precision=precision,
+                with_dropout=False,
+                use_kv_cache=True,
+            )
+        )
+        gemms = builder.attention_gemms()
+        softmax = builder.attention_auxiliary_ops()[0]
+        return self._cache_ops(self._attention_ops_cache, key, (gemms[1], gemms[2], softmax))
+
+    @staticmethod
+    def _cache_ops(cache: Dict[Tuple, Tuple[Operator, ...]], key: Tuple, ops: Tuple[Operator, ...]):
+        if len(cache) >= 65536:
+            cache.clear()
+        cache[key] = ops
+        return ops
+
+    def _layer_comm_time(
+        self, model: TransformerConfig, tokens: int, tensor_parallel: int, precision: Precision
+    ) -> float:
+        """Tensor-parallel collective time of one layer over ``tokens`` query tokens."""
+        if tensor_parallel <= 1:
+            return 0.0
+        key = (model, tokens, tensor_parallel, precision)
+        cached = self._comm_time_cache.get(key)
+        if cached is not None:
+            return cached
+        builder = TransformerLayerBuilder(
+            LayerExecutionSpec(
+                model=model,
+                micro_batch=1,
+                seq_len=tokens,
+                tensor_parallel=tensor_parallel,
+                precision=precision,
+                with_dropout=False,
+                use_kv_cache=True,
+            )
+        )
+        scope = self.tp_scope(tensor_parallel)
+        time = sum(self.collective_model.time(comm) for comm in builder.forward_communication(scope=scope))
+        if len(self._comm_time_cache) >= 65536:
+            self._comm_time_cache.clear()
+        self._comm_time_cache[key] = time
+        return time
+
+    def _price_step(
+        self,
+        model: TransformerConfig,
+        layer_ops: Sequence[Operator],
+        tensor_parallel: int,
+        precision: Precision,
+        num_requests: int,
+        tokens: int,
+        include_lm_head: bool,
+    ) -> StepCost:
+        """Price ``num_layers x layer_ops`` plus collectives and the lm_head."""
+        gemms = [op for op in layer_ops if isinstance(op, GEMM)]
+        lm_head = self._lm_head(model, num_requests, tensor_parallel, precision) if include_lm_head else None
+        if lm_head is not None:
+            gemms.append(lm_head)
+        # One batched call warms the kernel memo for every GEMM of the step;
+        # the per-op loop below then only takes cache hits.
+        points = self.kernel_model.gemm_model.evaluate_many(gemms)
+
+        num_layers = model.num_layers
+        device_time = 0.0
+        compute_bound_time = 0.0
+        memory_bound_time = 0.0
+        for op in layer_ops:
+            point = self.kernel_model.evaluate(op)
+            device_time += point.time + self.kernel_model.overhead(op)
+            if isinstance(op, GEMM):
+                if point.bound is BoundType.COMPUTE:
+                    compute_bound_time += point.time
+                else:
+                    memory_bound_time += point.time
+        device_time *= num_layers
+        compute_bound_time *= num_layers
+        memory_bound_time *= num_layers
+
+        communication_time = self._layer_comm_time(model, tokens, tensor_parallel, precision) * num_layers
+
+        if lm_head is not None:
+            head_point = points[-1]
+            device_time += head_point.time + self.kernel_model.overhead(lm_head)
+            if head_point.bound is BoundType.COMPUTE:
+                compute_bound_time += head_point.time
+            else:
+                memory_bound_time += head_point.time
+
+        return StepCost(
+            device_time=device_time,
+            communication_time=communication_time,
+            compute_bound_time=compute_bound_time,
+            memory_bound_time=memory_bound_time,
+            num_requests=num_requests,
+            tokens=tokens,
+        )
+
+    def prefill_step(
+        self,
+        model: TransformerConfig,
+        prompt_lens: Sequence[int],
+        tensor_parallel: int = 1,
+        precision: Precision = Precision.FP16,
+        include_lm_head: bool = True,
+    ) -> StepCost:
+        """Cost of one prefill over a batch of prompts with the given lengths.
+
+        The prompts are packed into one forward pass: weight GEMMs and norms
+        see ``sum(prompt_lens)`` tokens, while each request keeps its own
+        attention-scores/context GEMMs and softmax at its own length.  The
+        lm_head prices one logits row per request (only the last prompt token
+        feeds generation).
+        """
+        prompt_lens = [int(length) for length in prompt_lens]
+        if not prompt_lens:
+            return ZERO_STEP
+        tokens = sum(prompt_lens)
+        layer_ops: List[Operator] = list(self._token_ops(model, tokens, tensor_parallel, precision))
+        for length in prompt_lens:
+            layer_ops.extend(self._attention_ops(model, length, length, tensor_parallel, precision))
+        return self._price_step(
+            model,
+            layer_ops,
+            tensor_parallel,
+            precision,
+            num_requests=len(prompt_lens),
+            tokens=tokens,
+            include_lm_head=include_lm_head,
+        )
+
+    def decode_step(
+        self,
+        model: TransformerConfig,
+        kv_lens: Sequence[int],
+        tensor_parallel: int = 1,
+        precision: Precision = Precision.FP16,
+        include_lm_head: bool = True,
+    ) -> StepCost:
+        """Cost of one decode step over a mixed batch of per-request KV lengths.
+
+        Each request contributes one query token to the shared weight GEMMs
+        and one attention-scores/context pair at its own KV-cache length
+        ``kv_lens[i]`` -- exactly the mixed-shape batch the vectorized
+        roofline backend evaluates in one call.
+        """
+        kv_lens = [int(length) for length in kv_lens]
+        if not kv_lens:
+            return ZERO_STEP
+        layer_ops: List[Operator] = list(self._token_ops(model, len(kv_lens), tensor_parallel, precision))
+        for kv_len in kv_lens:
+            layer_ops.extend(self._attention_ops(model, 1, kv_len, tensor_parallel, precision))
+        return self._price_step(
+            model,
+            layer_ops,
+            tensor_parallel,
+            precision,
+            num_requests=len(kv_lens),
+            tokens=len(kv_lens),
+            include_lm_head=include_lm_head,
+        )

@@ -24,7 +24,7 @@ from ..comm.fabric import CollectiveModel
 from ..hardware.cluster import SystemSpec
 from ..hardware.datatypes import Precision
 from ..memmodel.activations import ActivationModel, RecomputeStrategy
-from ..memmodel.footprint import TrainingMemoryBreakdown, training_memory_breakdown
+from ..memmodel.footprint import training_memory_breakdown
 from ..models.transformer import TransformerConfig
 from ..parallelism.config import ParallelismConfig
 from ..parallelism.mapper import DistributedTrainingPlan, ParallelizationMapper

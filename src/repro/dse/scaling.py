@@ -25,7 +25,6 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
-import numpy as np
 
 from ..hardware.accelerator import get_accelerator
 from ..hardware.cluster import build_system

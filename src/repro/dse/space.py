@@ -12,13 +12,13 @@ walks the space looking for the fastest feasible point.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import ConfigurationError
 from ..hardware.accelerator import AcceleratorSpec
 from ..hardware.cluster import SystemSpec, build_system
 from ..hardware.memory import get_dram_technology
-from ..hardware.network import Interconnect, get_interconnect
+from ..hardware.network import get_interconnect
 from ..hardware.technology import get_node
 from ..hardware.uarch import MicroArchitecture, ResourceAllocation, ResourceBudget
 

@@ -115,7 +115,7 @@ class MemoryHierarchy:
         for lvl in self._levels:
             if lvl.name == name:
                 return lvl
-        raise UnknownHardwareError(f"no memory level named {name!r}; have {[l.name for l in self._levels]}")
+        raise UnknownHardwareError(f"no memory level named {name!r}; have {[level.name for level in self._levels]}")
 
     def has_level(self, name: str) -> bool:
         """Whether a level called ``name`` exists."""

@@ -18,7 +18,7 @@ import dataclasses
 from typing import Optional
 
 from ..errors import ConfigurationError
-from ..units import GBPS, MIB, TBPS, TFLOPS
+from ..units import MIB, TBPS, TFLOPS
 from .accelerator import AcceleratorSpec
 from .compute import ComputeSpec
 from .datatypes import Precision

@@ -1,0 +1,46 @@
+"""Request-level serving simulation on top of the step-cost pricing core.
+
+The subsystem turns the single-request analytical model into a traffic-level
+one: seeded arrival traces (:mod:`repro.serving.request`) flow through a
+continuous-batching scheduler with KV-memory admission control
+(:mod:`repro.serving.scheduler`); a discrete-event loop
+(:mod:`repro.serving.simulator`) advances in prefill/decode steps priced by
+:class:`~repro.core.stepcost.StepCostModel`; and the outcome is a
+:class:`~repro.serving.report.ServingReport` with TTFT/TPOT percentiles,
+throughput, goodput under an SLO, and device utilization.
+
+Typical use goes through the engine facade or the sweep subsystem::
+
+    engine = PerformancePredictionEngine(system)
+    report = engine.predict_serving("Llama2-13B", TraceConfig(rate=2.0, num_requests=100))
+
+    table = runner.run_table([Scenario.serving(system, "Llama2-13B", config) ...])
+"""
+
+from .report import RequestMetrics, ServingReport, ServingSLO, percentile
+from .request import (
+    LengthDistribution,
+    Request,
+    TraceConfig,
+    bursty_trace,
+    poisson_trace,
+)
+from .scheduler import ContinuousBatchingScheduler, RequestState, SchedulerConfig
+from .simulator import ServingConfig, ServingSimulator
+
+__all__ = [
+    "ContinuousBatchingScheduler",
+    "LengthDistribution",
+    "Request",
+    "RequestMetrics",
+    "RequestState",
+    "SchedulerConfig",
+    "ServingConfig",
+    "ServingReport",
+    "ServingSLO",
+    "ServingSimulator",
+    "TraceConfig",
+    "bursty_trace",
+    "percentile",
+    "poisson_trace",
+]

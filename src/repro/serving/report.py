@@ -1,0 +1,177 @@
+"""Serving-simulation results: per-request metrics and the aggregate report.
+
+The report carries the quantities a serving team actually runs capacity
+planning on: time-to-first-token (TTFT) and time-per-output-token (TPOT)
+percentiles, request/token throughput, goodput under a latency SLO, and
+device utilization.  Like every other report in :mod:`repro.core.reports`,
+it stores plain floats and round-trips through ``to_dict``/``from_dict``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (``q`` in [0, 100]) of a sample.
+
+    Thin wrapper over :func:`numpy.percentile` that validates ``q`` with the
+    library's error type and returns 0.0 for an empty sample (a simulation
+    with no completed requests).
+    """
+    if not 0 <= q <= 100:
+        raise ConfigurationError("percentile q must be in [0, 100]")
+    if len(values) == 0:
+        return 0.0
+    return float(np.percentile(values, q))
+
+
+@dataclasses.dataclass(frozen=True)
+class ServingSLO:
+    """Latency service-level objective a request must meet to count as goodput.
+
+    Attributes:
+        ttft: Maximum time-to-first-token, in seconds.
+        tpot: Maximum average time per output token, in seconds.
+    """
+
+    ttft: float = 2.0
+    tpot: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.ttft <= 0 or self.tpot <= 0:
+            raise ConfigurationError("SLO thresholds must be positive")
+
+    def met_by(self, metrics: "RequestMetrics") -> bool:
+        """Whether one completed request satisfies both thresholds."""
+        return metrics.ttft <= self.ttft and metrics.tpot <= self.tpot
+
+
+@dataclasses.dataclass(frozen=True)
+class RequestMetrics:
+    """Latency decomposition of one completed request.
+
+    Attributes:
+        request_id: Trace id of the request.
+        arrival_time: Arrival time in the simulation clock.
+        queue_time: Arrival to admission (waiting for memory / batch slots).
+        ttft: Arrival to first token (queueing + prefill).
+        tpot: Average seconds per output token after the first.
+        e2e_latency: Arrival to last token.
+        prompt_tokens: Prompt length.
+        output_tokens: Generated length.
+    """
+
+    request_id: int
+    arrival_time: float
+    queue_time: float
+    ttft: float
+    tpot: float
+    e2e_latency: float
+    prompt_tokens: int
+    output_tokens: int
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dict view."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RequestMetrics":
+        """Rebuild metrics from :meth:`to_dict` output."""
+        return cls(**{field.name: data[field.name] for field in dataclasses.fields(cls)})
+
+
+@dataclasses.dataclass(frozen=True)
+class ServingReport:
+    """Aggregate outcome of one serving simulation.
+
+    All times in seconds; throughputs are per second of simulated time.
+    """
+
+    model_name: str
+    system_name: str
+    tensor_parallel: int
+
+    num_requests: int
+    completed_requests: int
+    rejected_requests: int
+
+    simulated_time: float
+    busy_time: float
+    prefill_time: float
+    decode_time: float
+    prefill_steps: int
+    decode_steps: int
+
+    ttft_p50: float
+    ttft_p99: float
+    tpot_p50: float
+    tpot_p99: float
+    queue_p50: float
+    queue_p99: float
+
+    request_throughput: float
+    output_token_throughput: float
+    goodput: float
+    slo_attainment: float
+
+    mean_decode_batch: float
+    peak_kv_bytes: float
+
+    per_request: List[RequestMetrics] = dataclasses.field(default_factory=list)
+
+    @property
+    def device_utilization(self) -> float:
+        """Fraction of simulated time the device was executing a step."""
+        return self.busy_time / self.simulated_time if self.simulated_time > 0 else 0.0
+
+    @property
+    def prefill_fraction(self) -> float:
+        """Fraction of busy time spent in prefill steps."""
+        return self.prefill_time / self.busy_time if self.busy_time > 0 else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """Flat headline view for tables and logs."""
+        return {
+            "completed": self.completed_requests,
+            "ttft_p50_s": self.ttft_p50,
+            "ttft_p99_s": self.ttft_p99,
+            "tpot_p50_s": self.tpot_p50,
+            "tpot_p99_s": self.tpot_p99,
+            "requests_per_s": self.request_throughput,
+            "tokens_per_s": self.output_token_throughput,
+            "goodput_rps": self.goodput,
+            "utilization": self.device_utilization,
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dict view of the whole report, per-request metrics included."""
+        data = {
+            field.name: getattr(self, field.name)
+            for field in dataclasses.fields(self)
+            if field.name != "per_request"
+        }
+        data["per_request"] = [metrics.to_dict() for metrics in self.per_request]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ServingReport":
+        """Rebuild a report from :meth:`to_dict` output."""
+        data = dict(data)
+        data["per_request"] = [RequestMetrics.from_dict(entry) for entry in data.get("per_request", [])]
+        return cls(**data)
+
+    def to_json(self, **kwargs: object) -> str:
+        """Serialize the report to a JSON string."""
+        return json.dumps(self.to_dict(), **kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ServingReport":
+        """Rebuild a report from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))

@@ -1,0 +1,243 @@
+"""Request traces for the serving simulator: arrivals and length distributions.
+
+A serving workload is a sequence of timed :class:`Request` objects.  Traces
+are generated from a frozen, fully-seeded :class:`TraceConfig`, so a trace --
+and therefore a whole simulation -- is a pure function of its configuration:
+the same config always produces the same requests, which is what lets
+:meth:`Scenario.serving <repro.sweep.scenario.Scenario.serving>` carry a
+deterministic cache key.
+
+Two arrival processes are modeled:
+
+* ``"poisson"``: independent exponential inter-arrival gaps at ``rate``
+  requests/second -- the classic open-loop load model.
+* ``"bursty"``: a hyperexponential renewal process with the same *mean* rate
+  but a higher coefficient of variation: with probability
+  ``burst_fraction`` a gap is drawn from a fast (``burstiness x rate``)
+  exponential, otherwise from a slow one chosen to preserve the mean.
+  Bursts of back-to-back arrivals stress admission control and tail latency
+  without changing the average offered load.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import random
+from typing import List, Optional
+
+from ..errors import ConfigurationError
+
+#: Supported arrival processes.
+ARRIVAL_KINDS = ("poisson", "bursty")
+#: Supported length-distribution kinds.
+LENGTH_KINDS = ("constant", "uniform", "lognormal")
+
+
+@dataclasses.dataclass(frozen=True)
+class Request:
+    """One inference request of a serving trace.
+
+    Attributes:
+        request_id: Position of the request in the trace (0-based).
+        arrival_time: Arrival time in seconds from the start of the trace.
+        prompt_tokens: Prompt length in tokens.
+        output_tokens: Tokens the request generates before completing.
+    """
+
+    request_id: int
+    arrival_time: float
+    prompt_tokens: int
+    output_tokens: int
+
+    def __post_init__(self) -> None:
+        if self.arrival_time < 0 or self.prompt_tokens < 1 or self.output_tokens < 1:
+            raise ConfigurationError("requests need arrival_time >= 0 and positive prompt/output tokens")
+
+    @property
+    def total_context(self) -> int:
+        """KV context the request occupies when fully generated."""
+        return self.prompt_tokens + self.output_tokens
+
+
+@dataclasses.dataclass(frozen=True)
+class LengthDistribution:
+    """Seeded sampler spec for prompt / output lengths.
+
+    Use the classmethod constructors: :meth:`constant`, :meth:`uniform`, or
+    :meth:`lognormal`.  Samples are clamped to ``[minimum, maximum]`` and
+    rounded to integers.
+    """
+
+    kind: str = "constant"
+    value: int = 200
+    low: int = 1
+    high: int = 1
+    median: float = 0.0
+    sigma: float = 0.0
+    minimum: int = 1
+    maximum: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in LENGTH_KINDS:
+            raise ConfigurationError(f"length distribution kind must be one of {LENGTH_KINDS}, got {self.kind!r}")
+        if self.minimum < 1:
+            raise ConfigurationError("length minimum must be >= 1")
+        if self.maximum is not None and self.maximum < self.minimum:
+            raise ConfigurationError("length maximum must be >= minimum")
+
+    @classmethod
+    def constant(cls, value: int) -> "LengthDistribution":
+        """Every sample is exactly ``value`` tokens."""
+        if value < 1:
+            raise ConfigurationError("constant length must be >= 1")
+        return cls(kind="constant", value=value)
+
+    @classmethod
+    def uniform(cls, low: int, high: int) -> "LengthDistribution":
+        """Integer-uniform samples in ``[low, high]``."""
+        if low < 1 or high < low:
+            raise ConfigurationError("uniform lengths need 1 <= low <= high")
+        return cls(kind="uniform", low=low, high=high)
+
+    @classmethod
+    def lognormal(
+        cls, median: float, sigma: float = 0.5, minimum: int = 1, maximum: Optional[int] = None
+    ) -> "LengthDistribution":
+        """Log-normal samples with the given median (heavy right tail).
+
+        Real prompt/output length distributions are strongly right-skewed;
+        ``sigma`` controls the spread of the underlying normal.
+        """
+        if median < 1 or sigma < 0:
+            raise ConfigurationError("lognormal lengths need median >= 1 and sigma >= 0")
+        return cls(kind="lognormal", median=median, sigma=sigma, minimum=minimum, maximum=maximum)
+
+    def sample(self, rng: random.Random) -> int:
+        """Draw one length from the distribution using ``rng``."""
+        if self.kind == "constant":
+            raw = float(self.value)
+        elif self.kind == "uniform":
+            raw = float(rng.randint(self.low, self.high))
+        else:
+            raw = math.exp(rng.gauss(math.log(self.median), self.sigma))
+        length = int(round(raw))
+        length = max(self.minimum, length)
+        if self.maximum is not None:
+            length = min(self.maximum, length)
+        return length
+
+    @property
+    def mean_estimate(self) -> float:
+        """Analytic mean of the distribution (pre-clamping), for sizing heuristics."""
+        if self.kind == "constant":
+            return float(self.value)
+        if self.kind == "uniform":
+            return (self.low + self.high) / 2.0
+        return self.median * math.exp(self.sigma**2 / 2.0)
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceConfig:
+    """Frozen, seeded description of one serving workload.
+
+    Attributes:
+        rate: Mean arrival rate in requests/second.
+        num_requests: Trace length in requests.
+        arrival: Arrival process, ``"poisson"`` or ``"bursty"``.
+        prompt_lengths: Prompt-length distribution.
+        output_lengths: Output-length distribution.
+        seed: RNG seed; together with the other fields it makes the trace
+            (and any simulation over it) deterministic.
+        burstiness: Bursty arrivals only -- rate multiplier of in-burst gaps.
+        burst_fraction: Bursty arrivals only -- probability an inter-arrival
+            gap belongs to a burst.
+    """
+
+    rate: float = 1.0
+    num_requests: int = 100
+    arrival: str = "poisson"
+    prompt_lengths: LengthDistribution = dataclasses.field(default_factory=lambda: LengthDistribution.constant(200))
+    output_lengths: LengthDistribution = dataclasses.field(default_factory=lambda: LengthDistribution.constant(200))
+    seed: int = 2024
+    burstiness: float = 4.0
+    burst_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ConfigurationError("arrival rate must be positive")
+        if self.num_requests < 1:
+            raise ConfigurationError("num_requests must be >= 1")
+        if self.arrival not in ARRIVAL_KINDS:
+            raise ConfigurationError(f"arrival must be one of {ARRIVAL_KINDS}, got {self.arrival!r}")
+        if self.burstiness <= 1.0:
+            raise ConfigurationError("burstiness must be > 1")
+        if not 0 < self.burst_fraction < 1:
+            raise ConfigurationError("burst_fraction must be in (0, 1)")
+
+    def _next_gap(self, rng: random.Random) -> float:
+        if self.arrival == "poisson":
+            return rng.expovariate(self.rate)
+        # Hyperexponential: fast gaps inside bursts, slow gaps between them,
+        # with the slow rate solved so the overall mean stays 1/rate.
+        fast_rate = self.burstiness * self.rate
+        p = self.burst_fraction
+        slow_rate = self.rate * (1.0 - p) * self.burstiness / (self.burstiness - p)
+        return rng.expovariate(fast_rate if rng.random() < p else slow_rate)
+
+    def generate(self) -> List[Request]:
+        """Materialize the trace (deterministic for a given config)."""
+        rng = random.Random(self.seed)
+        requests: List[Request] = []
+        now = 0.0
+        for index in range(self.num_requests):
+            now += self._next_gap(rng)
+            requests.append(
+                Request(
+                    request_id=index,
+                    arrival_time=now,
+                    prompt_tokens=self.prompt_lengths.sample(rng),
+                    output_tokens=self.output_lengths.sample(rng),
+                )
+            )
+        return requests
+
+
+def poisson_trace(
+    rate: float,
+    num_requests: int,
+    prompt_lengths: Optional[LengthDistribution] = None,
+    output_lengths: Optional[LengthDistribution] = None,
+    seed: int = 2024,
+) -> List[Request]:
+    """Convenience: generate a Poisson trace directly."""
+    return TraceConfig(
+        rate=rate,
+        num_requests=num_requests,
+        arrival="poisson",
+        prompt_lengths=prompt_lengths or LengthDistribution.constant(200),
+        output_lengths=output_lengths or LengthDistribution.constant(200),
+        seed=seed,
+    ).generate()
+
+
+def bursty_trace(
+    rate: float,
+    num_requests: int,
+    prompt_lengths: Optional[LengthDistribution] = None,
+    output_lengths: Optional[LengthDistribution] = None,
+    seed: int = 2024,
+    burstiness: float = 4.0,
+    burst_fraction: float = 0.25,
+) -> List[Request]:
+    """Convenience: generate a bursty (hyperexponential) trace directly."""
+    return TraceConfig(
+        rate=rate,
+        num_requests=num_requests,
+        arrival="bursty",
+        prompt_lengths=prompt_lengths or LengthDistribution.constant(200),
+        output_lengths=output_lengths or LengthDistribution.constant(200),
+        seed=seed,
+        burstiness=burstiness,
+        burst_fraction=burst_fraction,
+    ).generate()

@@ -1,0 +1,198 @@
+"""Continuous-batching scheduler with KV-cache memory admission control.
+
+The scheduler implements the iteration-level batching policy of modern
+serving engines (Orca / vLLM style): requests join and leave the running
+batch between engine steps instead of waiting for a whole batch to drain.
+Admission is gated on the per-device memory budget: the model weights are
+resident, and every admitted request *reserves* KV-cache capacity for its
+full context (prompt + all output tokens), so an admitted request can always
+run to completion without preemption or swapping -- the conservative
+admission policy that keeps the simulation free of eviction dynamics.
+
+Memory accounting goes through :mod:`repro.memmodel.footprint`
+(:func:`~repro.memmodel.footprint.model_weight_bytes` and
+:func:`~repro.memmodel.footprint.kv_cache_bytes`), the same model the
+single-request path uses for its capacity check.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+from typing import Deque, List, Optional
+
+from ..errors import ConfigurationError
+from ..hardware.datatypes import Precision
+from ..memmodel.footprint import kv_cache_bytes, model_weight_bytes
+from ..models.transformer import TransformerConfig
+from .request import Request
+
+
+@dataclasses.dataclass(frozen=True)
+class SchedulerConfig:
+    """Batching and admission-control knobs of the serving engine.
+
+    Attributes:
+        max_batch_size: Maximum requests decoded together in one step.
+        max_prefill_requests: Maximum requests prefilled in one step (bounds
+            the head-of-line blocking one giant prefill inflicts on the
+            running decodes).
+        memory_capacity_bytes: Per-device memory budget; ``None`` uses the
+            accelerator's DRAM capacity.
+        memory_headroom: Fraction of the budget held back for transient
+            activations and fragmentation.
+    """
+
+    max_batch_size: int = 32
+    max_prefill_requests: int = 8
+    memory_capacity_bytes: Optional[float] = None
+    memory_headroom: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1 or self.max_prefill_requests < 1:
+            raise ConfigurationError("max_batch_size and max_prefill_requests must be >= 1")
+        if not 0 <= self.memory_headroom < 1:
+            raise ConfigurationError("memory_headroom must be in [0, 1)")
+
+
+@dataclasses.dataclass
+class RequestState:
+    """Mutable bookkeeping of one request inside the engine.
+
+    Attributes:
+        request: The immutable trace request.
+        kv_reserved_bytes: KV-cache bytes reserved at admission.
+        admitted_time: Simulation time the request left the waiting queue.
+        first_token_time: Simulation time the prefill (and first token)
+            completed; ``None`` while waiting or prefilling.
+        finish_time: Simulation time the last token completed.
+        generated: Output tokens produced so far.
+    """
+
+    request: Request
+    kv_reserved_bytes: float = 0.0
+    admitted_time: float = 0.0
+    first_token_time: Optional[float] = None
+    finish_time: Optional[float] = None
+    generated: int = 0
+
+    @property
+    def decode_kv_len(self) -> int:
+        """KV length the next decode step attends to.
+
+        After the prefill produced token 1, the cache holds the prompt; each
+        later step appends one token, so step ``g`` (1-based tokens generated)
+        attends ``prompt + g - 1`` tokens -- matching the exact decode path of
+        the single-request model.
+        """
+        return self.request.prompt_tokens + max(0, self.generated - 1)
+
+    @property
+    def done(self) -> bool:
+        """Whether every output token has been generated."""
+        return self.generated >= self.request.output_tokens
+
+
+class ContinuousBatchingScheduler:
+    """Iteration-level scheduler: FIFO admission under a KV-memory budget."""
+
+    def __init__(
+        self,
+        model: TransformerConfig,
+        config: SchedulerConfig,
+        device_memory_bytes: float,
+        tensor_parallel: int = 1,
+        precision: Precision = Precision.FP16,
+    ):
+        self.model = model
+        self.config = config
+        self.tensor_parallel = tensor_parallel
+        self.precision = precision
+        capacity = (
+            config.memory_capacity_bytes if config.memory_capacity_bytes is not None else device_memory_bytes
+        )
+        self.weight_bytes = model_weight_bytes(model, precision=precision, tensor_parallel=tensor_parallel)
+        self.kv_budget_bytes = capacity * (1.0 - config.memory_headroom) - self.weight_bytes
+        if self.kv_budget_bytes <= 0:
+            raise ConfigurationError(
+                f"{model.name} weights ({self.weight_bytes / 1e9:.1f} GB per device at TP="
+                f"{tensor_parallel}) exceed the {capacity / 1e9:.1f} GB memory budget"
+            )
+        self.waiting: Deque[Request] = collections.deque()
+        self.active: List[RequestState] = []
+        self.kv_reserved_bytes = 0.0
+        self.peak_kv_reserved_bytes = 0.0
+        self.rejected: List[Request] = []
+
+    # -- memory accounting -------------------------------------------------------------
+
+    def kv_reservation(self, request: Request) -> float:
+        """KV bytes reserved for one request: its full (prompt + output) context."""
+        return kv_cache_bytes(
+            self.model,
+            batch_size=1,
+            context_len=request.total_context,
+            precision=self.precision,
+            tensor_parallel=self.tensor_parallel,
+        )
+
+    def fits(self, request: Request) -> bool:
+        """Whether the request's full-context reservation fits right now."""
+        return self.kv_reserved_bytes + self.kv_reservation(request) <= self.kv_budget_bytes
+
+    # -- queue operations --------------------------------------------------------------
+
+    def enqueue(self, request: Request) -> None:
+        """Add an arrived request to the waiting queue (FIFO)."""
+        self.waiting.append(request)
+
+    def admit(self, now: float) -> List[RequestState]:
+        """Admit waiting requests in FIFO order while they fit.
+
+        Admission stops at the first request that does not fit (no queue
+        jumping -- head-of-line order is preserved), at the batch-size cap,
+        or at the per-step prefill cap.  Requests whose reservation exceeds
+        even an *empty* budget can never run and are dropped to
+        :attr:`rejected`.
+        """
+        admitted: List[RequestState] = []
+        while self.waiting and len(admitted) < self.config.max_prefill_requests:
+            if len(self.active) + len(admitted) >= self.config.max_batch_size:
+                break
+            candidate = self.waiting[0]
+            reservation = self.kv_reservation(candidate)
+            if reservation > self.kv_budget_bytes:
+                self.waiting.popleft()
+                self.rejected.append(candidate)
+                continue
+            if not self.fits(candidate):
+                break
+            self.waiting.popleft()
+            self.kv_reserved_bytes += reservation
+            self.peak_kv_reserved_bytes = max(self.peak_kv_reserved_bytes, self.kv_reserved_bytes)
+            admitted.append(RequestState(request=candidate, kv_reserved_bytes=reservation, admitted_time=now))
+        self.active.extend(admitted)
+        return admitted
+
+    def complete(self, state: RequestState, now: float) -> None:
+        """Retire a finished request and release its KV reservation."""
+        state.finish_time = now
+        self.active.remove(state)
+        self.kv_reserved_bytes -= state.kv_reserved_bytes
+
+    def retire_finished(self, now: float) -> List[RequestState]:
+        """Retire every active request that has generated all its tokens."""
+        finished = [state for state in self.active if state.done]
+        for state in finished:
+            self.complete(state, now)
+        return finished
+
+    @property
+    def has_waiting(self) -> bool:
+        """Whether any request is queued for admission."""
+        return bool(self.waiting)
+
+    @property
+    def has_active(self) -> bool:
+        """Whether any request is in the running batch."""
+        return bool(self.active)

@@ -33,6 +33,7 @@ from ..memmodel.footprint import inference_memory_breakdown, training_memory_bre
 from ..models.transformer import TransformerConfig
 from ..models.zoo import get_model
 from ..parallelism.config import ParallelismConfig
+from ..serving.simulator import ServingConfig
 
 
 class ScenarioKind(enum.Enum):
@@ -40,6 +41,7 @@ class ScenarioKind(enum.Enum):
 
     TRAINING = "training"                        # -> TrainingReport
     INFERENCE = "inference"                      # -> InferenceReport
+    SERVING = "serving"                          # -> ServingReport
     TRAINING_MEMORY = "training_memory"          # -> TrainingMemoryBreakdown
     INFERENCE_MEMORY = "inference_memory"        # -> InferenceMemoryBreakdown
     PREFILL_BOTTLENECKS = "prefill_bottlenecks"  # -> List[GemmBottleneckEntry]
@@ -53,6 +55,7 @@ _SYSTEM_KINDS = frozenset(
     {
         ScenarioKind.TRAINING,
         ScenarioKind.INFERENCE,
+        ScenarioKind.SERVING,
         ScenarioKind.PREFILL_BOTTLENECKS,
         ScenarioKind.DECODE_BOTTLENECKS,
         ScenarioKind.ATTENTION_BOUND,
@@ -106,6 +109,9 @@ class Scenario:
         tensor_parallel: TP degree of inference-style kinds.
         decode_mode: Decode pricing mode of inference scenarios
             (``"average"`` or ``"exact"``); part of the cache key.
+        serving_config: Serving-simulation configuration (trace + scheduler
+            + SLO); serving scenarios only.  Fully seeded, so it keys the
+            cache deterministically.
         tag: Free-form label carried into results; excluded from the cache
             key so differently-tagged duplicates still share one evaluation.
         extras: Canonicalized evaluator-specific parameters (e.g. the GEMV
@@ -127,6 +133,7 @@ class Scenario:
     kv_len: Optional[int] = None
     tensor_parallel: int = 1
     decode_mode: str = "average"
+    serving_config: Optional[ServingConfig] = None
     tag: str = ""
     extras: Tuple[Tuple[str, object], ...] = ()
 
@@ -139,6 +146,8 @@ class Scenario:
             raise ConfigurationError(f"{self.kind.value} scenarios need a parallelism configuration")
         if self.kind is ScenarioKind.ATTENTION_BOUND and self.seq_len is None:
             raise ConfigurationError("attention_bound scenarios need a seq_len")
+        if self.kind is ScenarioKind.SERVING and self.serving_config is None:
+            raise ConfigurationError("serving scenarios need a serving configuration")
 
     # -- constructors ----------------------------------------------------------------
 
@@ -196,6 +205,33 @@ class Scenario:
             tensor_parallel=tensor_parallel,
             precision=Precision.parse(precision),
             decode_mode=decode_mode,
+            tag=tag,
+        )
+
+    @classmethod
+    def serving(
+        cls,
+        system: SystemSpec,
+        model: "TransformerConfig | str",
+        serving: ServingConfig,
+        tensor_parallel: int = 1,
+        precision: "Precision | str" = Precision.FP16,
+        tag: str = "",
+    ) -> "Scenario":
+        """A request-level serving simulation (evaluates to a :class:`ServingReport`).
+
+        ``serving`` bundles the seeded arrival trace, the continuous-batching
+        scheduler knobs, and the latency SLO; because the trace is a pure
+        function of its seed, the scenario's :meth:`cache_key` is
+        deterministic and repeated simulations are served from the cache.
+        """
+        return cls(
+            kind=ScenarioKind.SERVING,
+            system=system,
+            model=_resolve_model(model),
+            serving_config=serving,
+            tensor_parallel=tensor_parallel,
+            precision=Precision.parse(precision),
             tag=tag,
         )
 
@@ -472,6 +508,16 @@ def evaluate_scenario(scenario: Scenario) -> object:
             tensor_parallel=scenario.tensor_parallel,
             precision=scenario.precision,
             decode_mode=scenario.decode_mode,
+        )
+    if kind is ScenarioKind.SERVING:
+        return engine.predict_serving(
+            scenario.model,
+            scenario.serving_config.trace,
+            tensor_parallel=scenario.tensor_parallel,
+            precision=scenario.precision,
+            scheduler=scenario.serving_config.scheduler,
+            slo=scenario.serving_config.slo,
+            include_lm_head=scenario.serving_config.include_lm_head,
         )
     if kind is ScenarioKind.PREFILL_BOTTLENECKS:
         return engine.prefill_bottlenecks(

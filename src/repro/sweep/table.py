@@ -181,6 +181,17 @@ class SweepTable:
         mask = np.asarray(mask, dtype=bool)
         return SweepTable({name: array[mask] for name, array in self.columns.items()})
 
+    def select(self, columns: Sequence[str]) -> "SweepTable":
+        """Project onto the given columns, in the given order, as a new table.
+
+        Raises :class:`~repro.errors.ConfigurationError` for unknown names so
+        a typo fails loudly instead of silently dropping a column.
+        """
+        missing = [name for name in columns if name not in self.columns]
+        if missing:
+            raise ConfigurationError(f"unknown columns {missing}; table has {list(self.columns)}")
+        return SweepTable({name: self.columns[name] for name in columns})
+
     # -- serialization ----------------------------------------------------------------
 
     def to_dict(self) -> Dict[str, List[object]]:
@@ -200,3 +211,32 @@ class SweepTable:
     def from_json(cls, text: str) -> "SweepTable":
         """Rebuild a table from :meth:`to_json` output."""
         return cls.from_dict(json.loads(text))
+
+    def to_csv(self, path: "str | None" = None, float_format: Optional[str] = None) -> str:
+        """Render the table as RFC-4180 CSV (and optionally write it to ``path``).
+
+        One header row of column names, then one line per table row.  Values
+        containing commas, quotes, or newlines are quoted; ``None`` renders as
+        an empty field.  ``float_format`` (e.g. ``".6g"``) formats floats;
+        by default floats use ``repr`` so the CSV round-trips exactly.
+        """
+        import csv
+        import io
+
+        def _format(value: object) -> object:
+            if value is None:
+                return ""
+            if float_format is not None and isinstance(value, float):
+                return format(value, float_format)
+            return value
+
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(list(self.columns))
+        for row in self:
+            writer.writerow([_format(row[name]) for name in self.columns])
+        text = buffer.getvalue()
+        if path is not None:
+            with open(path, "w", newline="") as handle:
+                handle.write(text)
+        return text

@@ -70,3 +70,50 @@ def test_fig8_driver_claims():
     assert by_batch[16]["compute_bound_fraction"] > 0.6
     assert by_batch[16]["kv_cache_gb"] > by_batch[1]["kv_cache_gb"]
     assert by_batch[1]["weights_gb"] == pytest.approx(by_batch[16]["weights_gb"])
+
+
+def test_serving_frontier_driver_structure_and_claims():
+    from repro.analysis.experiments import serving_latency_throughput_frontier
+    from repro.serving import LengthDistribution
+    from repro.sweep import SweepRunner
+
+    table = serving_latency_throughput_frontier(
+        model_name="Llama2-7B",
+        gpu="A100",
+        num_devices=1,
+        arrival_rates=(0.5, 2.0, 8.0),
+        tensor_parallels=(1,),
+        num_requests=12,
+        prompt_lengths=LengthDistribution.uniform(32, 128),
+        output_lengths=LengthDistribution.constant(16),
+        runner=SweepRunner(),
+    )
+    assert len(table) == 3
+    for column in ("ttft_p50_s", "ttft_p99_s", "tpot_p50_s", "tpot_p99_s", "goodput_rps", "error"):
+        assert column in table.keys()
+    assert table["error"].tolist() == [None, None, None]
+    assert table["arrival_rate"].tolist() == [0.5, 2.0, 8.0]
+    # Offered load rises -> delivered throughput rises (below saturation) and
+    # the decode batches deepen.
+    throughput = table["requests_per_s"]
+    assert throughput[1] > throughput[0]
+    assert (table["utilization"] > 0).all()
+    assert table["mean_decode_batch"][2] >= table["mean_decode_batch"][0]
+
+
+def test_serving_frontier_driver_captures_infeasible_corners():
+    from repro.analysis.experiments import serving_latency_throughput_frontier
+    from repro.sweep import SweepRunner
+
+    table = serving_latency_throughput_frontier(
+        model_name="Llama2-70B",  # never fits one A100
+        gpu="A100",
+        num_devices=1,
+        arrival_rates=(1.0,),
+        tensor_parallels=(1,),
+        num_requests=4,
+        runner=SweepRunner(),
+    )
+    assert len(table) == 1
+    assert table[0]["error"] is not None
+    assert table[0]["ttft_p50_s"] is None

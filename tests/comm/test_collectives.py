@@ -98,3 +98,74 @@ def test_validation():
         ring_all_reduce_time(1, 8, 0)
     with pytest.raises(ConfigurationError):
         tree_all_reduce_time(1, 8, 100 * GB, latency=-1)
+
+
+# -- algorithm selection and the small-message (decode all-reduce) regime ---------------
+
+
+def test_all_reduce_defaults_to_ring():
+    data, group, bandwidth, latency = 64e3, 8, 100 * GB, 5e-6
+    assert all_reduce_time(data, group, bandwidth, latency) == pytest.approx(
+        ring_all_reduce_time(data, group, bandwidth, latency)
+    )
+
+
+def test_inference_collective_model_defaults_to_tree():
+    """The inference path must pick the latency-optimal tree algorithm."""
+    from repro.core.inference import InferencePerformanceModel
+    from repro.core.stepcost import StepCostModel
+    from repro.hardware.cluster import build_system
+
+    system = build_system("A100", num_devices=8, intra_node="NVLink3", inter_node="HDR-IB")
+    assert InferencePerformanceModel(system=system).collective_model.algorithm is CollectiveAlgorithm.DOUBLE_BINARY_TREE
+    assert StepCostModel(system=system).collective_model.algorithm is CollectiveAlgorithm.DOUBLE_BINARY_TREE
+
+
+def test_collective_model_with_algorithm_switch():
+    from repro.comm.fabric import CollectiveModel
+    from repro.hardware.cluster import build_system
+
+    system = build_system("A100", num_devices=8, intra_node="NVLink3", inter_node="HDR-IB")
+    ring = CollectiveModel(system=system, algorithm=CollectiveAlgorithm.RING)
+    tree = ring.with_algorithm(CollectiveAlgorithm.DOUBLE_BINARY_TREE)
+    assert ring.algorithm is CollectiveAlgorithm.RING
+    assert tree.algorithm is CollectiveAlgorithm.DOUBLE_BINARY_TREE
+    # A decode-sized (kilobyte) all-reduce is cheaper under the tree.
+    assert tree.all_reduce(10e3, group_size=8) < ring.all_reduce(10e3, group_size=8)
+    # A gradient-sized all-reduce is bandwidth dominated: both nearly equal
+    # (the gap is the fixed latency-term difference, well under 1%).
+    assert tree.all_reduce(1 * GB, group_size=8) == pytest.approx(ring.all_reduce(1 * GB, group_size=8), rel=1e-2)
+
+
+def test_small_message_gap_is_exactly_the_latency_terms():
+    """In the latency regime the ring/tree gap is 2*l*((N-1) - log2(N))."""
+    data, group, bandwidth, latency = 1e3, 16, 100 * GB, 5e-6
+    ring = ring_all_reduce_time(data, group, bandwidth, latency)
+    tree = tree_all_reduce_time(data, group, bandwidth, latency)
+    assert ring - tree == pytest.approx(2 * latency * ((group - 1) - math.log2(group)))
+
+
+def test_tree_advantage_grows_with_group_size():
+    data, bandwidth, latency = 1e3, 100 * GB, 5e-6
+    gaps = [
+        ring_all_reduce_time(data, group, bandwidth, latency) - tree_all_reduce_time(data, group, bandwidth, latency)
+        for group in (2, 4, 8, 16, 32)
+    ]
+    assert gaps == sorted(gaps)
+    assert gaps[0] == pytest.approx(0.0)  # N=2: N-1 == log2(N), no advantage yet
+
+
+def test_zero_latency_makes_algorithms_identical():
+    data, group, bandwidth = 1e3, 8, 100 * GB
+    assert ring_all_reduce_time(data, group, bandwidth, 0.0) == tree_all_reduce_time(data, group, bandwidth, 0.0)
+
+
+def test_latency_floor_for_tiny_payloads():
+    """A one-byte all-reduce still pays the full latency terms."""
+    group, bandwidth, latency = 8, 100 * GB, 5e-6
+    ring = ring_all_reduce_time(1.0, group, bandwidth, latency)
+    tree = tree_all_reduce_time(1.0, group, bandwidth, latency)
+    assert ring >= 2 * latency * (group - 1)
+    assert tree >= 2 * latency * math.log2(group)
+    # ... but a zero-byte collective is trivially free (no message at all).
+    assert ring_all_reduce_time(0.0, group, bandwidth, latency) == 0.0

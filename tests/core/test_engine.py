@@ -51,3 +51,26 @@ def test_engine_shares_kernel_model(engine):
 
 def test_engine_system_exposed(engine, a100_cluster_64):
     assert engine.system is a100_cluster_64
+
+
+def test_engine_predict_serving_shares_step_cost_memos():
+    from repro.hardware.cluster import build_system
+    from repro.serving import LengthDistribution, ServingReport, ServingSLO, TraceConfig
+
+    engine = PerformancePredictionEngine(build_system("A100", num_devices=2))
+    trace = TraceConfig(
+        rate=2.0,
+        num_requests=6,
+        prompt_lengths=LengthDistribution.uniform(32, 64),
+        output_lengths=LengthDistribution.constant(8),
+        seed=3,
+    )
+    report = engine.predict_serving("Llama2-7B", trace, tensor_parallel=2, slo=ServingSLO(ttft=5.0, tpot=1.0))
+    assert isinstance(report, ServingReport)
+    assert report.completed_requests == 6
+    assert report.tensor_parallel == 2
+    assert report.system_name == engine.system.name
+    # The simulator prices steps through the engine's inference step-cost
+    # layer, so the kernel memos are shared across both prediction paths.
+    again = engine.predict_serving("Llama2-7B", trace, tensor_parallel=2, slo=ServingSLO(ttft=5.0, tpot=1.0))
+    assert again.to_dict() == report.to_dict()

@@ -1,0 +1,67 @@
+"""Golden regression test: `InferenceReport` outputs are pinned bit-for-bit.
+
+The fixture ``golden_inference_reports.json`` was generated from the scalar
+per-phase pricing path *before* the step-cost refactor (PR 3).  JSON floats
+round-trip exactly (``repr`` emits the shortest exact representation), so
+``==`` comparisons below prove the refactored pipeline reproduces the
+pre-refactor numbers bit-identically -- every phase total, every kernel
+breakdown entry, and the memory breakdown, for both decode modes.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro import PerformancePredictionEngine, build_system
+from repro.core.reports import InferenceReport
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden_inference_reports.json"
+
+with GOLDEN_PATH.open() as fh:
+    GOLDEN_CASES = json.load(fh)
+
+
+def _case_id(entry) -> str:
+    case = entry["case"]
+    return f"{case['model']}-{case['gpu']}x{case['tensor_parallel']}-{case['decode_mode']}"
+
+
+@pytest.mark.parametrize("entry", GOLDEN_CASES, ids=_case_id)
+def test_inference_report_matches_golden_bit_for_bit(entry):
+    case = entry["case"]
+    system = build_system(
+        case["gpu"],
+        num_devices=case["num_devices"],
+        intra_node="NVLink3" if case["gpu"] == "A100" else "NVLink4",
+        inter_node="HDR-IB",
+    )
+    engine = PerformancePredictionEngine(system)
+    report = engine.predict_inference(
+        case["model"],
+        batch_size=case["batch_size"],
+        prompt_tokens=case["prompt_tokens"],
+        generated_tokens=case["generated_tokens"],
+        tensor_parallel=case["tensor_parallel"],
+        precision=case["precision"],
+        decode_mode=case["decode_mode"],
+    )
+    expected = entry["report"]
+    actual = report.to_dict()
+
+    # Phase scalars first, for a readable failure before the full-dict check.
+    for phase in ("prefill", "decode"):
+        for field in ("device_time", "communication_time", "compute_bound_time", "memory_bound_time"):
+            assert actual[phase][field] == expected[phase][field], (phase, field)
+        assert len(actual[phase]["kernel_breakdown"]) == len(expected[phase]["kernel_breakdown"])
+        for got, want in zip(actual[phase]["kernel_breakdown"], expected[phase]["kernel_breakdown"]):
+            assert got == want, (phase, want["name"])
+    assert actual == expected
+
+
+@pytest.mark.parametrize("entry", GOLDEN_CASES, ids=_case_id)
+def test_golden_fixture_round_trips_through_report_json(entry):
+    report = InferenceReport.from_dict(entry["report"])
+    assert report.to_dict() == entry["report"]

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.inference import InferencePerformanceModel
 from repro.errors import ConfigurationError, MemoryCapacityError
-from repro.hardware.cluster import build_system
 from repro.hardware.datatypes import Precision
 from repro.models.zoo import get_model
 

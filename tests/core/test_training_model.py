@@ -5,7 +5,6 @@ import pytest
 from repro.core.training import TrainingPerformanceModel
 from repro.hardware.cluster import build_system, preset_cluster
 from repro.hardware.datatypes import Precision
-from repro.memmodel.activations import RecomputeStrategy
 from repro.parallelism.config import ParallelismConfig
 
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import MemoryCapacityError
 from repro.hardware.datatypes import Precision
-from repro.memmodel.activations import RecomputeStrategy
 from repro.memmodel.footprint import (
     check_training_fits,
     inference_memory_breakdown,

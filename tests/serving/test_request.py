@@ -1,0 +1,117 @@
+"""Tests for trace generation: arrivals, length distributions, determinism."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serving import LengthDistribution, Request, TraceConfig, bursty_trace, poisson_trace
+
+
+def test_request_validation():
+    with pytest.raises(ConfigurationError):
+        Request(request_id=0, arrival_time=-1.0, prompt_tokens=10, output_tokens=10)
+    with pytest.raises(ConfigurationError):
+        Request(request_id=0, arrival_time=0.0, prompt_tokens=0, output_tokens=10)
+    with pytest.raises(ConfigurationError):
+        Request(request_id=0, arrival_time=0.0, prompt_tokens=10, output_tokens=0)
+
+
+def test_request_total_context():
+    request = Request(request_id=3, arrival_time=1.0, prompt_tokens=100, output_tokens=50)
+    assert request.total_context == 150
+
+
+def test_constant_distribution():
+    dist = LengthDistribution.constant(128)
+    rng = random.Random(0)
+    assert all(dist.sample(rng) == 128 for _ in range(10))
+    assert dist.mean_estimate == 128
+
+
+def test_uniform_distribution_bounds_and_mean():
+    dist = LengthDistribution.uniform(50, 150)
+    rng = random.Random(1)
+    samples = [dist.sample(rng) for _ in range(500)]
+    assert all(50 <= sample <= 150 for sample in samples)
+    assert sum(samples) / len(samples) == pytest.approx(100, rel=0.1)
+    assert dist.mean_estimate == 100
+
+
+def test_lognormal_distribution_clamps_and_skews():
+    dist = LengthDistribution.lognormal(median=100, sigma=0.8, minimum=16, maximum=400)
+    rng = random.Random(2)
+    samples = [dist.sample(rng) for _ in range(500)]
+    assert all(16 <= sample <= 400 for sample in samples)
+    # Right-skew: the mean sits above the median.
+    assert dist.mean_estimate > 100
+
+
+def test_distribution_validation():
+    with pytest.raises(ConfigurationError):
+        LengthDistribution.constant(0)
+    with pytest.raises(ConfigurationError):
+        LengthDistribution.uniform(10, 5)
+    with pytest.raises(ConfigurationError):
+        LengthDistribution.lognormal(median=0.5)
+    with pytest.raises(ConfigurationError):
+        LengthDistribution(kind="zipf")
+
+
+def test_trace_is_deterministic_and_sorted():
+    config = TraceConfig(rate=2.0, num_requests=50, seed=42)
+    first = config.generate()
+    second = config.generate()
+    assert first == second
+    assert len(first) == 50
+    times = [request.arrival_time for request in first]
+    assert times == sorted(times)
+    assert [request.request_id for request in first] == list(range(50))
+
+
+def test_different_seeds_differ():
+    base = TraceConfig(rate=2.0, num_requests=20, seed=1).generate()
+    other = TraceConfig(rate=2.0, num_requests=20, seed=2).generate()
+    assert base != other
+
+
+def test_poisson_mean_rate():
+    requests = poisson_trace(rate=5.0, num_requests=2000, seed=7)
+    span = requests[-1].arrival_time
+    assert 2000 / span == pytest.approx(5.0, rel=0.1)
+
+
+def test_bursty_preserves_mean_rate_but_raises_variability():
+    poisson = poisson_trace(rate=5.0, num_requests=4000, seed=7)
+    bursty = bursty_trace(rate=5.0, num_requests=4000, seed=7, burstiness=8.0, burst_fraction=0.3)
+    p_gaps = [b.arrival_time - a.arrival_time for a, b in zip(poisson, poisson[1:])]
+    b_gaps = [b.arrival_time - a.arrival_time for a, b in zip(bursty, bursty[1:])]
+
+    def mean(values):
+        return sum(values) / len(values)
+
+    def cv(values):
+        mu = mean(values)
+        return math.sqrt(mean([(v - mu) ** 2 for v in values])) / mu
+
+    assert mean(b_gaps) == pytest.approx(mean(p_gaps), rel=0.15)
+    assert cv(b_gaps) > cv(p_gaps) * 1.2  # hyperexponential: strictly burstier
+
+
+def test_trace_config_validation():
+    with pytest.raises(ConfigurationError):
+        TraceConfig(rate=0.0)
+    with pytest.raises(ConfigurationError):
+        TraceConfig(num_requests=0)
+    with pytest.raises(ConfigurationError):
+        TraceConfig(arrival="uniform")
+    with pytest.raises(ConfigurationError):
+        TraceConfig(arrival="bursty", burstiness=1.0)
+    with pytest.raises(ConfigurationError):
+        TraceConfig(arrival="bursty", burst_fraction=0.0)
+
+
+def test_trace_config_is_hashable():
+    config = TraceConfig(rate=1.0, num_requests=10)
+    assert hash(config) == hash(TraceConfig(rate=1.0, num_requests=10))

@@ -1,0 +1,127 @@
+"""Tests for continuous batching and KV-memory admission control."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.cluster import build_system
+from repro.hardware.datatypes import Precision
+from repro.memmodel.footprint import kv_cache_bytes, model_weight_bytes
+from repro.models.zoo import get_model
+from repro.serving import ContinuousBatchingScheduler, Request, SchedulerConfig
+
+MODEL = get_model("Llama2-7B")
+DEVICE_MEMORY = build_system("A100", num_devices=1).accelerator.dram_capacity
+
+
+def make_scheduler(**kwargs):
+    config = SchedulerConfig(**kwargs.pop("config", {}))
+    return ContinuousBatchingScheduler(
+        model=MODEL,
+        config=config,
+        device_memory_bytes=kwargs.pop("device_memory_bytes", DEVICE_MEMORY),
+        **kwargs,
+    )
+
+
+def request(request_id=0, arrival=0.0, prompt=100, output=50):
+    return Request(request_id=request_id, arrival_time=arrival, prompt_tokens=prompt, output_tokens=output)
+
+
+def test_scheduler_config_validation():
+    with pytest.raises(ConfigurationError):
+        SchedulerConfig(max_batch_size=0)
+    with pytest.raises(ConfigurationError):
+        SchedulerConfig(max_prefill_requests=0)
+    with pytest.raises(ConfigurationError):
+        SchedulerConfig(memory_headroom=1.0)
+
+
+def test_weights_exceeding_budget_raise():
+    with pytest.raises(ConfigurationError):
+        make_scheduler(device_memory_bytes=1e9)  # 7B weights never fit 1 GB
+
+
+def test_kv_reservation_matches_memory_model():
+    scheduler = make_scheduler()
+    req = request(prompt=300, output=100)
+    expected = kv_cache_bytes(MODEL, batch_size=1, context_len=400, precision=Precision.FP16)
+    assert scheduler.kv_reservation(req) == expected
+
+
+def test_fifo_admission_and_batch_cap():
+    scheduler = make_scheduler(config={"max_batch_size": 2, "max_prefill_requests": 8})
+    for index in range(4):
+        scheduler.enqueue(request(request_id=index))
+    admitted = scheduler.admit(now=0.0)
+    assert [state.request.request_id for state in admitted] == [0, 1]
+    assert scheduler.has_waiting
+    # Nothing retires, so a second admit is blocked by the batch cap.
+    assert scheduler.admit(now=1.0) == []
+
+
+def test_prefill_cap_limits_one_step():
+    scheduler = make_scheduler(config={"max_batch_size": 32, "max_prefill_requests": 3})
+    for index in range(5):
+        scheduler.enqueue(request(request_id=index))
+    assert len(scheduler.admit(now=0.0)) == 3
+    assert len(scheduler.admit(now=0.0)) == 2
+
+
+def test_memory_admission_blocks_head_of_line():
+    # Budget sized to hold the weights plus ~1.5 large-context reservations.
+    big_kv = kv_cache_bytes(MODEL, batch_size=1, context_len=4096, precision=Precision.FP16)
+    weights = model_weight_bytes(MODEL, precision=Precision.FP16)
+    scheduler = make_scheduler(
+        config={"memory_capacity_bytes": weights + 1.5 * big_kv, "memory_headroom": 0.0}
+    )
+    scheduler.enqueue(request(request_id=0, prompt=2048, output=2048))
+    scheduler.enqueue(request(request_id=1, prompt=2048, output=2048))
+    admitted = scheduler.admit(now=0.0)
+    assert [state.request.request_id for state in admitted] == [0]
+    assert scheduler.has_waiting  # head-of-line blocked, not skipped
+
+    # Retiring the first request frees its reservation and unblocks the queue.
+    scheduler.active[0].generated = scheduler.active[0].request.output_tokens
+    scheduler.retire_finished(now=1.0)
+    assert scheduler.kv_reserved_bytes == 0.0
+    assert [state.request.request_id for state in scheduler.admit(now=1.0)] == [1]
+
+
+def test_impossible_requests_are_rejected_not_blocking():
+    weights = model_weight_bytes(MODEL, precision=Precision.FP16)
+    small_kv = kv_cache_bytes(MODEL, batch_size=1, context_len=200, precision=Precision.FP16)
+    scheduler = make_scheduler(
+        config={"memory_capacity_bytes": weights + 2.5 * small_kv, "memory_headroom": 0.0}
+    )
+    scheduler.enqueue(request(request_id=0, prompt=100_000, output=100_000))  # can never fit
+    scheduler.enqueue(request(request_id=1, prompt=100, output=100))
+    admitted = scheduler.admit(now=0.0)
+    assert [state.request.request_id for state in admitted] == [1]
+    assert [req.request_id for req in scheduler.rejected] == [0]
+
+
+def test_peak_kv_tracking():
+    scheduler = make_scheduler()
+    scheduler.enqueue(request(request_id=0))
+    scheduler.enqueue(request(request_id=1))
+    scheduler.admit(now=0.0)
+    peak = scheduler.peak_kv_reserved_bytes
+    assert peak == scheduler.kv_reserved_bytes > 0
+    for state in list(scheduler.active):
+        state.generated = state.request.output_tokens
+    scheduler.retire_finished(now=1.0)
+    assert scheduler.kv_reserved_bytes == 0.0
+    assert scheduler.peak_kv_reserved_bytes == peak
+
+
+def test_decode_kv_len_progression():
+    scheduler = make_scheduler()
+    scheduler.enqueue(request(prompt=100, output=10))
+    (state,) = scheduler.admit(now=0.0)
+    state.generated = 1  # after prefill: first decode step attends the prompt
+    assert state.decode_kv_len == 100
+    state.generated = 5
+    assert state.decode_kv_len == 104
+    assert not state.done
+    state.generated = 10
+    assert state.done

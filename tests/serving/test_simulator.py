@@ -1,0 +1,154 @@
+"""Tests for the discrete-event serving simulator and its report."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.cluster import build_system
+from repro.models.zoo import get_model
+from repro.serving import (
+    LengthDistribution,
+    Request,
+    SchedulerConfig,
+    ServingReport,
+    ServingSimulator,
+    ServingSLO,
+    TraceConfig,
+    percentile,
+)
+
+SYSTEM = build_system("A100", num_devices=8, intra_node="NVLink3", inter_node="HDR-IB")
+MODEL = get_model("Llama2-7B")
+
+
+def make_simulator(**kwargs):
+    return ServingSimulator(system=SYSTEM, model=MODEL, **kwargs)
+
+
+def small_trace(rate=2.0, num_requests=12, seed=5, **kwargs):
+    return TraceConfig(
+        rate=rate,
+        num_requests=num_requests,
+        prompt_lengths=LengthDistribution.uniform(32, 128),
+        output_lengths=LengthDistribution.constant(16),
+        seed=seed,
+        **kwargs,
+    )
+
+
+# -- percentile helper ------------------------------------------------------------------
+
+def test_percentile_interpolates():
+    values = [1.0, 2.0, 3.0, 4.0]
+    assert percentile(values, 0) == 1.0
+    assert percentile(values, 100) == 4.0
+    assert percentile(values, 50) == pytest.approx(2.5)
+    assert percentile([], 50) == 0.0
+    assert percentile([7.0], 99) == 7.0
+    with pytest.raises(ConfigurationError):
+        percentile(values, 101)
+
+
+# -- simulation behavior ----------------------------------------------------------------
+
+def test_all_requests_complete_and_metrics_are_sane():
+    report = make_simulator().run(small_trace())
+    assert report.completed_requests == 12
+    assert report.rejected_requests == 0
+    assert report.num_requests == 12
+    assert len(report.per_request) == 12
+    assert report.simulated_time > 0
+    assert 0 < report.device_utilization <= 1.0
+    assert report.prefill_steps > 0 and report.decode_steps > 0
+    assert report.busy_time == pytest.approx(report.prefill_time + report.decode_time)
+    for metrics in report.per_request:
+        assert metrics.ttft > 0
+        assert metrics.tpot > 0
+        assert metrics.e2e_latency >= metrics.ttft
+        assert metrics.queue_time >= 0
+    # Every request generates 16 tokens; each decode step after the prefill
+    # token accounts for one, so conservation holds.
+    assert report.ttft_p50 <= report.ttft_p99
+    assert report.tpot_p50 <= report.tpot_p99
+
+
+def test_simulation_is_deterministic():
+    first = make_simulator().run(small_trace())
+    second = make_simulator().run(small_trace())
+    assert first.to_dict() == second.to_dict()
+
+
+def test_explicit_request_list_accepted():
+    requests = [
+        Request(request_id=0, arrival_time=0.0, prompt_tokens=64, output_tokens=4),
+        Request(request_id=1, arrival_time=0.0, prompt_tokens=64, output_tokens=4),
+    ]
+    report = make_simulator().run(requests)
+    assert report.completed_requests == 2
+    # Same arrival time, both fit: one prefill step serves both.
+    assert report.prefill_steps == 1
+    assert report.decode_steps == 3  # tokens 2..4 decoded together
+
+
+def test_empty_workload_rejected():
+    with pytest.raises(ConfigurationError):
+        make_simulator().run([])
+
+
+def test_single_token_requests_need_no_decode():
+    requests = [Request(request_id=0, arrival_time=0.0, prompt_tokens=64, output_tokens=1)]
+    report = make_simulator().run(requests)
+    assert report.completed_requests == 1
+    assert report.decode_steps == 0
+    assert report.per_request[0].tpot == 0.0
+
+
+def test_higher_load_increases_tail_latency():
+    calm = make_simulator().run(small_trace(rate=0.5, num_requests=24))
+    slammed = make_simulator().run(small_trace(rate=500.0, num_requests=24))
+    assert slammed.ttft_p99 > calm.ttft_p99
+    assert slammed.mean_decode_batch > calm.mean_decode_batch
+    assert slammed.device_utilization >= calm.device_utilization
+
+
+def test_tensor_parallel_cuts_decode_latency():
+    solo = make_simulator(tensor_parallel=1).run(small_trace())
+    sharded = make_simulator(tensor_parallel=4).run(small_trace())
+    assert sharded.tpot_p50 < solo.tpot_p50
+
+
+def test_batch_cap_throttles_concurrency():
+    trace = small_trace(rate=500.0, num_requests=16)
+    wide = make_simulator(scheduler_config=SchedulerConfig(max_batch_size=16))
+    narrow = make_simulator(scheduler_config=SchedulerConfig(max_batch_size=2))
+    wide_report = wide.run(trace)
+    narrow_report = narrow.run(trace)
+    assert narrow_report.mean_decode_batch <= 2.0
+    assert narrow_report.ttft_p99 > wide_report.ttft_p99
+
+
+def test_goodput_respects_slo():
+    loose = make_simulator(slo=ServingSLO(ttft=100.0, tpot=10.0)).run(small_trace())
+    strict = make_simulator(slo=ServingSLO(ttft=1e-9, tpot=1e-9)).run(small_trace())
+    assert loose.slo_attainment == 1.0
+    assert loose.goodput == pytest.approx(loose.request_throughput)
+    assert strict.slo_attainment == 0.0
+    assert strict.goodput == 0.0
+    # The SLO only reclassifies requests; the simulation itself is unchanged.
+    assert loose.simulated_time == strict.simulated_time
+
+
+def test_oversized_requests_are_rejected_and_reported():
+    requests = [
+        Request(request_id=0, arrival_time=0.0, prompt_tokens=64, output_tokens=4),
+        Request(request_id=1, arrival_time=0.0, prompt_tokens=10_000_000, output_tokens=4),
+    ]
+    report = make_simulator().run(requests)
+    assert report.completed_requests == 1
+    assert report.rejected_requests == 1
+
+
+def test_report_round_trips_through_json():
+    report = make_simulator().run(small_trace(num_requests=4))
+    clone = ServingReport.from_json(report.to_json())
+    assert clone == report
+    assert clone.summary() == report.summary()

@@ -110,3 +110,52 @@ def test_decode_mode_exact_through_sweep_runner(single_node_a100):
     assert runner.stats.evaluations == 2  # different cache keys, two evaluations
     assert exact.decode.total_time != average.decode.total_time
     assert exact.decode.total_time == pytest.approx(average.decode.total_time, rel=0.05)
+
+
+def test_serving_scenario_requires_config(single_node_a100):
+    from repro.models.zoo import get_model
+
+    with pytest.raises(ConfigurationError):
+        Scenario(kind=ScenarioKind.SERVING, system=single_node_a100, model=get_model("Llama2-7B"))
+
+
+def test_serving_scenario_cache_key_is_deterministic(single_node_a100):
+    from repro.serving import ServingConfig, TraceConfig
+
+    def build(rate):
+        return Scenario.serving(
+            single_node_a100,
+            "Llama2-7B",
+            ServingConfig(trace=TraceConfig(rate=rate, num_requests=8)),
+        )
+
+    assert build(1.0).cache_key() == build(1.0).cache_key()
+    assert build(1.0).cache_key() != build(2.0).cache_key()
+    # Seed is part of the trace, hence of the key.
+    seeded = Scenario.serving(
+        single_node_a100,
+        "Llama2-7B",
+        ServingConfig(trace=TraceConfig(rate=1.0, num_requests=8, seed=99)),
+    )
+    assert seeded.cache_key() != build(1.0).cache_key()
+
+
+def test_serving_scenario_evaluates_and_caches(single_node_a100):
+    from repro.serving import LengthDistribution, ServingConfig, ServingReport, TraceConfig
+
+    config = ServingConfig(
+        trace=TraceConfig(
+            rate=2.0,
+            num_requests=6,
+            prompt_lengths=LengthDistribution.uniform(32, 64),
+            output_lengths=LengthDistribution.constant(8),
+        )
+    )
+    scenario = Scenario.serving(single_node_a100, "Llama2-7B", config, tensor_parallel=2)
+    runner = SweepRunner()
+    first, second = runner.run([scenario, scenario])
+    assert isinstance(first.report, ServingReport)
+    assert first.report.completed_requests == 6
+    assert runner.stats.evaluations == 1  # identical key deduplicated
+    assert second.from_cache
+    assert second.report.to_dict() == first.report.to_dict()

@@ -119,3 +119,52 @@ def test_run_capture_errors_override(system):
     # The override is per call: the runner default still raises.
     with pytest.raises(MemoryCapacityError):
         runner.run([infeasible])
+
+
+def test_select_projects_columns_in_order():
+    table = SweepTable({"a": [1, 2], "b": [3.0, 4.0], "c": ["x", "y"]})
+    view = table.select(["c", "a"])
+    assert view.keys() == ["c", "a"]
+    assert view["a"].tolist() == [1, 2]
+    assert len(view) == 2
+    # Projection is a new table; mutating it leaves the original intact.
+    view["d"] = [9, 9]
+    assert "d" not in table.keys()
+
+
+def test_select_unknown_column_raises():
+    table = SweepTable({"a": [1, 2]})
+    with pytest.raises(ConfigurationError):
+        table.select(["a", "missing"])
+
+
+def test_to_csv_renders_header_rows_and_none():
+    table = SweepTable({"name": ["x", "y"], "value": [1.5, 2.5], "error": [None, "boom"]})
+    text = table.to_csv()
+    lines = text.strip().split("\n")
+    assert lines[0] == "name,value,error"
+    assert lines[1] == "x,1.5,"
+    assert lines[2] == "y,2.5,boom"
+
+
+def test_to_csv_quotes_and_float_format(tmp_path):
+    table = SweepTable({"label": ['has,"comma"', "plain"], "value": [1 / 3, 2.0]})
+    text = table.to_csv(float_format=".3f")
+    lines = text.strip().split("\n")
+    assert lines[1].startswith('"has,""comma"""')
+    assert lines[1].endswith("0.333")
+
+    path = tmp_path / "table.csv"
+    written = table.to_csv(path=str(path), float_format=".3f")
+    assert path.read_text() == written == text
+
+
+def test_to_csv_default_floats_round_trip():
+    value = 0.1 + 0.2  # not exactly 0.3; repr must preserve it
+    table = SweepTable({"v": [value]})
+    line = table.to_csv().strip().split("\n")[1]
+    assert float(line) == value
+
+
+def test_to_csv_empty_table():
+    assert SweepTable({}).to_csv() == "\n"
