@@ -16,10 +16,11 @@ from .reports import (
     TrainingReport,
     aggregate_kernel_entries,
 )
-from .stepcost import StepCost, StepCostModel
+from .stepcost import DecodeRun, StepCost, StepCostModel
 from .training import OPTIMIZER_BYTES_PER_PARAMETER, TrainingPerformanceModel
 
 __all__ = [
+    "DecodeRun",
     "GemmBottleneckEntry",
     "InferencePerformanceModel",
     "InferenceReport",

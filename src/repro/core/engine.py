@@ -68,6 +68,20 @@ class PerformancePredictionEngine:
             kernel_model=self.kernel_model,
         )
 
+    @property
+    def step_cost(self):
+        """The engine's shared step-cost pricing layer.
+
+        One :class:`~repro.core.stepcost.StepCostModel` per engine (and, via
+        the sweep subsystem's per-system engine cache, one per system per
+        process): its operator, collective, and attention-time caches survive
+        across every inference prediction and serving simulation this engine
+        runs, which is what keeps frontier sweeps from re-pricing the same
+        kernels per scenario.  Its ``cache_hits`` / ``cache_misses`` counters
+        expose the reuse.
+        """
+        return self.inference_model.step_cost
+
     # -- training -------------------------------------------------------------------
 
     def predict_training(
@@ -169,13 +183,17 @@ class PerformancePredictionEngine:
         scheduler: Optional[SchedulerConfig] = None,
         slo: Optional[ServingSLO] = None,
         include_lm_head: bool = True,
+        fused: bool = True,
     ) -> ServingReport:
         """Simulate request-level serving of ``model`` on this system.
 
         ``workload`` is a seeded :class:`~repro.serving.request.TraceConfig`
         (or an explicit request list); the simulation advances in continuous-
-        batching prefill/decode steps priced by the step-cost layer, sharing
-        this engine's memoized kernel and collective models.  See
+        batching prefill and epoch-fused decode steps priced by this engine's
+        shared :attr:`step_cost` layer, so repeated simulations (e.g. a load-
+        frontier sweep) reuse one set of operator/attention-time caches.
+        ``fused=False`` selects the step-by-step reference loop (bit-identical
+        results, much slower).  See
         :class:`~repro.serving.simulator.ServingSimulator`.
         """
         model = get_model(model) if isinstance(model, str) else model
@@ -185,10 +203,11 @@ class PerformancePredictionEngine:
             model=model,
             tensor_parallel=tensor_parallel,
             precision=precision,
-            step_cost=self.inference_model.step_cost,
+            step_cost=self.step_cost,
             scheduler_config=scheduler,
             slo=slo,
             include_lm_head=include_lm_head,
+            fused=fused,
         )
         return simulator.run(workload)
 

@@ -57,9 +57,19 @@ class RooflinePoint:
 
     @property
     def time(self) -> float:
-        """Execution time: the maximum over compute and all memory levels."""
-        slowest_level = max(self.level_times.values(), default=0.0)
-        return max(self.compute_time, slowest_level)
+        """Execution time: the maximum over compute and all memory levels.
+
+        Computed once and cached on the instance: memoized points are read
+        in every step of the hot sweep/serving loops, and the max over the
+        level dict is not free.  The cache is not a dataclass field, so
+        equality and serialization are unaffected.
+        """
+        cached = self.__dict__.get("_time")
+        if cached is None:
+            slowest_level = max(self.level_times.values(), default=0.0)
+            cached = max(self.compute_time, slowest_level)
+            object.__setattr__(self, "_time", cached)
+        return cached
 
     @property
     def memory_time(self) -> float:

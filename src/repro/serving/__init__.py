@@ -4,8 +4,10 @@ The subsystem turns the single-request analytical model into a traffic-level
 one: seeded arrival traces (:mod:`repro.serving.request`) flow through a
 continuous-batching scheduler with KV-memory admission control
 (:mod:`repro.serving.scheduler`); a discrete-event loop
-(:mod:`repro.serving.simulator`) advances in prefill/decode steps priced by
-:class:`~repro.core.stepcost.StepCostModel`; and the outcome is a
+(:mod:`repro.serving.simulator`) advances in prefill steps and *epoch-fused*
+decode runs priced by :class:`~repro.core.stepcost.StepCostModel` (all steps
+to the next batch-composition change in one vectorized call, bit-identical
+to the per-step reference loop); and the outcome is a
 :class:`~repro.serving.report.ServingReport` with TTFT/TPOT percentiles,
 throughput, goodput under an SLO, and device utilization.
 

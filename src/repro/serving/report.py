@@ -50,7 +50,16 @@ class ServingSLO:
 
     def met_by(self, metrics: "RequestMetrics") -> bool:
         """Whether one completed request satisfies both thresholds."""
-        return metrics.ttft <= self.ttft and metrics.tpot <= self.tpot
+        return bool(self.met_mask(metrics.ttft, metrics.tpot))
+
+    def met_mask(self, ttfts, tpots):
+        """Vectorized :meth:`met_by` over TTFT/TPOT columns.
+
+        Accepts NumPy arrays (returns a boolean mask) or scalars (returns a
+        bool); the report aggregation computes goodput through this single
+        definition of the predicate.
+        """
+        return (ttfts <= self.ttft) & (tpots <= self.tpot)
 
 
 @dataclasses.dataclass(frozen=True)

@@ -174,18 +174,58 @@ class ContinuousBatchingScheduler:
         self.active.extend(admitted)
         return admitted
 
-    def complete(self, state: RequestState, now: float) -> None:
-        """Retire a finished request and release its KV reservation."""
+    def _release(self, state: RequestState, now: float) -> None:
+        """Mark one request finished and release its KV reservation."""
         state.finish_time = now
-        self.active.remove(state)
         self.kv_reserved_bytes -= state.kv_reserved_bytes
 
+    def complete(self, state: RequestState, now: float) -> None:
+        """Retire a single request (convenience; the loop uses :meth:`retire_finished`)."""
+        self._release(state, now)
+        self.active.remove(state)
+
     def retire_finished(self, now: float) -> List[RequestState]:
-        """Retire every active request that has generated all its tokens."""
+        """Retire every active request that has generated all its tokens.
+
+        The running batch is rebuilt in one pass (instead of one O(batch)
+        removal per retiree), and callers are expected to gate the call on
+        :meth:`min_remaining_tokens` so the scan does not run on steps where
+        nothing can possibly finish.
+        """
         finished = [state for state in self.active if state.done]
+        if not finished:
+            return finished
         for state in finished:
-            self.complete(state, now)
+            self._release(state, now)
+        if len(finished) == len(self.active):
+            self.active.clear()
+        else:
+            self.active = [state for state in self.active if not state.done]
         return finished
+
+    # -- event horizon -----------------------------------------------------------------
+
+    def min_remaining_tokens(self) -> int:
+        """Decode steps until the earliest active request generates its last token.
+
+        This is the retirement horizon of an epoch-fused decode run: for that
+        many steps the batch composition cannot shrink.  Requires a non-empty
+        running batch.
+        """
+        return min(state.request.output_tokens - state.generated for state in self.active)
+
+    @property
+    def admission_blocked(self) -> bool:
+        """Whether no request can join the running batch before a retirement.
+
+        True when the batch is at its size cap, or when the waiting queue is
+        head-of-line blocked on KV memory: admission is FIFO and reservations
+        are only released by retirements, so in either case neither the
+        queued requests nor any new arrival can be admitted until an active
+        request finishes.  (Only meaningful right after an :meth:`admit` call
+        that returned nothing -- the simulator's decode branch.)
+        """
+        return bool(self.waiting) or len(self.active) >= self.config.max_batch_size
 
     @property
     def has_waiting(self) -> bool:

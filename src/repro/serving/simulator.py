@@ -7,23 +7,32 @@ continuous-batching inference server does:
 2. If the scheduler can admit waiting requests (KV memory + batch slots),
    the engine runs one **prefill step** over the admitted prompts, which
    produces each request's first token (TTFT).
-3. Otherwise the engine runs one **decode step** over every active request
-   at its current KV length; each produces one token, and finished requests
-   retire and release their KV reservation.
+3. Otherwise the engine runs **decode steps** over every active request at
+   its current KV length; each step produces one token per request, and
+   finished requests retire and release their KV reservation.
 4. With no runnable work, the clock jumps to the next arrival.
 
-Every step is priced analytically by
-:class:`~repro.core.stepcost.StepCostModel` -- one vectorized roofline call
-per step over the mixed batch of per-request shapes -- so simulating
-thousands of requests takes seconds, not GPU-hours.  The simulation is fully
-deterministic: the trace is seeded, the pricing is analytic, and ties are
-broken by queue order.
+Decode steps are not priced one at a time.  Between two composition changes
+of the running batch -- the next retirement, or the next arrival that could
+actually be admitted -- every step is identical except for the KV lengths
+advancing by one.  The fused loop computes that *epoch horizon* from the
+scheduler (:meth:`~repro.serving.scheduler.ContinuousBatchingScheduler.min_remaining_tokens`
+/ :attr:`~repro.serving.scheduler.ContinuousBatchingScheduler.admission_blocked`)
+and prices the whole epoch in one
+:meth:`~repro.core.stepcost.StepCostModel.decode_run` call; per-step
+timestamps then come from sequential cumulative sums, which keeps every
+clock value **bit-identical** to the step-by-step loop (available as
+``fused=False`` and used as the reference in the equivalence tests).  The
+simulation is fully deterministic: the trace is seeded, the pricing is
+analytic, and ties are broken by queue order.
 """
 
 from __future__ import annotations
 
 import dataclasses
 from typing import List, Optional, Sequence, Union
+
+import numpy as np
 
 from ..core.stepcost import StepCostModel
 from ..errors import ConfigurationError
@@ -33,6 +42,32 @@ from ..models.transformer import TransformerConfig
 from .report import RequestMetrics, ServingReport, ServingSLO, percentile
 from .request import Request, TraceConfig
 from .scheduler import ContinuousBatchingScheduler, RequestState, SchedulerConfig
+
+#: Upper bound on the steps one fused epoch prices at once.  Caps the term
+#: matrices of :meth:`StepCostModel.decode_run` (bounding memory); epochs
+#: longer than this simply continue in the next loop iteration.
+_MAX_EPOCH_STEPS = 1024
+
+#: Priced-horizon cap while a pending arrival could still be admitted
+#: mid-epoch.  The arrival's step index is unknown until the steps are
+#: priced, so pricing the full retirement horizon could discard almost all
+#: of it; a short probe bounds the waste, and uninterrupted probes commit
+#: and continue through the main loop like any capped epoch.
+_ARRIVAL_PROBE_STEPS = 64
+
+
+def _running_sum(start: float, values: np.ndarray) -> np.ndarray:
+    """Sequential running sum ``[start, start + v0, start + v0 + v1, ...]``.
+
+    ``np.cumsum`` accumulates strictly left to right (it is ``add.accumulate``,
+    which never uses pairwise summation), so entry ``i + 1`` is bit-identical
+    to ``i + 1`` scalar ``+=`` updates of an accumulator that began at
+    ``start`` -- the property the fused loop relies on for exact timestamps.
+    """
+    buffer = np.empty(values.shape[0] + 1, dtype=np.float64)
+    buffer[0] = start
+    buffer[1:] = values
+    return np.cumsum(buffer)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -53,7 +88,13 @@ class ServingConfig:
 
 
 class ServingSimulator:
-    """Simulates request-level serving of one model on one system."""
+    """Simulates request-level serving of one model on one system.
+
+    ``fused=True`` (the default) prices decode steps in epoch-fused batches
+    through :meth:`StepCostModel.decode_run`; ``fused=False`` keeps the
+    one-``decode_step``-call-per-token reference loop.  Both produce
+    bit-identical reports.
+    """
 
     def __init__(
         self,
@@ -65,6 +106,7 @@ class ServingSimulator:
         scheduler_config: Optional[SchedulerConfig] = None,
         slo: Optional[ServingSLO] = None,
         include_lm_head: bool = True,
+        fused: bool = True,
     ):
         if tensor_parallel < 1:
             raise ConfigurationError("tensor_parallel must be >= 1")
@@ -76,6 +118,7 @@ class ServingSimulator:
         self.scheduler_config = scheduler_config or SchedulerConfig()
         self.slo = slo or ServingSLO()
         self.include_lm_head = include_lm_head
+        self.fused = fused
 
     def run(self, workload: Union[TraceConfig, Sequence[Request]]) -> ServingReport:
         """Simulate the workload to completion and aggregate the report.
@@ -89,6 +132,7 @@ class ServingSimulator:
         if not requests:
             raise ConfigurationError("serving simulation needs at least one request")
         requests.sort(key=lambda request: (request.arrival_time, request.request_id))
+        num_requests = len(requests)
 
         scheduler = ContinuousBatchingScheduler(
             model=self.model,
@@ -109,7 +153,7 @@ class ServingSimulator:
         completed: List[RequestState] = []
 
         while True:
-            while next_arrival < len(requests) and requests[next_arrival].arrival_time <= now:
+            while next_arrival < num_requests and requests[next_arrival].arrival_time <= now:
                 scheduler.enqueue(requests[next_arrival])
                 next_arrival += 1
 
@@ -129,25 +173,78 @@ class ServingSimulator:
                 for state in admitted:
                     state.generated = 1
                     state.first_token_time = now
-                completed.extend(scheduler.retire_finished(now))
+                # Only single-token requests can finish on their prefill.
+                if any(state.request.output_tokens == 1 for state in admitted):
+                    completed.extend(scheduler.retire_finished(now))
             elif scheduler.has_active:
-                kv_lens = [state.decode_kv_len for state in scheduler.active]
-                cost = self.step_cost.decode_step(
-                    self.model,
-                    kv_lens,
-                    tensor_parallel=self.tensor_parallel,
-                    precision=self.precision,
-                    include_lm_head=self.include_lm_head,
-                )
-                now += cost.total_time
-                busy_time += cost.total_time
-                decode_time += cost.total_time
-                decode_steps += 1
-                decode_batch_total += len(kv_lens)
-                for state in list(scheduler.active):
-                    state.generated += 1
-                completed.extend(scheduler.retire_finished(now))
-            elif next_arrival < len(requests):
+                active = scheduler.active
+                retire_in = scheduler.min_remaining_tokens()
+                kv_lens = [state.decode_kv_len for state in active]
+                if self.fused:
+                    # Event-horizon epoch: price every step up to the next
+                    # retirement in one vectorized call, then cut the epoch
+                    # at the first arrival that could change scheduling.
+                    interruptible = next_arrival < num_requests and not scheduler.admission_blocked
+                    horizon = min(
+                        retire_in, _ARRIVAL_PROBE_STEPS if interruptible else _MAX_EPOCH_STEPS
+                    )
+                    epoch = self.step_cost.decode_run(
+                        self.model,
+                        kv_lens,
+                        horizon,
+                        tensor_parallel=self.tensor_parallel,
+                        precision=self.precision,
+                        include_lm_head=self.include_lm_head,
+                    )
+                    totals = epoch.total_times
+                    end_times = _running_sum(now, totals)
+                    steps = horizon
+                    if interruptible:
+                        # First step after which the pending arrival is due
+                        # (arrival_time <= clock), exactly the stepwise
+                        # loop's enqueue predicate.
+                        cut = int(
+                            np.searchsorted(
+                                end_times[1:], requests[next_arrival].arrival_time, side="left"
+                            )
+                        )
+                        if cut < horizon:
+                            steps = cut + 1
+                    now = float(end_times[steps])
+                    # busy_time and decode_time advance by the same step
+                    # totals but from different starting values; one stacked
+                    # cumsum keeps both accumulations sequential (bit-exact).
+                    accumulators = np.empty((2, steps + 1), dtype=np.float64)
+                    accumulators[0, 0] = busy_time
+                    accumulators[1, 0] = decode_time
+                    accumulators[:, 1:] = totals[:steps]
+                    finals = accumulators.cumsum(axis=1)[:, -1]
+                    busy_time = float(finals[0])
+                    decode_time = float(finals[1])
+                    decode_steps += steps
+                    decode_batch_total += len(kv_lens) * steps
+                    for state in active:
+                        state.generated += steps
+                    if steps == retire_in:
+                        completed.extend(scheduler.retire_finished(now))
+                else:
+                    cost = self.step_cost.decode_step(
+                        self.model,
+                        kv_lens,
+                        tensor_parallel=self.tensor_parallel,
+                        precision=self.precision,
+                        include_lm_head=self.include_lm_head,
+                    )
+                    now += cost.total_time
+                    busy_time += cost.total_time
+                    decode_time += cost.total_time
+                    decode_steps += 1
+                    decode_batch_total += len(kv_lens)
+                    for state in active:
+                        state.generated += 1
+                    if retire_in == 1:
+                        completed.extend(scheduler.retire_finished(now))
+            elif next_arrival < num_requests:
                 now = max(now, requests[next_arrival].arrival_time)
             else:
                 break  # no active work, nothing waiting that fits, trace drained
@@ -186,32 +283,47 @@ class ServingSimulator:
         decode_batch_total,
         peak_kv_bytes,
     ) -> ServingReport:
-        per_request: List[RequestMetrics] = []
-        for state in sorted(completed, key=lambda state: state.request.request_id):
-            request = state.request
-            ttft = state.first_token_time - request.arrival_time
-            decode_tokens = request.output_tokens - 1
-            tpot = (
-                (state.finish_time - state.first_token_time) / decode_tokens if decode_tokens > 0 else 0.0
+        completed = sorted(completed, key=lambda state: state.request.request_id)
+        if completed:
+            # One pass over the completed states into NumPy columns; the
+            # derived metric arrays feed both the per-request records and the
+            # percentile/goodput reductions below.
+            arrivals = np.array([state.request.arrival_time for state in completed])
+            admitted = np.array([state.admitted_time for state in completed])
+            first_token = np.array([state.first_token_time for state in completed])
+            finish = np.array([state.finish_time for state in completed])
+            output_tokens_column = np.array(
+                [state.request.output_tokens for state in completed], dtype=np.int64
             )
-            per_request.append(
+            queues = admitted - arrivals
+            ttfts = first_token - arrivals
+            decode_tokens = output_tokens_column - 1
+            tpots = np.where(
+                decode_tokens > 0,
+                (finish - first_token) / np.maximum(decode_tokens, 1),
+                0.0,
+            )
+            e2e_latencies = finish - arrivals
+            per_request = [
                 RequestMetrics(
-                    request_id=request.request_id,
-                    arrival_time=request.arrival_time,
-                    queue_time=state.admitted_time - request.arrival_time,
-                    ttft=ttft,
-                    tpot=tpot,
-                    e2e_latency=state.finish_time - request.arrival_time,
-                    prompt_tokens=request.prompt_tokens,
-                    output_tokens=request.output_tokens,
+                    request_id=state.request.request_id,
+                    arrival_time=state.request.arrival_time,
+                    queue_time=float(queues[index]),
+                    ttft=float(ttfts[index]),
+                    tpot=float(tpots[index]),
+                    e2e_latency=float(e2e_latencies[index]),
+                    prompt_tokens=state.request.prompt_tokens,
+                    output_tokens=state.request.output_tokens,
                 )
-            )
-
-        ttfts = [metrics.ttft for metrics in per_request]
-        tpots = [metrics.tpot for metrics in per_request]
-        queues = [metrics.queue_time for metrics in per_request]
-        output_tokens = sum(metrics.output_tokens for metrics in per_request)
-        good = sum(1 for metrics in per_request if self.slo.met_by(metrics))
+                for index, state in enumerate(completed)
+            ]
+            output_tokens = int(output_tokens_column.sum())
+            good = int(np.count_nonzero(self.slo.met_mask(ttfts, tpots)))
+        else:
+            per_request = []
+            ttfts = tpots = queues = np.zeros(0, dtype=np.float64)
+            output_tokens = 0
+            good = 0
 
         return ServingReport(
             model_name=self.model.name,

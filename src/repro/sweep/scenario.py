@@ -439,8 +439,13 @@ _ENGINE_CACHE: Dict[SystemSpec, PerformancePredictionEngine] = {}
 def engine_for(system: SystemSpec) -> PerformancePredictionEngine:
     """Return a (cached) prediction engine for ``system``.
 
-    Reusing the engine also reuses its memoized kernel and collective models,
-    which is where most of a sweep's repeated work is saved.
+    Reusing the engine also reuses its memoized kernel and collective models
+    and its shared :class:`~repro.core.stepcost.StepCostModel` -- including
+    the per-KV-length attention time tables the epoch-fused serving loop
+    prices decode runs from -- which is where most of a sweep's repeated
+    work is saved.  Serving scenarios in particular run warm from the second
+    frontier point on (verified by ``tests/sweep/test_serving_cache.py``
+    through the step-cost model's ``cache_hits`` counter).
     """
     engine = _ENGINE_CACHE.get(system)
     if engine is None:

@@ -101,6 +101,27 @@ class GEMM(Operator):
         if min(self.m, self.n, self.k, self.batch) < 1:
             raise ConfigurationError(f"GEMM {self.name}: m, n, k and batch must be >= 1")
 
+    def __hash__(self) -> int:
+        # GEMMs key the kernel-time memo caches and get hashed several times
+        # per engine step; caching the (immutable) field-tuple hash keeps
+        # those lookups cheap.  Consistent with the generated __eq__.
+        value = self.__dict__.get("_hash")
+        if value is None:
+            value = hash(
+                (
+                    self.name,
+                    self.precision,
+                    self.m,
+                    self.n,
+                    self.k,
+                    self.batch,
+                    self.weight_operand,
+                    self.accumulate,
+                )
+            )
+            object.__setattr__(self, "_hash", value)
+        return value
+
     @property
     def kind(self) -> OperatorKind:
         return OperatorKind.GEMM

@@ -134,3 +134,72 @@ def test_step_cost_dataclass_is_value_like():
     cost = StepCost(1.0, 0.5, 0.2, 0.8, num_requests=2, tokens=2)
     assert cost.total_time == 1.5
     assert cost == StepCost(1.0, 0.5, 0.2, 0.8, num_requests=2, tokens=2)
+
+
+# -- epoch-fused decode pricing ----------------------------------------------------------
+
+def _assert_run_matches_steps(step_cost, model, kv_lens, num_steps, **kwargs):
+    """decode_run must equal num_steps sequential decode_step calls exactly."""
+    run = step_cost.decode_run(model, kv_lens, num_steps, **kwargs)
+    expected = [
+        step_cost.decode_step(model, [kv + step for kv in kv_lens], **kwargs)
+        for step in range(num_steps)
+    ]
+    assert run.num_steps == num_steps
+    assert run.num_requests == len(kv_lens)
+    assert run.step_costs() == expected
+    for step, cost in enumerate(expected):
+        assert float(run.device_times[step]) == cost.device_time
+        assert run.communication_time == cost.communication_time
+        assert float(run.compute_bound_times[step]) == cost.compute_bound_time
+        assert float(run.memory_bound_times[step]) == cost.memory_bound_time
+        assert float(run.total_times[step]) == cost.total_time
+
+
+def test_decode_run_matches_sequential_decode_steps(step_cost, model):
+    _assert_run_matches_steps(step_cost, model, [100, 237, 100, 64], 17)
+
+
+def test_decode_run_matches_decode_steps_single_request(step_cost, model):
+    _assert_run_matches_steps(step_cost, model, [321], 5)
+
+
+def test_decode_run_matches_decode_steps_with_tensor_parallel(step_cost, model):
+    _assert_run_matches_steps(step_cost, model, [64, 640], 9, tensor_parallel=4)
+
+
+def test_decode_run_matches_decode_steps_without_lm_head(step_cost, model):
+    _assert_run_matches_steps(step_cost, model, [80, 81, 82], 7, include_lm_head=False)
+
+
+def test_decode_run_matches_decode_steps_fp8(step_cost, model):
+    _assert_run_matches_steps(step_cost, model, [150, 90], 6, precision=Precision.FP8)
+
+
+def test_decode_run_agrees_after_scalar_warmup(system, model):
+    # Order of first evaluation (batched table fill vs scalar memo) must not
+    # change the numbers: warm one model scalar-first, one fused-first.
+    scalar_first = StepCostModel(system=system)
+    for step in range(4):
+        scalar_first.decode_step(model, [200 + step, 50 + step])
+    fused_first = StepCostModel(system=system)
+    run_a = scalar_first.decode_run(model, [200, 50], 4)
+    run_b = fused_first.decode_run(model, [200, 50], 4)
+    assert run_a.step_costs() == run_b.step_costs()
+
+
+def test_decode_run_empty_inputs(step_cost, model):
+    assert step_cost.decode_run(model, [], 5).num_steps == 0
+    assert step_cost.decode_run(model, [100], 0).num_steps == 0
+    assert step_cost.decode_run(model, [100], 0).num_requests == 1
+
+
+def test_step_cost_cache_counters_grow(system, model):
+    probe = StepCostModel(system=system)
+    assert probe.cache_hits == 0 and probe.cache_misses == 0
+    probe.decode_run(model, [100, 200], 8)
+    first_misses = probe.cache_misses
+    assert first_misses > 0
+    probe.decode_run(model, [100, 200], 8)
+    assert probe.cache_misses == first_misses  # identical epoch: all hits
+    assert probe.cache_hits > 0

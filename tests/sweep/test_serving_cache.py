@@ -1,0 +1,72 @@
+"""Serving sweeps share one StepCostModel per system (and its memo caches).
+
+The satellite fix this guards: a frontier sweep evaluates many serving
+scenarios on the same system, and each evaluation must reuse the engine's
+step-cost pricing layer -- its operator lists, collective times, and
+per-KV-length attention tables -- instead of rebuilding them per scenario.
+The ``cache_hits`` / ``cache_misses`` counters on ``StepCostModel`` expose
+the reuse directly.
+"""
+
+from repro.hardware.cluster import build_system
+from repro.serving import LengthDistribution, ServingConfig, TraceConfig
+from repro.sweep import Scenario, SweepRunner
+from repro.sweep.scenario import engine_for
+
+SYSTEM = build_system("A100", num_devices=1, name="A100-serving-cache")
+MODEL = "Llama2-7B"
+
+
+def serving_config(rate: float, seed: int = 41) -> ServingConfig:
+    return ServingConfig(
+        trace=TraceConfig(
+            rate=rate,
+            num_requests=8,
+            prompt_lengths=LengthDistribution.uniform(64, 256),
+            output_lengths=LengthDistribution.constant(16),
+            seed=seed,
+        )
+    )
+
+
+def test_engine_and_step_cost_are_shared_per_system():
+    engine = engine_for(SYSTEM)
+    assert engine_for(SYSTEM) is engine
+    # predict_serving threads the engine's own step-cost layer into the
+    # simulator rather than letting it build a fresh one.
+    assert engine.step_cost is engine.inference_model.step_cost
+
+
+def test_frontier_sweep_hits_step_cost_caches_across_scenarios():
+    engine = engine_for(SYSTEM)
+    step_cost = engine.step_cost
+    runner = SweepRunner()
+
+    first = runner.evaluate(Scenario.serving(SYSTEM, MODEL, serving_config(rate=1.0)))
+    hits_after_first = step_cost.cache_hits
+    misses_after_first = step_cost.cache_misses
+    assert first.completed_requests == 8
+    assert misses_after_first > 0  # cold: the caches had to be built once
+
+    # The next point of the frontier (same seeded lengths, higher rate --
+    # exactly what serving_latency_throughput_frontier sweeps) must be served
+    # largely from the warm caches: hits grow much faster than misses.
+    second = runner.evaluate(Scenario.serving(SYSTEM, MODEL, serving_config(rate=4.0)))
+    assert second.completed_requests == 8
+    assert engine.step_cost is step_cost  # still the same shared instance
+    new_hits = step_cost.cache_hits - hits_after_first
+    new_misses = step_cost.cache_misses - misses_after_first
+    assert new_hits > 0
+    assert new_hits > new_misses
+
+
+def test_repeated_scenario_is_served_from_the_sweep_cache():
+    runner = SweepRunner()
+    scenario = Scenario.serving(SYSTEM, MODEL, serving_config(rate=2.0))
+    first = runner.evaluate(scenario)
+    engine = engine_for(SYSTEM)
+    hits_before = engine.step_cost.cache_hits
+    second = runner.evaluate(scenario)
+    # The runner's result cache answers without re-simulating at all.
+    assert engine.step_cost.cache_hits == hits_before
+    assert first.to_dict() == second.to_dict()
