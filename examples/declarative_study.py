@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Declarative studies: declare a sweep, stream its progress, share its spec.
+
+Three steps:
+
+1. Run a registered paper study by name (everything ``python -m repro list``
+   shows is equally available from Python).
+2. Declare a custom study -- axes by registry name, a one-line extractor --
+   and run it with a live progress callback.
+3. Serialize the custom study to a JSON spec that anyone can re-run with
+   ``python -m repro run study_spec.json`` (no Python required).
+
+Run it with ``python examples/declarative_study.py``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import Study, get_study
+from repro.sweep import SweepRunner
+
+
+def run_registered_study() -> None:
+    """Reproduce paper Table 4 through the registry."""
+    table = get_study("table4_gemm_bottlenecks", gpus=("A100",)).run()
+    print("=== Registered study: table4_gemm_bottlenecks (A100) ===")
+    for row in table:
+        print(f"{row.gemm:<20} {row.m:>5} x {row.n:>5} x {row.k:>5}  "
+              f"{row.time_us:8.1f} us  {row.bound}")
+    print()
+
+
+def run_custom_study() -> Study:
+    """Sweep Llama-2 batch sizes across two systems, streaming progress."""
+    study = Study(
+        name="llama_batch_scan",
+        kind="inference",
+        axes={"system": ["A100", "H100"], "batch_size": [1, 4, 16]},
+        fixed={"model": "Llama2-13B", "prompt_tokens": 512, "generated_tokens": 128,
+               "tensor_parallel": 8},
+        extract="inference_validation",
+        description="Llama2-13B latency vs batch size on one A100/H100 node",
+    )
+
+    def progress(result) -> None:
+        scenario = result.scenario
+        print(f"  evaluated {scenario.system.name:<10} batch={scenario.batch_size:<3} "
+              f"{'(cached)' if result.from_cache else '':>8}", file=sys.stderr)
+
+    table = study.run(runner=SweepRunner(), on_result=progress)
+    print("=== Custom study: Llama2-13B batch scan ===")
+    for row in table:
+        per_token = row.decode_ms / 128
+        print(f"{row.system:<10} batch {row.batch_size:>2}: total {row.predicted_ms:8.1f} ms  "
+              f"prefill {row.prefill_ms:7.1f} ms  decode {per_token:6.2f} ms/token")
+    print()
+    return study
+
+
+def export_spec(study: Study) -> None:
+    """Write the JSON spec: the shareable, shell-runnable form of the study."""
+    path = "llama_batch_scan.json"
+    with open(path, "w") as handle:
+        handle.write(study.to_json() + "\n")
+    print(f"spec written to {path}; re-run it with: python -m repro run {path} --csv out.csv")
+
+
+if __name__ == "__main__":
+    run_registered_study()
+    export_spec(run_custom_study())

@@ -10,6 +10,9 @@ Workload Analysis of Distributed Large Language Model Training and Inference"
 * :class:`repro.parallelism.ParallelismConfig` for DP/TP/PP/SP settings,
 * :class:`repro.core.PerformancePredictionEngine` to predict training-step
   times, inference latencies, memory footprints, and bottlenecks,
+* :class:`repro.studies.Study` / :func:`repro.studies.get_study` for
+  declarative, registry-backed sweeps (every paper table/figure is a
+  registered study; ``python -m repro list`` enumerates them),
 * :mod:`repro.dse` for technology-node and memory-technology design-space
   exploration.
 """
@@ -19,6 +22,7 @@ from .core.inference import InferencePerformanceModel
 from .core.reports import InferenceReport, TrainingReport
 from .core.training import TrainingPerformanceModel
 from .hardware.accelerator import custom_accelerator, get_accelerator
+from .hardware.catalog import get_system, list_systems, register_system
 from .hardware.cluster import SystemSpec, build_system, preset_cluster
 from .hardware.datatypes import Precision
 from .memmodel.activations import RecomputeStrategy
@@ -33,9 +37,10 @@ from .serving import (
     ServingSLO,
     TraceConfig,
 )
+from .studies import Study, get_study, list_studies, register_study
 from .sweep import Scenario, SweepResult, SweepRunner, SweepTable, expand_grid
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "InferencePerformanceModel",
@@ -51,6 +56,7 @@ __all__ = [
     "ServingReport",
     "ServingSLO",
     "ServingSimulator",
+    "Study",
     "SweepResult",
     "SweepRunner",
     "SweepTable",
@@ -63,8 +69,14 @@ __all__ = [
     "custom_accelerator",
     "get_accelerator",
     "get_model",
+    "get_study",
+    "get_system",
     "list_models",
+    "list_studies",
+    "list_systems",
     "parse_parallelism_label",
     "preset_cluster",
+    "register_study",
+    "register_system",
     "__version__",
 ]

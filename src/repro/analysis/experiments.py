@@ -1,8 +1,12 @@
-"""One function per paper table / figure.
+"""One function per paper table / figure, backed by the Study registry.
 
 Every function reproduces the data behind one of the paper's evaluation
-artifacts and returns plain Python structures (lists of dicts) that the
-benchmark harness prints and asserts on.  The mapping to the paper is:
+artifacts.  Since the Study redesign these drivers are thin shims: each one
+builds the registered :class:`~repro.studies.study.Study` declaration of its
+artifact (see :mod:`repro.studies.paper`) and runs it, so the same sweep is
+equally available from Python, from ``python -m repro run <study>``, and --
+for the name-based studies -- from a JSON spec.  The mapping to the paper
+(function = registered study name):
 
 ========================================  =======================================
 :func:`table1_training_validation`        Table 1 (training-time validation)
@@ -26,40 +30,27 @@ All drivers route their evaluations through the shared
 :class:`~repro.sweep.runner.SweepRunner` (or one passed via ``runner=``), so
 identical scenarios across tables/figures -- and across repeated calls within
 one process -- are evaluated exactly once.  Results come back as columnar
-:class:`~repro.sweep.table.SweepTable` objects (one NumPy array per column);
-derived metrics (relative errors, speedups, bound fractions) are computed
-vectorized instead of row by row, and iteration still yields row views for
-row-oriented consumers.
+:class:`~repro.sweep.table.SweepTable` objects (one NumPy array per column)
+with the study's axis columns attached; derived metrics (relative errors,
+speedups, bound fractions) are the studies' registered ``derive`` steps,
+computed vectorized instead of row by row.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
-import numpy as np
-
 from ..calibration.gemv import GemvValidationResult
-from ..core.bottleneck import gemm_time_by_bound
 from ..dse.scaling import (
     h100_reference_latency,
     inference_memory_scaling_study,
     technology_node_scaling_study,
 )
-from ..hardware.cluster import build_system, preset_cluster
 from ..hardware.datatypes import Precision
-from ..memmodel.activations import RecomputeStrategy
-from ..models.zoo import get_model
-from ..parallelism.config import ParallelismConfig, parse_parallelism_label
-from ..serving import LengthDistribution, SchedulerConfig, ServingConfig, ServingSLO, TraceConfig
-from ..sweep import Scenario, SweepRunner, SweepTable, default_runner
-from ..units import GB, to_milliseconds
-from ..validation.metrics import relative_error_percent
-from ..validation.reference import (
-    CASE_STUDY_CONFIGS,
-    GPU_GENERATION_SCALING_SYSTEMS,
-    TABLE1_TRAINING_ROWS,
-    TABLE2_INFERENCE_ROWS,
-)
+from ..serving import LengthDistribution, ServingSLO
+from ..studies import paper as _paper
+from ..studies.extractors import fig7_projection
+from ..sweep import SweepRunner, SweepTable, default_runner
 
 
 # ---------------------------------------------------------------------------
@@ -67,42 +58,11 @@ from ..validation.reference import (
 # ---------------------------------------------------------------------------
 
 def table1_training_validation(rows=None, runner: Optional[SweepRunner] = None) -> SweepTable:
-    """Reproduce Table 1: predicted vs published training time per batch."""
-    rows = rows if rows is not None else TABLE1_TRAINING_ROWS
-    runner = runner or default_runner()
-    scenarios = [
-        Scenario.training(
-            build_system(
-                "A100",
-                num_devices=row.num_gpus,
-                intra_node="NVLink3",
-                inter_node="HDR-IB",
-                devices_per_node=8,
-            ),
-            row.model,
-            parse_parallelism_label(row.parallelism_label, micro_batch_size=row.micro_batch_size),
-            global_batch_size=row.global_batch_size,
-            recompute=row.recompute,
-        )
-        for row in rows
-    ]
-    reports = [result.report for result in runner.run(scenarios)]
-    table = SweepTable(
-        {
-            "model": [row.model for row in rows],
-            "num_gpus": [row.num_gpus for row in rows],
-            "parallelism": [row.parallelism_label for row in rows],
-            "recompute": [row.recompute for row in rows],
-            "reference_s": [row.reference_seconds for row in rows],
-            "paper_pred_s": [row.paper_prediction_seconds for row in rows],
-            "predicted_s": [report.step_time for report in reports],
-            "compute_s": [report.compute_time + report.recompute_time for report in reports],
-            "communication_s": [report.communication_time for report in reports],
-            "other_s": [report.other_time for report in reports],
-        }
-    )
-    table["relative_error_%"] = relative_error_percent(table["predicted_s"], table["reference_s"])
-    return table
+    """Reproduce Table 1: predicted vs published training time per batch.
+
+    Registered study: ``table1_training_validation``.
+    """
+    return _paper.table1_training_validation(rows=rows).run(runner=runner)
 
 
 # ---------------------------------------------------------------------------
@@ -116,43 +76,10 @@ def table2_inference_validation(
 
     ``decode_mode="exact"`` prices every generated token at its true KV length
     (through the batched roofline backend) instead of the mid-point closed form.
+
+    Registered study: ``table2_inference_validation``.
     """
-    rows = rows if rows is not None else TABLE2_INFERENCE_ROWS
-    runner = runner or default_runner()
-    scenarios = [
-        Scenario.inference(
-            build_system(
-                row.gpu,
-                num_devices=max(1, row.num_gpus),
-                intra_node="NVLink3" if row.gpu.upper() == "A100" else "NVLink4",
-                inter_node="NDR-IB",
-                devices_per_node=8,
-            ),
-            row.model,
-            batch_size=row.batch_size,
-            prompt_tokens=row.prompt_tokens,
-            generated_tokens=row.generated_tokens,
-            tensor_parallel=row.num_gpus,
-            decode_mode=decode_mode,
-        )
-        for row in rows
-    ]
-    reports = [result.report for result in runner.run(scenarios)]
-    table = SweepTable(
-        {
-            "model": [row.model for row in rows],
-            "gpu": [row.gpu for row in rows],
-            "num_gpus": [row.num_gpus for row in rows],
-            "nvidia_ms": [row.nvidia_latency_ms for row in rows],
-            "paper_pred_ms": [row.paper_prediction_ms for row in rows],
-            "predicted_ms": [report.total_latency_ms for report in reports],
-            "prefill_ms": [to_milliseconds(report.prefill.total_time) for report in reports],
-            "decode_ms": [to_milliseconds(report.decode.total_time) for report in reports],
-            "communication_ms": [to_milliseconds(report.communication_time) for report in reports],
-        }
-    )
-    table["relative_error_%"] = relative_error_percent(table["predicted_ms"], table["nvidia_ms"])
-    return table
+    return _paper.table2_inference_validation(rows=rows, decode_mode=decode_mode).run(runner=runner)
 
 
 # ---------------------------------------------------------------------------
@@ -166,36 +93,14 @@ def table4_gemm_bottlenecks(
     prompt_tokens: int = 200,
     runner: Optional[SweepRunner] = None,
 ) -> SweepTable:
-    """Reproduce Table 4: time and bound type of each prefill GEMM per layer."""
-    runner = runner or default_runner()
-    scenarios = [
-        Scenario.prefill_bottlenecks(
-            gpu,
-            model_name,
-            batch_size=batch_size,
-            prompt_tokens=prompt_tokens,
-            tensor_parallel=1,
-            precision=Precision.FP16,
-        )
-        for gpu in gpus
-    ]
-    flat = [
-        (gpu, entry)
-        for gpu, result in zip(gpus, runner.run(scenarios))
-        for entry in result.value
-    ]
-    return SweepTable(
-        {
-            "gpu": [gpu for gpu, _ in flat],
-            "gemm": [entry.name for _, entry in flat],
-            "m": [entry.m for _, entry in flat],
-            "n": [entry.n for _, entry in flat],
-            "k": [entry.k for _, entry in flat],
-            "batch": [entry.batch for _, entry in flat],
-            "time_us": [entry.time_us for _, entry in flat],
-            "bound": [entry.bound_label for _, entry in flat],
-        }
-    )
+    """Reproduce Table 4: time and bound type of each prefill GEMM per layer.
+
+    Registered study: ``table4_gemm_bottlenecks`` (name-based, so its JSON
+    spec runs from the CLI).
+    """
+    return _paper.table4_gemm_bottlenecks(
+        model_name=model_name, gpus=gpus, batch_size=batch_size, prompt_tokens=prompt_tokens
+    ).run(runner=runner)
 
 
 # ---------------------------------------------------------------------------
@@ -205,9 +110,14 @@ def table4_gemm_bottlenecks(
 def fig3_gemv_validation(
     num_clusters: int = 3, seed: int = 2024, runner: Optional[SweepRunner] = None
 ) -> GemvValidationResult:
-    """Reproduce the Fig. 3 flow on the synthetic GEMV measurement set."""
+    """Reproduce the Fig. 3 flow on the synthetic GEMV measurement set.
+
+    Returns the raw :class:`GemvValidationResult` (the registered
+    ``fig3_gemv_validation`` study tabulates its headline errors instead).
+    """
     runner = runner or default_runner()
-    return runner.evaluate(Scenario.gemv_validation(num_clusters=num_clusters, seed=seed))
+    study = _paper.fig3_gemv_validation(num_clusters=num_clusters, seed=seed)
+    return runner.evaluate(next(study.scenarios()))
 
 
 # ---------------------------------------------------------------------------
@@ -223,56 +133,17 @@ def fig4_memory_breakdown(
     """Reproduce Fig. 4: per-device memory breakdown under each recompute strategy.
 
     The parallelism settings follow the corresponding Table 1 configurations.
+
+    Registered study: ``fig4_memory_breakdown``.
     """
-    table1_config = {
-        "GPT-175B": ("1-8-8-1", 64),
-        "GPT-530B": ("1-8-35-1", 280),
-        "GPT-1008B": ("1-8-64-1", 512),
-    }
-    runner = runner or default_runner()
-    labels = []
-    scenarios = []
-    for model_name in models:
-        label, batch = table1_config[model_name]
-        config = parse_parallelism_label(label, micro_batch_size=1)
-        for strategy in strategies:
-            labels.append((model_name, strategy))
-            scenarios.append(
-                Scenario.training_memory(
-                    model_name,
-                    config,
-                    global_batch_size=batch,
-                    recompute=strategy,
-                )
-            )
-    breakdowns = [result.value for result in runner.run(scenarios)]
-    table = SweepTable(
-        {
-            "model": [model_name for model_name, _ in labels],
-            "strategy": [strategy for _, strategy in labels],
-            "parameters_gb": np.array([b.parameter_bytes for b in breakdowns]) / GB,
-            "optimizer_gb": np.array([b.optimizer_bytes + b.gradient_bytes for b in breakdowns]) / GB,
-            "activations_gb": np.array([b.activation_bytes for b in breakdowns]) / GB,
-            "total_gb": np.array([b.total_bytes for b in breakdowns]) / GB,
-        }
-    )
-    table["fits_80gb"] = table["total_gb"] <= device_memory_gb
-    return table
+    return _paper.fig4_memory_breakdown(
+        models=models, strategies=strategies, device_memory_gb=device_memory_gb
+    ).run(runner=runner)
 
 
 # ---------------------------------------------------------------------------
 # Fig. 5: training performance scaling across GPU generations
 # ---------------------------------------------------------------------------
-
-#: Per-system training precision: H100/H200 use the FP8 transformer engine,
-#: B200 additionally enables FP4 processing, as the paper describes.
-_GENERATION_PRECISION = {
-    "A100": Precision.FP16,
-    "H100": Precision.FP8,
-    "H200": Precision.FP8,
-    "B200": Precision.FP4,
-}
-
 
 def fig5_gpu_generation_scaling(
     systems: Optional[Sequence] = None,
@@ -285,64 +156,13 @@ def fig5_gpu_generation_scaling(
     Returns one row per cluster with the compute / communication / other
     breakdown, the absolute step time, and the speed-up versus the A100-HDR
     baseline.  Times normalized to the fastest system are also included, as
-    in the paper's figure.  The "-L" (large-batch) variants exploit their
-    larger DRAM capacity with both a 4x global batch and a larger micro-batch,
-    as the paper's narrative describes.
+    in the paper's figure.
+
+    Registered study: ``fig5_gpu_generation_scaling``.
     """
-    systems = systems if systems is not None else GPU_GENERATION_SCALING_SYSTEMS
-    case = CASE_STUDY_CONFIGS[model_name]
-    model = get_model(model_name)
-    runner = runner or default_runner()
-    precisions = []
-    scenarios = []
-    for system_name, batch_size in systems:
-        cluster = preset_cluster(system_name, num_devices=case.num_gpus)
-        generation = system_name.split("-")[0].upper()
-        precision = _GENERATION_PRECISION.get(generation, Precision.FP16)
-        large_memory_variant = system_name.upper().endswith("-L")
-        config = ParallelismConfig(
-            data_parallel=case.data_parallel,
-            tensor_parallel=case.tensor_parallel,
-            pipeline_parallel=case.pipeline_parallel,
-            sequence_parallel=True,
-            micro_batch_size=4 if large_memory_variant else 1,
-            pipeline_schedule="interleaved",
-            virtual_pipeline_stages=virtual_pipeline_stages,
-        )
-        precisions.append(precision)
-        scenarios.append(
-            Scenario.training(
-                cluster,
-                model,
-                config,
-                global_batch_size=batch_size,
-                seq_len=case.seq_len,
-                precision=precision,
-                recompute=RecomputeStrategy.SELECTIVE,
-                tag=system_name,
-            )
-        )
-    reports = [result.report for result in runner.run(scenarios)]
-    batch_sizes = np.array([batch_size for _, batch_size in systems], dtype=np.float64)
-    step_times = np.array([report.step_time for report in reports])
-    table = SweepTable(
-        {
-            "system": [system_name for system_name, _ in systems],
-            "batch_size": [batch_size for _, batch_size in systems],
-            "precision": [precision.value for precision in precisions],
-            "step_time_s": step_times,
-            "time_per_sequence_ms": to_milliseconds(step_times / batch_sizes),
-            "compute_s": [report.compute_time + report.recompute_time for report in reports],
-            "communication_s": [report.communication_time for report in reports],
-            "other_s": [report.other_time for report in reports],
-        }
-    )
-    # Normalizations: per-sequence speed-up vs the A100 baseline and time
-    # normalized to the fastest (B200-NVS-L) system, as in the figure.
-    per_sequence = table["time_per_sequence_ms"]
-    table["speedup_vs_a100"] = per_sequence[0] / per_sequence
-    table["normalized_time"] = per_sequence / per_sequence.min()
-    return table
+    return _paper.fig5_gpu_generation_scaling(
+        systems=systems, model_name=model_name, virtual_pipeline_stages=virtual_pipeline_stages
+    ).run(runner=runner)
 
 
 # ---------------------------------------------------------------------------
@@ -350,7 +170,11 @@ def fig5_gpu_generation_scaling(
 # ---------------------------------------------------------------------------
 
 def fig6_technology_node_scaling(**kwargs) -> SweepTable:
-    """Reproduce Fig. 6: GPT-7B training time across logic nodes / HBM / networks."""
+    """Reproduce Fig. 6: GPT-7B training time across logic nodes / HBM / networks.
+
+    Registered study: ``fig6_technology_node_scaling`` (this is the
+    :func:`~repro.dse.scaling.technology_node_scaling_study` case study).
+    """
     return technology_node_scaling_study(**kwargs)
 
 
@@ -359,24 +183,12 @@ def fig7_bound_breakdown(rows: Optional[SweepTable] = None, **kwargs) -> SweepTa
 
     Accepts the table already produced by :func:`fig6_technology_node_scaling`
     to avoid recomputing the sweep.
+
+    Registered study: ``fig7_bound_breakdown``.
     """
     if rows is None:
         rows = technology_node_scaling_study(**kwargs)
-    compute_bound = rows["gemm_compute_bound_time"]
-    memory_bound = rows["gemm_memory_bound_time"]
-    total = compute_bound + memory_bound
-    return SweepTable(
-        {
-            "technology_node": rows["technology_node"],
-            "dram": rows["dram_technology"],
-            "network": rows["inter_node_network"],
-            "compute_bound_ms": compute_bound * 1e3,
-            "memory_bound_ms": memory_bound * 1e3,
-            "memory_bound_fraction": np.divide(
-                memory_bound, total, out=np.zeros_like(memory_bound), where=total > 0
-            ),
-        }
-    )
+    return fig7_projection(rows)
 
 
 # ---------------------------------------------------------------------------
@@ -391,47 +203,18 @@ def fig8_inference_boundedness(
     context_tokens: int = 400,
     runner: Optional[SweepRunner] = None,
 ) -> SweepTable:
-    """Reproduce Fig. 8: prefill GEMM-time bound fractions plus the memory inset."""
-    runner = runner or default_runner()
-    cases = [(gpu, batch) for gpu in gpus for batch in batch_sizes]
-    prefill_results = runner.run(
-        Scenario.prefill_bottlenecks(
-            gpu,
-            model_name,
-            batch_size=batch,
-            prompt_tokens=prompt_tokens,
-            tensor_parallel=1,
-            precision=Precision.FP16,
-        )
-        for gpu, batch in cases
-    )
-    memory_results = runner.run(
-        Scenario.inference_memory(
-            model_name,
-            batch_size=batch,
-            context_len=context_tokens,
-            tensor_parallel=1,
-            precision=Precision.FP16,
-        )
-        for _, batch in cases
-    )
-    totals = [gemm_time_by_bound(prefill.value) for prefill in prefill_results]
-    breakdowns = [memory_result.value for memory_result in memory_results]
-    return SweepTable(
-        {
-            "gpu": [gpu for gpu, _ in cases],
-            "batch_size": [batch for _, batch in cases],
-            "compute_bound_ms": np.array([total["compute"] for total in totals]) * 1e3,
-            "memory_bound_ms": np.array([total["memory"] for total in totals]) * 1e3,
-            "compute_bound_fraction": [total["compute_fraction"] for total in totals],
-            "weights_gb": np.array([memory.weight_bytes for memory in breakdowns]) / GB,
-            "kv_cache_gb": np.array([memory.kv_cache_bytes for memory in breakdowns]) / GB,
-            "device_memory_gb": np.array(
-                [prefill.scenario.system.accelerator.dram_capacity for prefill in prefill_results]
-            )
-            / GB,
-        }
-    )
+    """Reproduce Fig. 8: prefill GEMM-time bound fractions plus the memory inset.
+
+    Registered study: ``fig8_inference_boundedness`` (name-based, so its
+    JSON spec runs from the CLI).
+    """
+    return _paper.fig8_inference_boundedness(
+        model_name=model_name,
+        gpus=gpus,
+        batch_sizes=batch_sizes,
+        prompt_tokens=prompt_tokens,
+        context_tokens=context_tokens,
+    ).run(runner=runner)
 
 
 # ---------------------------------------------------------------------------
@@ -462,68 +245,24 @@ def serving_latency_throughput_frontier(
     goodput under the SLO, and device utilization; infeasible corners (e.g.
     the model does not fit one device) land in the ``error`` column instead
     of aborting the sweep.
+
+    Registered study: ``serving_latency_throughput_frontier``.
     """
-    runner = runner or default_runner()
-    system = build_system(
-        gpu,
+    return _paper.serving_latency_throughput_frontier(
+        model_name=model_name,
+        gpu=gpu,
         num_devices=num_devices,
-        intra_node="NVLink3" if gpu.upper().startswith("A100") else "NVLink4",
-        inter_node="HDR-IB",
-    )
-    slo = slo or ServingSLO()
-    prompt_lengths = prompt_lengths or LengthDistribution.uniform(64, 512)
-    output_lengths = output_lengths or LengthDistribution.constant(128)
-    scenarios = []
-    for tensor_parallel in tensor_parallels:
-        for rate in arrival_rates:
-            config = ServingConfig(
-                trace=TraceConfig(
-                    rate=rate,
-                    num_requests=num_requests,
-                    arrival=arrival,
-                    prompt_lengths=prompt_lengths,
-                    output_lengths=output_lengths,
-                    seed=seed,
-                ),
-                scheduler=SchedulerConfig(max_batch_size=max_batch_size),
-                slo=slo,
-            )
-            scenarios.append(
-                Scenario.serving(
-                    system,
-                    model_name,
-                    config,
-                    tensor_parallel=tensor_parallel,
-                    precision=precision,
-                )
-            )
-
-    def extract(result):
-        scenario = result.scenario
-        report = result.report
-        row = {
-            "model": scenario.model.name,
-            "gpu": gpu,
-            "tensor_parallel": scenario.tensor_parallel,
-            "arrival_rate": scenario.serving_config.trace.rate,
-            "arrival": scenario.serving_config.trace.arrival,
-            "completed": report.completed_requests if result.ok else 0,
-            "rejected": report.rejected_requests if result.ok else 0,
-            "ttft_p50_s": report.ttft_p50 if result.ok else None,
-            "ttft_p99_s": report.ttft_p99 if result.ok else None,
-            "tpot_p50_s": report.tpot_p50 if result.ok else None,
-            "tpot_p99_s": report.tpot_p99 if result.ok else None,
-            "requests_per_s": report.request_throughput if result.ok else None,
-            "tokens_per_s": report.output_token_throughput if result.ok else None,
-            "goodput_rps": report.goodput if result.ok else None,
-            "slo_attainment": report.slo_attainment if result.ok else None,
-            "utilization": report.device_utilization if result.ok else None,
-            "mean_decode_batch": report.mean_decode_batch if result.ok else None,
-            "error": result.error,
-        }
-        return row
-
-    return runner.run_table(scenarios, extract=extract, capture_errors=True)
+        arrival_rates=arrival_rates,
+        tensor_parallels=tensor_parallels,
+        arrival=arrival,
+        num_requests=num_requests,
+        prompt_lengths=prompt_lengths,
+        output_lengths=output_lengths,
+        seed=seed,
+        max_batch_size=max_batch_size,
+        slo=slo,
+        precision=precision,
+    ).run(runner=runner)
 
 
 # ---------------------------------------------------------------------------
@@ -535,6 +274,9 @@ def fig9_memory_technology_scaling(**kwargs) -> Dict[str, object]:
 
     Returns the sweep table plus the H100 reference latencies drawn as dashed
     lines in the paper's figure.
+
+    Registered study: ``fig9_memory_technology_scaling`` (the table part;
+    this wrapper adds the reference-latency lines).
     """
     rows: SweepTable = inference_memory_scaling_study(**kwargs)
     references = {

@@ -11,12 +11,15 @@ Two sweeps from the paper's case studies live here:
   futuristic HBMX while the compute die stays at the A100's 7 nm node
   (paper Fig. 9).
 
-Both studies express their grid as :class:`~repro.sweep.scenario.Scenario`
-lists and evaluate through a :class:`~repro.sweep.runner.SweepRunner`, so
-shared sub-evaluations (e.g. the Fig.-7 bound breakdown, which depends only
-on the derived accelerator, not on the network choice) are deduplicated and
-repeated calls hit the result cache.  Results are returned as columnar
-:class:`~repro.sweep.table.SweepTable` objects (one NumPy array per column);
+Both are thin shims over their registered Study declarations
+(``fig6_technology_node_scaling`` and ``fig9_memory_technology_scaling`` in
+:mod:`repro.studies.paper`), so the same sweeps run from Python, from
+``python -m repro run``, and share one evaluation cache: the grids expand to
+:class:`~repro.sweep.scenario.Scenario` lists and evaluate through a
+:class:`~repro.sweep.runner.SweepRunner`, shared sub-evaluations (e.g. the
+Fig.-7 bound breakdown, which depends only on the derived accelerator, not on
+the network choice) are deduplicated, and repeated calls hit the result
+cache.  Results are columnar :class:`~repro.sweep.table.SweepTable` objects;
 iterating still yields row views with attribute access (``row.step_time``,
 ``row.label``), so row-oriented consumers keep working.
 """
@@ -25,20 +28,14 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
-
-from ..hardware.accelerator import get_accelerator
-from ..hardware.cluster import build_system
 from ..hardware.datatypes import Precision
-from ..hardware.memory import get_dram_technology
 from ..hardware.technology import NODE_ORDER
 from ..hardware.uarch import ResourceBudget
 from ..memmodel.activations import RecomputeStrategy
 from ..models.transformer import TransformerConfig
-from ..models.zoo import get_model
 from ..parallelism.config import ParallelismConfig
+from ..studies import paper as _paper
 from ..sweep import Scenario, SweepRunner, SweepTable, default_runner
-from .search import GradientDescentSearch, SearchResult
-from .space import DesignPoint, DesignSpace
 
 
 def technology_node_scaling_study(
@@ -71,135 +68,27 @@ def technology_node_scaling_study(
             using the default area/power split.
         budget: Area/power budget of the derived devices.
         runner: Sweep runner to evaluate through (the shared default when
-            omitted).
+            omitted); the allocation search's gradient probes go through the
+            same runner.
 
     Returns:
         A :class:`SweepTable` with one row per (node, dram, network)
         combination; the ``label`` column carries the paper's legend labels.
     """
-    model = get_model(model) if isinstance(model, str) else model
-    if parallelism is None:
-        parallelism = ParallelismConfig(
-            data_parallel=64,
-            tensor_parallel=4,
-            pipeline_parallel=4,
-            sequence_parallel=True,
-            micro_batch_size=1,
-        )
-    if combinations is None:
-        combinations = [
-            {"dram": "HBM2", "network": "NDR-x8"},
-            {"dram": "HBM2E", "network": "NDR-x8"},
-            {"dram": "HBM3", "network": "NDR-x8"},
-            {"dram": "HBM4", "network": "NDR-x8"},
-            {"dram": "HBM4", "network": "XDR-x8"},
-            {"dram": "HBM4", "network": "GDR-x8"},
-        ]
-    budget = budget or ResourceBudget()
-    runner = runner or default_runner()
-    space = DesignSpace(budget=budget)
-
-    grid = [(node, combo) for node in nodes for combo in combinations]
-    systems = []
-    for node, combo in grid:
-        point = DesignPoint(
-            technology_node=node,
-            dram_technology=combo["dram"],
-            inter_node_network=combo["network"],
-        )
-        if optimize_allocation:
-            point = _optimize_point(
-                point, space, model, parallelism, global_batch_size, num_devices, precision, recompute, budget, runner
-            )
-        systems.append(point.build_system(num_devices=num_devices, budget=budget))
-
-    training_results = runner.run(
-        Scenario.training(
-            system,
-            model,
-            parallelism,
-            global_batch_size=global_batch_size,
-            precision=precision,
-            recompute=recompute,
-        )
-        for system in systems
+    study = _paper.technology_node_scaling(
+        model=model,
+        parallelism=parallelism,
+        global_batch_size=global_batch_size,
+        num_devices=num_devices,
+        nodes=nodes,
+        combinations=combinations,
+        precision=precision,
+        recompute=recompute,
+        optimize_allocation=optimize_allocation,
+        budget=budget,
+        runner=runner,
     )
-    # The bound breakdown depends on the accelerator only, so grid points that
-    # differ just in the network dedup onto one evaluation inside the runner.
-    bound_results = runner.run(
-        Scenario.attention_bound(
-            system.accelerator,
-            model,
-            micro_batch=parallelism.micro_batch_size,
-            seq_len=model.max_seq_len,
-            tensor_parallel=parallelism.tensor_parallel,
-            precision=precision,
-        )
-        for system in systems
-    )
-
-    reports = [training.report for training in training_results]
-    table = SweepTable(
-        {
-            "technology_node": [node for node, _ in grid],
-            "dram_technology": [combo["dram"] for _, combo in grid],
-            "inter_node_network": [combo["network"] for _, combo in grid],
-            "step_time": [report.step_time for report in reports],
-            "compute_time": [report.compute_time + report.recompute_time for report in reports],
-            "communication_time": [report.communication_time for report in reports],
-            "other_time": [report.other_time for report in reports],
-            "gemm_compute_bound_time": [bound.value["compute_bound"] for bound in bound_results],
-            "gemm_memory_bound_time": [bound.value["memory_bound"] for bound in bound_results],
-        }
-    )
-    # Series label as the paper's legend writes it.
-    table["label"] = [f"{combo['dram']}-{combo['network']}" for _, combo in grid]
-    return table
-
-
-def _optimize_point(
-    point: DesignPoint,
-    space: DesignSpace,
-    model: TransformerConfig,
-    parallelism: ParallelismConfig,
-    global_batch_size: int,
-    num_devices: int,
-    precision: Precision,
-    recompute: RecomputeStrategy,
-    budget: ResourceBudget,
-    runner: Optional[SweepRunner] = None,
-) -> DesignPoint:
-    """Optimize the area/power allocation of ``point`` for the training workload.
-
-    The descent's gradient probes go through ``probe_objective`` -- one
-    batched :meth:`SweepRunner.run` call per descent iteration -- so the
-    runner deduplicates repeated probe points and infeasible corners are
-    captured per-probe instead of aborting the whole batch.
-    """
-    runner = runner or default_runner()
-
-    def scenario_for(candidate: DesignPoint) -> Scenario:
-        return Scenario.training(
-            candidate.build_system(num_devices=num_devices, budget=budget),
-            model,
-            parallelism,
-            global_batch_size=global_batch_size,
-            precision=precision,
-            recompute=recompute,
-        )
-
-    def objective(candidate: DesignPoint) -> float:
-        return runner.evaluate(scenario_for(candidate)).step_time
-
-    def probe_objective(candidates: Sequence[DesignPoint]) -> Sequence[float]:
-        results = runner.run((scenario_for(candidate) for candidate in candidates), capture_errors=True)
-        return [float("inf") if result.error is not None else result.value.step_time for result in results]
-
-    search = GradientDescentSearch(
-        space, initial_step=0.1, min_step=0.02, max_iterations=15, batch_objective=probe_objective
-    )
-    result: SearchResult = search.search(objective, starting_points=[point])
-    return result.best_point
+    return study.run(runner=runner)
 
 
 def inference_memory_scaling_study(
@@ -223,53 +112,19 @@ def inference_memory_scaling_study(
     ``decode_mode="exact"`` prices the decode phase per token through the
     batched roofline backend instead of the average-KV closed form.
     """
-    model = get_model(model) if isinstance(model, str) else model
-    if extra_points is None:
-        extra_points = [{"dram": "HBMX", "network": "NVLink4"}]
-    base = get_accelerator(base_accelerator)
-    sweep = [{"dram": tech, "network": "NVLink3"} for tech in memory_technologies]
-    sweep.extend(extra_points)
-    runner = runner or default_runner()
-
-    grid = [(num_gpus, combo) for num_gpus in gpu_counts for combo in sweep]
-    scenarios = []
-    for num_gpus, combo in grid:
-        technology = get_dram_technology(combo["dram"]).with_capacity(base.dram_capacity)
-        accelerator = base.with_dram(technology, keep_capacity=True)
-        system = build_system(
-            accelerator,
-            num_devices=num_gpus,
-            intra_node=combo["network"],
-            inter_node="HDR-IB",
-            devices_per_node=8,
-            name=f"{base.name}-{combo['dram']}-{combo['network']}",
-        )
-        scenarios.append(
-            Scenario.inference(
-                system,
-                model,
-                batch_size=batch_size,
-                prompt_tokens=prompt_tokens,
-                generated_tokens=generated_tokens,
-                tensor_parallel=num_gpus,
-                precision=precision,
-                decode_mode=decode_mode,
-            )
-        )
-    reports = [result.report for result in runner.run(scenarios)]
-    table = SweepTable(
-        {
-            "dram_technology": [combo["dram"] for _, combo in grid],
-            "network": [combo["network"] for _, combo in grid],
-            "num_gpus": [num_gpus for num_gpus, _ in grid],
-            "memory_time": [report.device_time for report in reports],
-            "communication_time": [report.communication_time for report in reports],
-        }
+    study = _paper.inference_memory_scaling(
+        model=model,
+        gpu_counts=gpu_counts,
+        memory_technologies=memory_technologies,
+        extra_points=extra_points,
+        batch_size=batch_size,
+        prompt_tokens=prompt_tokens,
+        generated_tokens=generated_tokens,
+        precision=precision,
+        base_accelerator=base_accelerator,
+        decode_mode=decode_mode,
     )
-    # End-to-end latency and the paper's x-axis labels, as derived columns.
-    table["total_latency"] = table["memory_time"] + table["communication_time"]
-    table["label"] = [f"{combo['dram']}-{combo['network']}" for _, combo in grid]
-    return table
+    return study.run(runner=runner)
 
 
 def h100_reference_latency(
@@ -282,6 +137,8 @@ def h100_reference_latency(
     runner: Optional[SweepRunner] = None,
 ) -> float:
     """The H100-HBM3e reference latency drawn as a dashed line in Fig. 9."""
+    from ..hardware.cluster import build_system
+
     runner = runner or default_runner()
     system = build_system(
         "H100",

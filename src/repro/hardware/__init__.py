@@ -6,6 +6,13 @@ from .accelerator import (
     get_accelerator,
     list_accelerators,
 )
+from .catalog import (
+    device_system,
+    get_system,
+    list_systems,
+    register_system,
+    unregister_system,
+)
 from .cluster import SystemSpec, build_system, preset_cluster
 from .compute import ComputeSpec
 from .datatypes import Precision
@@ -63,12 +70,17 @@ __all__ = [
     "custom_accelerator",
     "custom_interconnect",
     "derive_device",
+    "device_system",
     "get_accelerator",
     "get_dram_technology",
     "get_interconnect",
     "get_node",
+    "get_system",
     "list_accelerators",
+    "list_systems",
     "make_gpu_hierarchy",
     "preset_cluster",
+    "register_system",
     "scaling_factors",
+    "unregister_system",
 ]

@@ -1,0 +1,156 @@
+"""System catalog: named, registry-backed :class:`SystemSpec` resolution.
+
+The model zoo (:mod:`repro.models.zoo`) lets every API accept a model *name*
+instead of a constructed :class:`~repro.models.transformer.TransformerConfig`.
+This module gives the hardware layer the symmetric front door for whole
+systems, so scenario axes, JSON study specs, and the ``python -m repro`` CLI
+can say ``"A100"`` or ``"H100x4"`` where code used to hand-build a
+:class:`~repro.hardware.cluster.SystemSpec`:
+
+* :func:`get_system` resolves a name (or an already-built spec) to a
+  :class:`SystemSpec`,
+* :func:`list_systems` enumerates every resolvable name, and
+* :func:`register_system` adds user-defined systems to the catalog.
+
+Name resolution, in precedence order:
+
+1. **Registered systems** -- anything added via :func:`register_system`.
+2. **Preset clusters** -- the paper's scaling-study clusters
+   (``"A100-HDR"``, ``"H100-NVS"``, ... including the ``-L`` variants),
+   built with :data:`DEFAULT_NUM_DEVICES` devices by default.
+3. **Accelerator names** -- ``"A100"``, ``"H100"``, ... resolve to the
+   *canonical single-node device system* (8 devices, NVLink3 intra-node,
+   HDR-IB inter-node) that bottleneck/attention-bound scenarios always used;
+   see :func:`device_system`.
+
+Any of the above additionally accepts an ``x<count>`` device-count suffix
+(``"A100x2"``, ``"H100-NVSx512"``, ``"my-clusterx4"``), and all lookups are
+case-insensitive (``_`` and ``-`` are interchangeable).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..errors import UnknownHardwareError
+from .accelerator import AcceleratorSpec, get_accelerator
+from .cluster import _PRESET_RECIPES, SystemSpec, build_system, preset_cluster
+
+#: Device count of canonically-resolved systems (one full node of 8, plus the
+#: preset clusters when no explicit count is requested).
+DEFAULT_NUM_DEVICES = 8
+
+#: User-registered systems: normalized name -> zero-argument builder.
+_REGISTERED: Dict[str, Callable[[], SystemSpec]] = {}
+
+
+def _normalize(name: str) -> str:
+    """The catalog's canonical key form (case-insensitive, ``_`` == ``-``)."""
+    return name.strip().upper().replace("_", "-")
+
+
+def device_system(accelerator: "AcceleratorSpec | str") -> SystemSpec:
+    """Wrap a bare accelerator into its canonical single-node system.
+
+    This is the wrapper device-only scenario kinds (GEMM bottlenecks, the
+    attention-bound breakdown) key their caches on: 8 devices, NVLink3
+    intra-node, HDR-IB inter-node, named after the device.  Keeping it
+    canonical makes those cache keys independent of whatever cluster the
+    caller happened to hold.
+    """
+    device = accelerator if isinstance(accelerator, AcceleratorSpec) else get_accelerator(accelerator)
+    return build_system(
+        device,
+        num_devices=DEFAULT_NUM_DEVICES,
+        intra_node="NVLink3",
+        inter_node="HDR-IB",
+        name=device.name,
+    )
+
+
+def register_system(system: "SystemSpec | Callable[[], SystemSpec]", name: Optional[str] = None) -> str:
+    """Add a system (or a zero-argument builder for one) to the catalog.
+
+    Args:
+        system: The spec to register, or a callable building it lazily.
+        name: Catalog name; defaults to ``system.name`` for specs (builders
+            need an explicit name).
+
+    Returns:
+        The registered name.
+    """
+    if isinstance(system, SystemSpec):
+        spec = system
+        key = (name or spec.name).strip()
+        _REGISTERED[_normalize(key)] = lambda: spec
+        return key
+    if name is None:
+        raise UnknownHardwareError("registering a system builder requires an explicit name")
+    _REGISTERED[_normalize(name)] = system
+    return name.strip()
+
+
+def unregister_system(name: str) -> None:
+    """Remove a registered system (no-op if absent); mainly for tests."""
+    _REGISTERED.pop(_normalize(name), None)
+
+
+def get_system(system: "SystemSpec | AcceleratorSpec | str", num_devices: Optional[int] = None) -> SystemSpec:
+    """Resolve ``system`` to a :class:`SystemSpec`.
+
+    Already-built specs pass through untouched; accelerator specs wrap into
+    their canonical device system; strings resolve through the catalog (see
+    the module docstring for the precedence order).  ``num_devices``
+    overrides the device count of name-resolved systems.
+    """
+    if isinstance(system, SystemSpec):
+        return system if num_devices is None else system.with_num_devices(num_devices)
+    if isinstance(system, AcceleratorSpec):
+        resolved = device_system(system)
+        return resolved if num_devices is None else resolved.with_num_devices(num_devices)
+    key = _normalize(str(system))
+    resolved = _resolve_name(key)
+    if resolved is None:
+        base, count = _split_sized_name(key)
+        if count is not None:
+            resolved = _resolve_name(base)
+            if resolved is not None and num_devices is None:
+                num_devices = count
+    if resolved is None:
+        raise UnknownHardwareError(
+            f"unknown system {system!r}; available: {list_systems()} "
+            f"(any name takes an 'x<count>' suffix, e.g. 'A100x2')"
+        )
+    return resolved if num_devices is None else resolved.with_num_devices(num_devices)
+
+
+def _resolve_name(key: str) -> Optional[SystemSpec]:
+    """Resolve one normalized catalog name, or None when nothing matches."""
+    builder = _REGISTERED.get(key)
+    if builder is not None:
+        return builder()
+    preset_key = key[:-2] if key.endswith("-L") else key
+    if preset_key in _PRESET_RECIPES:
+        return preset_cluster(key, num_devices=DEFAULT_NUM_DEVICES)
+    try:
+        return device_system(get_accelerator(key))
+    except UnknownHardwareError:
+        return None
+
+
+def _split_sized_name(key: str) -> "tuple[str, Optional[int]]":
+    """Split ``"A100X4"`` into ``("A100", 4)``; names without a count pass through."""
+    base, sep, suffix = key.rpartition("X")
+    if sep and base and suffix.isdigit():
+        return base, int(suffix)
+    return key, None
+
+
+def list_systems() -> List[str]:
+    """Every name :func:`get_system` resolves (registered, presets, accelerators)."""
+    from .accelerator import _CATALOG_BUILDERS
+
+    names = set(_REGISTERED)
+    names.update(_PRESET_RECIPES)
+    names.update(_CATALOG_BUILDERS)
+    return sorted(names)

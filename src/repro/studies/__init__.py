@@ -1,0 +1,50 @@
+"""Declarative studies: registry-backed sweep declarations with one front door.
+
+Public surface:
+
+* :class:`~repro.studies.study.Study` -- declares named axes, fixed
+  parameters, a scenario kind, metric extractors, and derived columns;
+  expands lazily to scenarios and executes through a shared
+  :class:`~repro.sweep.runner.SweepRunner` into a
+  :class:`~repro.sweep.table.SweepTable` with axis columns attached.
+* :func:`~repro.studies.registry.register_study` /
+  :func:`~repro.studies.registry.get_study` /
+  :func:`~repro.studies.registry.list_studies` -- the study registry; every
+  paper table/figure is registered here (:mod:`repro.studies.paper`).
+* :func:`~repro.studies.extractors.register_extractor` /
+  :func:`~repro.studies.extractors.register_derive` -- the named metric
+  vocabulary JSON specs resolve against.
+* ``Study.to_dict()`` / ``Study.from_dict()`` -- the JSON spec round-trip
+  behind ``python -m repro run <spec.json>``.
+"""
+
+from .extractors import (
+    get_derive,
+    get_extractor,
+    list_derives,
+    list_extractors,
+    register_derive,
+    register_extractor,
+)
+from .registry import StudyEntry, get_study, list_studies, register_study, unregister_study
+from .study import SCENARIO_FACTORIES, Study, StudyRun
+
+from . import paper  # noqa: F401  (importing registers the paper studies)
+
+__all__ = [
+    "SCENARIO_FACTORIES",
+    "Study",
+    "StudyEntry",
+    "StudyRun",
+    "get_derive",
+    "get_extractor",
+    "get_study",
+    "list_derives",
+    "list_extractors",
+    "list_studies",
+    "paper",
+    "register_derive",
+    "register_extractor",
+    "register_study",
+    "unregister_study",
+]

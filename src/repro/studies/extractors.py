@@ -1,0 +1,377 @@
+"""Named extractors and derives: the serializable metric vocabulary of studies.
+
+An **extractor** maps one :class:`~repro.sweep.runner.SweepResult` to the
+metric columns of that scenario's row (or to a *list* of records, exploding
+one scenario into several rows).  A **derive** post-processes the finished
+:class:`~repro.sweep.table.SweepTable` -- appending vectorized columns,
+joining follow-up evaluations through the same runner, or projecting a new
+table.  Both are looked up *by name*, which is what lets a
+:meth:`Study.to_dict() <repro.studies.study.Study.to_dict>` JSON spec carry
+its full post-processing pipeline.
+
+Register your own with :func:`register_extractor` / :func:`register_derive`::
+
+    @register_extractor("latency_only")
+    def latency_only(result):
+        return {"latency_s": result.value.total_latency}
+
+The built-in names cover every paper table/figure (see
+:mod:`repro.studies.paper` for the studies using them).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..core.bottleneck import gemm_time_by_bound
+from ..errors import ConfigurationError
+from ..sweep.runner import SweepResult
+from ..sweep.scenario import Scenario
+from ..sweep.table import SweepTable
+from ..units import GB, to_milliseconds
+from ..validation.metrics import relative_error_percent
+
+_EXTRACTORS: Dict[str, Callable] = {}
+_DERIVES: Dict[str, Callable] = {}
+
+
+def register_extractor(name: str) -> Callable[[Callable], Callable]:
+    """Decorator: register an extractor under ``name`` (overwrites silently)."""
+
+    def decorate(fn: Callable) -> Callable:
+        _EXTRACTORS[name] = fn
+        return fn
+
+    return decorate
+
+
+def register_derive(name: str) -> Callable[[Callable], Callable]:
+    """Decorator: register a derive step under ``name`` (overwrites silently)."""
+
+    def decorate(fn: Callable) -> Callable:
+        _DERIVES[name] = fn
+        return fn
+
+    return decorate
+
+
+def get_extractor(name: str) -> Callable:
+    """Look up a registered extractor by name."""
+    try:
+        return _EXTRACTORS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown extractor {name!r}; registered: {sorted(_EXTRACTORS)}"
+        ) from None
+
+
+def get_derive(name: str) -> Callable:
+    """Look up a registered derive step by name."""
+    try:
+        return _DERIVES[name]
+    except KeyError:
+        raise ConfigurationError(f"unknown derive {name!r}; registered: {sorted(_DERIVES)}") from None
+
+
+def list_extractors() -> List[str]:
+    """Names of every registered extractor."""
+    return sorted(_EXTRACTORS)
+
+
+def list_derives() -> List[str]:
+    """Names of every registered derive step."""
+    return sorted(_DERIVES)
+
+
+# ---------------------------------------------------------------------------
+# Extractors
+# ---------------------------------------------------------------------------
+
+@register_extractor("row")
+def _row(result: SweepResult) -> Mapping[str, object]:
+    """The scenario summary plus the error column (the run_table default)."""
+    return result.row()
+
+
+@register_extractor("error")
+def _error_only(result: SweepResult) -> Mapping[str, object]:
+    """Just the error column (axis columns carry all the identity)."""
+    return {"error": result.error}
+
+
+@register_extractor("training_validation")
+def _training_validation(result: SweepResult) -> Mapping[str, object]:
+    """Table-1 style training columns, in seconds."""
+    report = result.report
+    return {
+        "predicted_s": report.step_time,
+        "compute_s": report.compute_time + report.recompute_time,
+        "communication_s": report.communication_time,
+        "other_s": report.other_time,
+    }
+
+
+@register_extractor("training_times")
+def _training_times(result: SweepResult) -> Mapping[str, object]:
+    """Fig-6 style training columns (step/compute/communication/other)."""
+    report = result.report
+    return {
+        "step_time": report.step_time,
+        "compute_time": report.compute_time + report.recompute_time,
+        "communication_time": report.communication_time,
+        "other_time": report.other_time,
+    }
+
+
+@register_extractor("training_step")
+def _training_step(result: SweepResult) -> Mapping[str, object]:
+    """Fig-5 style training columns (explicit ``_s`` suffixes)."""
+    report = result.report
+    return {
+        "step_time_s": report.step_time,
+        "compute_s": report.compute_time + report.recompute_time,
+        "communication_s": report.communication_time,
+        "other_s": report.other_time,
+    }
+
+
+@register_extractor("inference_validation")
+def _inference_validation(result: SweepResult) -> Mapping[str, object]:
+    """Table-2 style inference columns, in milliseconds."""
+    report = result.report
+    return {
+        "predicted_ms": report.total_latency_ms,
+        "prefill_ms": to_milliseconds(report.prefill.total_time),
+        "decode_ms": to_milliseconds(report.decode.total_time),
+        "communication_ms": to_milliseconds(report.communication_time),
+    }
+
+
+@register_extractor("inference_times")
+def _inference_times(result: SweepResult) -> Mapping[str, object]:
+    """Fig-9 style inference columns (device/memory time vs communication)."""
+    report = result.report
+    return {
+        "memory_time": report.device_time,
+        "communication_time": report.communication_time,
+    }
+
+
+@register_extractor("gemm_bottlenecks")
+def _gemm_bottlenecks(result: SweepResult) -> Sequence[Mapping[str, object]]:
+    """Explode a bottleneck-table scenario into one row per GEMM (Table 4)."""
+    return [
+        {
+            "gemm": entry.name,
+            "m": entry.m,
+            "n": entry.n,
+            "k": entry.k,
+            "batch": entry.batch,
+            "time_us": entry.time_us,
+            "bound": entry.bound_label,
+        }
+        for entry in result.value
+    ]
+
+
+@register_extractor("gemm_bound_totals")
+def _gemm_bound_totals(result: SweepResult) -> Mapping[str, object]:
+    """Aggregate a bottleneck table into bound-time totals (Fig. 8)."""
+    totals = gemm_time_by_bound(result.value)
+    return {
+        "compute_bound_ms": totals["compute"] * 1e3,
+        "memory_bound_ms": totals["memory"] * 1e3,
+        "compute_bound_fraction": totals["compute_fraction"],
+    }
+
+
+@register_extractor("training_memory_gb")
+def _training_memory_gb(result: SweepResult) -> Mapping[str, object]:
+    """Fig-4 style per-device memory columns, in GB."""
+    breakdown = result.value
+    return {
+        "parameters_gb": breakdown.parameter_bytes / GB,
+        "optimizer_gb": (breakdown.optimizer_bytes + breakdown.gradient_bytes) / GB,
+        "activations_gb": breakdown.activation_bytes / GB,
+        "total_gb": breakdown.total_bytes / GB,
+    }
+
+
+@register_extractor("serving_frontier")
+def _serving_frontier(result: SweepResult) -> Mapping[str, object]:
+    """Serving-simulator tail latencies, throughput, goodput (error-tolerant)."""
+    scenario = result.scenario
+    report = result.report
+    ok = result.ok
+    return {
+        "model": scenario.model.name,
+        "arrival": scenario.serving_config.trace.arrival,
+        "completed": report.completed_requests if ok else 0,
+        "rejected": report.rejected_requests if ok else 0,
+        "ttft_p50_s": report.ttft_p50 if ok else None,
+        "ttft_p99_s": report.ttft_p99 if ok else None,
+        "tpot_p50_s": report.tpot_p50 if ok else None,
+        "tpot_p99_s": report.tpot_p99 if ok else None,
+        "requests_per_s": report.request_throughput if ok else None,
+        "tokens_per_s": report.output_token_throughput if ok else None,
+        "goodput_rps": report.goodput if ok else None,
+        "slo_attainment": report.slo_attainment if ok else None,
+        "utilization": report.device_utilization if ok else None,
+        "mean_decode_batch": report.mean_decode_batch if ok else None,
+        "error": result.error,
+    }
+
+
+@register_extractor("gemv_summary")
+def _gemv_summary(result: SweepResult) -> Mapping[str, object]:
+    """Headline errors of the Fig-3 GEMV validation flow."""
+    validation = result.value
+    return {
+        "points": len(validation.points),
+        "mean_error_varied_percent": validation.mean_error_varied_percent,
+        "mean_error_constant_percent": validation.mean_error_constant_percent,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Derives
+# ---------------------------------------------------------------------------
+
+@register_derive("relative_error")
+def _relative_error(
+    table: SweepTable,
+    run,
+    predicted: str = "predicted_s",
+    reference: str = "reference_s",
+    column: str = "relative_error_%",
+) -> None:
+    """``column = 100 * (predicted - reference) / reference``, vectorized."""
+    table[column] = relative_error_percent(table[predicted], table[reference])
+
+
+@register_derive("sum_columns")
+def _sum_columns(table: SweepTable, run, parts: Sequence[str] = (), column: str = "total") -> None:
+    """``column = sum(parts)`` -- e.g. total latency from its phases."""
+    total = table[parts[0]]
+    for name in parts[1:]:
+        total = total + table[name]
+    table[column] = total
+
+
+@register_derive("series_label")
+def _series_label(
+    table: SweepTable,
+    run,
+    parts: Sequence[str] = (),
+    column: str = "label",
+    separator: str = "-",
+) -> None:
+    """Concatenate string columns into the paper's legend labels."""
+    columns = [table[name] for name in parts]
+    table[column] = [separator.join(str(value) for value in values) for values in zip(*columns)]
+
+
+@register_derive("fits_memory")
+def _fits_memory(
+    table: SweepTable,
+    run,
+    total: str = "total_gb",
+    device_memory_gb: float = 80.0,
+    column: str = "fits_80gb",
+) -> None:
+    """Whether each row's footprint fits the device memory budget."""
+    table[column] = table[total] <= device_memory_gb
+
+
+@register_derive("per_sequence_normalizations")
+def _per_sequence_normalizations(
+    table: SweepTable,
+    run,
+    step_time: str = "step_time_s",
+    batch: str = "batch_size",
+) -> None:
+    """Fig-5 normalizations: per-sequence time, speed-up vs row 0, min-normalized."""
+    step_times = table[step_time]
+    batch_sizes = table[batch].astype(np.float64)
+    per_sequence = to_milliseconds(step_times / batch_sizes)
+    table["time_per_sequence_ms"] = per_sequence
+    table["speedup_vs_a100"] = per_sequence[0] / per_sequence
+    table["normalized_time"] = per_sequence / per_sequence.min()
+
+
+@register_derive("gemm_bound_times")
+def _gemm_bound_times(table: SweepTable, run) -> None:
+    """Attach the per-layer compute-/memory-bound GEMM split of each row.
+
+    Builds one attention-bound scenario per training scenario (keyed on the
+    accelerator only, so grid points differing just in the network dedup
+    inside the runner) and evaluates them through the run's runner.
+    """
+    scenarios = [
+        Scenario.attention_bound(
+            scenario.system.accelerator,
+            scenario.model,
+            micro_batch=scenario.parallelism.micro_batch_size,
+            seq_len=scenario.model.max_seq_len,
+            tensor_parallel=scenario.parallelism.tensor_parallel,
+            precision=scenario.precision,
+        )
+        for scenario in run.scenarios
+    ]
+    bounds = run.runner.run(scenarios)
+    table["gemm_compute_bound_time"] = [bound.value["compute_bound"] for bound in bounds]
+    table["gemm_memory_bound_time"] = [bound.value["memory_bound"] for bound in bounds]
+
+
+@register_derive("bound_fraction_projection")
+def _bound_fraction_projection(table: SweepTable, run) -> SweepTable:
+    """Project a technology-node table onto the Fig-7 bound-fraction view."""
+    return fig7_projection(table)
+
+
+def fig7_projection(rows: SweepTable) -> SweepTable:
+    """The Fig-7 compute-vs-memory-bound view of a Fig-6 technology table."""
+    compute_bound = rows["gemm_compute_bound_time"]
+    memory_bound = rows["gemm_memory_bound_time"]
+    total = compute_bound + memory_bound
+    return SweepTable(
+        {
+            "technology_node": rows["technology_node"],
+            "dram": rows["dram_technology"],
+            "network": rows["inter_node_network"],
+            "compute_bound_ms": compute_bound * 1e3,
+            "memory_bound_ms": memory_bound * 1e3,
+            "memory_bound_fraction": np.divide(
+                memory_bound, total, out=np.zeros_like(memory_bound), where=total > 0
+            ),
+        }
+    )
+
+
+@register_derive("inference_memory_inset")
+def _inference_memory_inset(table: SweepTable, run, context_tokens: int = 400) -> None:
+    """Fig-8 inset: weight/KV footprints + device capacity per row."""
+    scenarios = [
+        Scenario.inference_memory(
+            scenario.model,
+            batch_size=scenario.batch_size,
+            context_len=context_tokens,
+            tensor_parallel=scenario.tensor_parallel,
+            precision=scenario.precision,
+        )
+        for scenario in run.scenarios
+    ]
+    breakdowns = run.runner.run(scenarios)
+    table["weights_gb"] = np.array([memory.value.weight_bytes for memory in breakdowns]) / GB
+    table["kv_cache_gb"] = np.array([memory.value.kv_cache_bytes for memory in breakdowns]) / GB
+    table["device_memory_gb"] = (
+        np.array([scenario.system.accelerator.dram_capacity for scenario in run.scenarios]) / GB
+    )
+
+
+@register_derive("select_columns")
+def _select_columns(table: SweepTable, run, columns: Sequence[str] = ()) -> Optional[SweepTable]:
+    """Project the table onto ``columns`` (a serializable ``table.select``)."""
+    return table.select(list(columns)) if columns else None

@@ -15,7 +15,15 @@ Public surface:
   <repro.sweep.runner.SweepRunner.run_table>` and the analysis drivers.
 """
 
-from .runner import SweepResult, SweepRunner, SweepStats, default_runner, expand_grid
+from .runner import (
+    SweepResult,
+    SweepRunner,
+    SweepStats,
+    axis_label,
+    default_runner,
+    expand_grid,
+    merge_axis_records,
+)
 from .scenario import Scenario, ScenarioKind, engine_for, evaluate_scenario
 from .table import SweepRow, SweepTable
 
@@ -27,8 +35,10 @@ __all__ = [
     "SweepRunner",
     "SweepStats",
     "SweepTable",
+    "axis_label",
     "default_runner",
     "engine_for",
     "evaluate_scenario",
     "expand_grid",
+    "merge_axis_records",
 ]

@@ -24,6 +24,7 @@ from __future__ import annotations
 import collections
 import concurrent.futures
 import dataclasses
+import enum
 import itertools
 from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence
 
@@ -146,7 +147,12 @@ class SweepRunner:
 
     # -- execution --------------------------------------------------------------------
 
-    def run(self, scenarios: Iterable[Scenario], capture_errors: Optional[bool] = None) -> List[SweepResult]:
+    def run(
+        self,
+        scenarios: Iterable[Scenario],
+        capture_errors: Optional[bool] = None,
+        on_result: Optional[Callable[[SweepResult], None]] = None,
+    ) -> List[SweepResult]:
         """Evaluate ``scenarios`` and return one result per input, in order.
 
         Scenarios with equal cache keys are evaluated once; later occurrences
@@ -154,17 +160,26 @@ class SweepRunner:
         ``from_cache``.  ``capture_errors`` overrides the runner-level setting
         for this call only (useful for probe batches that must survive
         infeasible corners without reconfiguring the shared runner).
+
+        ``on_result`` streams progress: it is called exactly once per input
+        scenario, as soon as that scenario's result is known -- cached results
+        fire before any evaluation starts, fresh ones as their evaluation
+        completes (completion order under the pooled executors, so not
+        necessarily input order).  The returned list is always input-ordered
+        regardless.
         """
         capture = self.capture_errors if capture_errors is None else capture_errors
         ordered = list(scenarios)
         keys = [scenario.cache_key() for scenario in ordered]
 
         # Snapshot cache hits up front: entries may be evicted from the LRU
-        # while the pending scenarios are stored, so the assembly loop below
+        # while the pending scenarios are stored, so result resolution below
         # must never depend on re-reading the evictable cache.
         hits: Dict[str, _CacheEntry] = {}
         pending: Dict[str, Scenario] = {}
-        for scenario, key in zip(ordered, keys):
+        indices_by_key: Dict[str, List[int]] = {}
+        for index, (scenario, key) in enumerate(zip(ordered, keys)):
+            indices_by_key.setdefault(key, []).append(index)
             if key in hits or key in pending:
                 continue
             entry = self._cache_get(key)
@@ -173,27 +188,37 @@ class SweepRunner:
             else:
                 pending[key] = scenario
 
-        fresh = self._evaluate_pending(pending)
+        results: List[Optional[SweepResult]] = [None] * len(ordered)
+        # When errors raise (capture off), every pending scenario is still
+        # evaluated and cached first, and the error surfaced is the earliest
+        # one in *input* order -- deterministic even when the pooled
+        # executors complete out of order.
+        deferred_errors: List["tuple[int, ReproError]"] = []
 
-        results: List[SweepResult] = []
-        seen_fresh: set = set()
-        for scenario, key in zip(ordered, keys):
-            if key in fresh:
-                entry = fresh[key]
-                from_cache = key in seen_fresh
-                seen_fresh.add(key)
-            else:
-                entry = hits[key]
-                from_cache = True
-            if from_cache:
-                self.stats.cache_hits += 1
-            if entry.error is not None:
-                if not capture:
-                    raise entry.error
-                results.append(SweepResult(scenario=scenario, value=None, from_cache=from_cache, error=str(entry.error)))
-            else:
-                results.append(SweepResult(scenario=scenario, value=entry.value, from_cache=from_cache))
-        return results
+        def resolve(key: str, entry: _CacheEntry, fresh: bool) -> None:
+            for position, index in enumerate(indices_by_key[key]):
+                from_cache = position > 0 or not fresh
+                if from_cache:
+                    self.stats.cache_hits += 1
+                if entry.error is not None:
+                    if not capture:
+                        deferred_errors.append((index, entry.error))
+                        continue
+                    result = SweepResult(
+                        scenario=ordered[index], value=None, from_cache=from_cache, error=str(entry.error)
+                    )
+                else:
+                    result = SweepResult(scenario=ordered[index], value=entry.value, from_cache=from_cache)
+                results[index] = result
+                if on_result is not None:
+                    on_result(result)
+
+        for key, entry in hits.items():
+            resolve(key, entry, fresh=False)
+        self._evaluate_pending(pending, on_entry=lambda key, entry: resolve(key, entry, fresh=True))
+        if deferred_errors:
+            raise min(deferred_errors, key=lambda pair: pair[0])[1]
+        return results  # type: ignore[return-value]  # every index was resolved above
 
     def evaluate(self, scenario: Scenario) -> object:
         """Evaluate one scenario through the cache and return its value.
@@ -211,24 +236,45 @@ class SweepRunner:
             raise entry.error
         return entry.value
 
-    def run_grid(self, factory: Callable[..., Scenario], **axes: Sequence[object]) -> List[SweepResult]:
+    def run_grid(
+        self,
+        factory: Callable[..., Scenario],
+        extract: Optional[Callable[[SweepResult], "Mapping[str, object] | Sequence[Mapping[str, object]]"]] = None,
+        capture_errors: Optional[bool] = None,
+        on_result: Optional[Callable[[SweepResult], None]] = None,
+        **axes: Sequence[object],
+    ) -> SweepTable:
         """Expand the cartesian product of ``axes`` through ``factory`` and run it.
 
         ``factory`` receives one keyword argument per axis, e.g.::
 
-            runner.run_grid(
+            table = runner.run_grid(
                 lambda batch_size, tensor_parallel: Scenario.inference(system, model, ...),
                 batch_size=[1, 4, 16],
                 tensor_parallel=[1, 2, 4],
             )
+
+        The result is a :class:`SweepTable` with one column per axis (values
+        rendered via :func:`axis_label`, so systems/models/configs appear as
+        their names) followed by the columns of the extracted record -- the
+        same axis-column attachment the Study layer uses.  ``extract``
+        defaults to ``{"error": result.error}`` merged after the axis
+        columns; it may also return a *list* of records to explode one
+        scenario into several rows.
         """
-        return self.run(factory(**combo) for combo in expand_grid(**axes))
+        combos = list(expand_grid(**axes))
+        results = self.run(
+            (factory(**combo) for combo in combos), capture_errors=capture_errors, on_result=on_result
+        )
+        extract = extract or (lambda result: {"error": result.error})
+        return SweepTable.from_records(merge_axis_records(combos, results, extract))
 
     def run_table(
         self,
         scenarios: Iterable[Scenario],
         extract: Optional[Callable[[SweepResult], Mapping[str, object]]] = None,
         capture_errors: Optional[bool] = None,
+        on_result: Optional[Callable[[SweepResult], None]] = None,
     ) -> SweepTable:
         """Evaluate ``scenarios`` and columnize the results into a :class:`SweepTable`.
 
@@ -247,40 +293,53 @@ class SweepRunner:
             )
             fastest = table["latency_ms"].min()
         """
-        results = self.run(scenarios, capture_errors=capture_errors)
+        results = self.run(scenarios, capture_errors=capture_errors, on_result=on_result)
         extract = extract or (lambda result: result.row())
         return SweepTable.from_records(extract(result) for result in results)
 
     # -- internals --------------------------------------------------------------------
 
-    def _evaluate_pending(self, pending: Mapping[str, Scenario]) -> Dict[str, _CacheEntry]:
+    def _evaluate_pending(
+        self,
+        pending: Mapping[str, Scenario],
+        on_entry: Optional[Callable[[str, _CacheEntry], None]] = None,
+    ) -> Dict[str, _CacheEntry]:
+        """Evaluate every pending scenario, streaming entries via ``on_entry``.
+
+        ``on_entry`` fires once per key as its evaluation completes (input
+        order for the serial executor, completion order for the pools);
+        stats and the result cache are updated before each callback.
+        """
         if not pending:
             return {}
-        keys = list(pending)
-        scenarios = [pending[key] for key in keys]
-        if self.executor == "serial" or len(scenarios) == 1:
-            entries = [self._evaluate_one(scenario) for scenario in scenarios]
-        else:
-            pool_cls = (
-                concurrent.futures.ThreadPoolExecutor
-                if self.executor == "thread"
-                else concurrent.futures.ProcessPoolExecutor
-            )
-            with pool_cls(max_workers=self.max_workers) as pool:
-                futures = [pool.submit(evaluate_scenario, scenario) for scenario in scenarios]
-                entries = []
-                for future in futures:
-                    try:
-                        entries.append(_CacheEntry(value=future.result()))
-                    except ReproError as error:
-                        entries.append(_CacheEntry(error=error))
         fresh: Dict[str, _CacheEntry] = {}
-        for key, entry in zip(keys, entries):
+
+        def record(key: str, entry: _CacheEntry) -> None:
             self.stats.evaluations += 1
             if entry.error is not None:
                 self.stats.errors += 1
             self._cache_put(key, entry)
             fresh[key] = entry
+            if on_entry is not None:
+                on_entry(key, entry)
+
+        if self.executor == "serial" or len(pending) == 1:
+            for key, scenario in pending.items():
+                record(key, self._evaluate_one(scenario))
+            return fresh
+        pool_cls = (
+            concurrent.futures.ThreadPoolExecutor
+            if self.executor == "thread"
+            else concurrent.futures.ProcessPoolExecutor
+        )
+        with pool_cls(max_workers=self.max_workers) as pool:
+            futures = {pool.submit(evaluate_scenario, scenario): key for key, scenario in pending.items()}
+            for future in concurrent.futures.as_completed(futures):
+                try:
+                    entry = _CacheEntry(value=future.result())
+                except ReproError as error:
+                    entry = _CacheEntry(error=error)
+                record(futures[future], entry)
         return fresh
 
     def _evaluate_one(self, scenario: Scenario) -> _CacheEntry:
@@ -288,6 +347,50 @@ class SweepRunner:
             return _CacheEntry(value=evaluate_scenario(scenario))
         except ReproError as error:
             return _CacheEntry(error=error)
+
+
+def axis_label(value: object) -> object:
+    """Render one axis value as a table-column scalar.
+
+    Scalars pass through; rich spec objects collapse to their human name --
+    ``SystemSpec`` / ``AcceleratorSpec`` / ``TransformerConfig`` to ``.name``,
+    :class:`~repro.parallelism.config.ParallelismConfig` to its paper
+    ``.label``, enums to ``.value``.  Anything else is stored verbatim (as an
+    object column).
+    """
+    if isinstance(value, enum.Enum):
+        return value.value
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    name = getattr(value, "name", None)
+    if isinstance(name, str):
+        return name
+    label = getattr(value, "label", None)
+    if isinstance(label, str):
+        return label
+    return value
+
+
+def merge_axis_records(
+    axis_records: Sequence[Mapping[str, object]],
+    results: Sequence[SweepResult],
+    extract: Callable[[SweepResult], "Mapping[str, object] | Sequence[Mapping[str, object]]"],
+) -> Iterator[Dict[str, object]]:
+    """Merge axis columns with extracted metric records, one dict per table row.
+
+    This is the single axis-column attachment point shared by
+    :meth:`SweepRunner.run_grid` and the Study execution path: each result's
+    extracted record (or records -- a list explodes one scenario into several
+    rows, e.g. one row per GEMM) is prefixed with that scenario's axis
+    values, rendered through :func:`axis_label`.
+    """
+    for axes, result in zip(axis_records, results):
+        rendered = {name: axis_label(value) for name, value in axes.items()}
+        extracted = extract(result)
+        if isinstance(extracted, Mapping):
+            extracted = [extracted]
+        for record in extracted:
+            yield {**rendered, **record}
 
 
 def expand_grid(**axes: Sequence[object]) -> Iterator[Dict[str, object]]:

@@ -25,14 +25,15 @@ from typing import Dict, Mapping, Optional, Tuple
 from ..core.bottleneck import attention_layer_bound_breakdown
 from ..core.engine import PerformancePredictionEngine
 from ..errors import ConfigurationError
-from ..hardware.accelerator import AcceleratorSpec, get_accelerator
-from ..hardware.cluster import SystemSpec, build_system
+from ..hardware.accelerator import AcceleratorSpec
+from ..hardware.catalog import device_system, get_system
+from ..hardware.cluster import SystemSpec
 from ..hardware.datatypes import Precision
 from ..memmodel.activations import RecomputeStrategy
 from ..memmodel.footprint import inference_memory_breakdown, training_memory_breakdown
 from ..models.transformer import TransformerConfig
 from ..models.zoo import get_model
-from ..parallelism.config import ParallelismConfig
+from ..parallelism.config import ParallelismConfig, parse_parallelism_label
 from ..serving.simulator import ServingConfig
 
 
@@ -67,6 +68,18 @@ _MODEL_KINDS = _SYSTEM_KINDS | {ScenarioKind.TRAINING_MEMORY, ScenarioKind.INFER
 
 def _resolve_model(model: "TransformerConfig | str") -> TransformerConfig:
     return get_model(model) if isinstance(model, str) else model
+
+
+def _resolve_system(system: "SystemSpec | str") -> SystemSpec:
+    """Resolve catalog names (``"A100"``, ``"H100x4"``, presets) to a system."""
+    return get_system(system) if isinstance(system, str) else system
+
+
+def _resolve_parallelism(parallelism: "ParallelismConfig | str", micro_batch_size: int = 1) -> ParallelismConfig:
+    """Accept the paper's ``"DP-TP-PP-SP"`` label besides a built config."""
+    if isinstance(parallelism, str):
+        return parse_parallelism_label(parallelism, micro_batch_size=micro_batch_size)
+    return parallelism
 
 
 def _canonical_extras(extras: Optional[Mapping[str, object]]) -> Tuple[Tuple[str, object], ...]:
@@ -154,21 +167,28 @@ class Scenario:
     @classmethod
     def training(
         cls,
-        system: SystemSpec,
+        system: "SystemSpec | str",
         model: "TransformerConfig | str",
-        parallelism: ParallelismConfig,
+        parallelism: "ParallelismConfig | str",
         global_batch_size: int,
         seq_len: Optional[int] = None,
         precision: "Precision | str" = Precision.FP16,
         recompute: "RecomputeStrategy | str" = RecomputeStrategy.SELECTIVE,
+        micro_batch_size: int = 1,
         tag: str = "",
     ) -> "Scenario":
-        """A training-step prediction (evaluates to a :class:`TrainingReport`)."""
+        """A training-step prediction (evaluates to a :class:`TrainingReport`).
+
+        ``system`` accepts a built spec or a catalog name
+        (:func:`~repro.hardware.catalog.get_system`); ``parallelism`` accepts
+        a config or the paper's ``"DP-TP-PP-SP"`` label
+        (``micro_batch_size`` applies to the label form only).
+        """
         return cls(
             kind=ScenarioKind.TRAINING,
-            system=system,
+            system=_resolve_system(system),
             model=_resolve_model(model),
-            parallelism=parallelism,
+            parallelism=_resolve_parallelism(parallelism, micro_batch_size=micro_batch_size),
             global_batch_size=global_batch_size,
             seq_len=seq_len,
             precision=Precision.parse(precision),
@@ -179,7 +199,7 @@ class Scenario:
     @classmethod
     def inference(
         cls,
-        system: SystemSpec,
+        system: "SystemSpec | str",
         model: "TransformerConfig | str",
         batch_size: int = 1,
         prompt_tokens: int = 200,
@@ -197,7 +217,7 @@ class Scenario:
         """
         return cls(
             kind=ScenarioKind.INFERENCE,
-            system=system,
+            system=_resolve_system(system),
             model=_resolve_model(model),
             batch_size=batch_size,
             prompt_tokens=prompt_tokens,
@@ -211,7 +231,7 @@ class Scenario:
     @classmethod
     def serving(
         cls,
-        system: SystemSpec,
+        system: "SystemSpec | str",
         model: "TransformerConfig | str",
         serving: ServingConfig,
         tensor_parallel: int = 1,
@@ -227,7 +247,7 @@ class Scenario:
         """
         return cls(
             kind=ScenarioKind.SERVING,
-            system=system,
+            system=_resolve_system(system),
             model=_resolve_model(model),
             serving_config=serving,
             tensor_parallel=tensor_parallel,
@@ -239,18 +259,19 @@ class Scenario:
     def training_memory(
         cls,
         model: "TransformerConfig | str",
-        parallelism: ParallelismConfig,
+        parallelism: "ParallelismConfig | str",
         global_batch_size: int,
         seq_len: Optional[int] = None,
         precision: "Precision | str" = Precision.FP16,
         recompute: "RecomputeStrategy | str" = RecomputeStrategy.SELECTIVE,
+        micro_batch_size: int = 1,
         tag: str = "",
     ) -> "Scenario":
         """A per-device training memory breakdown (no system required)."""
         return cls(
             kind=ScenarioKind.TRAINING_MEMORY,
             model=_resolve_model(model),
-            parallelism=parallelism,
+            parallelism=_resolve_parallelism(parallelism, micro_batch_size=micro_batch_size),
             global_batch_size=global_batch_size,
             seq_len=seq_len,
             precision=Precision.parse(precision),
@@ -396,17 +417,14 @@ class Scenario:
 def _device_system(accelerator: "AcceleratorSpec | SystemSpec | str") -> SystemSpec:
     """Wrap a bare accelerator into a canonical single-node system.
 
-    Bottleneck and attention-bound scenarios depend only on the device, so a
-    canonical wrapper keeps their cache keys independent of whatever cluster
-    the caller happened to hold.
+    Bottleneck and attention-bound scenarios depend only on the device, so the
+    canonical wrapper (:func:`repro.hardware.catalog.device_system`) keeps
+    their cache keys independent of whatever cluster the caller happened to
+    hold.
     """
     if isinstance(accelerator, SystemSpec):
-        device = accelerator.accelerator
-    elif isinstance(accelerator, AcceleratorSpec):
-        device = accelerator
-    else:
-        device = get_accelerator(accelerator)
-    return build_system(device, num_devices=8, intra_node="NVLink3", inter_node="HDR-IB", name=device.name)
+        return device_system(accelerator.accelerator)
+    return device_system(accelerator)
 
 
 def _canonical(value: object) -> object:

@@ -1,0 +1,135 @@
+"""Tests for the system catalog (get_system / list_systems / register_system)."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import UnknownHardwareError
+from repro.hardware import (
+    device_system,
+    get_accelerator,
+    get_system,
+    list_systems,
+    register_system,
+    unregister_system,
+)
+from repro.hardware.cluster import SystemSpec, build_system
+
+
+def test_accelerator_name_resolves_to_canonical_device_system():
+    system = get_system("A100")
+    assert system.name == "A100-80GB"
+    assert system.num_devices == 8
+    assert system.intra_node_fabric.name == "NVLink3"
+    assert system.inter_node_fabric.name == "HDR-IB"
+
+
+def test_resolution_is_case_insensitive():
+    assert get_system("h100") == get_system("H100")
+
+
+def test_sized_accelerator_name_sets_device_count():
+    assert get_system("A100x2").num_devices == 2
+    assert get_system("H100x16").num_devices == 16
+
+
+def test_sized_suffix_works_for_presets_and_registered_names(single_node_a100):
+    assert get_system("H100-NVSx512").num_devices == 512
+    renamed = dataclasses.replace(single_node_a100, name="sized-lab")
+    name = register_system(renamed)
+    try:
+        assert get_system("sized-labx4").num_devices == 4
+    finally:
+        unregister_system(name)
+
+
+def test_zero_devices_rejected_on_every_path():
+    from repro.errors import ConfigurationError
+
+    for spec in ("A100", "A100-HDR", "H100-NVS"):
+        with pytest.raises(ConfigurationError):
+            get_system(spec, num_devices=0)
+
+
+def test_tpu_alias_with_trailing_digit_is_not_split():
+    assert get_system("TPUv4").accelerator.name == "TPUv4-like"
+
+
+def test_preset_cluster_names_resolve():
+    system = get_system("H100-NVS")
+    assert system.accelerator.name == get_accelerator("H100").name
+    assert system.num_devices == 8
+    assert get_system("B200-NVS-L", num_devices=64).num_devices == 64
+
+
+def test_explicit_num_devices_overrides():
+    assert get_system("A100", num_devices=64).num_devices == 64
+    assert get_system("A100x2", num_devices=4).num_devices == 4
+
+
+def test_specs_pass_through(single_node_a100):
+    assert get_system(single_node_a100) is single_node_a100
+    assert get_system(single_node_a100, num_devices=16).num_devices == 16
+
+
+def test_accelerator_spec_wraps_canonically(a100):
+    assert get_system(a100) == device_system(a100)
+
+
+def test_device_system_matches_scenario_wrapper(a100):
+    """The catalog wrapper is the one bottleneck scenarios key their cache on."""
+    from repro.sweep.scenario import _device_system
+
+    assert _device_system("A100") == device_system(a100)
+    assert _device_system(build_system(a100, num_devices=512)) == device_system(a100)
+
+
+def test_register_system_round_trip(single_node_a100):
+    renamed = dataclasses.replace(single_node_a100, name="lab-cluster")
+    name = register_system(renamed)
+    try:
+        assert name == "lab-cluster"
+        assert get_system("lab-cluster") == renamed
+        assert get_system("LAB-CLUSTER") == renamed
+        assert "LAB-CLUSTER" in list_systems()
+    finally:
+        unregister_system(name)
+    with pytest.raises(UnknownHardwareError):
+        get_system("lab-cluster")
+
+
+def test_register_system_builder_needs_name(single_node_a100):
+    with pytest.raises(UnknownHardwareError, match="explicit name"):
+        register_system(lambda: single_node_a100)
+    name = register_system(lambda: single_node_a100, name="lazy-node")
+    try:
+        assert get_system("lazy-node") == single_node_a100
+    finally:
+        unregister_system(name)
+
+
+def test_unknown_system_fails_with_catalog_listing():
+    with pytest.raises(UnknownHardwareError, match="unknown system"):
+        get_system("Z9000")
+
+
+def test_list_systems_covers_all_resolution_paths():
+    names = list_systems()
+    assert "A100" in names
+    assert "H100-NVS" in names
+    # The listing contract: every advertised name must actually resolve.
+    assert all(isinstance(get_system(name), SystemSpec) for name in names)
+
+
+def test_register_system_with_underscore_name_resolves(single_node_a100):
+    """Registration and lookup share one name normalization (case, _ vs -)."""
+    renamed = dataclasses.replace(single_node_a100, name="my_cluster")
+    name = register_system(renamed)
+    try:
+        assert get_system("my_cluster") == renamed
+        assert get_system("MY-CLUSTER") == renamed
+        unregister_system("my_cluster")
+        with pytest.raises(UnknownHardwareError):
+            get_system("my_cluster")
+    finally:
+        unregister_system(name)

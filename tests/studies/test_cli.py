@@ -1,0 +1,119 @@
+"""Tests for the ``python -m repro`` CLI (list / spec / run)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.sweep import SweepTable
+
+
+def test_list_prints_registered_studies(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "table1_training_validation" in out
+    assert "[Fig. 5]" in out
+
+
+def test_list_registries(capsys):
+    assert main(["list", "--models", "--systems", "--extractors"]) == 0
+    out = capsys.readouterr().out
+    assert "Llama2-13B" in out
+    assert "A100" in out
+    assert "serving_frontier" in out
+
+
+def test_spec_prints_json(capsys):
+    assert main(["spec", "table4_gemm_bottlenecks"]) == 0
+    spec = json.loads(capsys.readouterr().out)
+    assert spec["kind"] == "prefill_bottlenecks"
+    assert spec["axes"]["gpu"] == ["A100", "H100"]
+
+
+def test_spec_of_code_only_study_fails_cleanly(capsys):
+    assert main(["spec", "fig9_memory_technology_scaling"]) == 1
+    assert "code-only" in capsys.readouterr().err
+
+
+def test_run_registered_study_with_params_and_exports(tmp_path, capsys):
+    csv_path = tmp_path / "table4.csv"
+    json_path = tmp_path / "table4.json"
+    code = main([
+        "run", "table4_gemm_bottlenecks",
+        "-p", "gpus=('A100',)",
+        "--csv", str(csv_path),
+        "--json", str(json_path),
+    ])
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "qkv_projection" in captured.out
+    assert "rows in" in captured.err
+    assert csv_path.read_text().startswith("gpu,gemm,m,n,k,batch,time_us,bound")
+    table = SweepTable.from_json(json_path.read_text())
+    assert set(table["gpu"].tolist()) == {"A100"}
+
+
+def test_run_from_spec_file_end_to_end(tmp_path, capsys):
+    """The acceptance path: spec a paper study to JSON, run it from the shell."""
+    spec_path = tmp_path / "study.json"
+    csv_path = tmp_path / "out.csv"
+    assert main(["spec", "fig8_inference_boundedness", "-p", "gpus=('A100',)",
+                 "-p", "batch_sizes=(1,)", "-o", str(spec_path)]) == 0
+    assert main(["run", str(spec_path), "--csv", str(csv_path), "--quiet"]) == 0
+    header = csv_path.read_text().splitlines()[0]
+    assert header.split(",")[:2] == ["gpu", "batch_size"]
+    assert "weights_gb" in header  # the derive chain ran from the spec
+
+
+def test_run_spec_file_rejects_params(tmp_path, capsys):
+    spec_path = tmp_path / "study.json"
+    assert main(["spec", "table4_gemm_bottlenecks", "-o", str(spec_path)]) == 0
+    assert main(["run", str(spec_path), "-p", "gpus=('A100',)"]) == 1
+    assert "registered studies" in capsys.readouterr().err
+
+
+def test_run_unknown_study_is_an_error(capsys):
+    assert main(["run", "no_such_study"]) == 1
+    assert "unknown study" in capsys.readouterr().err
+
+
+def test_run_missing_spec_file_is_a_clean_error(capsys):
+    assert main(["run", "does_not_exist.json"]) == 1
+    assert "cannot read study spec" in capsys.readouterr().err
+
+
+def test_run_invalid_spec_file_is_a_clean_error(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    assert main(["run", str(bad)]) == 1
+    assert "not a valid JSON study spec" in capsys.readouterr().err
+
+
+def test_bad_param_syntax_is_an_error(capsys):
+    assert main(["run", "table4_gemm_bottlenecks", "-p", "gpus"]) == 1
+    assert "NAME=VALUE" in capsys.readouterr().err
+
+
+def test_mistyped_param_name_is_a_clean_error(capsys):
+    assert main(["run", "table4_gemm_bottlenecks", "-p", "batchsize=4"]) == 1
+    err = capsys.readouterr().err
+    assert "bad -p parameter" in err and "batchsize" in err
+
+
+def test_scalar_param_for_sequence_axis_sweeps_one_value(tmp_path, capsys):
+    csv_path = tmp_path / "one_gpu.csv"
+    assert main(["run", "table4_gemm_bottlenecks", "-p", "gpus=A100",
+                 "--csv", str(csv_path), "--quiet"]) == 0
+    lines = csv_path.read_text().splitlines()
+    assert all(line.startswith("A100,") for line in lines[1:])
+
+
+def test_no_command_prints_help(capsys):
+    assert main([]) == 2
+    assert "usage" in capsys.readouterr().out.lower()
+
+
+@pytest.mark.parametrize("executor", ["thread"])
+def test_run_with_pooled_executor(tmp_path, executor):
+    assert main(["run", "table4_gemm_bottlenecks", "-p", "gpus=('A100',)",
+                 "--executor", executor, "--quiet"]) == 0

@@ -1,0 +1,210 @@
+"""Tests for the study registry and the JSON spec round-trip."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serving import LengthDistribution, SchedulerConfig, ServingConfig, ServingSLO, TraceConfig
+from repro.studies import Study, get_study, list_studies, register_study, unregister_study
+from repro.studies import paper
+from repro.sweep import SweepRunner
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+def test_every_paper_artifact_is_registered():
+    names = {entry.name for entry in list_studies()}
+    assert {
+        "table1_training_validation",
+        "table2_inference_validation",
+        "table4_gemm_bottlenecks",
+        "fig3_gemv_validation",
+        "fig4_memory_breakdown",
+        "fig5_gpu_generation_scaling",
+        "fig6_technology_node_scaling",
+        "fig7_bound_breakdown",
+        "fig8_inference_boundedness",
+        "fig9_memory_technology_scaling",
+        "serving_latency_throughput_frontier",
+    } <= names
+
+
+def test_registered_entries_carry_artifact_labels():
+    by_name = {entry.name: entry for entry in list_studies()}
+    assert by_name["table1_training_validation"].artifact == "Table 1"
+    assert by_name["fig9_memory_technology_scaling"].artifact == "Fig. 9"
+    assert by_name["table4_gemm_bottlenecks"].description
+
+
+def test_get_study_passes_builder_kwargs():
+    study = get_study("table4_gemm_bottlenecks", gpus=("H100",), prompt_tokens=128)
+    assert study.axes["gpu"] == ["H100"]
+    assert study.fixed["prompt_tokens"] == 128
+
+
+def test_unknown_study_fails_loudly():
+    with pytest.raises(ConfigurationError, match="unknown study"):
+        get_study("table9_fantasy")
+
+
+def test_scalar_for_sequence_parameter_becomes_singleton():
+    """`-p gpus=A100` must sweep one GPU, not the characters 'A','1','0','0'."""
+    assert get_study("table4_gemm_bottlenecks", gpus="A100").axes["gpu"] == ["A100"]
+    assert get_study("fig8_inference_boundedness", batch_sizes=4).axes["batch_size"] == [4]
+    # Scalars for scalar parameters pass through untouched.
+    assert get_study("table4_gemm_bottlenecks", prompt_tokens=128).fixed["prompt_tokens"] == 128
+
+
+def test_register_and_unregister_custom_study():
+    @register_study(name="custom-probe", description="one-off")
+    def build():
+        return Study(name="custom-probe", kind="inference_memory",
+                     axes={"model": ["Llama2-13B"]}, extract="error")
+
+    try:
+        assert get_study("custom-probe").kind == "inference_memory"
+    finally:
+        unregister_study("custom-probe")
+    with pytest.raises(ConfigurationError):
+        get_study("custom-probe")
+
+
+# ---------------------------------------------------------------------------
+# JSON spec round-trip
+# ---------------------------------------------------------------------------
+
+def test_table4_spec_round_trips_to_identical_table():
+    study = paper.table4_gemm_bottlenecks(gpus=("A100",))
+    clone = Study.from_json(study.to_json())
+    assert clone.to_dict() == study.to_dict()
+    direct = study.run(runner=SweepRunner())
+    via_spec = clone.run(runner=SweepRunner())
+    assert direct.to_dict() == via_spec.to_dict()
+
+
+def test_fig8_spec_round_trips_to_identical_table():
+    study = paper.fig8_inference_boundedness(gpus=("A100",), batch_sizes=(1,))
+    clone = Study.from_dict(study.to_dict())
+    assert clone.run(runner=SweepRunner()).to_dict() == study.run(runner=SweepRunner()).to_dict()
+
+
+def test_spec_carries_derive_kwargs():
+    spec = paper.fig4_memory_breakdown(models=("GPT-175B",)).to_dict()
+    assert spec["derive"] == [["fits_memory", {"device_memory_gb": 80.0}]]
+    clone = Study.from_dict(spec)
+    assert clone.derive == (("fits_memory", {"device_memory_gb": 80.0}),)
+
+
+def test_fig4_spec_round_trip_decodes_parallelism_dicts():
+    study = paper.fig4_memory_breakdown(models=("GPT-175B",))
+    spec = study.to_dict()
+    # The ParallelismConfig inside the mapping axis became a plain dict...
+    assert isinstance(spec["axes"]["case"][0]["parallelism"], dict)
+    # ... and decodes back into an equivalent scenario.
+    clone = Study.from_dict(spec)
+    original = list(study.scenarios())
+    decoded = list(clone.scenarios())
+    assert [s.cache_key() for s in decoded] == [s.cache_key() for s in original]
+
+
+def test_serving_config_spec_round_trip():
+    study = Study(
+        name="mini-frontier",
+        kind="serving",
+        axes={"tensor_parallel": [1]},
+        fixed={
+            "system": "A100",
+            "model": "Llama2-7B",
+            "serving": ServingConfig(
+                trace=TraceConfig(
+                    rate=2.0,
+                    num_requests=4,
+                    prompt_lengths=LengthDistribution.uniform(16, 32),
+                    output_lengths=LengthDistribution.constant(8),
+                ),
+                scheduler=SchedulerConfig(max_batch_size=4),
+                slo=ServingSLO(ttft=1.0, tpot=0.1),
+            ),
+        },
+        extract="serving_frontier",
+    )
+    clone = Study.from_json(study.to_json())
+    original = next(study.scenarios())
+    decoded = next(clone.scenarios())
+    assert decoded.cache_key() == original.cache_key()
+    table = clone.run(runner=SweepRunner())
+    assert table["completed"][0] == 4
+
+
+def test_wrapped_spec_document_is_tolerated():
+    spec = {"study": paper.table4_gemm_bottlenecks().to_dict()}
+    assert Study.from_dict(spec).name == "table4_gemm_bottlenecks"
+
+
+def test_typoed_fixed_key_fails_instead_of_running_with_defaults():
+    """A hand-edited spec with a misspelled parameter must not silently run."""
+    spec = paper.fig8_inference_boundedness(gpus=("A100",), batch_sizes=(1,)).to_dict()
+    spec["fixed"]["promt_tokens"] = spec["fixed"].pop("prompt_tokens")
+    study = Study.from_dict(spec)
+    with pytest.raises(ConfigurationError, match="promt_tokens"):
+        study.run(runner=SweepRunner())
+
+
+def test_metadata_keys_survive_when_named_as_columns():
+    study = Study(
+        name="metadata",
+        kind="inference_memory",
+        axes={"model": ["Llama2-7B"]},
+        fixed={"batch_size": 1, "source": "model-card"},
+        columns=("model", "source"),
+        extract="error",
+    )
+    table = study.run(runner=SweepRunner())
+    assert table["source"].tolist() == ["model-card"]
+
+
+def test_unknown_spec_fields_rejected():
+    spec = paper.table4_gemm_bottlenecks().to_dict()
+    spec["axis"] = {}
+    with pytest.raises(ConfigurationError, match="unknown study spec fields"):
+        Study.from_dict(spec)
+
+
+def test_missing_required_fields_rejected():
+    with pytest.raises(ConfigurationError, match="missing"):
+        Study.from_dict({"kind": "inference"})
+
+
+def test_code_only_studies_refuse_to_serialize():
+    with pytest.raises(ConfigurationError, match="code-only"):
+        paper.inference_memory_scaling().to_dict()  # has a prepare hook
+    with pytest.raises(ConfigurationError, match="callable extractor"):
+        Study(name="x", kind="inference", extract=lambda r: {}).to_dict()
+    with pytest.raises(ConfigurationError, match="callable derive"):
+        Study(name="x", kind="inference", derive=(lambda t, r: None,)).to_dict()
+
+
+def test_unresolvable_rich_values_refuse_to_serialize(tiny_model):
+    import dataclasses
+
+    unregistered = dataclasses.replace(tiny_model, name="never-in-the-zoo")
+    study = Study(name="x", kind="inference", fixed={"model": unregistered})
+    with pytest.raises(ConfigurationError, match="not in the zoo"):
+        study.to_dict()
+
+
+def test_registered_system_makes_spec_serializable(single_node_a100):
+    import dataclasses
+
+    from repro.hardware import register_system, unregister_system
+
+    renamed = dataclasses.replace(single_node_a100, name="test-a100-node")
+    study = Study(name="x", kind="inference", axes={"batch_size": [1]}, fixed={"system": renamed})
+    with pytest.raises(ConfigurationError, match="does not resolve"):
+        study.to_dict()  # not registered yet
+    name = register_system(renamed)
+    try:
+        assert study.to_dict()["fixed"]["system"] == "test-a100-node"
+    finally:
+        unregister_system(name)

@@ -135,17 +135,32 @@ def test_cache_eviction_keeps_runner_usable(system, tiny_model):
     assert runner.stats.evaluations == 4
 
 
-def test_run_grid_expands_cartesian_product(system, tiny_model):
+def test_run_grid_expands_cartesian_product_with_axis_columns(system, tiny_model):
     runner = SweepRunner()
-    results = runner.run_grid(
+    table = runner.run_grid(
         lambda batch_size, tensor_parallel: Scenario.inference(
             system, tiny_model, batch_size=batch_size, tensor_parallel=tensor_parallel
         ),
+        extract=lambda result: {"latency_s": result.value.total_latency},
         batch_size=[1, 2],
         tensor_parallel=[1, 2],
     )
-    assert len(results) == 4
+    assert len(table) == 4
     assert runner.stats.evaluations == 4
+    # Axis columns are attached in grid order, last axis fastest.
+    assert table["batch_size"].tolist() == [1, 1, 2, 2]
+    assert table["tensor_parallel"].tolist() == [1, 2, 1, 2]
+    assert (table["latency_s"] > 0).all()
+
+
+def test_run_grid_default_extract_has_error_column(system, tiny_model):
+    runner = SweepRunner(capture_errors=True)
+    table = runner.run_grid(
+        lambda batch_size: Scenario.inference(system, tiny_model, batch_size=batch_size),
+        batch_size=[1, 2],
+    )
+    assert table.keys() == ["batch_size", "error"]
+    assert table["error"].tolist() == [None, None]
 
 
 def test_expand_grid_orders_and_counts():
@@ -158,3 +173,80 @@ def test_expand_grid_orders_and_counts():
 
 def test_default_runner_is_shared():
     assert default_runner() is default_runner()
+
+
+def test_expand_grid_order_is_deterministic_and_follows_keywords():
+    """Axis order = keyword order (last axis fastest), stable across calls."""
+    first = list(expand_grid(a=[1, 2], b=["x", "y"], c=[True]))
+    second = list(expand_grid(a=[1, 2], b=["x", "y"], c=[True]))
+    assert first == second
+    assert first == [
+        {"a": 1, "b": "x", "c": True},
+        {"a": 1, "b": "y", "c": True},
+        {"a": 2, "b": "x", "c": True},
+        {"a": 2, "b": "y", "c": True},
+    ]
+    # Reordering the keywords reorders the sweep, deterministically.
+    swapped = list(expand_grid(b=["x", "y"], a=[1, 2], c=[True]))
+    assert [(combo["a"], combo["b"]) for combo in swapped] == [(1, "x"), (2, "x"), (1, "y"), (2, "y")]
+
+
+def test_on_result_streams_every_input_in_order_when_serial(system, tiny_model):
+    runner = SweepRunner()
+    scenario_a = Scenario.inference(system, tiny_model, batch_size=1)
+    scenario_b = Scenario.inference(system, tiny_model, batch_size=2)
+    seen = []
+    results = runner.run([scenario_a, scenario_b, scenario_a], on_result=seen.append)
+    assert len(seen) == 3
+    assert [r.scenario.batch_size for r in seen] == [1, 1, 2]  # duplicate fires with its original
+    assert [r.from_cache for r in seen] == [False, True, False]
+    assert results[2].from_cache
+
+
+def test_on_result_fires_cached_results_before_evaluations(system, tiny_model):
+    runner = SweepRunner()
+    warm = Scenario.inference(system, tiny_model, batch_size=1)
+    cold = Scenario.inference(system, tiny_model, batch_size=2)
+    runner.run([warm])
+    seen = []
+    runner.run([cold, warm], on_result=seen.append)
+    assert [r.scenario.batch_size for r in seen] == [1, 2]  # cache hit first, then the evaluation
+    assert [r.from_cache for r in seen] == [True, False]
+
+
+def test_on_result_with_thread_executor_covers_every_scenario(system, tiny_model):
+    runner = SweepRunner(executor="thread", max_workers=2)
+    grid = [Scenario.inference(system, tiny_model, batch_size=batch) for batch in (1, 2, 3, 4)]
+    seen = []
+    results = runner.run(grid, on_result=seen.append)
+    assert sorted(r.scenario.batch_size for r in seen) == [1, 2, 3, 4]
+    assert [r.scenario.batch_size for r in results] == [1, 2, 3, 4]  # return stays input-ordered
+
+
+def test_on_result_receives_captured_errors(system, tiny_model):
+    runner = SweepRunner(capture_errors=True)
+    bad = Scenario.inference(system, "Llama2-70B", tensor_parallel=1)
+    seen = []
+    runner.run([bad], on_result=seen.append)
+    assert len(seen) == 1
+    assert seen[0].error is not None
+
+
+def test_uncaptured_errors_raise_deterministically_after_evaluating_everything(system, tiny_model):
+    """With capture off, every pending scenario still evaluates (and caches)
+    before the earliest input's error is raised -- in input order, even under
+    a pooled executor where completion order varies."""
+    first_bad = Scenario.inference(system, "Llama2-70B", tensor_parallel=1, prompt_tokens=100)
+    good = Scenario.inference(system, tiny_model)
+    second_bad = Scenario.inference(system, "Llama2-70B", tensor_parallel=1, prompt_tokens=300)
+    for executor in ("serial", "thread"):
+        runner = SweepRunner(executor=executor, max_workers=2)
+        with pytest.raises(MemoryCapacityError):
+            runner.run([first_bad, good, second_bad])
+        assert runner.stats.evaluations == 3  # nothing was skipped
+        # Everything landed in the cache before the raise: the captured
+        # re-run is served entirely from it.
+        results = runner.run([first_bad, good, second_bad], capture_errors=True)
+        assert runner.stats.evaluations == 3
+        assert [r.from_cache for r in results] == [True, True, True]
+        assert results[1].ok and not results[0].ok and not results[2].ok

@@ -159,3 +159,69 @@ def test_serving_scenario_evaluates_and_caches(single_node_a100):
     assert runner.stats.evaluations == 1  # identical key deduplicated
     assert second.from_cache
     assert second.report.to_dict() == first.report.to_dict()
+
+
+# ---------------------------------------------------------------------------
+# Cache-key stability across process boundaries (the process executor ships
+# scenarios to workers; their keys must not depend on the building process).
+# ---------------------------------------------------------------------------
+
+def _remote_cache_key(scenario):
+    """Module-level so ProcessPoolExecutor can import it in the worker."""
+    return scenario.cache_key()
+
+
+def _stability_scenarios(system, model, parallelism):
+    from repro.serving import LengthDistribution, SchedulerConfig, ServingConfig, ServingSLO, TraceConfig
+
+    serving = ServingConfig(
+        trace=TraceConfig(
+            rate=2.0,
+            num_requests=4,
+            prompt_lengths=LengthDistribution.uniform(16, 64),
+            output_lengths=LengthDistribution.constant(8),
+        ),
+        scheduler=SchedulerConfig(max_batch_size=4),
+        slo=ServingSLO(),
+    )
+    return [
+        Scenario.training(system, model, parallelism, global_batch_size=4),
+        Scenario.inference(system, model, batch_size=2, decode_mode="exact"),
+        Scenario.serving(system, model, serving),
+        Scenario.training_memory(model, parallelism, global_batch_size=4),
+        Scenario.prefill_bottlenecks("A100", model, prompt_tokens=64),
+        Scenario.attention_bound("A100", model, micro_batch=1, seq_len=128),
+        Scenario.gemv_validation(),
+    ]
+
+
+def test_cache_key_survives_pickle_round_trip(single_node_a100, tiny_model, parallelism):
+    import pickle
+
+    for scenario in _stability_scenarios(single_node_a100, tiny_model, parallelism):
+        clone = pickle.loads(pickle.dumps(scenario))
+        assert clone == scenario
+        assert clone.cache_key() == scenario.cache_key(), scenario.kind
+
+
+def test_cache_key_stable_across_process_executor(single_node_a100, tiny_model, parallelism):
+    """Keys computed inside worker processes equal the parent's keys."""
+    import concurrent.futures
+
+    scenarios = _stability_scenarios(single_node_a100, tiny_model, parallelism)
+    local = [scenario.cache_key() for scenario in scenarios]
+    with concurrent.futures.ProcessPoolExecutor(max_workers=2) as pool:
+        remote = list(pool.map(_remote_cache_key, scenarios))
+    assert remote == local
+
+
+def test_process_executor_results_hit_the_parent_cache(single_node_a100, tiny_model):
+    """A process-executed scenario lands in the cache under the same key the
+    serial path would use, so the re-run is served without re-evaluating."""
+    runner = SweepRunner(executor="process", max_workers=2)
+    grid = [Scenario.inference(single_node_a100, tiny_model, batch_size=batch) for batch in (1, 2)]
+    runner.run(grid)
+    assert runner.stats.evaluations == 2
+    runner.run(grid)
+    assert runner.stats.evaluations == 2
+    assert runner.stats.cache_hits == 2
