@@ -1,28 +1,78 @@
-"""Tiny bounded-memoization helper shared by the kernel and collective models.
+"""Bounded memoization shared by the kernel, collective, and planning layers.
 
-The performance models attach plain-dict caches (outside their dataclass
+The performance models attach :class:`Memo` caches (outside their dataclass
 fields) keyed by frozen operator descriptors.  This module centralizes the
 bound/eviction policy so all of them stay in sync.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, TypeVar
+from typing import Dict, Hashable, Optional, TypeVar
 
 Value = TypeVar("Value")
 
 #: Default entry bound of a per-model memoization cache.
 DEFAULT_MEMO_SIZE = 65536
 
+_MISSING = object()
 
-def memo_put(cache: Dict[Hashable, Value], key: Hashable, value: Value, max_size: int = DEFAULT_MEMO_SIZE) -> Value:
-    """Store ``value`` under ``key``, clearing the cache first when full.
 
-    A full clear is deliberate: the caches hold repeated queries of a small
-    working set, so reaching the bound at all means the keys are churning and
-    tracking recency would cost more than re-evaluating.
+class Memo:
+    """Bounded memo dict with two-generation (segmented) eviction.
+
+    :meth:`put` fills the *current* generation; when that reaches
+    ``max_size``, the current generation is demoted to *previous* (dropping
+    the old previous wholesale) and a fresh current generation starts.
+    :meth:`get` promotes previous-generation hits back into current, so a hot
+    working set survives crossing the bound -- a clear-on-full policy would
+    drop the hottest keys together with the coldest ones exactly when a
+    churning workload needs them.  Eviction stays O(1) amortized with no
+    per-hit bookkeeping (an LRU would pay a move-to-end on every hit), at the
+    cost of retaining at most ``2 * max_size`` entries.
     """
-    if len(cache) >= max_size:
-        cache.clear()
-    cache[key] = value
-    return value
+
+    __slots__ = ("max_size", "_current", "_previous")
+
+    def __init__(self, max_size: int = DEFAULT_MEMO_SIZE):
+        if max_size < 1:
+            raise ValueError("max_size must be positive")
+        self.max_size = max_size
+        self._current: Dict[Hashable, object] = {}
+        self._previous: Dict[Hashable, object] = {}
+
+    def get(self, key: Hashable, default: Optional[Value] = None) -> Optional[Value]:
+        """Return the cached value, promoting previous-generation hits."""
+        value = self._current.get(key, _MISSING)
+        if value is not _MISSING:
+            return value  # type: ignore[return-value]
+        value = self._previous.get(key, _MISSING)
+        if value is not _MISSING:
+            self._store(key, value)
+            return value  # type: ignore[return-value]
+        return default
+
+    def put(self, key: Hashable, value: Value) -> Value:
+        """Store ``value`` under ``key`` and return it (memo-and-return idiom)."""
+        self._store(key, value)
+        return value
+
+    def _store(self, key: Hashable, value: object) -> None:
+        current = self._current
+        if len(current) >= self.max_size and key not in current:
+            self._previous = current
+            current = self._current = {}
+        current[key] = value
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._current or key in self._previous
+
+    def __len__(self) -> int:
+        """Number of distinct retained keys (both generations)."""
+        if not self._previous:
+            return len(self._current)
+        return len(self._current.keys() | self._previous.keys())
+
+    def clear(self) -> None:
+        """Drop every entry of both generations."""
+        self._current = {}
+        self._previous = {}

@@ -10,6 +10,9 @@ Subcommands:
   file: streams per-scenario progress to stderr, prints the result table,
   and exports ``--csv`` / ``--json``.  ``--executor thread|process`` fans the
   evaluations out; study builder keywords pass as ``-p name=value``.
+  Results persist to the on-disk store (``~/.cache/repro`` or
+  ``$REPRO_CACHE_DIR``) so re-running a study prices nothing; point
+  ``--cache-dir`` elsewhere or disable with ``--no-disk-cache``.
 
 Examples::
 
@@ -78,6 +81,11 @@ def _build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("--executor", choices=("serial", "thread", "process"), default="serial",
                          help="how to evaluate the expanded scenarios (default: serial)")
     run_cmd.add_argument("--max-workers", type=int, default=None, help="worker count for pooled executors")
+    run_cmd.add_argument("--cache-dir", default=None, metavar="PATH",
+                         help="root of the persistent result store "
+                              "(default: ~/.cache/repro, or $REPRO_CACHE_DIR)")
+    run_cmd.add_argument("--no-disk-cache", action="store_true",
+                         help="do not read or write the persistent result store")
     run_cmd.add_argument("--csv", default=None, metavar="PATH", help="write the result table as CSV")
     run_cmd.add_argument("--json", dest="json_out", default=None, metavar="PATH",
                          help="write the result table as JSON")
@@ -143,7 +151,11 @@ def _cmd_spec(args: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     study = _resolve_study(args.study, _parse_params(args.param))
-    runner = SweepRunner(executor=args.executor, max_workers=args.max_workers)
+    if args.no_disk_cache:
+        disk_cache: "str | bool" = False
+    else:
+        disk_cache = args.cache_dir if args.cache_dir is not None else True
+    runner = SweepRunner(executor=args.executor, max_workers=args.max_workers, disk_cache=disk_cache)
     total = sum(1 for _ in study.combos())
     progress = None if args.quiet else _Progress(study.name, total)
     started = time.perf_counter()
@@ -164,6 +176,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(
         f"{study.name}: {len(table)} rows in {elapsed:.2f}s "
         f"({stats['evaluations']} evaluations, {stats['cache_hits']} cache hits, "
+        f"{stats['disk_hits']} disk hits, {stats['batched_scenarios']} batched, "
         f"{stats['errors']} errors, executor={args.executor})",
         file=sys.stderr,
     )

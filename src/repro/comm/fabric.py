@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import dataclasses
 
-from ..caching import memo_put
+from ..caching import Memo
 from ..errors import ConfigurationError
 from ..hardware.cluster import SystemSpec
 from ..hardware.network import Interconnect
@@ -68,7 +68,7 @@ class CollectiveModel:
         # same (collective, bytes, group, scope) tuples over and over.  Keyed
         # by the frozen CommunicationOp; not a dataclass field, so model
         # equality and replace() semantics are unchanged.
-        object.__setattr__(self, "_time_cache", {})
+        object.__setattr__(self, "_time_cache", Memo())
 
     # -- fabric selection and effective bandwidth ------------------------------------
 
@@ -126,7 +126,7 @@ class CollectiveModel:
             base = broadcast_time(op.data_bytes, op.group_size, bandwidth, latency)
         else:
             base = point_to_point_time(op.data_bytes, bandwidth, latency)
-        return memo_put(self._time_cache, op, base + self.software_latency)
+        return self._time_cache.put(op, base + self.software_latency)
 
     def all_reduce(self, data_bytes: float, group_size: int, scope: str = "intra_node") -> float:
         """Convenience: time of a raw all-reduce outside a task graph."""

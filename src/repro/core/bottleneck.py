@@ -19,13 +19,13 @@ from ..hardware.datatypes import Precision
 from ..models.transformer import TransformerConfig
 from ..perf.gemm import GemmTimeModel
 from ..perf.kernels import DeviceKernelModel
-from ..perf.roofline import BoundType
+from ..perf.roofline import BoundType, RooflinePoint
 from ..workload.operators import GEMM
 from ..workload.transformer_layer import LayerExecutionSpec, TransformerLayerBuilder
 from .reports import GemmBottleneckEntry
 
 
-def _layer_gemms(
+def layer_gemms(
     model: TransformerConfig,
     batch_size: int,
     seq_len: int,
@@ -34,6 +34,13 @@ def _layer_gemms(
     precision: Precision,
     use_kv_cache: bool,
 ) -> List[GEMM]:
+    """The forward GEMMs of one inference layer at the given shapes.
+
+    This is the workload description behind :func:`prefill_gemm_table` and
+    :func:`decode_gemm_table`; the cross-scenario batch planner
+    (:mod:`repro.sweep.batchplan`) reuses it to collect the same queries
+    without pricing them.
+    """
     spec = LayerExecutionSpec(
         model=model,
         micro_batch=batch_size,
@@ -48,9 +55,14 @@ def _layer_gemms(
     return TransformerLayerBuilder(spec).forward_gemms()
 
 
-def _bottleneck_entries(gemm_model: GemmTimeModel, gemms: List[GEMM]) -> List[GemmBottleneckEntry]:
-    """Evaluate the table's GEMMs in one batched call and shape the rows."""
-    points = gemm_model.evaluate_many(gemms)
+def entries_from_points(gemms: List[GEMM], points: List[RooflinePoint]) -> List[GemmBottleneckEntry]:
+    """Shape evaluated roofline points into the table's bottleneck rows.
+
+    The single row-assembly point of the bottleneck tables: both the scalar
+    path (:func:`prefill_gemm_table` / :func:`decode_gemm_table`) and the
+    cross-scenario batch planner (:mod:`repro.sweep.batchplan`) build their
+    entries here, so the two paths cannot drift apart.
+    """
     return [
         GemmBottleneckEntry(
             name=gemm.name,
@@ -66,6 +78,11 @@ def _bottleneck_entries(gemm_model: GemmTimeModel, gemms: List[GEMM]) -> List[Ge
     ]
 
 
+def _bottleneck_entries(gemm_model: GemmTimeModel, gemms: List[GEMM]) -> List[GemmBottleneckEntry]:
+    """Evaluate the table's GEMMs in one batched call and shape the rows."""
+    return entries_from_points(gemms, gemm_model.evaluate_many(gemms))
+
+
 def prefill_gemm_table(
     model: TransformerConfig,
     accelerator: AcceleratorSpec,
@@ -77,7 +94,7 @@ def prefill_gemm_table(
 ) -> List[GemmBottleneckEntry]:
     """Per-GEMM time and bound type for one layer of the prefill phase (Table 4)."""
     gemm_model = gemm_model or GemmTimeModel(accelerator=accelerator)
-    gemms = _layer_gemms(
+    gemms = layer_gemms(
         model,
         batch_size=batch_size,
         seq_len=prompt_tokens,
@@ -100,7 +117,7 @@ def decode_gemm_table(
 ) -> List[GemmBottleneckEntry]:
     """Per-GEMM time and bound type for one decode step attending to ``kv_len`` tokens."""
     gemm_model = gemm_model or GemmTimeModel(accelerator=accelerator)
-    gemms = _layer_gemms(
+    gemms = layer_gemms(
         model,
         batch_size=batch_size,
         seq_len=1,
@@ -122,21 +139,14 @@ def gemm_time_by_bound(entries: List[GemmBottleneckEntry]) -> Dict[str, float]:
     return totals
 
 
-def attention_layer_bound_breakdown(
+def attention_layer_gemms(
     model: TransformerConfig,
-    accelerator: AcceleratorSpec,
     micro_batch: int,
     seq_len: int,
     tensor_parallel: int = 1,
     precision: Precision = Precision.FP16,
-) -> Dict[str, float]:
-    """Compute- vs memory-bound GEMM time of one *training* transformer layer.
-
-    Used by the technology-node scaling study (paper Fig. 7): as the logic
-    node advances and compute throughput grows, GEMMs that used to be compute
-    bound become DRAM bound.
-    """
-    kernel_model = DeviceKernelModel(accelerator=accelerator)
+) -> List[GEMM]:
+    """The forward GEMMs of the training-layer bound breakdown below."""
     spec = LayerExecutionSpec(
         model=model,
         micro_batch=micro_batch,
@@ -145,10 +155,37 @@ def attention_layer_bound_breakdown(
         precision=precision,
         with_dropout=True,
     )
-    builder = TransformerLayerBuilder(spec)
+    return TransformerLayerBuilder(spec).forward_gemms()
+
+
+def attention_layer_bound_breakdown(
+    model: TransformerConfig,
+    accelerator: AcceleratorSpec,
+    micro_batch: int,
+    seq_len: int,
+    tensor_parallel: int = 1,
+    precision: Precision = Precision.FP16,
+    kernel_model: Optional[DeviceKernelModel] = None,
+) -> Dict[str, float]:
+    """Compute- vs memory-bound GEMM time of one *training* transformer layer.
+
+    Used by the technology-node scaling study (paper Fig. 7): as the logic
+    node advances and compute throughput grows, GEMMs that used to be compute
+    bound become DRAM bound.  Passing a ``kernel_model`` (for the same
+    accelerator) reuses its memoized GEMM evaluations; the numbers are
+    unchanged.
+    """
+    if kernel_model is None:
+        kernel_model = DeviceKernelModel(accelerator=accelerator)
     compute_bound = 0.0
     memory_bound = 0.0
-    gemms = builder.forward_gemms()
+    gemms = attention_layer_gemms(
+        model,
+        micro_batch=micro_batch,
+        seq_len=seq_len,
+        tensor_parallel=tensor_parallel,
+        precision=precision,
+    )
     for point in kernel_model.gemm_model.evaluate_many(gemms):
         if point.bound is BoundType.COMPUTE:
             compute_bound += point.time

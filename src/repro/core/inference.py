@@ -28,22 +28,77 @@ request-level workload description, the memory admission check, and the
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional
+from typing import List, Optional, Tuple
 
 from ..comm.fabric import CollectiveModel
 from ..errors import ConfigurationError, MemoryCapacityError
 from ..hardware.cluster import SystemSpec
 from ..hardware.datatypes import Precision
-from ..memmodel.footprint import inference_memory_breakdown
+from ..memmodel.footprint import InferenceMemoryBreakdown, inference_memory_breakdown
 from ..models.transformer import TransformerConfig
 from ..perf.kernels import DeviceKernelModel
 from ..workload.inference import InferencePhaseSpec
+from ..workload.operators import GEMM, Operator
 from ..workload.transformer_layer import TransformerLayerBuilder
 from .reports import InferenceReport
 from .stepcost import StepCostModel
 
 #: Supported decode pricing modes.
 DECODE_MODES = ("average", "exact")
+
+
+@dataclasses.dataclass
+class InferencePlan:
+    """The priced-workload description of one :meth:`~InferencePerformanceModel.predict` call.
+
+    Produced by :meth:`InferencePerformanceModel.plan` and consumed by
+    :meth:`InferencePerformanceModel.finish`: the plan carries the validated
+    spec, the memory admission result, and every *already built* operator
+    list of the request, so ``finish(plan)`` prices the request without
+    reconstructing the workload graph.  The split exists for the
+    cross-scenario batch planner (:mod:`repro.sweep.batchplan`), which
+    collects :meth:`gemm_queries` across many plans, prices them in one
+    batched roofline call, and only then finishes each plan -- bit-identical
+    to a direct ``predict`` (the per-op evaluations become memo hits).
+
+    Attributes:
+        spec: The validated request description.
+        memory: The per-device memory breakdown (already admission-checked).
+        decode_mode: Resolved decode pricing mode (``"average"``/``"exact"``).
+        tp_scope: Collective scope of the tensor-parallel group.
+        lm_head: The logits GEMM, or ``None``.
+        prefill_ops: Compute operators of one prefill layer.
+        prefill_comms: Communication operators of one prefill layer.
+        decode_ops: Compute operators of the representative decode layer
+            (average mode only).
+        decode_comms: Its communication operators (average mode only).
+        decode_prepared: Per-step builders and operator lists (exact mode
+            only; see :meth:`StepCostModel.decode_exact_prepared`).
+    """
+
+    spec: InferencePhaseSpec
+    memory: InferenceMemoryBreakdown
+    decode_mode: str
+    tp_scope: str
+    lm_head: Optional[GEMM]
+    prefill_ops: List[Operator]
+    prefill_comms: List[Operator]
+    decode_ops: Optional[List[Operator]] = None
+    decode_comms: Optional[List[Operator]] = None
+    decode_prepared: Optional[Tuple[List[TransformerLayerBuilder], List[List[Operator]]]] = None
+
+    def gemm_queries(self) -> List[GEMM]:
+        """Every GEMM the finished report will ask the kernel model to price."""
+        gemms = [op for op in self.prefill_ops if isinstance(op, GEMM)]
+        if self.decode_ops is not None:
+            gemms.extend(op for op in self.decode_ops if isinstance(op, GEMM))
+        if self.decode_prepared is not None:
+            gemms.extend(
+                op for ops in self.decode_prepared[1] for op in ops if isinstance(op, GEMM)
+            )
+        if self.lm_head is not None:
+            gemms.append(self.lm_head)
+        return gemms
 
 
 @dataclasses.dataclass
@@ -117,6 +172,41 @@ class InferencePerformanceModel:
             MemoryCapacityError: When the weights plus the KV-cache do not fit
                 into the devices' memory and ``check_memory`` is enabled.
         """
+        return self.finish(
+            self.plan(
+                model,
+                batch_size=batch_size,
+                prompt_tokens=prompt_tokens,
+                generated_tokens=generated_tokens,
+                tensor_parallel=tensor_parallel,
+                precision=precision,
+                include_lm_head=include_lm_head,
+                decode_mode=decode_mode,
+            )
+        )
+
+    def plan(
+        self,
+        model: TransformerConfig,
+        batch_size: int = 1,
+        prompt_tokens: int = 200,
+        generated_tokens: int = 200,
+        tensor_parallel: int = 1,
+        precision: Precision = Precision.FP16,
+        include_lm_head: bool = True,
+        decode_mode: Optional[str] = None,
+    ) -> InferencePlan:
+        """Validate the request and build its workload graph without pricing it.
+
+        Runs everything :meth:`predict` does up to (and including) the memory
+        admission check and the operator-list construction, but issues no
+        kernel or collective queries.  ``finish(plan(...))`` is exactly
+        :meth:`predict`; holding the plan lets a batch planner price many
+        requests' GEMMs in one call first.
+
+        Raises:
+            MemoryCapacityError: Same admission check as :meth:`predict`.
+        """
         decode_mode = self.decode_mode if decode_mode is None else decode_mode
         if decode_mode not in DECODE_MODES:
             raise ConfigurationError(f"decode_mode must be one of {DECODE_MODES}, got {decode_mode!r}")
@@ -143,43 +233,65 @@ class InferencePerformanceModel:
             )
 
         tp_scope = self.step_cost.tp_scope(tensor_parallel)
-
         prefill_builder = TransformerLayerBuilder(spec.prefill_layer_spec())
+        plan = InferencePlan(
+            spec=spec,
+            memory=memory,
+            decode_mode=decode_mode,
+            tp_scope=tp_scope,
+            lm_head=self.step_cost.lm_head_gemm(spec),
+            prefill_ops=prefill_builder.forward_compute_ops(),
+            prefill_comms=prefill_builder.forward_communication(scope=tp_scope),
+        )
+        if decode_mode == "exact":
+            plan.decode_prepared = self.step_cost.decode_exact_prepared(spec)
+        else:
+            decode_builder = TransformerLayerBuilder(spec.decode_layer_spec(spec.average_decode_kv_len))
+            plan.decode_ops = decode_builder.forward_compute_ops()
+            plan.decode_comms = decode_builder.forward_communication(scope=tp_scope)
+        return plan
+
+    def finish(self, plan: InferencePlan) -> InferenceReport:
+        """Price a plan into the final report (see :meth:`plan`)."""
+        spec = plan.spec
+        model = spec.model
         prefill = self.step_cost.phase_report(
             name="prefill",
-            builder=prefill_builder,
+            builder=None,
             num_layers=model.num_layers,
-            lm_head=self.step_cost.lm_head_gemm(spec),
+            lm_head=plan.lm_head,
             repeats=1,
-            tp_scope=tp_scope,
+            tp_scope=plan.tp_scope,
+            ops=plan.prefill_ops,
+            comms=plan.prefill_comms,
         )
-
-        if decode_mode == "exact":
+        if plan.decode_mode == "exact":
             decode = self.step_cost.decode_report_exact(
                 spec,
                 num_layers=model.num_layers,
-                lm_head=self.step_cost.lm_head_gemm(spec),
-                tp_scope=tp_scope,
+                lm_head=plan.lm_head,
+                tp_scope=plan.tp_scope,
+                prepared=plan.decode_prepared,
             )
         else:
-            decode_builder = TransformerLayerBuilder(spec.decode_layer_spec(spec.average_decode_kv_len))
             decode = self.step_cost.phase_report(
                 name="decode",
-                builder=decode_builder,
+                builder=None,
                 num_layers=model.num_layers,
-                lm_head=self.step_cost.lm_head_gemm(spec),
-                repeats=max(0, generated_tokens),
-                tp_scope=tp_scope,
+                lm_head=plan.lm_head,
+                repeats=max(0, spec.generated_tokens),
+                tp_scope=plan.tp_scope,
+                ops=plan.decode_ops,
+                comms=plan.decode_comms,
             )
-
         return InferenceReport(
             model_name=model.name,
             system_name=self.system.name,
-            tensor_parallel=tensor_parallel,
-            batch_size=batch_size,
-            prompt_tokens=prompt_tokens,
-            generated_tokens=generated_tokens,
+            tensor_parallel=spec.tensor_parallel,
+            batch_size=spec.batch_size,
+            prompt_tokens=spec.prompt_len,
+            generated_tokens=spec.generated_tokens,
             prefill=prefill,
             decode=decode,
-            memory=memory,
+            memory=plan.memory,
         )

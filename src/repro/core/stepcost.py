@@ -46,6 +46,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..caching import Memo
 from ..comm.collectives import CollectiveAlgorithm
 from ..comm.fabric import CollectiveModel
 from ..hardware.cluster import SystemSpec
@@ -213,16 +214,16 @@ class StepCostModel:
         # Per-shape operator lists and per-layer collective times recur across
         # thousands of simulation steps; memoizing them keeps the
         # discrete-event loop allocation-light.
-        self._attention_ops_cache: Dict[Tuple, Tuple[Operator, ...]] = {}
-        self._token_ops_cache: Dict[Tuple, Tuple[Operator, ...]] = {}
-        self._comm_time_cache: Dict[Tuple, float] = {}
+        self._attention_ops_cache = Memo()
+        self._token_ops_cache = Memo()
+        self._comm_time_cache = Memo()
         # Epoch-fused decode pricing state: per-KV-length attention time
         # tables and the batch-constant partial sums of the token ops.  Both
         # survive across simulations (and across the scenarios of a sweep
         # when the model instance is shared through the engine).
         self._attention_tables: Dict[Tuple, _AttentionTimeTable] = {}
-        self._token_partials_cache: Dict[Tuple, Tuple[float, float, float]] = {}
-        self._head_terms_cache: Dict[Tuple, Tuple[float, float, bool]] = {}
+        self._token_partials_cache = Memo()
+        self._head_terms_cache = Memo()
         # Serializes table growth + fills: one StepCostModel is shared per
         # system (engine_for), so thread-executor sweeps price epochs
         # concurrently.  The read path stays lock-free -- growth copies the
@@ -243,18 +244,31 @@ class StepCostModel:
     def phase_report(
         self,
         name: str,
-        builder: TransformerLayerBuilder,
+        builder: Optional[TransformerLayerBuilder],
         num_layers: int,
         lm_head: Optional[GEMM],
         repeats: int,
         tp_scope: str,
+        ops: Optional[Sequence[Operator]] = None,
+        comms: Optional[Sequence[Operator]] = None,
     ) -> PhaseReport:
-        """Price one phase: ``repeats`` executions of ``num_layers`` layers."""
+        """Price one phase: ``repeats`` executions of ``num_layers`` layers.
+
+        ``ops``/``comms`` accept the layer's precomputed operator lists (what
+        ``builder.forward_compute_ops()`` / ``forward_communication(tp_scope)``
+        return) so a planning pass can build the workload graph once and price
+        it later; when given, ``builder`` may be ``None``.  The accumulation
+        below is identical either way.
+        """
+        if ops is None:
+            ops = builder.forward_compute_ops()
+        if comms is None:
+            comms = builder.forward_communication(scope=tp_scope)
         device_time = 0.0
         compute_bound_time = 0.0
         memory_bound_time = 0.0
         entries: List[KernelTimeEntry] = []
-        for op in builder.forward_compute_ops():
+        for op in ops:
             point = self.kernel_model.evaluate(op)
             time = point.time + self.kernel_model.overhead(op)
             device_time += time * num_layers
@@ -274,7 +288,7 @@ class StepCostModel:
                 )
             )
         communication_time = 0.0
-        for comm in builder.forward_communication(scope=tp_scope):
+        for comm in comms:
             communication_time += self.collective_model.time(comm) * num_layers
         if lm_head is not None:
             head_point, head_time, entry = self.lm_head_entry(lm_head, count=repeats)
@@ -312,12 +326,32 @@ class StepCostModel:
         )
         return head_point, head_time, entry
 
+    def decode_exact_prepared(
+        self, spec: InferencePhaseSpec
+    ) -> Tuple[List[TransformerLayerBuilder], List[List[Operator]]]:
+        """Per-step builders and operator lists of the exact decode phase.
+
+        One builder (and its ``forward_compute_ops()`` list) per generated
+        token, at that token's true KV length -- exactly what
+        :meth:`decode_report_exact` constructs internally.  A planning pass
+        builds these once, collects the GEMMs for a cross-scenario batch, and
+        passes the pair back via ``prepared`` so the graph is not rebuilt at
+        pricing time.
+        """
+        steps = max(0, spec.generated_tokens)
+        builders = [
+            TransformerLayerBuilder(spec.decode_layer_spec(spec.prompt_len + step))
+            for step in range(steps)
+        ]
+        return builders, [builder.forward_compute_ops() for builder in builders]
+
     def decode_report_exact(
         self,
         spec: InferencePhaseSpec,
         num_layers: int,
         lm_head: Optional[GEMM],
         tp_scope: str,
+        prepared: Optional[Tuple[List[TransformerLayerBuilder], List[List[Operator]]]] = None,
     ) -> PhaseReport:
         """Price the decode phase with every token at its true KV length.
 
@@ -339,11 +373,7 @@ class StepCostModel:
                 memory_bound_time=0.0,
                 kernel_breakdown=[],
             )
-        builders = [
-            TransformerLayerBuilder(spec.decode_layer_spec(spec.prompt_len + step))
-            for step in range(steps)
-        ]
-        step_ops = [builder.forward_compute_ops() for builder in builders]
+        builders, step_ops = prepared if prepared is not None else self.decode_exact_prepared(spec)
         # One batched evaluation warms the kernel memo for every GEMM of every
         # step; the per-slot loop below then only takes cache hits.
         self.kernel_model.gemm_model.evaluate_many(
@@ -454,7 +484,7 @@ class StepCostModel:
         assembled.extend(boundary[1:4])
         assembled.extend(builder.mlp_gemms())
         assembled.extend(builder.mlp_auxiliary_ops())
-        return self._cache_ops(self._token_ops_cache, key, tuple(assembled))
+        return self._token_ops_cache.put(key, tuple(assembled))
 
     def _attention_ops(
         self,
@@ -485,14 +515,7 @@ class StepCostModel:
         )
         gemms = builder.attention_gemms()
         softmax = builder.attention_auxiliary_ops()[0]
-        return self._cache_ops(self._attention_ops_cache, key, (gemms[1], gemms[2], softmax))
-
-    @staticmethod
-    def _cache_ops(cache: Dict[Tuple, Tuple[Operator, ...]], key: Tuple, ops: Tuple[Operator, ...]):
-        if len(cache) >= 65536:
-            cache.clear()
-        cache[key] = ops
-        return ops
+        return self._attention_ops_cache.put(key, (gemms[1], gemms[2], softmax))
 
     def _layer_comm_time(
         self, model: TransformerConfig, tokens: int, tensor_parallel: int, precision: Precision
@@ -519,10 +542,7 @@ class StepCostModel:
         )
         scope = self.tp_scope(tensor_parallel)
         time = sum(self.collective_model.time(comm) for comm in builder.forward_communication(scope=scope))
-        if len(self._comm_time_cache) >= 65536:
-            self._comm_time_cache.clear()
-        self._comm_time_cache[key] = time
-        return time
+        return self._comm_time_cache.put(key, time)
 
     def _price_step(
         self,
@@ -791,9 +811,7 @@ class StepCostModel:
                     compute += point.time
                 else:
                     memory += point.time
-        if len(self._token_partials_cache) >= 65536:
-            self._token_partials_cache.clear()
-        self._token_partials_cache[key] = (device, compute, memory)
+        self._token_partials_cache.put(key, (device, compute, memory))
         return device, compute, memory
 
     def _head_terms(
@@ -819,10 +837,7 @@ class StepCostModel:
             head_time,
             point.bound is BoundType.COMPUTE,
         )
-        if len(self._head_terms_cache) >= 65536:
-            self._head_terms_cache.clear()
-        self._head_terms_cache[key] = terms
-        return terms
+        return self._head_terms_cache.put(key, terms)
 
     def decode_run(
         self,

@@ -43,6 +43,19 @@ DEFAULT_NUM_DEVICES = 8
 #: User-registered systems: normalized name -> zero-argument builder.
 _REGISTERED: Dict[str, Callable[[], SystemSpec]] = {}
 
+#: Interned resolutions: ``(normalized name, num_devices)`` -> spec, and
+#: accelerator -> canonical device system.  ``SystemSpec`` is frozen, so
+#: returning the same object for the same request is safe -- and it makes
+#: repeat resolutions identity-equal, which the sweep layer's digest/engine
+#: caches key on (hashing a deep spec per scenario is measurable).
+_RESOLVED_CACHE: Dict["tuple[str, Optional[int]]", SystemSpec] = {}
+_DEVICE_SYSTEM_CACHE: Dict[AcceleratorSpec, SystemSpec] = {}
+
+
+def _clear_resolution_caches() -> None:
+    _RESOLVED_CACHE.clear()
+    _DEVICE_SYSTEM_CACHE.clear()
+
 
 def _normalize(name: str) -> str:
     """The catalog's canonical key form (case-insensitive, ``_`` == ``-``)."""
@@ -59,13 +72,17 @@ def device_system(accelerator: "AcceleratorSpec | str") -> SystemSpec:
     caller happened to hold.
     """
     device = accelerator if isinstance(accelerator, AcceleratorSpec) else get_accelerator(accelerator)
-    return build_system(
-        device,
-        num_devices=DEFAULT_NUM_DEVICES,
-        intra_node="NVLink3",
-        inter_node="HDR-IB",
-        name=device.name,
-    )
+    cached = _DEVICE_SYSTEM_CACHE.get(device)
+    if cached is None:
+        cached = build_system(
+            device,
+            num_devices=DEFAULT_NUM_DEVICES,
+            intra_node="NVLink3",
+            inter_node="HDR-IB",
+            name=device.name,
+        )
+        _DEVICE_SYSTEM_CACHE[device] = cached
+    return cached
 
 
 def register_system(system: "SystemSpec | Callable[[], SystemSpec]", name: Optional[str] = None) -> str:
@@ -83,16 +100,19 @@ def register_system(system: "SystemSpec | Callable[[], SystemSpec]", name: Optio
         spec = system
         key = (name or spec.name).strip()
         _REGISTERED[_normalize(key)] = lambda: spec
+        _clear_resolution_caches()
         return key
     if name is None:
         raise UnknownHardwareError("registering a system builder requires an explicit name")
     _REGISTERED[_normalize(name)] = system
+    _clear_resolution_caches()
     return name.strip()
 
 
 def unregister_system(name: str) -> None:
     """Remove a registered system (no-op if absent); mainly for tests."""
     _REGISTERED.pop(_normalize(name), None)
+    _clear_resolution_caches()
 
 
 def get_system(system: "SystemSpec | AcceleratorSpec | str", num_devices: Optional[int] = None) -> SystemSpec:
@@ -109,19 +129,26 @@ def get_system(system: "SystemSpec | AcceleratorSpec | str", num_devices: Option
         resolved = device_system(system)
         return resolved if num_devices is None else resolved.with_num_devices(num_devices)
     key = _normalize(str(system))
+    interned = _RESOLVED_CACHE.get((key, num_devices))
+    if interned is not None:
+        return interned
     resolved = _resolve_name(key)
+    sized = num_devices
     if resolved is None:
         base, count = _split_sized_name(key)
         if count is not None:
             resolved = _resolve_name(base)
-            if resolved is not None and num_devices is None:
-                num_devices = count
+            if resolved is not None and sized is None:
+                sized = count
     if resolved is None:
         raise UnknownHardwareError(
             f"unknown system {system!r}; available: {list_systems()} "
             f"(any name takes an 'x<count>' suffix, e.g. 'A100x2')"
         )
-    return resolved if num_devices is None else resolved.with_num_devices(num_devices)
+    if sized is not None:
+        resolved = resolved.with_num_devices(sized)
+    _RESOLVED_CACHE[(key, num_devices)] = resolved
+    return resolved
 
 
 def _resolve_name(key: str) -> Optional[SystemSpec]:

@@ -255,22 +255,28 @@ class BatchedRooflineResult:
             return self.kernel_time + kernel_overhead
         return self.kernel_time
 
+    def point_at(self, index: int) -> RooflinePoint:
+        """Materialize the :class:`RooflinePoint` of one row (scalar-compatible).
+
+        The point is built from the same floats the scalar model would have
+        computed (the backend's exact-equality contract), so it can seed the
+        scalar model's memo -- the cross-scenario batch planner warms only
+        the rows a plan actually needs instead of materializing the whole
+        batch.
+        """
+        return RooflinePoint(
+            name=self.names[index],
+            flops=float(self.flops[index]),
+            compute_time=float(self.compute_time[index]),
+            level_times={name: float(self.level_times[name][index]) for name in self.level_names},
+            level_bytes={name: float(self.level_bytes[name][index]) for name in self.level_names},
+            bound=_BOUND_BY_CODE[int(self.bound_codes[index])],
+            bound_level=self.bound_levels[index],
+        )
+
     def to_points(self) -> List[RooflinePoint]:
         """Materialize per-kernel :class:`RooflinePoint` objects (scalar-compatible)."""
-        points: List[RooflinePoint] = []
-        for index in range(len(self)):
-            points.append(
-                RooflinePoint(
-                    name=self.names[index],
-                    flops=float(self.flops[index]),
-                    compute_time=float(self.compute_time[index]),
-                    level_times={name: float(self.level_times[name][index]) for name in self.level_names},
-                    level_bytes={name: float(self.level_bytes[name][index]) for name in self.level_names},
-                    bound=_BOUND_BY_CODE[int(self.bound_codes[index])],
-                    bound_level=self.bound_levels[index],
-                )
-            )
-        return points
+        return [self.point_at(index) for index in range(len(self))]
 
 
 @dataclasses.dataclass(frozen=True)

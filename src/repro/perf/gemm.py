@@ -24,7 +24,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..caching import memo_put
+from ..caching import Memo
 from ..errors import ConfigurationError
 from ..hardware.accelerator import AcceleratorSpec
 from ..units import MICROSECOND
@@ -154,7 +154,7 @@ class GemmTimeModel:
         # thousands of times (layers x micro-batches x scenarios).  The cache
         # is keyed by the frozen GEMM descriptor and is not a dataclass field,
         # so equality/hashing of the model itself are unaffected.
-        object.__setattr__(self, "_evaluation_cache", {})
+        object.__setattr__(self, "_evaluation_cache", Memo())
         object.__setattr__(self, "_batched", None)
 
     # -- helpers ---------------------------------------------------------------
@@ -222,7 +222,7 @@ class GemmTimeModel:
             level_bytes=traffic,
             outermost_level=dram_name,
         )
-        return memo_put(self._evaluation_cache, gemm, point)
+        return self._evaluation_cache.put(gemm, point)
 
     def time(self, gemm: GEMM, include_overhead: bool = True) -> float:
         """Execution time of one GEMM in seconds."""
@@ -258,5 +258,20 @@ class GemmTimeModel:
         if missing:
             result = self.batched.evaluate_batch(GemmBatch.from_gemms(missing))
             for gemm, point in zip(missing, result.to_points()):
-                memo_put(self._evaluation_cache, gemm, point)
+                self._evaluation_cache.put(gemm, point)
         return [self.evaluate(gemm) for gemm in gemms]
+
+    def memoized(self, gemm: GEMM) -> bool:
+        """Whether ``gemm``'s roofline point is already in the memo."""
+        return gemm in self._evaluation_cache
+
+    def memoize(self, gemm: GEMM, point: RooflinePoint) -> RooflinePoint:
+        """Seed the memo with an externally evaluated point.
+
+        Used by the cross-scenario batch planner
+        (:mod:`repro.sweep.batchplan`) to warm this model from one shared
+        :meth:`BatchedGemmTimeModel.evaluate_batch` call; the backend's
+        exact-equality contract makes the seeded points indistinguishable
+        from ones :meth:`evaluate` would have produced.
+        """
+        return self._evaluation_cache.put(gemm, point)

@@ -13,7 +13,7 @@ import dataclasses
 from ..errors import ConfigurationError
 from ..hardware.accelerator import AcceleratorSpec
 from ..units import MICROSECOND
-from ..caching import memo_put
+from ..caching import Memo
 from ..workload.operators import GEMM, Operator, OperatorKind
 from .gemm import GemmTimeModel
 from .roofline import RooflinePoint, classify
@@ -46,7 +46,7 @@ class MemoryBoundKernelModel:
             raise ConfigurationError("kernel_overhead must be non-negative")
         # Memoization of repeated kernel queries (see GemmTimeModel); keyed by
         # the frozen operator descriptor, attached outside the dataclass fields.
-        object.__setattr__(self, "_evaluation_cache", {})
+        object.__setattr__(self, "_evaluation_cache", Memo())
 
     def evaluate(self, op: Operator) -> RooflinePoint:
         """Time and classify one memory-bound kernel."""
@@ -65,7 +65,7 @@ class MemoryBoundKernelModel:
             level_bytes={dram.name: op.bytes_total},
             outermost_level=dram.name,
         )
-        return memo_put(self._evaluation_cache, op, point)
+        return self._evaluation_cache.put(op, point)
 
     def time(self, op: Operator, include_overhead: bool = True) -> float:
         """Execution time of one kernel in seconds."""

@@ -59,6 +59,7 @@ from ..serving.report import ServingSLO
 from ..serving.request import LengthDistribution, TraceConfig
 from ..serving.scheduler import SchedulerConfig
 from ..serving.simulator import ServingConfig
+from ..sweep.diskstore import DiskResultStore
 from ..sweep.runner import SweepResult, SweepRunner, default_runner, expand_grid, merge_axis_records
 from ..sweep.scenario import Scenario
 from ..sweep.table import SweepTable
@@ -272,20 +273,29 @@ class Study:
         runner: Optional[SweepRunner] = None,
         executor: Optional[str] = None,
         on_result: Optional[Callable[[SweepResult], None]] = None,
+        disk_cache: "DiskResultStore | str | bool | None" = None,
     ) -> StudyRun:
         """Run the study and return the full :class:`StudyRun` context.
 
         Args:
             runner: Runner to evaluate through; defaults to the process-wide
-                shared runner (or a fresh one when ``executor`` is given).
+                shared runner (or a fresh one when ``executor`` or
+                ``disk_cache`` is given).
             executor: Shorthand for ``SweepRunner(executor=...)`` when no
                 runner is passed.
             on_result: Streaming progress callback, forwarded to
                 :meth:`SweepRunner.run` (fires once per scenario as its
                 result becomes available).
+            disk_cache: Persistent result store for the fresh runner (a
+                :class:`~repro.sweep.diskstore.DiskResultStore`, a cache-root
+                path, or ``True`` for the default location); only meaningful
+                when no ``runner`` is passed.
         """
         if runner is None:
-            runner = SweepRunner(executor=executor) if executor is not None else default_runner()
+            if executor is not None or disk_cache is not None:
+                runner = SweepRunner(executor=executor or "serial", disk_cache=disk_cache)
+            else:
+                runner = default_runner()
         combos = list(self.combos())
         scenarios = [self.scenario_for(combo) for combo in combos]
         results = runner.run(scenarios, capture_errors=self.capture_errors, on_result=on_result)
@@ -307,9 +317,12 @@ class Study:
         runner: Optional[SweepRunner] = None,
         executor: Optional[str] = None,
         on_result: Optional[Callable[[SweepResult], None]] = None,
+        disk_cache: "DiskResultStore | str | bool | None" = None,
     ) -> SweepTable:
         """Run the study and return its result table (see :meth:`execute`)."""
-        return self.execute(runner=runner, executor=executor, on_result=on_result).table
+        return self.execute(
+            runner=runner, executor=executor, on_result=on_result, disk_cache=disk_cache
+        ).table
 
     def _extract_fn(self) -> ExtractFn:
         if self.extract is None:

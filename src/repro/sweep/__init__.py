@@ -6,7 +6,12 @@ Public surface:
   evaluation (system + model + parallelism + workload knobs) with a
   canonical cache key.
 * :class:`~repro.sweep.runner.SweepRunner` -- deduplicates, caches, and
-  executes scenario grids serially or across a thread/process pool.
+  executes scenario grids serially or across a thread/process pool; the
+  serial path prices each generation of unique scenarios through the
+  cross-scenario batch planner (:mod:`repro.sweep.batchplan`).
+* :class:`~repro.sweep.diskstore.DiskResultStore` -- persistent on-disk
+  result store (``SweepRunner(disk_cache=...)``), keyed by the scenarios'
+  deterministic cache keys plus a code fingerprint.
 * :func:`~repro.sweep.runner.expand_grid` -- cartesian-product helper.
 * :func:`~repro.sweep.runner.default_runner` -- the process-wide shared
   runner the analysis and DSE layers route through.
@@ -15,6 +20,8 @@ Public surface:
   <repro.sweep.runner.SweepRunner.run_table>` and the analysis drivers.
 """
 
+from .batchplan import evaluate_pending_batched, plan_scenario, price_plans
+from .diskstore import DiskResultStore, code_fingerprint, default_cache_root
 from .runner import (
     SweepResult,
     SweepRunner,
@@ -24,10 +31,11 @@ from .runner import (
     expand_grid,
     merge_axis_records,
 )
-from .scenario import Scenario, ScenarioKind, engine_for, evaluate_scenario
+from .scenario import Scenario, ScenarioKind, clear_engine_cache, engine_for, evaluate_scenario
 from .table import SweepRow, SweepTable
 
 __all__ = [
+    "DiskResultStore",
     "Scenario",
     "ScenarioKind",
     "SweepResult",
@@ -36,9 +44,15 @@ __all__ = [
     "SweepStats",
     "SweepTable",
     "axis_label",
+    "clear_engine_cache",
+    "code_fingerprint",
+    "default_cache_root",
     "default_runner",
     "engine_for",
+    "evaluate_pending_batched",
     "evaluate_scenario",
     "expand_grid",
     "merge_axis_records",
+    "plan_scenario",
+    "price_plans",
 ]

@@ -1,0 +1,144 @@
+"""Persistent on-disk result store for the sweep runner.
+
+The in-memory LRU of :class:`~repro.sweep.runner.SweepRunner` dies with the
+process; incremental workflows (re-running a study after editing its plotting
+code, CI re-runs, notebook restarts) re-price every scenario from scratch.
+:class:`DiskResultStore` persists evaluation outcomes -- values *and* captured
+library errors -- keyed by the scenario's deterministic
+:meth:`~repro.sweep.scenario.Scenario.cache_key`, so a second run of the same
+study prices nothing.
+
+Layout and invalidation
+-----------------------
+Entries are pickles sharded under ``<root>/<fingerprint>/<key[:2]>/<key>.pkl``:
+
+* ``root`` defaults to ``~/.cache/repro`` and is overridable per store
+  (``DiskResultStore(root=...)``, the CLI's ``--cache-dir``) or globally via
+  the ``REPRO_CACHE_DIR`` environment variable.
+* ``fingerprint`` folds in the library version and the store's format
+  version, so upgrading the code (which may change predictions) or the
+  record format orphans old entries instead of serving stale results.
+  Cleaning up orphaned fingerprint directories is the user's business
+  (``rm -rf ~/.cache/repro``) -- the store never deletes.
+
+Robustness
+----------
+Writes go through a temp file plus :func:`os.replace`, so concurrent writers
+(process-pool sweeps, parallel CI jobs) can race on the same key and readers
+still see only complete records -- last writer wins, and every writer writes
+the same bytes-equal value anyway (deterministic evaluations).  Reads treat
+*any* failure (truncated pickle, corrupted shard, unreadable file, foreign
+record shape) as a miss: a damaged cache can cost re-pricing, never a crash
+and never a wrong result.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Optional, Tuple
+
+from ..errors import ReproError
+
+#: Version of the on-disk record layout; bump on incompatible changes.
+FORMAT_VERSION = 1
+
+#: Environment variable overriding the default cache root.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_root() -> Path:
+    """The default store root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro"
+
+
+def code_fingerprint() -> str:
+    """Digest of everything that invalidates stored results wholesale.
+
+    Currently the library version plus the record format version: a release
+    that changes any prediction must bump ``repro.__version__``, which moves
+    the store to a fresh fingerprint directory.
+    """
+    from .. import __version__
+
+    payload = f"repro={__version__};format={FORMAT_VERSION}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+class DiskResultStore:
+    """Sharded pickle store of scenario evaluation outcomes.
+
+    Attributes:
+        root: Store root directory (shared by all fingerprints).
+        fingerprint: The code/format fingerprint this store reads and writes
+            under (defaults to :func:`code_fingerprint`; overridable for
+            tests).
+    """
+
+    def __init__(self, root: "Path | str | None" = None, fingerprint: Optional[str] = None):
+        self.root = Path(root) if root is not None else default_cache_root()
+        self.fingerprint = fingerprint if fingerprint is not None else code_fingerprint()
+
+    def path_for(self, key: str) -> Path:
+        """The shard path of one cache key."""
+        return self.root / self.fingerprint / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[Tuple[object, Optional[ReproError]]]:
+        """Load one outcome, or ``None`` on miss *or any* read failure.
+
+        Returns ``(value, error)``: exactly one of the pair is meaningful,
+        mirroring the runner's cache entries (captured library errors are
+        stored too, so infeasible corners are not re-evaluated either).
+        """
+        try:
+            with open(self.path_for(key), "rb") as handle:
+                record = pickle.load(handle)
+            if not isinstance(record, tuple) or len(record) != 3 or record[0] != FORMAT_VERSION:
+                return None
+            _, value, error = record
+            if error is not None and not isinstance(error, ReproError):
+                return None
+            return value, error
+        except Exception:
+            # Corrupted/truncated/unreadable entries are plain misses: the
+            # scenario is re-priced and the entry rewritten.
+            return None
+
+    def put(self, key: str, value: object = None, error: Optional[ReproError] = None) -> bool:
+        """Persist one outcome; returns whether the write landed.
+
+        Failures (unpicklable value, read-only filesystem, full disk) are
+        swallowed: persistence is an optimization, never a reason to fail a
+        sweep.
+        """
+        path = self.path_for(key)
+        tmp_path: Optional[str] = None
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            handle, tmp_path = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            with os.fdopen(handle, "wb") as stream:
+                pickle.dump((FORMAT_VERSION, value, error), stream, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_path, path)
+            tmp_path = None
+            return True
+        except Exception:
+            return False
+        finally:
+            if tmp_path is not None:
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass
+
+    def count(self) -> int:
+        """Number of entries stored under the current fingerprint (tests/inspection)."""
+        base = self.root / self.fingerprint
+        if not base.is_dir():
+            return 0
+        return sum(1 for _ in base.glob("*/*.pkl"))

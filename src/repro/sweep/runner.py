@@ -29,6 +29,8 @@ import itertools
 from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence
 
 from ..errors import ConfigurationError, ReproError
+from .batchplan import evaluate_pending_batched
+from .diskstore import DiskResultStore
 from .scenario import Scenario, evaluate_scenario
 from .table import SweepTable
 
@@ -73,11 +75,26 @@ class SweepResult:
 
 @dataclasses.dataclass
 class SweepStats:
-    """Running counters of a :class:`SweepRunner` (across all calls)."""
+    """Running counters of a :class:`SweepRunner` (across all calls).
+
+    Attributes:
+        evaluations: Scenarios actually priced (fresh, not served from any
+            cache).
+        cache_hits: Results served without evaluation -- in-memory LRU hits,
+            within-run duplicates, and disk-store hits alike.
+        errors: Fresh evaluations that raised a captured library error.
+        disk_hits: The subset of :attr:`cache_hits` loaded from the
+            persistent :class:`~repro.sweep.diskstore.DiskResultStore`.
+        batched_scenarios: Fresh evaluations priced through the
+            cross-scenario batch planner (:mod:`repro.sweep.batchplan`)
+            rather than one at a time.
+    """
 
     evaluations: int = 0
     cache_hits: int = 0
     errors: int = 0
+    disk_hits: int = 0
+    batched_scenarios: int = 0
 
     def snapshot(self) -> Dict[str, int]:
         """Plain-dict view for logs and benchmark extra_info."""
@@ -106,6 +123,19 @@ class SweepRunner:
             that contain infeasible corners.  Non-library exceptions always
             propagate: a bug in the model must not masquerade as an
             infeasible scenario.
+        disk_cache: Persistent result store.  ``None``/``False`` disables it
+            (the default); ``True`` opens the default store
+            (``~/.cache/repro`` or ``$REPRO_CACHE_DIR``); a path opens a
+            store rooted there; a built
+            :class:`~repro.sweep.diskstore.DiskResultStore` is used as-is.
+            Outcomes are checked on LRU misses and persisted after fresh
+            evaluations, so a repeat run prices nothing.
+        batch_planning: Whether the serial executor prices each generation
+            of pending scenarios through the cross-scenario batch planner
+            (:mod:`repro.sweep.batchplan`) -- bit-identical results, one
+            vectorized roofline call per generation instead of per-GEMM
+            Python loops.  On by default; turn off to force the one-at-a-
+            time reference path (the cold-sweep benchmark compares both).
     """
 
     def __init__(
@@ -114,6 +144,8 @@ class SweepRunner:
         max_workers: Optional[int] = None,
         cache_size: int = 4096,
         capture_errors: bool = False,
+        disk_cache: "DiskResultStore | str | bool | None" = None,
+        batch_planning: bool = True,
     ):
         if executor not in EXECUTORS:
             raise ConfigurationError(f"executor must be one of {EXECUTORS}, got {executor!r}")
@@ -123,6 +155,8 @@ class SweepRunner:
         self.max_workers = max_workers
         self.cache_size = cache_size
         self.capture_errors = capture_errors
+        self.batch_planning = batch_planning
+        self.disk_cache = _resolve_disk_cache(disk_cache)
         self.stats = SweepStats()
         self._cache: "collections.OrderedDict[str, _CacheEntry]" = collections.OrderedDict()
 
@@ -144,6 +178,24 @@ class SweepRunner:
         while len(self._cache) >= self.cache_size:
             self._cache.popitem(last=False)
         self._cache[key] = entry
+
+    def _lookup(self, key: str) -> Optional[_CacheEntry]:
+        """LRU lookup, falling through to the persistent store on a miss.
+
+        Disk hits are promoted into the LRU (and counted in
+        :attr:`SweepStats.disk_hits`) so repeats within the process stay
+        memory-speed.
+        """
+        entry = self._cache_get(key)
+        if entry is not None or self.disk_cache is None:
+            return entry
+        stored = self.disk_cache.get(key)
+        if stored is None:
+            return None
+        self.stats.disk_hits += 1
+        entry = _CacheEntry(value=stored[0], error=stored[1])
+        self._cache_put(key, entry)
+        return entry
 
     # -- execution --------------------------------------------------------------------
 
@@ -182,7 +234,7 @@ class SweepRunner:
             indices_by_key.setdefault(key, []).append(index)
             if key in hits or key in pending:
                 continue
-            entry = self._cache_get(key)
+            entry = self._lookup(key)
             if entry is not None:
                 hits[key] = entry
             else:
@@ -227,7 +279,7 @@ class SweepRunner:
         the building block for objective functions and one-off queries.
         """
         key = scenario.cache_key()
-        entry = self._cache_get(key)
+        entry = self._lookup(key)
         if entry is None:
             entry = self._evaluate_pending({key: scenario})[key]
         else:
@@ -319,11 +371,19 @@ class SweepRunner:
             if entry.error is not None:
                 self.stats.errors += 1
             self._cache_put(key, entry)
+            if self.disk_cache is not None:
+                self.disk_cache.put(key, value=entry.value, error=entry.error)
             fresh[key] = entry
             if on_entry is not None:
                 on_entry(key, entry)
 
         if self.executor == "serial" or len(pending) == 1:
+            if self.batch_planning and len(pending) > 1:
+                for outcome in evaluate_pending_batched(pending):
+                    if outcome.batched:
+                        self.stats.batched_scenarios += 1
+                    record(outcome.key, _CacheEntry(value=outcome.value, error=outcome.error))
+                return fresh
             for key, scenario in pending.items():
                 record(key, self._evaluate_one(scenario))
             return fresh
@@ -347,6 +407,17 @@ class SweepRunner:
             return _CacheEntry(value=evaluate_scenario(scenario))
         except ReproError as error:
             return _CacheEntry(error=error)
+
+
+def _resolve_disk_cache(disk_cache: "DiskResultStore | str | bool | None") -> Optional[DiskResultStore]:
+    """Normalize the runner's ``disk_cache`` argument to a store (or ``None``)."""
+    if disk_cache is None or disk_cache is False:
+        return None
+    if disk_cache is True:
+        return DiskResultStore()
+    if isinstance(disk_cache, DiskResultStore):
+        return disk_cache
+    return DiskResultStore(root=disk_cache)
 
 
 def axis_label(value: object) -> object:

@@ -22,6 +22,7 @@ import enum
 import hashlib
 from typing import Dict, Mapping, Optional, Tuple
 
+from ..caching import Memo
 from ..core.bottleneck import attention_layer_bound_breakdown
 from ..core.engine import PerformancePredictionEngine
 from ..errors import ConfigurationError
@@ -389,14 +390,24 @@ class Scenario:
 
         The ``tag`` field is deliberately excluded: it labels results, it does
         not change them.  Two scenarios with equal keys are guaranteed to
-        evaluate to the same value.
+        evaluate to the same value.  The digest is a pure function of the
+        field *values* (no ids, no hash seeds), so equal scenarios produce
+        the same key in different processes and across runs -- the property
+        the persistent result store (:mod:`repro.sweep.diskstore`) keys on.
+        Memoized per instance: the runner asks for the key on every run and
+        the canonicalization walk is not free.
         """
+        cached = self.__dict__.get("_cache_key")
+        if cached is not None:
+            return cached
         payload = tuple(
             (field.name, _canonical(getattr(self, field.name)))
             for field in dataclasses.fields(self)
             if field.name != "tag"
         )
-        return hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()
+        key = hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()
+        object.__setattr__(self, "_cache_key", key)
+        return key
 
     def with_tag(self, tag: str) -> "Scenario":
         """Return a copy carrying a different result label."""
@@ -427,8 +438,38 @@ def _device_system(accelerator: "AcceleratorSpec | SystemSpec | str") -> SystemS
     return device_system(accelerator)
 
 
+#: Canonical-form digests of the heavyweight spec values (systems, models,
+#: parallelism/serving configs).  A sweep re-canonicalizes the same handful of
+#: spec objects for every scenario; digesting each once collapses the deep
+#: recursive walk into one memo lookup.  The digest is over the canonical
+#: *structure* (not ``hash()``/``id()``), so it stays deterministic across
+#: processes -- required for the on-disk result store.
+_CANONICAL_DIGEST_TYPES = (SystemSpec, TransformerConfig, ParallelismConfig, ServingConfig)
+_CANONICAL_MEMO = Memo(max_size=4096)
+
+
 def _canonical(value: object) -> object:
     """Reduce a value to a stable, hashable canonical form for cache keys."""
+    if isinstance(value, _CANONICAL_DIGEST_TYPES):
+        # Two cache tiers: the digest is pinned on the instance (repeat keys
+        # of the same object cost one attribute read -- no hashing of the
+        # deep spec), and the value-keyed memo behind it collapses
+        # *distinct-but-equal* objects, which catalog resolution produces one
+        # of per scenario.  The pinned digest is a small tuple of strings, so
+        # scenarios shipped to process-pool workers stay cheap to pickle.
+        digest = value.__dict__.get("_repro_canonical")
+        if digest is None:
+            digest = _CANONICAL_MEMO.get(value)
+            if digest is None:
+                structure = _canonical_structure(value)
+                digest = (type(value).__name__, hashlib.sha256(repr(structure).encode("utf-8")).hexdigest())
+                _CANONICAL_MEMO.put(value, digest)
+            object.__setattr__(value, "_repro_canonical", digest)
+        return digest
+    return _canonical_structure(value)
+
+
+def _canonical_structure(value: object) -> object:
     if isinstance(value, enum.Enum):
         return (type(value).__name__, value.value)
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
@@ -452,6 +493,10 @@ def _canonical(value: object) -> object:
 #: Engines kept per process, keyed by the (value-hashable) system spec.
 _ENGINE_CACHE_SIZE = 64
 _ENGINE_CACHE: Dict[SystemSpec, PerformancePredictionEngine] = {}
+#: Identity fast path over ``_ENGINE_CACHE``: hashing a deep ``SystemSpec``
+#: costs microseconds, an ``id()`` lookup does not.  The entry pins the spec
+#: object so its id cannot be recycled while cached.
+_ENGINE_BY_ID: Dict[int, "Tuple[SystemSpec, PerformancePredictionEngine]"] = {}
 
 
 def engine_for(system: SystemSpec) -> PerformancePredictionEngine:
@@ -463,15 +508,35 @@ def engine_for(system: SystemSpec) -> PerformancePredictionEngine:
     prices decode runs from -- which is where most of a sweep's repeated
     work is saved.  Serving scenarios in particular run warm from the second
     frontier point on (verified by ``tests/sweep/test_serving_cache.py``
-    through the step-cost model's ``cache_hits`` counter).
+    through the step-cost model's ``cache_hits`` counter).  Equal (not just
+    identical) specs share one engine.
     """
+    cached = _ENGINE_BY_ID.get(id(system))
+    if cached is not None:
+        return cached[1]
     engine = _ENGINE_CACHE.get(system)
     if engine is None:
         if len(_ENGINE_CACHE) >= _ENGINE_CACHE_SIZE:
             _ENGINE_CACHE.pop(next(iter(_ENGINE_CACHE)))
         engine = PerformancePredictionEngine(system)
         _ENGINE_CACHE[system] = engine
+    if len(_ENGINE_BY_ID) >= _ENGINE_CACHE_SIZE * 8:
+        _ENGINE_BY_ID.clear()
+    _ENGINE_BY_ID[id(system)] = (system, engine)
     return engine
+
+
+def clear_engine_cache() -> None:
+    """Drop every cached engine (and the canonical-form digest memo).
+
+    Dropping the engines also drops their memoized kernel/collective models
+    and step-cost caches, so the next evaluation of any scenario pays the
+    full cold-path cost again.  Used by the cold-sweep benchmarks to measure
+    genuinely cold pricing; sweeps never need to call this.
+    """
+    _ENGINE_CACHE.clear()
+    _ENGINE_BY_ID.clear()
+    _CANONICAL_MEMO.clear()
 
 
 def evaluate_scenario(scenario: Scenario) -> object:
@@ -504,6 +569,10 @@ def evaluate_scenario(scenario: Scenario) -> object:
             tensor_parallel=scenario.tensor_parallel,
         )
     if kind is ScenarioKind.ATTENTION_BOUND:
+        # Route through the per-system engine's kernel model: the breakdown's
+        # numbers do not change (same accelerator, memoization only), but the
+        # shared memo lets a sweep -- and the cross-scenario batch planner --
+        # reuse GEMM evaluations across scenarios.
         return attention_layer_bound_breakdown(
             scenario.model,
             accelerator=scenario.system.accelerator,
@@ -511,6 +580,7 @@ def evaluate_scenario(scenario: Scenario) -> object:
             seq_len=scenario.seq_len,
             tensor_parallel=scenario.tensor_parallel,
             precision=scenario.precision,
+            kernel_model=engine_for(scenario.system).kernel_model,
         )
     engine = engine_for(scenario.system)
     if kind is ScenarioKind.TRAINING:

@@ -1,0 +1,189 @@
+"""Tests for the persistent on-disk result store and its runner integration."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.sweep import Scenario, SweepRunner
+from repro.sweep.diskstore import (
+    CACHE_DIR_ENV,
+    FORMAT_VERSION,
+    DiskResultStore,
+    code_fingerprint,
+    default_cache_root,
+)
+from repro.sweep.runner import _resolve_disk_cache
+
+
+@pytest.fixture
+def store(tmp_path):
+    return DiskResultStore(root=tmp_path)
+
+
+def _grid(model, count=4):
+    return [Scenario.decode_bottlenecks("A100", model, kv_len=100 + index) for index in range(count)]
+
+
+# ---------------------------------------------------------------------------
+# Store primitives.
+# ---------------------------------------------------------------------------
+
+
+def test_put_get_roundtrip(store):
+    assert store.get("abcd") is None
+    assert store.put("abcd", value={"x": 1})
+    assert store.get("abcd") == ({"x": 1}, None)
+    assert store.count() == 1
+
+
+def test_entries_shard_under_the_fingerprint(store):
+    store.put("abcd", value=1)
+    path = store.path_for("abcd")
+    assert path.exists()
+    assert path.parent.name == "ab"
+    assert path.parent.parent.name == store.fingerprint
+    assert store.fingerprint == code_fingerprint()
+
+
+def test_corrupted_entry_reads_as_a_miss(store):
+    store.put("abcd", value=1)
+    store.path_for("abcd").write_bytes(b"not a pickle at all")
+    assert store.get("abcd") is None
+
+
+def test_truncated_entry_reads_as_a_miss(store):
+    store.put("abcd", value=list(range(1000)))
+    path = store.path_for("abcd")
+    payload = path.read_bytes()
+    path.write_bytes(payload[: len(payload) // 2])
+    assert store.get("abcd") is None
+
+
+def test_foreign_record_shapes_read_as_a_miss(store):
+    path = store.path_for("abcd")
+    path.parent.mkdir(parents=True)
+    path.write_bytes(pickle.dumps({"weird": "shape"}))
+    assert store.get("abcd") is None
+    path.write_bytes(pickle.dumps((FORMAT_VERSION + 1, "value", None)))  # future format
+    assert store.get("abcd") is None
+
+
+def test_fingerprint_change_orphans_old_entries(tmp_path):
+    old = DiskResultStore(root=tmp_path, fingerprint="aaaa")
+    old.put("abcd", value=1)
+    new = DiskResultStore(root=tmp_path, fingerprint="bbbb")
+    assert new.get("abcd") is None  # a new code version never serves old results
+    assert old.get("abcd") == (1, None)  # ...but does not delete them either
+
+
+def test_unpicklable_values_fail_softly(store):
+    assert not store.put("abcd", value=lambda: None)
+    assert store.get("abcd") is None
+    assert store.count() == 0
+
+
+def test_cache_dir_env_overrides_the_default_root(tmp_path, monkeypatch):
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "elsewhere"))
+    assert default_cache_root() == tmp_path / "elsewhere"
+    assert DiskResultStore().root == tmp_path / "elsewhere"
+    monkeypatch.delenv(CACHE_DIR_ENV)
+    assert str(default_cache_root()).endswith(os.path.join(".cache", "repro"))
+
+
+# ---------------------------------------------------------------------------
+# Runner integration.
+# ---------------------------------------------------------------------------
+
+
+def test_second_runner_prices_nothing(tmp_path, tiny_model):
+    scenarios = _grid(tiny_model)
+    first = SweepRunner(disk_cache=tmp_path)
+    first_results = first.run(scenarios)
+    assert first.stats.evaluations == len(scenarios)
+    assert first.stats.disk_hits == 0
+
+    second = SweepRunner(disk_cache=tmp_path)  # fresh process stand-in: empty LRU
+    second_results = second.run(scenarios)
+    assert second.stats.evaluations == 0
+    assert second.stats.disk_hits == len(scenarios)
+    assert second.stats.cache_hits == len(scenarios)
+    for ours, theirs in zip(second_results, first_results):
+        assert ours.value == theirs.value
+        assert ours.from_cache
+
+
+def test_disk_hits_promote_into_the_lru(tmp_path, tiny_model):
+    scenario = _grid(tiny_model, count=1)[0]
+    SweepRunner(disk_cache=tmp_path).run([scenario])
+    runner = SweepRunner(disk_cache=tmp_path)
+    runner.run([scenario])
+    runner.run([scenario])
+    assert runner.stats.disk_hits == 1  # the repeat was served from memory
+
+
+def test_captured_errors_persist_and_are_served_from_disk(tmp_path):
+    bad = Scenario.inference("A100", "Llama2-70B", tensor_parallel=1)
+    first = SweepRunner(disk_cache=tmp_path, capture_errors=True)
+    first_results = first.run([bad])
+    assert first.stats.errors == 1
+
+    second = SweepRunner(disk_cache=tmp_path, capture_errors=True)
+    second_results = second.run([bad])
+    assert second.stats.evaluations == 0
+    assert second.stats.disk_hits == 1
+    assert second.stats.errors == 0  # nothing fresh failed; the error was replayed
+    assert second_results[0].error == first_results[0].error
+
+
+def test_corrupted_store_reprices_instead_of_crashing(tmp_path, tiny_model):
+    scenarios = _grid(tiny_model, count=2)
+    first = SweepRunner(disk_cache=tmp_path)
+    first_results = first.run(scenarios)
+    store = first.disk_cache
+    store.path_for(scenarios[0].cache_key()).write_bytes(b"garbage")
+
+    second = SweepRunner(disk_cache=tmp_path)
+    second_results = second.run(scenarios)
+    assert second.stats.evaluations == 1  # only the damaged entry re-priced
+    assert second.stats.disk_hits == 1
+    assert [r.value for r in second_results] == [r.value for r in first_results]
+    # The re-evaluation healed the damaged entry.
+    assert store.get(scenarios[0].cache_key()) is not None
+
+
+def test_process_pool_writers_share_one_store(tmp_path, tiny_model):
+    scenarios = _grid(tiny_model)
+    writer = SweepRunner(executor="process", max_workers=2, disk_cache=tmp_path)
+    writer_results = writer.run(scenarios)
+    assert writer.stats.evaluations == len(scenarios)
+    assert writer.disk_cache.count() == len(scenarios)
+
+    reader = SweepRunner(disk_cache=tmp_path)
+    reader_results = reader.run(scenarios)
+    assert reader.stats.evaluations == 0
+    assert reader.stats.disk_hits == len(scenarios)
+    for ours, theirs in zip(reader_results, writer_results):
+        assert ours.value == theirs.value
+
+
+def test_resolve_disk_cache_forms(tmp_path):
+    assert _resolve_disk_cache(None) is None
+    assert _resolve_disk_cache(False) is None
+    built = DiskResultStore(root=tmp_path)
+    assert _resolve_disk_cache(built) is built
+    from_path = _resolve_disk_cache(tmp_path / "sub")
+    assert isinstance(from_path, DiskResultStore)
+    assert from_path.root == tmp_path / "sub"
+
+
+def test_disk_cache_true_opens_the_default_store(tmp_path, monkeypatch):
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "default-root"))
+    runner = SweepRunner(disk_cache=True)
+    assert runner.disk_cache is not None
+    assert runner.disk_cache.root == tmp_path / "default-root"
+
+
+def test_disk_cache_off_by_default(tiny_model):
+    runner = SweepRunner()
+    assert runner.disk_cache is None

@@ -1,0 +1,71 @@
+"""Tests for the shared two-generation memoization cache."""
+
+import pytest
+
+from repro.caching import Memo
+
+
+def test_put_get_roundtrip_and_contains():
+    memo = Memo(max_size=4)
+    assert memo.get("a") is None
+    assert memo.get("a", default=7) == 7
+    assert memo.put("a", 1) == 1
+    assert memo.get("a") == 1
+    assert "a" in memo
+    assert "b" not in memo
+    assert len(memo) == 1
+
+
+def test_hot_key_survives_crossing_the_bound():
+    """Regression for the old clear-on-full policy: a key that keeps being
+    read must stay cached while cold keys churn the cache past its bound."""
+    memo = Memo(max_size=4)
+    memo.put("hot", "value")
+    for index in range(40):
+        memo.put(("cold", index), index)
+        # The interleaved read keeps promoting the hot key into the current
+        # generation before the next roll can drop it.
+        assert memo.get("hot") == "value", f"hot key evicted after {index + 1} cold puts"
+
+
+def test_unread_keys_age_out_within_two_generations():
+    memo = Memo(max_size=4)
+    memo.put("stale", 0)
+    # Two full generations of fresh keys (never reading "stale") roll the
+    # current generation twice, dropping the old previous wholesale.
+    for index in range(8):
+        memo.put(("fresh", index), index)
+    assert "stale" not in memo
+    assert memo.get("stale") is None
+
+
+def test_retention_is_bounded_by_two_generations():
+    memo = Memo(max_size=8)
+    for index in range(1000):
+        memo.put(index, index)
+    assert len(memo) <= 2 * memo.max_size
+
+
+def test_repeated_put_of_same_key_does_not_roll_generations():
+    memo = Memo(max_size=2)
+    memo.put("a", 1)
+    memo.put("b", 2)
+    for _ in range(10):
+        memo.put("a", 1)  # key already current: no eviction pressure
+    assert memo.get("b") == 2
+
+
+def test_clear_drops_both_generations():
+    memo = Memo(max_size=2)
+    memo.put("a", 1)
+    memo.put("b", 2)
+    memo.put("c", 3)  # rolls a+b into the previous generation
+    memo.clear()
+    assert len(memo) == 0
+    assert memo.get("a") is None
+    assert memo.get("c") is None
+
+
+def test_invalid_max_size_rejected():
+    with pytest.raises(ValueError):
+        Memo(max_size=0)
