@@ -13,6 +13,10 @@ Subcommands:
   Results persist to the on-disk store (``~/.cache/repro`` or
   ``$REPRO_CACHE_DIR``) so re-running a study prices nothing; point
   ``--cache-dir`` elsewhere or disable with ``--no-disk-cache``.
+* ``repro cache stats|clear|prune`` -- inspect or clean that store:
+  ``stats`` reports entries/bytes per fingerprint, ``clear`` empties the
+  current fingerprint, ``prune`` drops stale fingerprints (``--all`` drops
+  the current one too).
 
 Examples::
 
@@ -21,6 +25,7 @@ Examples::
     python -m repro spec table4_gemm_bottlenecks > sweep.json
     python -m repro run sweep.json --executor process --json out.json
     python -m repro run serving_latency_throughput_frontier -p num_requests=16
+    python -m repro cache stats
 """
 
 from __future__ import annotations
@@ -93,6 +98,25 @@ def _build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("--max-rows", type=int, default=40,
                          help="rows printed to stdout (default: 40; the exports always carry all rows)")
     run_cmd.set_defaults(handler=_cmd_run)
+
+    cache_cmd = sub.add_parser("cache", help="inspect or clean the persistent result store")
+    cache_sub = cache_cmd.add_subparsers(dest="cache_command")
+    cache_cmd.set_defaults(handler=_cmd_cache, cache_command=None)
+    for verb, help_text in (
+        ("stats", "entry counts and bytes per fingerprint"),
+        ("clear", "delete every entry under the current fingerprint"),
+        ("prune", "delete stale fingerprint directories"),
+    ):
+        verb_cmd = cache_sub.add_parser(verb, help=help_text)
+        verb_cmd.add_argument("--cache-dir", default=None, metavar="PATH",
+                              help="root of the persistent result store "
+                                   "(default: ~/.cache/repro, or $REPRO_CACHE_DIR)")
+        verb_cmd.set_defaults(handler=_cmd_cache, cache_command=verb)
+        if verb == "prune":
+            verb_cmd.add_argument("--keep-current", dest="keep_current", action="store_true", default=True,
+                                  help="keep the current fingerprint (default)")
+            verb_cmd.add_argument("--all", dest="keep_current", action="store_false",
+                                  help="also delete the current fingerprint")
     return parser
 
 
@@ -177,9 +201,45 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"{study.name}: {len(table)} rows in {elapsed:.2f}s "
         f"({stats['evaluations']} evaluations, {stats['cache_hits']} cache hits, "
         f"{stats['disk_hits']} disk hits, {stats['batched_scenarios']} batched, "
-        f"{stats['errors']} errors, executor={args.executor})",
+        f"{stats['errors']} errors, "
+        f"key-hash {stats['keyhash_seconds']:.2f}s, plan {stats['plan_seconds']:.2f}s, "
+        f"price {stats['price_seconds']:.2f}s, scatter {stats['scatter_seconds']:.2f}s, "
+        f"executor={args.executor})",
         file=sys.stderr,
     )
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# repro cache
+# ---------------------------------------------------------------------------
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from .sweep import DiskResultStore
+
+    if args.cache_command is None:
+        print("usage: repro cache {stats,clear,prune} [--cache-dir PATH]", file=sys.stderr)
+        return 2
+    store = DiskResultStore(root=args.cache_dir) if args.cache_dir else DiskResultStore()
+    if args.cache_command == "stats":
+        report = store.stats()
+        if not report:
+            print(f"{store.root}: empty (no fingerprint directories)")
+            return 0
+        print(f"{store.root}:")
+        for fingerprint, info in report.items():
+            marker = "  (current)" if info["current"] else ""
+            print(f"  {fingerprint}  {info['entries']} entries, {info['bytes']} bytes{marker}")
+        return 0
+    if args.cache_command == "clear":
+        removed = store.clear()
+        print(f"removed {removed} entries under {store.root / store.fingerprint}")
+        return 0
+    removed_fingerprints = store.prune(keep_current=args.keep_current)
+    if removed_fingerprints:
+        print(f"pruned {len(removed_fingerprints)} fingerprint(s): {', '.join(removed_fingerprints)}")
+    else:
+        print("nothing to prune")
     return 0
 
 

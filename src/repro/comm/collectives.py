@@ -23,6 +23,8 @@ from __future__ import annotations
 import enum
 import math
 
+import numpy as np
+
 from ..errors import ConfigurationError
 
 
@@ -103,3 +105,75 @@ def broadcast_time(data_bytes: float, group_size: int, bandwidth: float, latency
     if group_size == 1 or data_bytes == 0:
         return 0.0
     return data_bytes / bandwidth + latency * math.log2(group_size)
+
+
+# ---------------------------------------------------------------------------
+# Vectorized (struct-of-arrays) forms of the same equations.
+#
+# Each function mirrors its scalar counterpart's floating-point operation
+# order exactly (the bit-for-bit contract of the batched backends, see
+# ``repro.perf.batched``), so a batched collective query returns the very
+# floats the scalar loop would have produced.  Callers pass only non-trivial
+# rows (``group_size > 1`` unless noted, ``data_bytes > 0``); the trivial
+# zero-time case is handled by the caller's mask, matching the scalar early
+# returns.
+# ---------------------------------------------------------------------------
+
+
+def exact_log2(values: np.ndarray) -> np.ndarray:
+    """Element-wise ``math.log2``, bit-identical to the scalar calls.
+
+    ``np.log2`` is allowed to differ from the C library's ``log2`` in the
+    last ulp on some platforms; the latency terms of the tree/broadcast
+    equations would then break the batched-vs-scalar equality contract.
+    Group sizes take few distinct values per batch, so computing
+    ``math.log2`` once per unique value costs nothing.
+    """
+    uniques, inverse = np.unique(values, return_inverse=True)
+    logs = np.array([math.log2(value) for value in uniques.tolist()], dtype=np.float64)
+    return logs[inverse]
+
+
+def ring_all_reduce_times(
+    data_bytes: np.ndarray, group_sizes: np.ndarray, bandwidths: np.ndarray, latencies: np.ndarray
+) -> np.ndarray:
+    """Vectorized :func:`ring_all_reduce_time` (Eq. 3) over non-trivial rows."""
+    transfer = 2.0 * data_bytes * (group_sizes - 1.0) / (group_sizes * bandwidths)
+    return transfer + 2.0 * latencies * (group_sizes - 1.0)
+
+
+def tree_all_reduce_times(
+    data_bytes: np.ndarray, group_sizes: np.ndarray, bandwidths: np.ndarray, latencies: np.ndarray
+) -> np.ndarray:
+    """Vectorized :func:`tree_all_reduce_time` (Eq. 4) over non-trivial rows."""
+    transfer = 2.0 * data_bytes * (group_sizes - 1.0) / (group_sizes * bandwidths)
+    return transfer + 2.0 * latencies * exact_log2(group_sizes)
+
+
+def all_gather_times(
+    data_bytes: np.ndarray, group_sizes: np.ndarray, bandwidths: np.ndarray, latencies: np.ndarray
+) -> np.ndarray:
+    """Vectorized :func:`all_gather_time` over non-trivial rows."""
+    transfer = data_bytes * (group_sizes - 1.0) / (group_sizes * bandwidths)
+    return transfer + latencies * (group_sizes - 1.0)
+
+
+def reduce_scatter_times(
+    data_bytes: np.ndarray, group_sizes: np.ndarray, bandwidths: np.ndarray, latencies: np.ndarray
+) -> np.ndarray:
+    """Vectorized :func:`reduce_scatter_time` (same cost structure as all-gather)."""
+    return all_gather_times(data_bytes, group_sizes, bandwidths, latencies)
+
+
+def point_to_point_times(
+    data_bytes: np.ndarray, bandwidths: np.ndarray, latencies: np.ndarray
+) -> np.ndarray:
+    """Vectorized :func:`point_to_point_time` over rows with ``data_bytes > 0``."""
+    return data_bytes / bandwidths + latencies
+
+
+def broadcast_times(
+    data_bytes: np.ndarray, group_sizes: np.ndarray, bandwidths: np.ndarray, latencies: np.ndarray
+) -> np.ndarray:
+    """Vectorized :func:`broadcast_time` over non-trivial rows."""
+    return data_bytes / bandwidths + latencies * exact_log2(group_sizes)

@@ -13,6 +13,9 @@ all-reduces).
 from __future__ import annotations
 
 import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..caching import Memo
 from ..errors import ConfigurationError
@@ -23,10 +26,16 @@ from ..workload.operators import CollectiveKind, CommunicationOp
 from .collectives import (
     CollectiveAlgorithm,
     all_gather_time,
+    all_gather_times,
     all_reduce_time,
     broadcast_time,
+    broadcast_times,
     point_to_point_time,
+    point_to_point_times,
     reduce_scatter_time,
+    reduce_scatter_times,
+    ring_all_reduce_times,
+    tree_all_reduce_times,
 )
 
 #: Message size at which the links are considered fully saturated.
@@ -36,6 +45,56 @@ DEFAULT_MIN_UTILIZATION = 0.25
 #: Per-collective software (launch/protocol) overhead.  Calibrated against the
 #: small-message all-reduce cost seen in the inference validation (Table 2).
 DEFAULT_SOFTWARE_LATENCY = 20.0 * MICROSECOND
+
+
+#: Dispatch codes of the batched pricing path, one per collective kind.
+_KIND_CODES: Dict[CollectiveKind, int] = {
+    CollectiveKind.ALL_REDUCE: 0,
+    CollectiveKind.ALL_GATHER: 1,
+    CollectiveKind.REDUCE_SCATTER: 2,
+    CollectiveKind.BROADCAST: 3,
+    CollectiveKind.POINT_TO_POINT: 4,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class CollectiveBatch:
+    """A struct-of-arrays batch of communication operators.
+
+    The collective analogue of :class:`~repro.perf.batched.GemmBatch`: the
+    fields every collective equation needs, transposed into NumPy columns so
+    :meth:`CollectiveModel.evaluate_batch` prices a whole generation of
+    queries in a handful of vectorized operations.
+
+    Attributes:
+        ops: The source operators, in row order.
+        data_bytes: Payload sizes (float64).
+        group_sizes: Participating device counts (float64; exact for every
+            realistic group size).
+        kind_codes: Collective-kind dispatch codes (see ``_KIND_CODES``).
+        inter_node: Whether each row uses the inter-node fabric.
+    """
+
+    ops: Tuple[CommunicationOp, ...]
+    data_bytes: np.ndarray
+    group_sizes: np.ndarray
+    kind_codes: np.ndarray
+    inter_node: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    @classmethod
+    def from_ops(cls, ops: Sequence[CommunicationOp]) -> "CollectiveBatch":
+        """Transpose a sequence of operators into one batch."""
+        ops = tuple(ops)
+        return cls(
+            ops=ops,
+            data_bytes=np.array([op.data_bytes for op in ops], dtype=np.float64),
+            group_sizes=np.array([op.group_size for op in ops], dtype=np.float64),
+            kind_codes=np.array([_KIND_CODES[op.collective] for op in ops], dtype=np.int8),
+            inter_node=np.array([op.scope == "inter_node" for op in ops], dtype=bool),
+        )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -128,6 +187,93 @@ class CollectiveModel:
             base = point_to_point_time(op.data_bytes, bandwidth, latency)
         return self._time_cache.put(op, base + self.software_latency)
 
+    def memoized(self, op: CommunicationOp) -> bool:
+        """Whether ``op``'s time is already in the shared memo."""
+        return op in self._time_cache
+
+    def memoize(self, op: CommunicationOp, time: float) -> float:
+        """Seed the shared memo with an externally computed time (see ``evaluate_batch``)."""
+        return self._time_cache.put(op, time)
+
+    def evaluate_batch(self, batch: CollectiveBatch) -> np.ndarray:
+        """Price every operator of ``batch`` in a few vectorized operations.
+
+        Returns the total times (base + software latency) in row order,
+        bit-for-bit equal to calling :meth:`time` per operator: the fabric
+        selection, the utilization ramp, and each collective equation mirror
+        the scalar floating-point operation order exactly (trivial rows are
+        ``0.0``, with no software latency, like the scalar early return).
+        The memo is neither read nor written -- callers that want seeding
+        combine this with :meth:`memoized` / :meth:`memoize` (see
+        :meth:`time_batch`).
+        """
+        times = np.zeros(len(batch.ops), dtype=np.float64)
+        active = ~((batch.group_sizes <= 1.0) | (batch.data_bytes == 0.0))
+        if not active.any():
+            return times
+        # bandwidth_utilization, vectorized: min(1.0, max(floor, ramp)),
+        # with the floor short-circuit for empty payloads.
+        ramp = batch.data_bytes / self.saturation_bytes
+        utilization = np.minimum(1.0, np.maximum(self.min_utilization, ramp))
+        utilization = np.where(batch.data_bytes <= 0.0, self.min_utilization, utilization)
+        # effective_bandwidth = (per-device bandwidth * fabric utilization)
+        # * message-size utilization; the per-fabric product is one scalar.
+        intra = self.fabric_for_scope("intra_node")
+        inter = self.fabric_for_scope("inter_node")
+        intra_peak = self.per_device_bandwidth(intra) * intra.utilization
+        inter_peak = self.per_device_bandwidth(inter) * inter.utilization
+        bandwidths = np.where(batch.inter_node, inter_peak, intra_peak) * utilization
+        latencies = np.where(batch.inter_node, inter.latency, intra.latency)
+        all_reduce_times = (
+            ring_all_reduce_times
+            if self.algorithm is CollectiveAlgorithm.RING
+            else tree_all_reduce_times
+        )
+        for code, formula in (
+            (_KIND_CODES[CollectiveKind.ALL_REDUCE], all_reduce_times),
+            (_KIND_CODES[CollectiveKind.ALL_GATHER], all_gather_times),
+            (_KIND_CODES[CollectiveKind.REDUCE_SCATTER], reduce_scatter_times),
+            (_KIND_CODES[CollectiveKind.BROADCAST], broadcast_times),
+        ):
+            mask = active & (batch.kind_codes == code)
+            if mask.any():
+                base = formula(
+                    batch.data_bytes[mask], batch.group_sizes[mask], bandwidths[mask], latencies[mask]
+                )
+                times[mask] = base + self.software_latency
+        mask = active & (batch.kind_codes == _KIND_CODES[CollectiveKind.POINT_TO_POINT])
+        if mask.any():
+            base = point_to_point_times(batch.data_bytes[mask], bandwidths[mask], latencies[mask])
+            times[mask] = base + self.software_latency
+        return times
+
+    def time_batch(self, ops: Sequence[CommunicationOp]) -> List[float]:
+        """Times of many operators: memo-served where possible, one
+        :meth:`evaluate_batch` call for the rest (which then seeds the memo,
+        exactly like repeated :meth:`time` calls would)."""
+        times: List[Optional[float]] = [None] * len(ops)
+        missing: List[CommunicationOp] = []
+        missing_rows: Dict[CommunicationOp, int] = {}
+        for index, op in enumerate(ops):
+            if op.is_trivial:
+                times[index] = 0.0
+                continue
+            cached = self._time_cache.get(op)
+            if cached is not None:
+                times[index] = cached
+            elif op not in missing_rows:
+                missing_rows[op] = len(missing)
+                missing.append(op)
+        if missing:
+            fresh = self.evaluate_batch(CollectiveBatch.from_ops(missing))
+            fresh_times = fresh.tolist()
+            for op, row in missing_rows.items():
+                self._time_cache.put(op, fresh_times[row])
+            for index, op in enumerate(ops):
+                if times[index] is None:
+                    times[index] = fresh_times[missing_rows[op]]
+        return times  # type: ignore[return-value]  # every row was filled above
+
     def all_reduce(self, data_bytes: float, group_size: int, scope: str = "intra_node") -> float:
         """Convenience: time of a raw all-reduce outside a task graph."""
         op = CommunicationOp(
@@ -153,3 +299,51 @@ class CollectiveModel:
     def with_algorithm(self, algorithm: CollectiveAlgorithm) -> "CollectiveModel":
         """Return a copy of the model using a different all-reduce algorithm."""
         return dataclasses.replace(self, algorithm=algorithm)
+
+
+# ---------------------------------------------------------------------------
+# Interning: one default-parameter CollectiveModel per (system, algorithm).
+#
+# Mirrors the catalog's SystemSpec interning: engines, training models, and
+# step-cost models built for the same system share one model -- and with it
+# one collective-time memo, so cross-scenario dedup (the sweep batch planner)
+# hits a single cache instead of per-instance ones.
+# ---------------------------------------------------------------------------
+
+_SHARED_MODEL_CACHE_SIZE = 64
+#: Value-keyed intern table: equal (not just identical) systems share a model.
+_SHARED_MODELS: Dict[Tuple[SystemSpec, CollectiveAlgorithm], CollectiveModel] = {}
+#: Identity fast path: hashing a deep SystemSpec costs microseconds, an
+#: ``id()`` lookup does not.  The entry pins the spec object so its id cannot
+#: be recycled while cached.
+_SHARED_BY_ID: Dict[Tuple[int, CollectiveAlgorithm], Tuple[SystemSpec, CollectiveModel]] = {}
+
+
+def shared_collective_model(
+    system: SystemSpec, algorithm: CollectiveAlgorithm = CollectiveAlgorithm.RING
+) -> CollectiveModel:
+    """The interned default-parameter :class:`CollectiveModel` of a system.
+
+    Callers that need non-default saturation/latency parameters construct
+    their own model; every default construction site routes through here.
+    """
+    key = (id(system), algorithm)
+    cached = _SHARED_BY_ID.get(key)
+    if cached is not None:
+        return cached[1]
+    model = _SHARED_MODELS.get((system, algorithm))
+    if model is None:
+        if len(_SHARED_MODELS) >= _SHARED_MODEL_CACHE_SIZE:
+            _SHARED_MODELS.pop(next(iter(_SHARED_MODELS)))
+        model = CollectiveModel(system=system, algorithm=algorithm)
+        _SHARED_MODELS[(system, algorithm)] = model
+    if len(_SHARED_BY_ID) >= _SHARED_MODEL_CACHE_SIZE * 8:
+        _SHARED_BY_ID.clear()
+    _SHARED_BY_ID[key] = (system, model)
+    return model
+
+
+def clear_collective_model_cache() -> None:
+    """Drop every interned collective model (cold-benchmark support)."""
+    _SHARED_MODELS.clear()
+    _SHARED_BY_ID.clear()

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-from ..comm.fabric import CollectiveModel
+from ..comm.fabric import CollectiveModel, shared_collective_model
 from ..hardware.cluster import SystemSpec
 from ..hardware.datatypes import Precision
 from ..memmodel.activations import RecomputeStrategy
@@ -57,7 +57,7 @@ class PerformancePredictionEngine:
     ):
         self.system = system
         self.kernel_model = kernel_model or DeviceKernelModel(accelerator=system.accelerator)
-        self.collective_model = collective_model or CollectiveModel(system=system)
+        self.collective_model = collective_model or shared_collective_model(system)
         self.training_model = TrainingPerformanceModel(
             system=system,
             kernel_model=self.kernel_model,

@@ -48,7 +48,7 @@ import numpy as np
 
 from ..caching import Memo
 from ..comm.collectives import CollectiveAlgorithm
-from ..comm.fabric import CollectiveModel
+from ..comm.fabric import CollectiveModel, shared_collective_model
 from ..hardware.cluster import SystemSpec
 from ..hardware.datatypes import Precision
 from ..models.transformer import TransformerConfig
@@ -207,9 +207,8 @@ class StepCostModel:
         if self.kernel_model is None:
             self.kernel_model = DeviceKernelModel(accelerator=self.system.accelerator)
         if self.collective_model is None:
-            self.collective_model = CollectiveModel(
-                system=self.system,
-                algorithm=CollectiveAlgorithm.DOUBLE_BINARY_TREE,
+            self.collective_model = shared_collective_model(
+                self.system, CollectiveAlgorithm.DOUBLE_BINARY_TREE
             )
         # Per-shape operator lists and per-layer collective times recur across
         # thousands of simulation steps; memoizing them keeps the

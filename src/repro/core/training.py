@@ -18,9 +18,9 @@ GPU-generation scaling study (Fig. 5) and the validation table (Table 1).
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
-from ..comm.fabric import CollectiveModel
+from ..comm.fabric import CollectiveModel, shared_collective_model
 from ..hardware.cluster import SystemSpec
 from ..hardware.datatypes import Precision
 from ..memmodel.activations import ActivationModel, RecomputeStrategy
@@ -67,7 +67,7 @@ class TrainingPerformanceModel:
         if self.kernel_model is None:
             self.kernel_model = DeviceKernelModel(accelerator=self.system.accelerator)
         if self.collective_model is None:
-            self.collective_model = CollectiveModel(system=self.system)
+            self.collective_model = shared_collective_model(self.system)
         self._mapper = ParallelizationMapper(self.system)
 
     # -- helpers -----------------------------------------------------------------
@@ -124,12 +124,12 @@ class TrainingPerformanceModel:
             total += self.collective_model.time(op)
         return total
 
-    def _lm_head_time(self, spec: TrainingMicrobatchSpec) -> float:
-        """Forward + backward time of the LM-head GEMM when the stage hosts it."""
+    def _lm_head_gemm(self, spec: TrainingMicrobatchSpec) -> Optional[GEMM]:
+        """The LM-head GEMM, or ``None`` when this stage does not host it."""
         if not spec.include_embedding:
-            return 0.0
+            return None
         vocab_per_rank = max(1, spec.model.vocab_size // spec.tensor_parallel)
-        head = GEMM(
+        return GEMM(
             name="lm_head",
             precision=spec.precision,
             m=spec.micro_batch * spec.seq_len,
@@ -137,37 +137,52 @@ class TrainingPerformanceModel:
             k=spec.model.hidden_size,
             weight_operand=True,
         )
+
+    def _lm_head_time(self, spec: TrainingMicrobatchSpec) -> float:
+        """Forward + backward time of the LM-head GEMM when the stage hosts it."""
+        head = self._lm_head_gemm(spec)
+        if head is None:
+            return 0.0
         # Forward plus the two backward GEMMs of the same FLOP count.
         return 3.0 * self.kernel_model.time(head)
 
+    def _pipeline_op(self, plan: DistributedTrainingPlan) -> Optional[CommunicationOp]:
+        """The per-micro-batch pipeline send, or ``None`` without pipelining."""
+        if plan.parallelism.pipeline_parallel == 1:
+            return None
+        return CommunicationOp(
+            name="pp_p2p",
+            collective=CollectiveKind.POINT_TO_POINT,
+            data_bytes=plan.pipeline_p2p_bytes_per_microbatch,
+            group_size=2,
+            scope=plan.pp_scope,
+        )
+
     def _pipeline_communication(self, plan: DistributedTrainingPlan) -> float:
         """Total exposed pipeline point-to-point time per training step."""
-        if plan.parallelism.pipeline_parallel == 1:
+        op = self._pipeline_op(plan)
+        if op is None:
             return 0.0
-        per_microbatch = plan.pipeline_p2p_bytes_per_microbatch
-        op_time = self.collective_model.time(
-            CommunicationOp(
-                name="pp_p2p",
-                collective=CollectiveKind.POINT_TO_POINT,
-                data_bytes=per_microbatch,
-                group_size=2,
-                scope=plan.pp_scope,
-            )
-        )
-        return op_time * plan.num_microbatches
+        return self.collective_model.time(op) * plan.num_microbatches
 
-    def _dp_communication(self, plan: DistributedTrainingPlan) -> float:
-        """Exposed data-parallel gradient all-reduce time per training step."""
+    def _dp_op(self, plan: DistributedTrainingPlan) -> Optional[CommunicationOp]:
+        """The gradient all-reduce, or ``None`` when DP needs no reduction."""
         dp_plan = plan.data_parallel_plan
         if not dp_plan.requires_all_reduce:
-            return 0.0
-        op = CommunicationOp(
+            return None
+        return CommunicationOp(
             name="dp_grad_all_reduce",
             collective=CollectiveKind.ALL_REDUCE,
             data_bytes=dp_plan.gradient_bytes,
             group_size=dp_plan.data_parallel,
             scope=plan.dp_scope,
         )
+
+    def _dp_communication(self, plan: DistributedTrainingPlan) -> float:
+        """Exposed data-parallel gradient all-reduce time per training step."""
+        op = self._dp_op(plan)
+        if op is None:
+            return 0.0
         exposed = 1.0 - self.overlap_dp_communication
         return self.collective_model.time(op) * exposed
 
@@ -278,6 +293,53 @@ class TrainingPerformanceModel:
             memory=memory,
             kernel_breakdown=kernel_entries,
         )
+
+    def predict_queries(
+        self,
+        model: TransformerConfig,
+        parallelism: ParallelismConfig,
+        global_batch_size: int,
+        seq_len: Optional[int] = None,
+        precision: Precision = Precision.FP16,
+        recompute: "RecomputeStrategy | str" = RecomputeStrategy.SELECTIVE,
+    ) -> Tuple[List[GEMM], List[CommunicationOp]]:
+        """The GEMM and collective queries one :meth:`predict` call prices.
+
+        The sweep batch planner (:mod:`repro.sweep.batchplan`) uses this to
+        collect every kernel/collective query of a whole generation of
+        training scenarios, price each family in one vectorized call, seed
+        the shared memos, and then re-run :meth:`predict` warm.  The op
+        construction goes through the same helpers :meth:`predict` uses, so
+        the two can not drift apart.  Raises the same mapping/configuration
+        errors :meth:`predict` raises while building the plan.
+
+        Returns ``(gemms, comm_ops)``; trivial collectives (which the
+        collective model prices as zero without touching its memo) are
+        dropped.
+        """
+        plan = self._mapper.plan_training(
+            model,
+            parallelism,
+            global_batch_size=global_batch_size,
+            seq_len=seq_len,
+            precision=precision,
+        )
+        spec = plan.microbatch_spec
+        builder = TransformerLayerBuilder(spec.layer_spec())
+        gemms = [op for op in builder.forward_compute_ops() if isinstance(op, GEMM)]
+        gemms += [op for op in builder.backward_compute_ops() if isinstance(op, GEMM)]
+        head = self._lm_head_gemm(spec)
+        if head is not None:
+            gemms.append(head)
+        comm_ops = list(builder.forward_communication(scope=plan.tp_scope))
+        comm_ops += builder.backward_communication(scope=plan.tp_scope)
+        pp_op = self._pipeline_op(plan)
+        if pp_op is not None:
+            comm_ops.append(pp_op)
+        dp_op = self._dp_op(plan)
+        if dp_op is not None:
+            comm_ops.append(dp_op)
+        return gemms, [op for op in comm_ops if not op.is_trivial]
 
     # -- auxiliary analyses ------------------------------------------------------------
 

@@ -8,7 +8,8 @@ Public surface:
 * :class:`~repro.sweep.runner.SweepRunner` -- deduplicates, caches, and
   executes scenario grids serially or across a thread/process pool; the
   serial path prices each generation of unique scenarios through the
-  cross-scenario batch planner (:mod:`repro.sweep.batchplan`).
+  cross-scenario batch planner (:mod:`repro.sweep.batchplan`), and the
+  process executor shards that planning pass across workers.
 * :class:`~repro.sweep.diskstore.DiskResultStore` -- persistent on-disk
   result store (``SweepRunner(disk_cache=...)``), keyed by the scenarios'
   deterministic cache keys plus a code fingerprint.
@@ -20,7 +21,7 @@ Public surface:
   <repro.sweep.runner.SweepRunner.run_table>` and the analysis drivers.
 """
 
-from .batchplan import evaluate_pending_batched, plan_scenario, price_plans
+from .batchplan import BatchTimings, evaluate_pending_batched, evaluate_shard, plan_scenario, price_plans
 from .diskstore import DiskResultStore, code_fingerprint, default_cache_root
 from .runner import (
     SweepResult,
@@ -31,10 +32,11 @@ from .runner import (
     expand_grid,
     merge_axis_records,
 )
-from .scenario import Scenario, ScenarioKind, clear_engine_cache, engine_for, evaluate_scenario
+from .scenario import Scenario, ScenarioKind, cache_keys, clear_engine_cache, engine_for, evaluate_scenario
 from .table import SweepRow, SweepTable
 
 __all__ = [
+    "BatchTimings",
     "DiskResultStore",
     "Scenario",
     "ScenarioKind",
@@ -44,6 +46,7 @@ __all__ = [
     "SweepStats",
     "SweepTable",
     "axis_label",
+    "cache_keys",
     "clear_engine_cache",
     "code_fingerprint",
     "default_cache_root",
@@ -51,6 +54,7 @@ __all__ = [
     "engine_for",
     "evaluate_pending_batched",
     "evaluate_scenario",
+    "evaluate_shard",
     "expand_grid",
     "merge_axis_records",
     "plan_scenario",

@@ -25,20 +25,33 @@ evaluation path against a memo warmed with those points (warm mode).
 Equivalence across scenario kinds is pinned by
 ``tests/sweep/test_batchplan.py``.
 
-Scenario kinds without a batchable pricing phase (training, serving, the
-memory breakdowns, the GEMV validation) are left to the normal
+Training scenarios batch both query families: the planner collects every
+forward/backward/lm-head GEMM *and* every TP/PP/DP collective of a
+generation of :meth:`TrainingPerformanceModel.predict` graphs (via
+:meth:`~repro.core.training.TrainingPerformanceModel.predict_queries`),
+prices the GEMMs in one :meth:`evaluate_batch` per gemm model and the
+collectives in one :meth:`CollectiveModel.evaluate_batch` per collective
+model, seeds the shared memos, and re-runs the normal prediction warm.
+
+Scenario kinds without a batchable pricing phase (serving, the memory
+breakdowns, the GEMV validation) are left to the normal
 :func:`evaluate_scenario` path; :func:`evaluate_pending_batched` interleaves
 both so the runner sees one outcome per pending scenario, in input order.
+:func:`evaluate_shard` wraps it as a process-pool entry point, so a pending
+generation can also be sharded across cores (plan + price per shard, merge
+in the parent).
 """
 
 from __future__ import annotations
 
 import dataclasses
+import time as _time
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..caching import Memo
+from ..comm.fabric import CollectiveBatch, CollectiveModel
 from ..core.bottleneck import attention_layer_bound_breakdown, attention_layer_gemms, layer_gemms
 from ..core.reports import GemmBottleneckEntry
 from ..errors import ReproError
@@ -47,7 +60,7 @@ from ..models.transformer import TransformerConfig
 from ..perf.batched import BOUND_CACHE, BOUND_COMPUTE, BOUND_MEMORY, BatchedRooflineResult, GemmBatch
 from ..perf.gemm import GemmTimeModel
 from ..perf.roofline import BoundType
-from ..workload.operators import GEMM
+from ..workload.operators import GEMM, CommunicationOp
 from .scenario import Scenario, ScenarioKind, engine_for, evaluate_scenario
 
 #: Bound-code -> enum mapping of the batched backend's result rows.
@@ -76,6 +89,28 @@ class BatchOutcome:
 
 
 @dataclasses.dataclass
+class BatchTimings:
+    """Wall-clock seconds spent in each cold-path stage of one planning pass.
+
+    Attributes:
+        plan_seconds: Building the workload graphs (:func:`plan_scenario`).
+        price_seconds: The vectorized pricing calls (:func:`price_plans`).
+        scatter_seconds: Result assembly, plus the ``evaluate_scenario``
+            fallback of unbatchable kinds.
+    """
+
+    plan_seconds: float = 0.0
+    price_seconds: float = 0.0
+    scatter_seconds: float = 0.0
+
+    def add(self, other: "BatchTimings") -> None:
+        """Accumulate another pass's timings (e.g. across process shards)."""
+        self.plan_seconds += other.plan_seconds
+        self.price_seconds += other.price_seconds
+        self.scatter_seconds += other.scatter_seconds
+
+
+@dataclasses.dataclass
 class ScenarioPlan:
     """A planned (but unpriced) scenario evaluation.
 
@@ -93,6 +128,11 @@ class ScenarioPlan:
         rows: Row indices of :attr:`gemms` inside the shared batch
             (columnar plans only; filled by :func:`price_plans`).
         result: The shared batch result (columnar plans only).
+        collective_model: The (shared, memoizing) collective model the
+            scenario's evaluation prices communication through (training
+            plans only); collective queries are grouped by this object.
+        comm_ops: Every non-trivial collective query the evaluation will
+            make (training plans only).
     """
 
     scenario: Scenario
@@ -102,6 +142,8 @@ class ScenarioPlan:
     assemble: Callable[..., object]
     rows: Optional[List[int]] = None
     result: Optional[BatchedRooflineResult] = None
+    collective_model: Optional[CollectiveModel] = None
+    comm_ops: Optional[List[CommunicationOp]] = None
 
     def finish(self) -> object:
         """Assemble the final result object (after :func:`price_plans`)."""
@@ -269,6 +311,37 @@ def plan_scenario(scenario: Scenario) -> Optional[ScenarioPlan]:
             columnar=False,
             assemble=assemble_attention,
         )
+    if kind is ScenarioKind.TRAINING:
+        engine = engine_for(scenario.system)
+        training_model = engine.training_model
+        gemms, comm_ops = training_model.predict_queries(
+            scenario.model,
+            scenario.parallelism,
+            global_batch_size=scenario.global_batch_size,
+            seq_len=scenario.seq_len,
+            precision=scenario.precision,
+            recompute=scenario.recompute,
+        )
+
+        def assemble_training(scenario: Scenario = scenario, engine=engine) -> object:
+            return engine.predict_training(
+                scenario.model,
+                scenario.parallelism,
+                global_batch_size=scenario.global_batch_size,
+                seq_len=scenario.seq_len,
+                precision=scenario.precision,
+                recompute=scenario.recompute,
+            )
+
+        return ScenarioPlan(
+            scenario=scenario,
+            gemm_model=engine.kernel_model.gemm_model,
+            gemms=gemms,
+            columnar=False,
+            assemble=assemble_training,
+            collective_model=training_model.collective_model,
+            comm_ops=comm_ops,
+        )
     if kind is ScenarioKind.INFERENCE:
         engine = engine_for(scenario.system)
         inference_plan = engine.inference_model.plan(
@@ -346,13 +419,15 @@ def _columnar_plan(scenario: Scenario, gemm_model: GemmTimeModel, gemms: List[GE
 
 
 def price_plans(plans: Sequence[ScenarioPlan]) -> None:
-    """Price every plan's GEMM queries, one batched call per gemm model.
+    """Price every plan's queries, one batched call per query family.
 
-    Columnar plans receive their deduplicated row indices and the shared
-    batch result; warm plans get the shared memo of their gemm model seeded
-    with every point their assembly will ask for (rows already memoized are
-    skipped -- the memo'd points are identical by the backend's exact-
-    equality contract).
+    GEMMs: columnar plans receive their deduplicated row indices and the
+    shared batch result; warm plans get the shared memo of their gemm model
+    seeded with every point their assembly will ask for (rows already
+    memoized are skipped -- the memo'd points are identical by the backend's
+    exact-equality contract).  Collectives (training plans): one
+    :meth:`CollectiveModel.evaluate_batch` call per collective model seeds
+    the shared time memo the same way.
     """
     groups: Dict[int, List[ScenarioPlan]] = {}
     models: Dict[int, GemmTimeModel] = {}
@@ -396,6 +471,29 @@ def price_plans(plans: Sequence[ScenarioPlan]) -> None:
         for plan in group:
             if plan.columnar:
                 plan.result = result
+    comm_groups: Dict[int, List[ScenarioPlan]] = {}
+    collective_models: Dict[int, CollectiveModel] = {}
+    for plan in plans:
+        if not plan.comm_ops:
+            continue
+        group_id = id(plan.collective_model)
+        comm_groups.setdefault(group_id, []).append(plan)
+        collective_models[group_id] = plan.collective_model
+    for group_id, group in comm_groups.items():
+        collective_model = collective_models[group_id]
+        ops: List[CommunicationOp] = []
+        op_index: Dict[CommunicationOp, int] = {}
+        for plan in group:
+            for op in plan.comm_ops:
+                if op.is_trivial or op in op_index or collective_model.memoized(op):
+                    continue
+                op_index[op] = len(ops)
+                ops.append(op)
+        if not ops:
+            continue
+        times = collective_model.evaluate_batch(CollectiveBatch.from_ops(ops))
+        for op, op_time in zip(ops, times.tolist()):
+            collective_model.memoize(op, op_time)
 
 
 # ---------------------------------------------------------------------------
@@ -403,7 +501,9 @@ def price_plans(plans: Sequence[ScenarioPlan]) -> None:
 # ---------------------------------------------------------------------------
 
 
-def evaluate_pending_batched(pending: Mapping[str, Scenario]) -> List[BatchOutcome]:
+def evaluate_pending_batched(
+    pending: Mapping[str, Scenario], timings: Optional[BatchTimings] = None
+) -> List[BatchOutcome]:
     """Evaluate a generation of pending scenarios through the batch planner.
 
     Returns one :class:`BatchOutcome` per pending entry, **in input order**
@@ -411,9 +511,13 @@ def evaluate_pending_batched(pending: Mapping[str, Scenario]) -> List[BatchOutco
     Library errors -- whether raised at plan time, at assembly time, or by
     the ``evaluate_scenario`` fallback -- are captured on the outcome;
     non-library exceptions propagate, exactly like the serial loop.
+
+    When ``timings`` is given, the wall-clock seconds of each cold-path
+    stage are accumulated onto it.
     """
     outcomes: Dict[str, Optional[BatchOutcome]] = {}
     planned: List[Tuple[str, ScenarioPlan]] = []
+    started = _time.perf_counter()
     for key, scenario in pending.items():
         try:
             plan = plan_scenario(scenario)
@@ -424,7 +528,9 @@ def evaluate_pending_batched(pending: Mapping[str, Scenario]) -> List[BatchOutco
             outcomes[key] = None  # falls back to evaluate_scenario below
         else:
             planned.append((key, plan))
+    priced = _time.perf_counter()
     price_plans([plan for _, plan in planned])
+    scattered = _time.perf_counter()
     for key, plan in planned:
         try:
             outcomes[key] = BatchOutcome(key=key, value=plan.finish(), batched=True)
@@ -439,4 +545,24 @@ def evaluate_pending_batched(pending: Mapping[str, Scenario]) -> List[BatchOutco
             except ReproError as error:
                 outcome = BatchOutcome(key=key, error=error)
         ordered.append(outcome)
+    if timings is not None:
+        finished = _time.perf_counter()
+        timings.plan_seconds += priced - started
+        timings.price_seconds += scattered - priced
+        timings.scatter_seconds += finished - scattered
     return ordered
+
+
+def evaluate_shard(items: Sequence[Tuple[str, Scenario]]) -> Tuple[List[BatchOutcome], BatchTimings]:
+    """Process-pool entry point: batch-evaluate one shard of a generation.
+
+    Takes ``(key, scenario)`` pairs (a :class:`Mapping` does not survive
+    pickling order-stably on all container types, a list of pairs does) and
+    returns the outcomes in input order plus the shard's stage timings.
+    Each worker process plans and prices its shard independently; the parent
+    merges outcomes and accumulates timings, so summed stage seconds across
+    shards can exceed the sweep's wall-clock.
+    """
+    timings = BatchTimings()
+    outcomes = evaluate_pending_batched(dict(items), timings=timings)
+    return outcomes, timings

@@ -18,8 +18,11 @@ Entries are pickles sharded under ``<root>/<fingerprint>/<key[:2]>/<key>.pkl``:
 * ``fingerprint`` folds in the library version and the store's format
   version, so upgrading the code (which may change predictions) or the
   record format orphans old entries instead of serving stale results.
-  Cleaning up orphaned fingerprint directories is the user's business
-  (``rm -rf ~/.cache/repro``) -- the store never deletes.
+  The store never deletes on its own; housekeeping is explicit --
+  :meth:`DiskResultStore.clear` empties the current fingerprint,
+  :meth:`DiskResultStore.prune` drops orphaned fingerprint directories,
+  and :meth:`DiskResultStore.stats` reports entry counts and bytes per
+  fingerprint (all three surfaced by the ``repro cache`` CLI verb).
 
 Robustness
 ----------
@@ -37,9 +40,10 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import shutil
 import tempfile
 from pathlib import Path
-from typing import Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import ReproError
 
@@ -142,3 +146,66 @@ class DiskResultStore:
         if not base.is_dir():
             return 0
         return sum(1 for _ in base.glob("*/*.pkl"))
+
+    # -- housekeeping -----------------------------------------------------------------
+
+    def fingerprints(self) -> List[str]:
+        """Every fingerprint directory present under :attr:`root`, sorted."""
+        if not self.root.is_dir():
+            return []
+        return sorted(entry.name for entry in self.root.iterdir() if entry.is_dir())
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-fingerprint entry counts and on-disk bytes.
+
+        Returns ``{fingerprint: {"entries": n, "bytes": b, "current": 0|1}}``
+        for every fingerprint directory under the root; ``current`` marks
+        the fingerprint this store reads and writes under.  Unreadable
+        entries are skipped (consistent with :meth:`get` treating damage as
+        a miss).
+        """
+        report: Dict[str, Dict[str, int]] = {}
+        for fingerprint in self.fingerprints():
+            entries = 0
+            total_bytes = 0
+            for path in (self.root / fingerprint).glob("*/*.pkl"):
+                try:
+                    total_bytes += path.stat().st_size
+                except OSError:
+                    continue
+                entries += 1
+            report[fingerprint] = {
+                "entries": entries,
+                "bytes": total_bytes,
+                "current": int(fingerprint == self.fingerprint),
+            }
+        return report
+
+    def clear(self) -> int:
+        """Delete every entry under the **current** fingerprint.
+
+        Returns the number of entries removed.  Other fingerprints are left
+        alone (see :meth:`prune`).
+        """
+        base = self.root / self.fingerprint
+        if not base.is_dir():
+            return 0
+        removed = sum(1 for _ in base.glob("*/*.pkl"))
+        shutil.rmtree(base, ignore_errors=True)
+        return removed
+
+    def prune(self, keep_current: bool = True) -> List[str]:
+        """Delete orphaned fingerprint directories; returns those removed.
+
+        With ``keep_current`` (the default) the store's own fingerprint
+        survives -- the usual call after a version upgrade drops every stale
+        fingerprint while the fresh cache keeps filling.  With
+        ``keep_current=False`` the whole root is emptied.
+        """
+        removed: List[str] = []
+        for fingerprint in self.fingerprints():
+            if keep_current and fingerprint == self.fingerprint:
+                continue
+            shutil.rmtree(self.root / fingerprint, ignore_errors=True)
+            removed.append(fingerprint)
+        return removed

@@ -26,12 +26,14 @@ import concurrent.futures
 import dataclasses
 import enum
 import itertools
-from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence
+import os
+import time as _time
+from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError, ReproError
-from .batchplan import evaluate_pending_batched
+from .batchplan import BatchTimings, evaluate_pending_batched, evaluate_shard
 from .diskstore import DiskResultStore
-from .scenario import Scenario, evaluate_scenario
+from .scenario import Scenario, cache_keys, evaluate_scenario
 from .table import SweepTable
 
 #: Executor names accepted by :class:`SweepRunner`.
@@ -88,6 +90,17 @@ class SweepStats:
         batched_scenarios: Fresh evaluations priced through the
             cross-scenario batch planner (:mod:`repro.sweep.batchplan`)
             rather than one at a time.
+        plan_seconds: Cold-path seconds spent building workload graphs
+            (:func:`~repro.sweep.batchplan.plan_scenario`).  Under the
+            process-sharded path the per-stage seconds sum across worker
+            processes, so they can exceed the sweep's wall-clock.
+        price_seconds: Cold-path seconds spent in the vectorized pricing
+            calls (:func:`~repro.sweep.batchplan.price_plans`).
+        scatter_seconds: Cold-path seconds spent assembling results (and
+            running the ``evaluate_scenario`` fallback of unbatchable
+            kinds).
+        keyhash_seconds: Seconds spent computing scenario cache keys
+            (:func:`~repro.sweep.scenario.cache_keys`) in :meth:`run`.
     """
 
     evaluations: int = 0
@@ -95,8 +108,12 @@ class SweepStats:
     errors: int = 0
     disk_hits: int = 0
     batched_scenarios: int = 0
+    plan_seconds: float = 0.0
+    price_seconds: float = 0.0
+    scatter_seconds: float = 0.0
+    keyhash_seconds: float = 0.0
 
-    def snapshot(self) -> Dict[str, int]:
+    def snapshot(self) -> Dict[str, object]:
         """Plain-dict view for logs and benchmark extra_info."""
         return dataclasses.asdict(self)
 
@@ -130,12 +147,15 @@ class SweepRunner:
             :class:`~repro.sweep.diskstore.DiskResultStore` is used as-is.
             Outcomes are checked on LRU misses and persisted after fresh
             evaluations, so a repeat run prices nothing.
-        batch_planning: Whether the serial executor prices each generation
-            of pending scenarios through the cross-scenario batch planner
-            (:mod:`repro.sweep.batchplan`) -- bit-identical results, one
-            vectorized roofline call per generation instead of per-GEMM
-            Python loops.  On by default; turn off to force the one-at-a-
-            time reference path (the cold-sweep benchmark compares both).
+        batch_planning: Whether pending generations are priced through the
+            cross-scenario batch planner (:mod:`repro.sweep.batchplan`) --
+            bit-identical results, one vectorized pricing call per query
+            family per generation instead of per-GEMM Python loops.  The
+            serial executor runs one planning pass in-process; the process
+            executor shards the generation across workers (one plan + price
+            pass per shard, outcomes merged in the parent).  On by default;
+            turn off to force the one-at-a-time reference path (the cold-
+            sweep benchmarks compare both).
     """
 
     def __init__(
@@ -222,7 +242,9 @@ class SweepRunner:
         """
         capture = self.capture_errors if capture_errors is None else capture_errors
         ordered = list(scenarios)
-        keys = [scenario.cache_key() for scenario in ordered]
+        hash_started = _time.perf_counter()
+        keys = cache_keys(ordered)
+        self.stats.keyhash_seconds += _time.perf_counter() - hash_started
 
         # Snapshot cache hits up front: entries may be evicted from the LRU
         # while the pending scenarios are stored, so result resolution below
@@ -377,15 +399,39 @@ class SweepRunner:
             if on_entry is not None:
                 on_entry(key, entry)
 
+        def record_outcomes(outcomes) -> None:
+            for outcome in outcomes:
+                if outcome.batched:
+                    self.stats.batched_scenarios += 1
+                record(outcome.key, _CacheEntry(value=outcome.value, error=outcome.error))
+
+        def absorb_timings(timings: BatchTimings) -> None:
+            self.stats.plan_seconds += timings.plan_seconds
+            self.stats.price_seconds += timings.price_seconds
+            self.stats.scatter_seconds += timings.scatter_seconds
+
         if self.executor == "serial" or len(pending) == 1:
             if self.batch_planning and len(pending) > 1:
-                for outcome in evaluate_pending_batched(pending):
-                    if outcome.batched:
-                        self.stats.batched_scenarios += 1
-                    record(outcome.key, _CacheEntry(value=outcome.value, error=outcome.error))
+                timings = BatchTimings()
+                record_outcomes(evaluate_pending_batched(pending, timings=timings))
+                absorb_timings(timings)
                 return fresh
             for key, scenario in pending.items():
                 record(key, self._evaluate_one(scenario))
+            return fresh
+        if self.executor == "process" and self.batch_planning:
+            # Process-sharded planning: each worker plans + prices one
+            # contiguous shard of the generation through the batch planner,
+            # the parent merges outcomes (and their stage timings) through
+            # the normal record path.
+            workers = self.max_workers or os.cpu_count() or 1
+            shards = _split_shards(list(pending.items()), workers)
+            with concurrent.futures.ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+                futures = [pool.submit(evaluate_shard, shard) for shard in shards]
+                for future in concurrent.futures.as_completed(futures):
+                    outcomes, timings = future.result()
+                    record_outcomes(outcomes)
+                    absorb_timings(timings)
             return fresh
         pool_cls = (
             concurrent.futures.ThreadPoolExecutor
@@ -407,6 +453,26 @@ class SweepRunner:
             return _CacheEntry(value=evaluate_scenario(scenario))
         except ReproError as error:
             return _CacheEntry(error=error)
+
+
+def _split_shards(items: List[Tuple[str, Scenario]], workers: int) -> List[List[Tuple[str, Scenario]]]:
+    """Split pending ``(key, scenario)`` pairs into contiguous, near-equal shards.
+
+    Produces at most ``workers`` non-empty shards whose sizes differ by at
+    most one, preserving input order (so merged outcomes stay deterministic
+    modulo completion order, which the runner's record path already
+    tolerates).
+    """
+    count = len(items)
+    shard_count = max(1, min(workers, count))
+    base, extra = divmod(count, shard_count)
+    shards: List[List[Tuple[str, Scenario]]] = []
+    start = 0
+    for shard_index in range(shard_count):
+        size = base + (1 if shard_index < extra else 0)
+        shards.append(items[start : start + size])
+        start += size
+    return shards
 
 
 def _resolve_disk_cache(disk_cache: "DiskResultStore | str | bool | None") -> Optional[DiskResultStore]:

@@ -20,9 +20,11 @@ from __future__ import annotations
 import dataclasses
 import enum
 import hashlib
-from typing import Dict, Mapping, Optional, Tuple
+import operator
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..caching import Memo
+from ..comm.fabric import clear_collective_model_cache
 from ..core.bottleneck import attention_layer_bound_breakdown
 from ..core.engine import PerformancePredictionEngine
 from ..errors import ConfigurationError
@@ -469,6 +471,104 @@ def _canonical(value: object) -> object:
     return _canonical_structure(value)
 
 
+#: The cache-key fields (every field but ``tag``), in declaration order --
+#: the exact payload order of :meth:`Scenario.cache_key`.
+_KEY_FIELDS: Tuple[str, ...] = tuple(
+    field.name for field in dataclasses.fields(Scenario) if field.name != "tag"
+)
+
+#: One attribute walk for all key fields (C-level, in declaration order).
+_KEY_GETTER = operator.attrgetter(*_KEY_FIELDS)
+
+#: Scalar types whose fragment may be memoized by ``(field, type, value)``:
+#: for these, equal value plus equal type implies an equal canonical repr.
+#: (Containers are excluded: ``(1,) == (1.0,)`` yet their canonical reprs
+#: differ, so equality alone cannot key them safely.)
+_SCALAR_FRAGMENT_TYPES = (int, float, str, bool, type(None), enum.Enum)
+
+#: Fragment-cache dispatch codes, resolved once per value *class*.
+_BY_ID, _BY_VALUE, _UNCACHED = 0, 1, 2
+_FRAGMENT_KIND: Dict[type, int] = {}
+
+#: Memoized repr fragments of the key payload, one entry per distinct field
+#: value: heavyweight spec values key by ``(field index, id(value))`` (the
+#: catalog/zoo intern them, so a grid presents the same few *objects* over
+#: and over -- the pin map keeps each one alive so its id cannot be recycled
+#: while cached), scalars by ``(field index, type, value)``.  A grid's
+#: scenarios share almost every field value, so each fragment is rendered
+#: once per process instead of once per scenario -- the win behind
+#: :func:`cache_keys`.
+_FRAGMENTS: Dict[object, str] = {}
+_FRAGMENT_PINS: Dict[int, object] = {}
+_FRAGMENT_CACHE_SIZE = 65536
+
+
+def _fragment_kind_of(cls: type) -> int:
+    """Resolve (and cache) how fragments of one value class may be keyed."""
+    if issubclass(cls, _CANONICAL_DIGEST_TYPES):
+        kind = _BY_ID
+    elif issubclass(cls, _SCALAR_FRAGMENT_TYPES):
+        kind = _BY_VALUE
+    else:
+        kind = _UNCACHED
+    _FRAGMENT_KIND[cls] = kind
+    return kind
+
+
+def cache_keys(scenarios: Sequence[Scenario]) -> List[str]:
+    """Cache keys of many scenarios, canonicalizing each distinct value once.
+
+    Equal to ``[scenario.cache_key() for scenario in scenarios]`` (pinned by
+    ``tests/sweep/test_cache_keys.py``), but grid-shaped: the per-field repr
+    fragments are memoized across scenarios -- by object identity for the
+    interned spec values, by ``(type, value)`` for scalars -- so the
+    per-scenario work drops to dict probes, composing known strings, and one
+    sha256.  Keys are pinned on the instances exactly like
+    :meth:`Scenario.cache_key` does, and instances with pinned keys are
+    served from the pin.
+    """
+    keys: List[str] = []
+    names = _KEY_FIELDS
+    getter = _KEY_GETTER
+    kinds = _FRAGMENT_KIND
+    fragment_memo = _FRAGMENTS
+    sha256 = hashlib.sha256
+    for scenario in scenarios:
+        cached = scenario.__dict__.get("_cache_key")
+        if cached is not None:
+            keys.append(cached)
+            continue
+        fragments: List[str] = []
+        for index, value in enumerate(getter(scenario)):
+            cls = value.__class__
+            kind = kinds.get(cls)
+            if kind is None:
+                kind = _fragment_kind_of(cls)
+            if kind == _BY_ID:
+                ref: object = (index, id(value))
+            elif kind == _BY_VALUE:
+                ref = (index, cls, value)
+            else:
+                fragments.append(repr((names[index], _canonical(value))))
+                continue
+            fragment = fragment_memo.get(ref)
+            if fragment is None:
+                if len(fragment_memo) >= _FRAGMENT_CACHE_SIZE:
+                    fragment_memo.clear()
+                    _FRAGMENT_PINS.clear()
+                fragment = repr((names[index], _canonical(value)))
+                fragment_memo[ref] = fragment
+                if kind == _BY_ID:
+                    _FRAGMENT_PINS[id(value)] = value
+            fragments.append(fragment)
+        # repr of the payload tuple, composed from the per-item fragments
+        # (exact for tuples of length >= 2, which _KEY_FIELDS guarantees).
+        key = sha256(("(" + ", ".join(fragments) + ")").encode("utf-8")).hexdigest()
+        object.__setattr__(scenario, "_cache_key", key)
+        keys.append(key)
+    return keys
+
+
 def _canonical_structure(value: object) -> object:
     if isinstance(value, enum.Enum):
         return (type(value).__name__, value.value)
@@ -527,16 +627,20 @@ def engine_for(system: SystemSpec) -> PerformancePredictionEngine:
 
 
 def clear_engine_cache() -> None:
-    """Drop every cached engine (and the canonical-form digest memo).
+    """Drop every cached engine (and the canonical-form digest memos).
 
     Dropping the engines also drops their memoized kernel/collective models
-    and step-cost caches, so the next evaluation of any scenario pays the
-    full cold-path cost again.  Used by the cold-sweep benchmarks to measure
+    (including the interned per-(system, algorithm) collective models) and
+    step-cost caches, so the next evaluation of any scenario pays the full
+    cold-path cost again.  Used by the cold-sweep benchmarks to measure
     genuinely cold pricing; sweeps never need to call this.
     """
     _ENGINE_CACHE.clear()
     _ENGINE_BY_ID.clear()
     _CANONICAL_MEMO.clear()
+    _FRAGMENTS.clear()
+    _FRAGMENT_PINS.clear()
+    clear_collective_model_cache()
 
 
 def evaluate_scenario(scenario: Scenario) -> object:

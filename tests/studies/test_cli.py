@@ -117,3 +117,63 @@ def test_no_command_prints_help(capsys):
 def test_run_with_pooled_executor(tmp_path, executor):
     assert main(["run", "table4_gemm_bottlenecks", "-p", "gpus=('A100',)",
                  "--executor", executor, "--quiet"]) == 0
+
+
+# ---------------------------------------------------------------------------
+# repro cache
+# ---------------------------------------------------------------------------
+
+
+def test_cache_stats_on_empty_root(tmp_path, capsys):
+    assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+    assert "empty" in capsys.readouterr().out
+
+
+def test_cache_stats_clear_prune_roundtrip(tmp_path, capsys):
+    from repro.sweep import DiskResultStore
+
+    store = DiskResultStore(root=tmp_path)
+    store.put("aa11", value=1)
+    store.put("bb22", value=2)
+    DiskResultStore(root=tmp_path, fingerprint="stale").put("cc33", value=3)
+
+    assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "2 entries" in out and "(current)" in out and "stale" in out
+
+    assert main(["cache", "prune", "--cache-dir", str(tmp_path)]) == 0
+    assert "stale" in capsys.readouterr().out
+    assert store.fingerprints() == [store.fingerprint]
+
+    assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+    assert "removed 2 entries" in capsys.readouterr().out
+    assert store.count() == 0
+
+    assert main(["cache", "prune", "--cache-dir", str(tmp_path)]) == 0
+    assert "nothing to prune" in capsys.readouterr().out
+
+
+def test_cache_prune_all_drops_the_current_fingerprint(tmp_path, capsys):
+    from repro.sweep import DiskResultStore
+
+    store = DiskResultStore(root=tmp_path)
+    store.put("aa11", value=1)
+    assert main(["cache", "prune", "--all", "--cache-dir", str(tmp_path)]) == 0
+    assert store.fingerprint in capsys.readouterr().out
+    assert store.fingerprints() == []
+
+
+def test_cache_without_verb_prints_usage(capsys):
+    assert main(["cache"]) == 2
+    assert "stats,clear,prune" in capsys.readouterr().err
+
+
+def test_run_stats_line_reports_stage_timings(tmp_path, capsys):
+    code = main([
+        "run", "table4_gemm_bottlenecks",
+        "-p", "gpus=('A100',)",
+        "--quiet", "--cache-dir", str(tmp_path),
+    ])
+    assert code == 0
+    err = capsys.readouterr().err
+    assert "key-hash" in err and "plan" in err and "price" in err and "scatter" in err

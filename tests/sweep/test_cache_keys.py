@@ -1,0 +1,71 @@
+"""Vectorized scenario identity: ``cache_keys`` is pinned to ``cache_key``."""
+
+import dataclasses
+
+from repro.serving import LengthDistribution, ServingConfig, TraceConfig
+from repro.sweep import Scenario, ScenarioKind, cache_keys
+
+
+def _serving_config() -> ServingConfig:
+    return ServingConfig(
+        trace=TraceConfig(
+            rate=1.0,
+            num_requests=4,
+            prompt_lengths=LengthDistribution.uniform(64, 128),
+            output_lengths=LengthDistribution.constant(8),
+            seed=7,
+        )
+    )
+
+
+def _one_of_each_kind(tiny_model):
+    """One scenario per ScenarioKind, covering every key field at least once."""
+    return [
+        Scenario.training("A100x4", tiny_model, "2-2-1-1", global_batch_size=8, seq_len=128),
+        Scenario.inference("A100", tiny_model, batch_size=4, generated_tokens=16),
+        Scenario.serving("A100", "Llama2-7B", _serving_config(), tensor_parallel=1),
+        Scenario.training_memory(tiny_model, "2-2-1-1", global_batch_size=8),
+        Scenario.inference_memory(tiny_model, batch_size=2),
+        Scenario.prefill_bottlenecks("A100", tiny_model, batch_size=1, prompt_tokens=128),
+        Scenario.decode_bottlenecks("A100", tiny_model, batch_size=2, kv_len=100),
+        Scenario.attention_bound("A100", tiny_model, micro_batch=1, seq_len=128),
+        Scenario.gemv_validation(num_clusters=2, seed=11),
+    ]
+
+
+def test_cache_keys_covers_every_kind(tiny_model):
+    scenarios = _one_of_each_kind(tiny_model)
+    assert {scenario.kind for scenario in scenarios} == set(ScenarioKind)
+
+
+def test_cache_keys_equal_scalar_cache_key(tiny_model):
+    scenarios = _one_of_each_kind(tiny_model)
+    # Scalar keys computed on twin copies so neither path sees pinned keys.
+    twins = [dataclasses.replace(scenario) for scenario in scenarios]
+    assert cache_keys(scenarios) == [twin.cache_key() for twin in twins]
+
+
+def test_cache_keys_pin_and_reuse_per_scenario(tiny_model):
+    scenario = Scenario.decode_bottlenecks("A100", tiny_model, kv_len=50)
+    (key,) = cache_keys([scenario])
+    assert scenario.__dict__.get("_cache_key") == key
+    assert scenario.cache_key() == key
+    assert cache_keys([scenario]) == [key]
+
+
+def test_cache_keys_served_from_scalar_pin(tiny_model):
+    scenario = Scenario.decode_bottlenecks("A100", tiny_model, kv_len=51)
+    key = scenario.cache_key()
+    assert cache_keys([scenario]) == [key]
+
+
+def test_cache_keys_ignore_tag(tiny_model):
+    plain = Scenario.decode_bottlenecks("A100", tiny_model, kv_len=52)
+    tagged = Scenario.decode_bottlenecks("A100", tiny_model, kv_len=52, tag="sweep-7")
+    assert cache_keys([plain, tagged]) == [plain.cache_key()] * 2
+
+
+def test_cache_keys_distinguish_different_scenarios(tiny_model):
+    scenarios = _one_of_each_kind(tiny_model)
+    keys = cache_keys(scenarios)
+    assert len(set(keys)) == len(keys)

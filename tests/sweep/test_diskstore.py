@@ -187,3 +187,55 @@ def test_disk_cache_true_opens_the_default_store(tmp_path, monkeypatch):
 def test_disk_cache_off_by_default(tiny_model):
     runner = SweepRunner()
     assert runner.disk_cache is None
+
+
+# ---------------------------------------------------------------------------
+# Housekeeping: stats / clear / prune.
+# ---------------------------------------------------------------------------
+
+
+def test_stats_report_entries_and_bytes_per_fingerprint(tmp_path):
+    current = DiskResultStore(root=tmp_path, fingerprint="current")
+    stale = DiskResultStore(root=tmp_path, fingerprint="stale")
+    current.put("aa11", value=1)
+    current.put("bb22", value=2)
+    stale.put("cc33", value=3)
+    report = current.stats()
+    assert set(report) == {"current", "stale"}
+    assert report["current"]["entries"] == 2
+    assert report["stale"]["entries"] == 1
+    assert report["current"]["bytes"] > 0
+    assert report["current"]["current"] == 1
+    assert report["stale"]["current"] == 0
+    assert current.fingerprints() == ["current", "stale"]
+
+
+def test_stats_on_empty_root(tmp_path):
+    store = DiskResultStore(root=tmp_path / "missing")
+    assert store.stats() == {}
+    assert store.fingerprints() == []
+
+
+def test_clear_empties_only_the_current_fingerprint(tmp_path):
+    current = DiskResultStore(root=tmp_path, fingerprint="current")
+    stale = DiskResultStore(root=tmp_path, fingerprint="stale")
+    current.put("aa11", value=1)
+    current.put("bb22", value=2)
+    stale.put("cc33", value=3)
+    assert current.clear() == 2
+    assert current.count() == 0
+    assert current.get("aa11") is None
+    assert stale.count() == 1
+    assert current.clear() == 0  # idempotent
+
+
+def test_prune_drops_stale_fingerprints(tmp_path):
+    current = DiskResultStore(root=tmp_path, fingerprint="current")
+    for name in ("old1", "old2"):
+        DiskResultStore(root=tmp_path, fingerprint=name).put("aa11", value=1)
+    current.put("bb22", value=2)
+    assert current.prune() == ["old1", "old2"]
+    assert current.fingerprints() == ["current"]
+    assert current.count() == 1
+    assert current.prune(keep_current=False) == ["current"]
+    assert current.fingerprints() == []
