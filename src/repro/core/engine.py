@@ -36,6 +36,7 @@ from ..models.transformer import TransformerConfig
 from ..models.zoo import get_model
 from ..parallelism.config import ParallelismConfig
 from ..perf.kernels import DeviceKernelModel
+from ..serving.fleet import FleetConfig, FleetReport, FleetSimulator
 from ..serving.report import ServingReport, ServingSLO
 from ..serving.request import Request, TraceConfig
 from ..serving.scheduler import SchedulerConfig
@@ -210,6 +211,35 @@ class PerformancePredictionEngine:
             fused=fused,
         )
         return simulator.run(workload)
+
+    def predict_fleet(
+        self,
+        model: "TransformerConfig | str",
+        fleet: FleetConfig,
+        tensor_parallel: int = 1,
+        precision: Precision = Precision.FP16,
+        fused: bool = True,
+    ) -> FleetReport:
+        """Simulate a fleet of engine replicas of ``model`` behind a router.
+
+        Every replica shares this engine's :attr:`step_cost` layer, so the
+        whole fleet (and every scenario of a fleet sweep) prices steps
+        through one cache.  See
+        :class:`~repro.serving.fleet.FleetSimulator` for the routing paths
+        and :class:`~repro.serving.fleet.FleetReport` for the aggregate.
+        """
+        model = get_model(model) if isinstance(model, str) else model
+        precision = Precision.parse(precision)
+        simulator = FleetSimulator(
+            system=self.system,
+            model=model,
+            fleet=fleet,
+            tensor_parallel=tensor_parallel,
+            precision=precision,
+            step_cost=self.step_cost,
+            fused=fused,
+        )
+        return simulator.run()
 
     # -- bottleneck views ----------------------------------------------------------------
 

@@ -74,6 +74,19 @@ class EnergyModel:
         host_energy = self.host_power_per_device * (busy_time + waiting_time)
         return (busy_power * busy_time + waiting_power * waiting_time + host_energy) * self.pue
 
+    def device_energy(self, busy_time: float, waiting_time: float, num_devices: int = 1) -> float:
+        """Energy of ``num_devices`` devices split into busy/waiting phases, in joules.
+
+        The generic building block behind the training/inference helpers; the
+        fleet cost accounting uses it directly with each replica's busy time
+        against the fleet makespan.
+        """
+        if busy_time < 0 or waiting_time < 0:
+            raise ConfigurationError("busy_time and waiting_time must be non-negative")
+        if num_devices < 1:
+            raise ConfigurationError("num_devices must be >= 1")
+        return num_devices * self._device_energy(busy_time, waiting_time)
+
     # -- training ----------------------------------------------------------------------
 
     def training_step_energy(self, report: TrainingReport, num_devices: int | None = None) -> float:

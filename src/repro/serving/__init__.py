@@ -11,38 +11,72 @@ to the per-step reference loop); and the outcome is a
 :class:`~repro.serving.report.ServingReport` with TTFT/TPOT percentiles,
 throughput, goodput under an SLO, and device utilization.
 
+At cluster scale, :mod:`repro.serving.fleet` runs N engine replicas behind
+pluggable routing policies (:mod:`repro.serving.router`) over multi-tenant
+diurnal traces (:class:`~repro.serving.request.FleetTraceConfig`), producing
+a :class:`~repro.serving.fleet.FleetReport` with fleet-level latency
+percentiles, load imbalance, and cost per token.
+
 Typical use goes through the engine facade or the sweep subsystem::
 
     engine = PerformancePredictionEngine(system)
     report = engine.predict_serving("Llama2-13B", TraceConfig(rate=2.0, num_requests=100))
+    fleet = engine.predict_fleet("Llama2-13B", FleetConfig(trace=trace, num_replicas=8))
 
     table = runner.run_table([Scenario.serving(system, "Llama2-13B", config) ...])
 """
 
+from .fleet import FleetConfig, FleetReport, FleetSimulator
 from .report import RequestMetrics, ServingReport, ServingSLO, percentile
 from .request import (
+    FleetTraceConfig,
     LengthDistribution,
     Request,
+    TenantTrace,
+    TraceColumns,
     TraceConfig,
     bursty_trace,
     poisson_trace,
 )
+from .router import (
+    ROUTER_POLICIES,
+    LeastKVLoadRouter,
+    LeastQueueRouter,
+    PrefixAffinityRouter,
+    RoundRobinRouter,
+    RouterPolicy,
+    get_router,
+)
 from .scheduler import ContinuousBatchingScheduler, RequestState, SchedulerConfig
-from .simulator import ServingConfig, ServingSimulator
+from .simulator import ReplicaEngine, ServingConfig, ServingSimulator
 
 __all__ = [
+    "ROUTER_POLICIES",
     "ContinuousBatchingScheduler",
+    "FleetConfig",
+    "FleetReport",
+    "FleetSimulator",
+    "FleetTraceConfig",
+    "LeastKVLoadRouter",
+    "LeastQueueRouter",
     "LengthDistribution",
+    "PrefixAffinityRouter",
+    "ReplicaEngine",
     "Request",
     "RequestMetrics",
     "RequestState",
+    "RoundRobinRouter",
+    "RouterPolicy",
     "SchedulerConfig",
     "ServingConfig",
     "ServingReport",
     "ServingSLO",
     "ServingSimulator",
+    "TenantTrace",
+    "TraceColumns",
     "TraceConfig",
     "bursty_trace",
+    "get_router",
     "percentile",
     "poisson_trace",
 ]

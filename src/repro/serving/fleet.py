@@ -1,0 +1,390 @@
+"""Fleet-scale serving simulation: N engine replicas behind a router.
+
+Production serving is never one engine -- it is a fleet of identical
+replicas behind a routing tier, fed by many tenants whose load breathes
+over the day.  This module scales the single-replica event-horizon
+simulator (:mod:`repro.serving.simulator`) to that setting without
+reintroducing any per-step Python work:
+
+* Every replica is a :class:`~repro.serving.simulator.ReplicaEngine` --
+  the same :class:`~repro.serving.scheduler.ContinuousBatchingScheduler`
+  plus epoch-fused :meth:`~repro.core.stepcost.StepCostModel.decode_run`
+  loop -- and all replicas share **one** :class:`StepCostModel` per system,
+  so its step-cost caches amortize across the whole fleet.
+* **Stateless** routers (round-robin, prefix-affinity) assign the entire
+  trace in one vectorized pass; each replica then drains its partition as
+  an independent single-replica simulation.  This is the fleet's fast path
+  (and what makes an N=1 fleet bit-identical to :class:`ServingSimulator`).
+* **Stateful** routers (least-KV-load, least-queue) need live replica state
+  at each arrival, so the fleet runs an event-horizon loop at cluster
+  level: the next event is the next arrival, and every replica advances to
+  it through epoch-fused decode runs cut at that horizon
+  (``ReplicaEngine.advance(until=...)``).  The epoch cuts change nothing
+  but grouping, so per-replica results stay exact.
+
+The outcome is a :class:`FleetReport`: per-replica
+:class:`~repro.serving.report.ServingReport` objects plus fleet-level
+latency percentiles, SLO goodput, load imbalance, and dollar cost per
+token via :class:`~repro.cost.tco.TCOModel`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.stepcost import StepCostModel
+from ..cost.tco import TCOModel
+from ..errors import ConfigurationError
+from ..hardware.cluster import SystemSpec
+from ..hardware.datatypes import Precision
+from ..models.transformer import TransformerConfig
+from .report import RequestMetrics, ServingReport, ServingSLO, percentile
+from .request import FleetTraceConfig, Request, TraceColumns, TraceConfig
+from .router import ROUTER_POLICIES, RouterPolicy, get_router
+from .scheduler import SchedulerConfig
+from .simulator import _ARRIVAL_PROBE_STEPS, _MAX_EPOCH_STEPS, ReplicaEngine, ServingSimulator
+
+
+@dataclasses.dataclass(frozen=True)
+class FleetConfig:
+    """Frozen description of one fleet simulation.
+
+    Attributes:
+        trace: The workload -- a single-tenant :class:`TraceConfig` or a
+            multi-tenant :class:`FleetTraceConfig`.
+        num_replicas: Engine replicas in the fleet (each runs the model at
+            the scenario's tensor parallelism).
+        router: Registered routing policy name
+            (:data:`~repro.serving.router.ROUTER_POLICIES`).
+        scheduler: Per-replica batching / admission-control knobs.
+        slo: Latency SLO for goodput accounting (fleet and per replica).
+        include_lm_head: Whether steps price the logits GEMM.
+        max_epoch_steps: Per-replica fused-epoch cap
+            (:class:`~repro.serving.simulator.ServingSimulator` default).
+        arrival_probe_steps: Per-replica probe cap while an admissible
+            arrival is pending.
+    """
+
+    trace: Union[TraceConfig, FleetTraceConfig]
+    num_replicas: int = 2
+    router: str = "round_robin"
+    scheduler: SchedulerConfig = dataclasses.field(default_factory=SchedulerConfig)
+    slo: ServingSLO = dataclasses.field(default_factory=ServingSLO)
+    include_lm_head: bool = True
+    max_epoch_steps: int = _MAX_EPOCH_STEPS
+    arrival_probe_steps: int = _ARRIVAL_PROBE_STEPS
+
+    def __post_init__(self) -> None:
+        if self.num_replicas < 1:
+            raise ConfigurationError("a fleet needs at least one replica")
+        if self.router not in ROUTER_POLICIES:
+            raise ConfigurationError(
+                f"unknown router policy {self.router!r}; choose from {sorted(ROUTER_POLICIES)}"
+            )
+        if self.max_epoch_steps < 1 or self.arrival_probe_steps < 1:
+            raise ConfigurationError("max_epoch_steps and arrival_probe_steps must be >= 1")
+
+
+@dataclasses.dataclass(frozen=True)
+class FleetReport:
+    """Aggregate outcome of one fleet simulation.
+
+    Latency percentiles pool every completed request across replicas;
+    throughputs divide fleet totals by the fleet **makespan** (the latest
+    replica clock).  ``load_imbalance`` is ``max/mean - 1`` over per-replica
+    busy time: 0.0 for a perfectly balanced fleet, 1.0 when the busiest
+    replica does twice the average work.  Costs price every replica's
+    devices for the full makespan (idle replicas still burn capital and
+    idle power) through :class:`~repro.cost.tco.TCOModel`.
+    """
+
+    model_name: str
+    system_name: str
+    tensor_parallel: int
+    num_replicas: int
+    router: str
+
+    num_requests: int
+    completed_requests: int
+    rejected_requests: int
+
+    simulated_time: float
+    busy_time: float
+    prefill_steps: int
+    decode_steps: int
+
+    ttft_p50: float
+    ttft_p99: float
+    tpot_p50: float
+    tpot_p99: float
+    queue_p50: float
+    queue_p99: float
+
+    request_throughput: float
+    output_token_throughput: float
+    goodput: float
+    slo_attainment: float
+    load_imbalance: float
+
+    total_device_seconds: float
+    energy_joules: float
+    cost_usd: float
+    cost_per_million_tokens: float
+
+    replicas: List[ServingReport] = dataclasses.field(default_factory=list)
+
+    @property
+    def device_utilization(self) -> float:
+        """Fleet-wide fraction of device time spent executing steps."""
+        wall = self.num_replicas * self.simulated_time
+        return self.busy_time / wall if wall > 0 else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """Flat headline view for tables and logs."""
+        return {
+            "replicas": self.num_replicas,
+            "completed": self.completed_requests,
+            "ttft_p50_s": self.ttft_p50,
+            "ttft_p99_s": self.ttft_p99,
+            "tpot_p99_s": self.tpot_p99,
+            "requests_per_s": self.request_throughput,
+            "tokens_per_s": self.output_token_throughput,
+            "goodput_rps": self.goodput,
+            "slo_attainment": self.slo_attainment,
+            "load_imbalance": self.load_imbalance,
+            "utilization": self.device_utilization,
+            "cost_per_million_tokens_usd": self.cost_per_million_tokens,
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dict view, per-replica reports included."""
+        data = {
+            field.name: getattr(self, field.name)
+            for field in dataclasses.fields(self)
+            if field.name != "replicas"
+        }
+        data["replicas"] = [report.to_dict() for report in self.replicas]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FleetReport":
+        """Rebuild a report from :meth:`to_dict` output."""
+        data = dict(data)
+        data["replicas"] = [ServingReport.from_dict(entry) for entry in data.get("replicas", [])]
+        return cls(**data)
+
+    def to_json(self, **kwargs: object) -> str:
+        """Serialize the report to a JSON string."""
+        return json.dumps(self.to_dict(), **kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FleetReport":
+        """Rebuild a report from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
+
+class FleetSimulator:
+    """Simulates N identical engine replicas of one model behind a router.
+
+    Every replica shares one :class:`StepCostModel` (pass ``step_cost`` to
+    share it wider, e.g. across the scenarios of a sweep).  ``router``
+    accepts a :class:`RouterPolicy` *instance* to override the configured
+    policy -- the equivalence tests use it to force the interleaved path.
+    """
+
+    def __init__(
+        self,
+        system: SystemSpec,
+        model: TransformerConfig,
+        fleet: FleetConfig,
+        tensor_parallel: int = 1,
+        precision: Precision = Precision.FP16,
+        step_cost: Optional[StepCostModel] = None,
+        tco: Optional[TCOModel] = None,
+        fused: bool = True,
+        router: Optional[RouterPolicy] = None,
+    ):
+        self.system = system
+        self.model = model
+        self.fleet = fleet
+        self.tensor_parallel = tensor_parallel
+        self.precision = precision
+        self.tco = tco if tco is not None else TCOModel(system=system)
+        self.router = router if router is not None else get_router(fleet.router)
+        # One simulator parameterizes every replica: engines share its
+        # configuration and, critically, its step-cost model and caches.
+        self.simulator = ServingSimulator(
+            system=system,
+            model=model,
+            tensor_parallel=tensor_parallel,
+            precision=precision,
+            step_cost=step_cost,
+            scheduler_config=fleet.scheduler,
+            slo=fleet.slo,
+            include_lm_head=fleet.include_lm_head,
+            fused=fused,
+            max_epoch_steps=fleet.max_epoch_steps,
+            arrival_probe_steps=fleet.arrival_probe_steps,
+        )
+
+    def run(self, workload: Optional[Union[TraceColumns, Sequence[Request]]] = None) -> FleetReport:
+        """Simulate the fleet to completion and aggregate the report.
+
+        ``workload`` defaults to the configured trace; pass
+        :class:`TraceColumns` or an explicit request list to reuse a
+        generated trace across simulations (requests must carry distinct
+        ids; they are processed in arrival order).
+        """
+        if workload is None:
+            columns = self.fleet.trace.generate_columns()
+            requests = columns.to_requests()
+        elif isinstance(workload, TraceColumns):
+            columns = workload
+            requests = columns.to_requests()
+        else:
+            requests = sorted(workload, key=lambda request: (request.arrival_time, request.request_id))
+            if not requests:
+                raise ConfigurationError("fleet simulation needs at least one request")
+            columns = TraceColumns(
+                arrival_times=np.array([request.arrival_time for request in requests], dtype=np.float64),
+                prompt_tokens=np.array([request.prompt_tokens for request in requests], dtype=np.int64),
+                output_tokens=np.array([request.output_tokens for request in requests], dtype=np.int64),
+                tenant_ids=np.zeros(len(requests), dtype=np.int64),
+            )
+        if not requests:
+            raise ConfigurationError("fleet simulation needs at least one request")
+
+        num_replicas = self.fleet.num_replicas
+        engines = [self.simulator.engine() for _ in range(num_replicas)]
+        self.router.reset(num_replicas)
+
+        assignment = self.router.assign_batch(columns, num_replicas)
+        if assignment is not None:
+            self._run_partitioned(engines, requests, np.asarray(assignment))
+        else:
+            self._run_interleaved(engines, requests, columns.tenant_ids)
+
+        replica_reports = [self.simulator.report(engine) for engine in engines]
+        return self._aggregate(replica_reports)
+
+    # -- execution paths ----------------------------------------------------------------
+
+    def _run_partitioned(
+        self, engines: List[ReplicaEngine], requests: List[Request], assignment: np.ndarray
+    ) -> None:
+        """Stateless-router fast path: drain each replica's partition independently."""
+        if assignment.shape[0] != len(requests):
+            raise ConfigurationError("router assignment must cover every request")
+        for request, replica in zip(requests, assignment.tolist()):
+            engines[replica].submit(request)
+        for engine in engines:
+            engine.advance()
+
+    def _run_interleaved(
+        self, engines: List[ReplicaEngine], requests: List[Request], tenant_ids: np.ndarray
+    ) -> None:
+        """Stateful-router path: cluster-level event-horizon loop.
+
+        For each arrival (the fleet's next event), every replica advances to
+        the arrival time through fused epochs cut at that horizon, the router
+        inspects the resulting replica states, and the request lands on the
+        chosen replica.  A final unbounded advance drains the fleet.
+        """
+        tenants = tenant_ids.tolist()
+        for index, request in enumerate(requests):
+            horizon = request.arrival_time
+            for engine in engines:
+                engine.advance(until=horizon)
+            replica = self.router.select(request, tenants[index], engines)
+            engines[replica].submit(request)
+        for engine in engines:
+            engine.advance()
+
+    # -- aggregation --------------------------------------------------------------------
+
+    def _aggregate(self, replica_reports: List[ServingReport]) -> FleetReport:
+        """Pool per-replica reports into the fleet view."""
+        fleet = self.fleet
+        makespan = max(report.simulated_time for report in replica_reports)
+        busy = np.array([report.busy_time for report in replica_reports], dtype=np.float64)
+        completed = sum(report.completed_requests for report in replica_reports)
+        output_tokens = sum(
+            metrics.output_tokens for report in replica_reports for metrics in report.per_request
+        )
+
+        per_request: List[RequestMetrics] = [
+            metrics for report in replica_reports for metrics in report.per_request
+        ]
+        if per_request:
+            ttfts = np.fromiter((m.ttft for m in per_request), dtype=np.float64, count=len(per_request))
+            tpots = np.fromiter((m.tpot for m in per_request), dtype=np.float64, count=len(per_request))
+            queues = np.fromiter(
+                (m.queue_time for m in per_request), dtype=np.float64, count=len(per_request)
+            )
+            good = int(np.count_nonzero(fleet.slo.met_mask(ttfts, tpots)))
+            percentiles = {
+                "ttft_p50": percentile(ttfts, 50),
+                "ttft_p99": percentile(ttfts, 99),
+                "tpot_p50": percentile(tpots, 50),
+                "tpot_p99": percentile(tpots, 99),
+                "queue_p50": percentile(queues, 50),
+                "queue_p99": percentile(queues, 99),
+            }
+        else:
+            good = 0
+            percentiles = {
+                "ttft_p50": 0.0,
+                "ttft_p99": 0.0,
+                "tpot_p50": 0.0,
+                "tpot_p99": 0.0,
+                "queue_p50": 0.0,
+                "queue_p99": 0.0,
+            }
+
+        mean_busy = float(busy.mean())
+        load_imbalance = float(busy.max() / mean_busy - 1.0) if mean_busy > 0 else 0.0
+
+        # Cost the whole fleet for the whole makespan: every replica's TP
+        # group exists (and burns idle power) until the last replica drains.
+        total_device_seconds = fleet.num_replicas * self.tensor_parallel * makespan
+        energy_model = self.tco.energy_model
+        energy_joules = sum(
+            energy_model.device_energy(
+                busy_time=report.busy_time,
+                waiting_time=max(makespan - report.busy_time, 0.0),
+                num_devices=self.tensor_parallel,
+            )
+            for report in replica_reports
+        )
+        cost_usd = self.tco.device_seconds_cost(total_device_seconds, energy_joules)
+        cost_per_million_tokens = cost_usd / output_tokens * 1e6 if output_tokens > 0 else 0.0
+
+        return FleetReport(
+            model_name=self.model.name,
+            system_name=self.system.name,
+            tensor_parallel=self.tensor_parallel,
+            num_replicas=fleet.num_replicas,
+            router=self.router.name,
+            num_requests=sum(report.num_requests for report in replica_reports),
+            completed_requests=completed,
+            rejected_requests=sum(report.rejected_requests for report in replica_reports),
+            simulated_time=makespan,
+            busy_time=float(busy.sum()),
+            prefill_steps=sum(report.prefill_steps for report in replica_reports),
+            decode_steps=sum(report.decode_steps for report in replica_reports),
+            request_throughput=completed / makespan if makespan > 0 else 0.0,
+            output_token_throughput=output_tokens / makespan if makespan > 0 else 0.0,
+            goodput=good / makespan if makespan > 0 else 0.0,
+            slo_attainment=good / completed if completed else 0.0,
+            load_imbalance=load_imbalance,
+            total_device_seconds=total_device_seconds,
+            energy_joules=float(energy_joules),
+            cost_usd=float(cost_usd),
+            cost_per_million_tokens=float(cost_per_million_tokens),
+            replicas=replica_reports,
+            **percentiles,
+        )

@@ -15,20 +15,26 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, ReproError
 
 
 def percentile(values: Sequence[float], q: float) -> float:
     """Linear-interpolation percentile (``q`` in [0, 100]) of a sample.
 
     Thin wrapper over :func:`numpy.percentile` that validates ``q`` with the
-    library's error type and returns 0.0 for an empty sample (a simulation
-    with no completed requests).
+    library's error type.  An empty sample has no percentiles: it raises a
+    :class:`~repro.errors.ReproError` (e.g. a fleet replica that received
+    zero requests) instead of surfacing NumPy's opaque ``IndexError`` --
+    callers that want a sentinel for "no completed requests" must supply it
+    themselves, the way the report aggregation does.
     """
     if not 0 <= q <= 100:
         raise ConfigurationError("percentile q must be in [0, 100]")
     if len(values) == 0:
-        return 0.0
+        raise ReproError(
+            "percentile of an empty sample: no completed requests to aggregate "
+            "(a replica that received zero requests reports 0.0 explicitly)"
+        )
     return float(np.percentile(values, q))
 
 

@@ -17,6 +17,22 @@ Two arrival processes are modeled:
   exponential, otherwise from a slow one chosen to preserve the mean.
   Bursts of back-to-back arrivals stress admission control and tail latency
   without changing the average offered load.
+
+Two generation paths share these configs:
+
+* :meth:`TraceConfig.generate` keeps the original ``random.Random`` stream
+  (every existing seed reproduces its exact historical trace): raw draws are
+  collected in one pass through the same RNG calls in the same per-request
+  order, and everything downstream -- the arrival-time running sum, length
+  rounding and clamping, column assembly -- is vectorized with NumPy.  A
+  golden-trace fixture pins the stream.
+* The fleet-scale path (:class:`FleetTraceConfig` of :class:`TenantTrace`
+  entries) samples arrivals and lengths entirely inside NumPy
+  (``np.random.Generator``), so million-request multi-tenant traces
+  materialize their columns in milliseconds; per-tenant diurnal load comes
+  from inverting a piecewise-constant intensity profile (the exact
+  non-homogeneous-Poisson construction for ``"poisson"`` arrivals, a
+  time-warp of the renewal process for ``"bursty"``).
 """
 
 from __future__ import annotations
@@ -24,7 +40,9 @@ from __future__ import annotations
 import dataclasses
 import math
 import random
-from typing import List, Optional
+from typing import List, Optional, Tuple
+
+import numpy as np
 
 from ..errors import ConfigurationError
 
@@ -58,6 +76,45 @@ class Request:
     def total_context(self) -> int:
         """KV context the request occupies when fully generated."""
         return self.prompt_tokens + self.output_tokens
+
+
+@dataclasses.dataclass(frozen=True, eq=False)
+class TraceColumns:
+    """Columnar view of a trace: one NumPy column per :class:`Request` field.
+
+    The request id of row ``i`` is ``i`` (columns are stored in arrival
+    order).  ``tenant_ids`` carries the :class:`FleetTraceConfig` tenant
+    index of each request (all zeros for single-tenant traces); the fleet's
+    prefix-affinity router keys on it.
+    """
+
+    arrival_times: np.ndarray
+    prompt_tokens: np.ndarray
+    output_tokens: np.ndarray
+    tenant_ids: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = self.arrival_times.shape[0]
+        if not (self.prompt_tokens.shape[0] == self.output_tokens.shape[0] == self.tenant_ids.shape[0] == n):
+            raise ConfigurationError("trace columns must have equal lengths")
+
+    def __len__(self) -> int:
+        return int(self.arrival_times.shape[0])
+
+    def to_requests(self) -> List[Request]:
+        """Materialize the columns as :class:`Request` objects (row ``i`` -> id ``i``)."""
+        arrivals = self.arrival_times.tolist()
+        prompts = self.prompt_tokens.tolist()
+        outputs = self.output_tokens.tolist()
+        return [
+            Request(
+                request_id=index,
+                arrival_time=arrivals[index],
+                prompt_tokens=prompts[index],
+                output_tokens=outputs[index],
+            )
+            for index in range(len(arrivals))
+        ]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -113,19 +170,44 @@ class LengthDistribution:
             raise ConfigurationError("lognormal lengths need median >= 1 and sigma >= 0")
         return cls(kind="lognormal", median=median, sigma=sigma, minimum=minimum, maximum=maximum)
 
+    def sample_raw(self, rng: random.Random) -> float:
+        """Draw one *unrounded* length, consuming exactly the historical RNG calls."""
+        if self.kind == "constant":
+            return float(self.value)
+        if self.kind == "uniform":
+            return float(rng.randint(self.low, self.high))
+        return math.exp(rng.gauss(math.log(self.median), self.sigma))
+
+    def finalize(self, raw: np.ndarray) -> np.ndarray:
+        """Vectorized round + clamp of raw samples into integer token counts.
+
+        ``np.round`` is round-half-even on the float64 value, exactly like the
+        scalar ``int(round(raw))`` the per-request path used.
+        """
+        lengths = np.round(raw).astype(np.int64)
+        lengths = np.maximum(lengths, self.minimum)
+        if self.maximum is not None:
+            lengths = np.minimum(lengths, self.maximum)
+        return lengths
+
     def sample(self, rng: random.Random) -> int:
         """Draw one length from the distribution using ``rng``."""
-        if self.kind == "constant":
-            raw = float(self.value)
-        elif self.kind == "uniform":
-            raw = float(rng.randint(self.low, self.high))
-        else:
-            raw = math.exp(rng.gauss(math.log(self.median), self.sigma))
+        raw = self.sample_raw(rng)
         length = int(round(raw))
         length = max(self.minimum, length)
         if self.maximum is not None:
             length = min(self.maximum, length)
         return length
+
+    def sample_array(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw ``size`` lengths in one NumPy pass (the fleet-trace fast path)."""
+        if self.kind == "constant":
+            return np.full(size, int(self.value), dtype=np.int64)
+        if self.kind == "uniform":
+            raw = rng.integers(self.low, self.high + 1, size=size).astype(np.float64)
+        else:
+            raw = np.exp(rng.normal(math.log(self.median), self.sigma, size=size))
+        return self.finalize(raw)
 
     @property
     def mean_estimate(self) -> float:
@@ -185,22 +267,172 @@ class TraceConfig:
         slow_rate = self.rate * (1.0 - p) * self.burstiness / (self.burstiness - p)
         return rng.expovariate(fast_rate if rng.random() < p else slow_rate)
 
+    def generate_columns(self) -> TraceColumns:
+        """Materialize the trace as NumPy columns (deterministic for a config).
+
+        The raw draws go through the same ``random.Random`` stream, in the
+        same per-request order (gap, prompt, output), as the historical
+        per-request loop, so the values are *pinned*: every seed keeps
+        producing its exact pre-vectorization trace (golden fixture in
+        ``tests/serving/test_request.py``).  The transforms around the draws
+        are columnar: one ``np.cumsum`` turns gaps into arrival times
+        (bit-identical to the sequential ``+=`` accumulation), and the
+        length rounding/clamping runs once per column instead of once per
+        request.
+        """
+        rng = random.Random(self.seed)
+        n = self.num_requests
+        gaps = np.empty(n, dtype=np.float64)
+        prompts_raw = np.empty(n, dtype=np.float64)
+        outputs_raw = np.empty(n, dtype=np.float64)
+        next_gap = self._next_gap
+        prompt_raw = self.prompt_lengths.sample_raw
+        output_raw = self.output_lengths.sample_raw
+        for index in range(n):
+            gaps[index] = next_gap(rng)
+            prompts_raw[index] = prompt_raw(rng)
+            outputs_raw[index] = output_raw(rng)
+        return TraceColumns(
+            arrival_times=np.cumsum(gaps),
+            prompt_tokens=self.prompt_lengths.finalize(prompts_raw),
+            output_tokens=self.output_lengths.finalize(outputs_raw),
+            tenant_ids=np.zeros(n, dtype=np.int64),
+        )
+
     def generate(self) -> List[Request]:
         """Materialize the trace (deterministic for a given config)."""
-        rng = random.Random(self.seed)
-        requests: List[Request] = []
-        now = 0.0
-        for index in range(self.num_requests):
-            now += self._next_gap(rng)
-            requests.append(
-                Request(
-                    request_id=index,
-                    arrival_time=now,
-                    prompt_tokens=self.prompt_lengths.sample(rng),
-                    output_tokens=self.output_lengths.sample(rng),
-                )
-            )
-        return requests
+        return self.generate_columns().to_requests()
+
+
+# ---------------------------------------------------------------------------
+# Fleet traces: multi-tenant, diurnal, generated entirely inside NumPy.
+# ---------------------------------------------------------------------------
+
+
+def _invert_piecewise_intensity(
+    cumulative: np.ndarray, rate: float, multipliers: Tuple[float, ...], period: float
+) -> np.ndarray:
+    """Map unit-rate cumulative arrivals through a piecewise-constant intensity.
+
+    ``cumulative[i]`` is the integrated intensity at which arrival ``i``
+    occurs; with intensity ``rate * m(t)`` (``m`` piecewise constant over
+    ``len(multipliers)`` equal bins per ``period``), the arrival time solves
+    ``Lambda(t) = cumulative[i]`` in closed form per bin -- fully vectorized
+    via ``searchsorted`` over the per-bin cumulative intensity.
+    """
+    if not multipliers:
+        return cumulative / rate
+    bins = len(multipliers)
+    width = period / bins
+    weights = np.asarray(multipliers, dtype=np.float64)
+    # Integrated intensity at the bin edges of one period: Lambda(edge_k).
+    edges = np.concatenate(([0.0], np.cumsum(rate * weights * width)))
+    per_period = edges[-1]
+    periods = np.floor_divide(cumulative, per_period)
+    remainder = cumulative - periods * per_period
+    bin_index = np.clip(np.searchsorted(edges, remainder, side="right") - 1, 0, bins - 1)
+    within = (remainder - edges[bin_index]) / (rate * weights[bin_index])
+    return periods * period + bin_index * width + within
+
+
+@dataclasses.dataclass(frozen=True)
+class TenantTrace:
+    """One tenant of a fleet workload: a base trace plus a diurnal rate profile.
+
+    Attributes:
+        trace: The tenant's seeded arrival/length configuration (its ``rate``
+            is the *mean* rate; seeds should differ across tenants).
+        name: Tenant label carried into logs and reports.
+        diurnal: Rate multipliers over equal-width bins of one ``period``
+            (e.g. 24 hourly multipliers); empty means a flat profile.  The
+            instantaneous arrival rate is ``trace.rate * diurnal[bin(t)]``.
+        period: Length of one diurnal cycle in seconds (default: one day).
+    """
+
+    trace: TraceConfig
+    name: str = "tenant"
+    diurnal: Tuple[float, ...] = ()
+    period: float = 86400.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "diurnal", tuple(float(m) for m in self.diurnal))
+        if any(m <= 0 for m in self.diurnal):
+            raise ConfigurationError("diurnal multipliers must be positive")
+        if self.period <= 0:
+            raise ConfigurationError("diurnal period must be positive")
+
+    def generate_columns(self, tenant_id: int = 0) -> TraceColumns:
+        """Sample this tenant's trace in one NumPy pass (seeded, vectorized).
+
+        Arrivals: unit-rate renewal gaps (exponential, or hyperexponential
+        for ``"bursty"``) are cumulated and pushed through the inverse of the
+        integrated diurnal intensity -- the standard inversion construction
+        of a non-homogeneous Poisson process, applied identically to the
+        bursty renewal stream (a time warp that preserves burst structure).
+        """
+        trace = self.trace
+        rng = np.random.Generator(np.random.PCG64(trace.seed))
+        n = trace.num_requests
+        if trace.arrival == "poisson":
+            unit_gaps = rng.exponential(1.0, size=n)
+        else:
+            in_burst = rng.random(size=n) < trace.burst_fraction
+            p = trace.burst_fraction
+            fast = trace.burstiness
+            slow = (1.0 - p) * trace.burstiness / (trace.burstiness - p)
+            unit_gaps = rng.exponential(1.0, size=n) / np.where(in_burst, fast, slow)
+        arrivals = _invert_piecewise_intensity(
+            np.cumsum(unit_gaps), trace.rate, self.diurnal, self.period
+        )
+        return TraceColumns(
+            arrival_times=arrivals,
+            prompt_tokens=trace.prompt_lengths.sample_array(rng, n),
+            output_tokens=trace.output_lengths.sample_array(rng, n),
+            tenant_ids=np.full(n, tenant_id, dtype=np.int64),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class FleetTraceConfig:
+    """Frozen multi-tenant fleet workload: per-tenant traces merged by arrival.
+
+    Every tenant samples independently (vectorized, from its own seed) and
+    the streams merge into one arrival-ordered trace; request ids number the
+    merged order and ``tenant_ids`` records provenance.  Generating a
+    million-request trace takes milliseconds -- the whole path is NumPy.
+    """
+
+    tenants: Tuple[TenantTrace, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "tenants", tuple(self.tenants))
+        if not self.tenants:
+            raise ConfigurationError("a fleet trace needs at least one tenant")
+
+    @property
+    def num_requests(self) -> int:
+        """Total requests across all tenants."""
+        return sum(tenant.trace.num_requests for tenant in self.tenants)
+
+    def generate_columns(self) -> TraceColumns:
+        """Materialize the merged multi-tenant trace as NumPy columns."""
+        parts = [
+            tenant.generate_columns(tenant_id=index) for index, tenant in enumerate(self.tenants)
+        ]
+        if len(parts) == 1:
+            return parts[0]
+        arrivals = np.concatenate([part.arrival_times for part in parts])
+        order = np.argsort(arrivals, kind="stable")  # ties keep tenant order
+        return TraceColumns(
+            arrival_times=arrivals[order],
+            prompt_tokens=np.concatenate([part.prompt_tokens for part in parts])[order],
+            output_tokens=np.concatenate([part.output_tokens for part in parts])[order],
+            tenant_ids=np.concatenate([part.tenant_ids for part in parts])[order],
+        )
+
+    def generate(self) -> List[Request]:
+        """Materialize the merged trace as :class:`Request` objects."""
+        return self.generate_columns().to_requests()
 
 
 def poisson_trace(

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import collections
 import dataclasses
-from typing import Deque, List, Optional
+from typing import Deque, Dict, List, Optional
 
 from ..errors import ConfigurationError
 from ..hardware.datatypes import Precision
@@ -123,18 +123,30 @@ class ContinuousBatchingScheduler:
         self.kv_reserved_bytes = 0.0
         self.peak_kv_reserved_bytes = 0.0
         self.rejected: List[Request] = []
+        self._reservation_memo: Dict[int, float] = {}
 
     # -- memory accounting -------------------------------------------------------------
 
     def kv_reservation(self, request: Request) -> float:
-        """KV bytes reserved for one request: its full (prompt + output) context."""
-        return kv_cache_bytes(
-            self.model,
-            batch_size=1,
-            context_len=request.total_context,
-            precision=self.precision,
-            tensor_parallel=self.tensor_parallel,
-        )
+        """KV bytes reserved for one request: its full (prompt + output) context.
+
+        Memoized on the total context length: model, precision, and tensor
+        parallelism are fixed per scheduler, so the reservation is a pure
+        function of ``total_context`` and traces draw from a handful of
+        distinct lengths.
+        """
+        context = request.total_context
+        reservation = self._reservation_memo.get(context)
+        if reservation is None:
+            reservation = kv_cache_bytes(
+                self.model,
+                batch_size=1,
+                context_len=context,
+                precision=self.precision,
+                tensor_parallel=self.tensor_parallel,
+            )
+            self._reservation_memo[context] = reservation
+        return reservation
 
     def fits(self, request: Request) -> bool:
         """Whether the request's full-context reservation fits right now."""

@@ -25,12 +25,25 @@ clock value **bit-identical** to the step-by-step loop (available as
 ``fused=False`` and used as the reference in the equivalence tests).  The
 simulation is fully deterministic: the trace is seeded, the pricing is
 analytic, and ties are broken by queue order.
+
+The loop itself lives in :class:`ReplicaEngine`, a *resumable* form of the
+event loop: requests are submitted incrementally and the engine advances
+until drained or until a caller-supplied horizon time.  A single-replica
+simulation (:meth:`ServingSimulator.run`) submits the whole trace and drains
+in one call; the fleet simulator (:mod:`repro.serving.fleet`) interleaves
+many engines, advancing each to the next routed arrival.  Cutting an epoch
+at an extra boundary never changes results -- per-step costs and sequential
+timestamp sums are independent of how steps are grouped, and an admission
+re-check on an unchanged queue is a no-op -- which is what keeps an N=1
+fleet bit-identical to this simulator (pinned in
+``tests/serving/test_fleet.py``).
 """
 
 from __future__ import annotations
 
+import collections
 import dataclasses
-from typing import List, Optional, Sequence, Union
+from typing import Deque, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -43,16 +56,18 @@ from .report import RequestMetrics, ServingReport, ServingSLO, percentile
 from .request import Request, TraceConfig
 from .scheduler import ContinuousBatchingScheduler, RequestState, SchedulerConfig
 
-#: Upper bound on the steps one fused epoch prices at once.  Caps the term
-#: matrices of :meth:`StepCostModel.decode_run` (bounding memory); epochs
-#: longer than this simply continue in the next loop iteration.
+#: Default upper bound on the steps one fused epoch prices at once.  Caps the
+#: term matrices of :meth:`StepCostModel.decode_run` (bounding memory); epochs
+#: longer than this simply continue in the next loop iteration.  Tunable per
+#: simulator via ``max_epoch_steps``.
 _MAX_EPOCH_STEPS = 1024
 
-#: Priced-horizon cap while a pending arrival could still be admitted
+#: Default priced-horizon cap while a pending arrival could still be admitted
 #: mid-epoch.  The arrival's step index is unknown until the steps are
 #: priced, so pricing the full retirement horizon could discard almost all
 #: of it; a short probe bounds the waste, and uninterrupted probes commit
-#: and continue through the main loop like any capped epoch.
+#: and continue through the main loop like any capped epoch.  Tunable per
+#: simulator via ``arrival_probe_steps``.
 _ARRIVAL_PROBE_STEPS = 64
 
 
@@ -87,13 +102,183 @@ class ServingConfig:
     include_lm_head: bool = True
 
 
+class ReplicaEngine:
+    """Resumable continuous-batching event loop over one engine replica.
+
+    The engine owns the scheduler, the virtual clock, and the step/time
+    accumulators of one replica.  Requests are :meth:`submit`-ted in arrival
+    order (possibly incrementally, between :meth:`advance` calls -- the fleet
+    routes each arrival when it happens) and the loop advances through
+    prefill steps and epoch-fused decode runs priced by the simulator's
+    shared :class:`~repro.core.stepcost.StepCostModel`.
+
+    ``advance(until=t)`` pauses once the clock reaches ``t`` (engine steps
+    are atomic, so the clock may overshoot by the final step of an epoch) or
+    once the replica has no runnable work; ``advance()`` drains everything
+    submitted so far.  Extra epoch boundaries introduced by ``until`` cuts
+    are invisible in the results: per-step pricing and the sequential
+    timestamp sums do not depend on epoch grouping.
+    """
+
+    def __init__(self, simulator: "ServingSimulator"):
+        self.simulator = simulator
+        self.scheduler = ContinuousBatchingScheduler(
+            model=simulator.model,
+            config=simulator.scheduler_config,
+            device_memory_bytes=simulator.system.accelerator.dram_capacity,
+            tensor_parallel=simulator.tensor_parallel,
+            precision=simulator.precision,
+        )
+        self.pending: Deque[Request] = collections.deque()
+        self.submitted = 0
+        self.now = 0.0
+        self.busy_time = 0.0
+        self.prefill_time = 0.0
+        self.decode_time = 0.0
+        self.prefill_steps = 0
+        self.decode_steps = 0
+        self.decode_batch_total = 0
+        self.completed: List[RequestState] = []
+
+    def submit(self, request: Request) -> None:
+        """Hand one request to the replica (callers submit in arrival order)."""
+        self.pending.append(request)
+        self.submitted += 1
+
+    @property
+    def queued_requests(self) -> int:
+        """Requests routed here but not yet admitted (pending + waiting)."""
+        return len(self.pending) + len(self.scheduler.waiting)
+
+    @property
+    def drained(self) -> bool:
+        """Whether the replica has no runnable or queued work left."""
+        return not self.pending and not self.scheduler.has_active and not self.scheduler.has_waiting
+
+    def advance(self, until: Optional[float] = None) -> None:
+        """Run the event loop until drained, or until the clock reaches ``until``."""
+        simulator = self.simulator
+        scheduler = self.scheduler
+        pending = self.pending
+        step_cost = simulator.step_cost
+        while until is None or self.now < until:
+            while pending and pending[0].arrival_time <= self.now:
+                scheduler.enqueue(pending.popleft())
+
+            admitted = scheduler.admit(self.now)
+            if admitted:
+                cost = step_cost.prefill_step(
+                    simulator.model,
+                    [state.request.prompt_tokens for state in admitted],
+                    tensor_parallel=simulator.tensor_parallel,
+                    precision=simulator.precision,
+                    include_lm_head=simulator.include_lm_head,
+                )
+                self.now += cost.total_time
+                self.busy_time += cost.total_time
+                self.prefill_time += cost.total_time
+                self.prefill_steps += 1
+                for state in admitted:
+                    state.generated = 1
+                    state.first_token_time = self.now
+                # Only single-token requests can finish on their prefill.
+                if any(state.request.output_tokens == 1 for state in admitted):
+                    self.completed.extend(scheduler.retire_finished(self.now))
+            elif scheduler.has_active:
+                active = scheduler.active
+                retire_in = scheduler.min_remaining_tokens()
+                kv_lens = [state.decode_kv_len for state in active]
+                if simulator.fused:
+                    # Event-horizon epoch: price every step up to the next
+                    # retirement in one vectorized call, then cut the epoch
+                    # at the first arrival that could change scheduling (and,
+                    # when resuming incrementally, at the caller's horizon).
+                    interruptible = bool(pending) and not scheduler.admission_blocked
+                    probing = interruptible or until is not None
+                    horizon = min(
+                        retire_in,
+                        simulator.arrival_probe_steps if probing else simulator.max_epoch_steps,
+                    )
+                    epoch = step_cost.decode_run(
+                        simulator.model,
+                        kv_lens,
+                        horizon,
+                        tensor_parallel=simulator.tensor_parallel,
+                        precision=simulator.precision,
+                        include_lm_head=simulator.include_lm_head,
+                    )
+                    totals = epoch.total_times
+                    end_times = _running_sum(self.now, totals)
+                    steps = horizon
+                    if interruptible:
+                        # First step after which the pending arrival is due
+                        # (arrival_time <= clock), exactly the stepwise
+                        # loop's enqueue predicate.
+                        cut = int(
+                            np.searchsorted(end_times[1:], pending[0].arrival_time, side="left")
+                        )
+                        if cut < horizon:
+                            steps = cut + 1
+                    if until is not None:
+                        # Hand control back at the first step boundary at or
+                        # past the caller's horizon.
+                        cut = int(np.searchsorted(end_times[1:], until, side="left"))
+                        if cut < horizon:
+                            steps = min(steps, cut + 1)
+                    self.now = float(end_times[steps])
+                    # busy_time and decode_time advance by the same step
+                    # totals but from different starting values; one stacked
+                    # cumsum keeps both accumulations sequential (bit-exact).
+                    accumulators = np.empty((2, steps + 1), dtype=np.float64)
+                    accumulators[0, 0] = self.busy_time
+                    accumulators[1, 0] = self.decode_time
+                    accumulators[:, 1:] = totals[:steps]
+                    finals = accumulators.cumsum(axis=1)[:, -1]
+                    self.busy_time = float(finals[0])
+                    self.decode_time = float(finals[1])
+                    self.decode_steps += steps
+                    self.decode_batch_total += len(kv_lens) * steps
+                    for state in active:
+                        state.generated += steps
+                    if steps == retire_in:
+                        self.completed.extend(scheduler.retire_finished(self.now))
+                else:
+                    cost = step_cost.decode_step(
+                        simulator.model,
+                        kv_lens,
+                        tensor_parallel=simulator.tensor_parallel,
+                        precision=simulator.precision,
+                        include_lm_head=simulator.include_lm_head,
+                    )
+                    self.now += cost.total_time
+                    self.busy_time += cost.total_time
+                    self.decode_time += cost.total_time
+                    self.decode_steps += 1
+                    self.decode_batch_total += len(kv_lens)
+                    for state in active:
+                        state.generated += 1
+                    if retire_in == 1:
+                        self.completed.extend(scheduler.retire_finished(self.now))
+            elif pending:
+                self.now = max(self.now, pending[0].arrival_time)
+            else:
+                return  # no active work, nothing waiting that fits, queue drained
+
+            # Waiting requests that cannot ever be admitted were dropped by
+            # admit(); if only such requests remain and nothing is active,
+            # the next loop iteration exits through the branches above.
+
+
 class ServingSimulator:
     """Simulates request-level serving of one model on one system.
 
     ``fused=True`` (the default) prices decode steps in epoch-fused batches
     through :meth:`StepCostModel.decode_run`; ``fused=False`` keeps the
     one-``decode_step``-call-per-token reference loop.  Both produce
-    bit-identical reports.
+    bit-identical reports.  ``max_epoch_steps`` / ``arrival_probe_steps``
+    bound how many decode steps one fused epoch prices (memory vs. discarded
+    probing trade-off); any values produce bit-identical results, they only
+    change how the work is grouped.
     """
 
     def __init__(
@@ -107,9 +292,13 @@ class ServingSimulator:
         slo: Optional[ServingSLO] = None,
         include_lm_head: bool = True,
         fused: bool = True,
+        max_epoch_steps: int = _MAX_EPOCH_STEPS,
+        arrival_probe_steps: int = _ARRIVAL_PROBE_STEPS,
     ):
         if tensor_parallel < 1:
             raise ConfigurationError("tensor_parallel must be >= 1")
+        if max_epoch_steps < 1 or arrival_probe_steps < 1:
+            raise ConfigurationError("max_epoch_steps and arrival_probe_steps must be >= 1")
         self.system = system
         self.model = model
         self.tensor_parallel = tensor_parallel
@@ -119,6 +308,12 @@ class ServingSimulator:
         self.slo = slo or ServingSLO()
         self.include_lm_head = include_lm_head
         self.fused = fused
+        self.max_epoch_steps = max_epoch_steps
+        self.arrival_probe_steps = arrival_probe_steps
+
+    def engine(self) -> ReplicaEngine:
+        """A fresh resumable event loop with this simulator's configuration."""
+        return ReplicaEngine(self)
 
     def run(self, workload: Union[TraceConfig, Sequence[Request]]) -> ServingReport:
         """Simulate the workload to completion and aggregate the report.
@@ -132,158 +327,25 @@ class ServingSimulator:
         if not requests:
             raise ConfigurationError("serving simulation needs at least one request")
         requests.sort(key=lambda request: (request.arrival_time, request.request_id))
-        num_requests = len(requests)
 
-        scheduler = ContinuousBatchingScheduler(
-            model=self.model,
-            config=self.scheduler_config,
-            device_memory_bytes=self.system.accelerator.dram_capacity,
-            tensor_parallel=self.tensor_parallel,
-            precision=self.precision,
-        )
-
-        now = 0.0
-        next_arrival = 0
-        busy_time = 0.0
-        prefill_time = 0.0
-        decode_time = 0.0
-        prefill_steps = 0
-        decode_steps = 0
-        decode_batch_total = 0
-        completed: List[RequestState] = []
-
-        while True:
-            while next_arrival < num_requests and requests[next_arrival].arrival_time <= now:
-                scheduler.enqueue(requests[next_arrival])
-                next_arrival += 1
-
-            admitted = scheduler.admit(now)
-            if admitted:
-                cost = self.step_cost.prefill_step(
-                    self.model,
-                    [state.request.prompt_tokens for state in admitted],
-                    tensor_parallel=self.tensor_parallel,
-                    precision=self.precision,
-                    include_lm_head=self.include_lm_head,
-                )
-                now += cost.total_time
-                busy_time += cost.total_time
-                prefill_time += cost.total_time
-                prefill_steps += 1
-                for state in admitted:
-                    state.generated = 1
-                    state.first_token_time = now
-                # Only single-token requests can finish on their prefill.
-                if any(state.request.output_tokens == 1 for state in admitted):
-                    completed.extend(scheduler.retire_finished(now))
-            elif scheduler.has_active:
-                active = scheduler.active
-                retire_in = scheduler.min_remaining_tokens()
-                kv_lens = [state.decode_kv_len for state in active]
-                if self.fused:
-                    # Event-horizon epoch: price every step up to the next
-                    # retirement in one vectorized call, then cut the epoch
-                    # at the first arrival that could change scheduling.
-                    interruptible = next_arrival < num_requests and not scheduler.admission_blocked
-                    horizon = min(
-                        retire_in, _ARRIVAL_PROBE_STEPS if interruptible else _MAX_EPOCH_STEPS
-                    )
-                    epoch = self.step_cost.decode_run(
-                        self.model,
-                        kv_lens,
-                        horizon,
-                        tensor_parallel=self.tensor_parallel,
-                        precision=self.precision,
-                        include_lm_head=self.include_lm_head,
-                    )
-                    totals = epoch.total_times
-                    end_times = _running_sum(now, totals)
-                    steps = horizon
-                    if interruptible:
-                        # First step after which the pending arrival is due
-                        # (arrival_time <= clock), exactly the stepwise
-                        # loop's enqueue predicate.
-                        cut = int(
-                            np.searchsorted(
-                                end_times[1:], requests[next_arrival].arrival_time, side="left"
-                            )
-                        )
-                        if cut < horizon:
-                            steps = cut + 1
-                    now = float(end_times[steps])
-                    # busy_time and decode_time advance by the same step
-                    # totals but from different starting values; one stacked
-                    # cumsum keeps both accumulations sequential (bit-exact).
-                    accumulators = np.empty((2, steps + 1), dtype=np.float64)
-                    accumulators[0, 0] = busy_time
-                    accumulators[1, 0] = decode_time
-                    accumulators[:, 1:] = totals[:steps]
-                    finals = accumulators.cumsum(axis=1)[:, -1]
-                    busy_time = float(finals[0])
-                    decode_time = float(finals[1])
-                    decode_steps += steps
-                    decode_batch_total += len(kv_lens) * steps
-                    for state in active:
-                        state.generated += steps
-                    if steps == retire_in:
-                        completed.extend(scheduler.retire_finished(now))
-                else:
-                    cost = self.step_cost.decode_step(
-                        self.model,
-                        kv_lens,
-                        tensor_parallel=self.tensor_parallel,
-                        precision=self.precision,
-                        include_lm_head=self.include_lm_head,
-                    )
-                    now += cost.total_time
-                    busy_time += cost.total_time
-                    decode_time += cost.total_time
-                    decode_steps += 1
-                    decode_batch_total += len(kv_lens)
-                    for state in active:
-                        state.generated += 1
-                    if retire_in == 1:
-                        completed.extend(scheduler.retire_finished(now))
-            elif next_arrival < num_requests:
-                now = max(now, requests[next_arrival].arrival_time)
-            else:
-                break  # no active work, nothing waiting that fits, trace drained
-
-            # Waiting requests that cannot ever be admitted were dropped by
-            # admit(); if only such requests remain and nothing is active,
-            # the next loop iteration exits through the branches above.
-
-        return self._aggregate(
-            requests=requests,
-            completed=completed,
-            rejected=scheduler.rejected,
-            simulated_time=now,
-            busy_time=busy_time,
-            prefill_time=prefill_time,
-            decode_time=decode_time,
-            prefill_steps=prefill_steps,
-            decode_steps=decode_steps,
-            decode_batch_total=decode_batch_total,
-            peak_kv_bytes=scheduler.peak_kv_reserved_bytes,
-        )
+        engine = self.engine()
+        for request in requests:
+            engine.submit(request)
+        engine.advance()
+        return self.report(engine)
 
     # -- aggregation -------------------------------------------------------------------
 
-    def _aggregate(
-        self,
-        requests,
-        completed,
-        rejected,
-        simulated_time,
-        busy_time,
-        prefill_time,
-        decode_time,
-        prefill_steps,
-        decode_steps,
-        decode_batch_total,
-        peak_kv_bytes,
-    ) -> ServingReport:
-        completed = sorted(completed, key=lambda state: state.request.request_id)
+    def report(self, engine: ReplicaEngine) -> ServingReport:
+        """Aggregate one (drained) engine's state into a :class:`ServingReport`.
+
+        An engine that received zero requests produces a valid all-zero
+        report (a fleet replica no arrival was routed to), with the latency
+        percentiles pinned to 0.0 explicitly -- :func:`percentile` itself
+        raises on empty samples.
+        """
+        completed = sorted(engine.completed, key=lambda state: state.request.request_id)
+        simulated_time = engine.now
         if completed:
             # One pass over the completed states into NumPy columns; the
             # derived metric arrays feed both the per-request records and the
@@ -319,36 +381,48 @@ class ServingSimulator:
             ]
             output_tokens = int(output_tokens_column.sum())
             good = int(np.count_nonzero(self.slo.met_mask(ttfts, tpots)))
+            percentiles = {
+                "ttft_p50": percentile(ttfts, 50),
+                "ttft_p99": percentile(ttfts, 99),
+                "tpot_p50": percentile(tpots, 50),
+                "tpot_p99": percentile(tpots, 99),
+                "queue_p50": percentile(queues, 50),
+                "queue_p99": percentile(queues, 99),
+            }
         else:
             per_request = []
-            ttfts = tpots = queues = np.zeros(0, dtype=np.float64)
             output_tokens = 0
             good = 0
+            percentiles = {
+                "ttft_p50": 0.0,
+                "ttft_p99": 0.0,
+                "tpot_p50": 0.0,
+                "tpot_p99": 0.0,
+                "queue_p50": 0.0,
+                "queue_p99": 0.0,
+            }
 
         return ServingReport(
             model_name=self.model.name,
             system_name=self.system.name,
             tensor_parallel=self.tensor_parallel,
-            num_requests=len(requests),
+            num_requests=engine.submitted,
             completed_requests=len(per_request),
-            rejected_requests=len(rejected),
+            rejected_requests=len(engine.scheduler.rejected),
             simulated_time=simulated_time,
-            busy_time=busy_time,
-            prefill_time=prefill_time,
-            decode_time=decode_time,
-            prefill_steps=prefill_steps,
-            decode_steps=decode_steps,
-            ttft_p50=percentile(ttfts, 50),
-            ttft_p99=percentile(ttfts, 99),
-            tpot_p50=percentile(tpots, 50),
-            tpot_p99=percentile(tpots, 99),
-            queue_p50=percentile(queues, 50),
-            queue_p99=percentile(queues, 99),
+            busy_time=engine.busy_time,
+            prefill_time=engine.prefill_time,
+            decode_time=engine.decode_time,
+            prefill_steps=engine.prefill_steps,
+            decode_steps=engine.decode_steps,
             request_throughput=len(per_request) / simulated_time if simulated_time > 0 else 0.0,
             output_token_throughput=output_tokens / simulated_time if simulated_time > 0 else 0.0,
             goodput=good / simulated_time if simulated_time > 0 else 0.0,
             slo_attainment=good / len(per_request) if per_request else 0.0,
-            mean_decode_batch=decode_batch_total / decode_steps if decode_steps else 0.0,
-            peak_kv_bytes=peak_kv_bytes,
+            mean_decode_batch=(
+                engine.decode_batch_total / engine.decode_steps if engine.decode_steps else 0.0
+            ),
+            peak_kv_bytes=engine.scheduler.peak_kv_reserved_bytes,
             per_request=per_request,
+            **percentiles,
         )

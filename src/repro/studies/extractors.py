@@ -224,6 +224,32 @@ def _serving_frontier(result: SweepResult) -> Mapping[str, object]:
     }
 
 
+@register_extractor("fleet_frontier")
+def _fleet_frontier(result: SweepResult) -> Mapping[str, object]:
+    """Fleet-simulator tail latencies, goodput, balance, cost (error-tolerant)."""
+    scenario = result.scenario
+    report = result.report
+    ok = result.ok
+    return {
+        "model": scenario.model.name,
+        "replicas": scenario.fleet_config.num_replicas,
+        "router": scenario.fleet_config.router,
+        "completed": report.completed_requests if ok else 0,
+        "rejected": report.rejected_requests if ok else 0,
+        "ttft_p50_s": report.ttft_p50 if ok else None,
+        "ttft_p99_s": report.ttft_p99 if ok else None,
+        "tpot_p99_s": report.tpot_p99 if ok else None,
+        "requests_per_s": report.request_throughput if ok else None,
+        "tokens_per_s": report.output_token_throughput if ok else None,
+        "goodput_rps": report.goodput if ok else None,
+        "slo_attainment": report.slo_attainment if ok else None,
+        "load_imbalance": report.load_imbalance if ok else None,
+        "utilization": report.device_utilization if ok else None,
+        "cost_per_million_tokens_usd": report.cost_per_million_tokens if ok else None,
+        "error": result.error,
+    }
+
+
 @register_extractor("gemv_summary")
 def _gemv_summary(result: SweepResult) -> Mapping[str, object]:
     """Headline errors of the Fig-3 GEMV validation flow."""

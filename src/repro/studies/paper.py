@@ -18,6 +18,7 @@ Registered study                            Paper artifact
 ``fig8_inference_boundedness``              Fig. 8 (prefill boundedness + inset)
 ``fig9_memory_technology_scaling``          Fig. 9 (DRAM technology scaling)
 ``serving_latency_throughput_frontier``     beyond the paper: serving frontier
+``fleet_load_frontier``                     beyond the paper: fleet frontier
 ==========================================  ==================================
 
 The thin public drivers in :mod:`repro.analysis.experiments` and
@@ -40,8 +41,9 @@ from ..memmodel.activations import RecomputeStrategy
 from ..models.transformer import TransformerConfig
 from ..models.zoo import get_model
 from ..parallelism.config import ParallelismConfig, parse_parallelism_label
+from ..serving.fleet import FleetConfig
 from ..serving.report import ServingSLO
-from ..serving.request import LengthDistribution, TraceConfig
+from ..serving.request import FleetTraceConfig, LengthDistribution, TenantTrace, TraceConfig
 from ..serving.scheduler import SchedulerConfig
 from ..serving.simulator import ServingConfig
 from ..sweep.runner import SweepRunner, default_runner
@@ -617,4 +619,93 @@ def serving_latency_throughput_frontier(
         extract="serving_frontier",
         capture_errors=True,
         artifact="serving frontier",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Beyond the paper: the fleet-scale (replicas x router) frontier
+# ---------------------------------------------------------------------------
+
+@register_study(
+    artifact="fleet frontier",
+    description="Fleet-scale goodput/cost frontier over replica count and routing policy",
+)
+def fleet_load_frontier(
+    model_name: str = "Llama2-13B",
+    gpu: str = "A100",
+    num_devices: int = 8,
+    replica_counts: Sequence[int] = (1, 2, 4),
+    routers: Sequence[str] = ("round_robin", "least_kv_load", "least_queue", "prefix_affinity"),
+    rate_per_tenant: float = 4.0,
+    requests_per_tenant: int = 96,
+    max_batch_size: int = 32,
+    slo: Optional[ServingSLO] = None,
+    precision: "Precision | str" = Precision.FP16,
+) -> Study:
+    """The fleet frontier over (replica count, routing policy) grid points.
+
+    The workload is a two-tenant diurnal trace -- a chatbot-shaped tenant
+    whose load peaks mid-period and a batch-summarization tenant arriving in
+    bursts against an inverted profile -- so the routing policies actually
+    face imbalance.  Per-replica TP is fixed at 1; infeasible corners land in
+    the ``error`` column.
+    """
+    system = build_system(
+        gpu,
+        num_devices=num_devices,
+        intra_node="NVLink3" if gpu.upper().startswith("A100") else "NVLink4",
+        inter_node="HDR-IB",
+    )
+    slo = slo or ServingSLO()
+    trace = FleetTraceConfig(
+        tenants=(
+            TenantTrace(
+                trace=TraceConfig(
+                    rate=rate_per_tenant,
+                    num_requests=requests_per_tenant,
+                    arrival="poisson",
+                    prompt_lengths=LengthDistribution.uniform(64, 512),
+                    output_lengths=LengthDistribution.constant(128),
+                    seed=2024,
+                ),
+                name="chat",
+                diurnal=(0.5, 1.0, 2.0, 0.5),
+                period=240.0,
+            ),
+            TenantTrace(
+                trace=TraceConfig(
+                    rate=rate_per_tenant / 2.0,
+                    num_requests=requests_per_tenant // 2,
+                    arrival="bursty",
+                    prompt_lengths=LengthDistribution.lognormal(256, 0.8, maximum=2048),
+                    output_lengths=LengthDistribution.uniform(32, 256),
+                    seed=7,
+                ),
+                name="batch-summarize",
+                diurnal=(2.0, 0.5, 0.5, 2.0),
+                period=240.0,
+            ),
+        )
+    )
+
+    def prepare(flat: Dict[str, object]) -> Dict[str, object]:
+        flat["fleet"] = FleetConfig(
+            trace=trace,
+            num_replicas=flat["replicas"],
+            router=flat["router"],
+            scheduler=SchedulerConfig(max_batch_size=max_batch_size),
+            slo=slo,
+        )
+        return flat
+
+    return Study(
+        name="fleet_load_frontier",
+        kind="fleet",
+        axes={"replicas": list(replica_counts), "router": list(routers)},
+        fixed={"system": system, "model": model_name, "precision": precision, "gpu": gpu},
+        columns=("gpu", "replicas", "router"),
+        prepare=prepare,
+        extract="fleet_frontier",
+        capture_errors=True,
+        artifact="fleet frontier",
     )

@@ -55,8 +55,9 @@ from ..hardware.cluster import SystemSpec
 from ..models.transformer import TransformerConfig
 from ..models.zoo import get_model
 from ..parallelism.config import ParallelismConfig
+from ..serving.fleet import FleetConfig
 from ..serving.report import ServingSLO
-from ..serving.request import LengthDistribution, TraceConfig
+from ..serving.request import FleetTraceConfig, LengthDistribution, TenantTrace, TraceConfig
 from ..serving.scheduler import SchedulerConfig
 from ..serving.simulator import ServingConfig
 from ..sweep.diskstore import DiskResultStore
@@ -70,6 +71,7 @@ SCENARIO_FACTORIES: Dict[str, Callable[..., Scenario]] = {
     "training": Scenario.training,
     "inference": Scenario.inference,
     "serving": Scenario.serving,
+    "fleet": Scenario.fleet,
     "training_memory": Scenario.training_memory,
     "inference_memory": Scenario.inference_memory,
     "prefill_bottlenecks": Scenario.prefill_bottlenecks,
@@ -473,9 +475,12 @@ def _encode_value(value: object, where: str) -> object:
         return value.name
     if isinstance(value, ParallelismConfig):
         return dataclasses.asdict(value)
-    if isinstance(value, ServingConfig):
+    if isinstance(value, (ServingConfig, FleetConfig)):
         return dataclasses.asdict(value)
-    if isinstance(value, (TraceConfig, SchedulerConfig, ServingSLO, LengthDistribution)):
+    if isinstance(
+        value,
+        (TraceConfig, FleetTraceConfig, TenantTrace, SchedulerConfig, ServingSLO, LengthDistribution),
+    ):
         return dataclasses.asdict(value)
     if isinstance(value, enum.Enum):  # Precision, RecomputeStrategy, ...
         encoded = value.value
@@ -508,20 +513,53 @@ def _decode_factory_value(name: str, value: object) -> object:
         return ParallelismConfig(**value)
     if name == "serving":
         return _decode_serving(value)
+    if name == "fleet":
+        return _decode_fleet(value)
     return value
+
+
+def _decode_trace(spec: Mapping[str, object]) -> "TraceConfig | FleetTraceConfig":
+    """Rebuild a trace config (single- or multi-tenant) from its asdict form."""
+    if "tenants" in spec:
+        tenants = []
+        for entry in spec["tenants"]:
+            entry = dict(entry)
+            entry["trace"] = _decode_trace(entry.get("trace", {}))
+            if isinstance(entry.get("diurnal"), (list, tuple)):
+                entry["diurnal"] = tuple(entry["diurnal"])
+            tenants.append(TenantTrace(**entry))
+        return FleetTraceConfig(tenants=tuple(tenants))
+    trace = dict(spec)
+    for lengths in ("prompt_lengths", "output_lengths"):
+        if isinstance(trace.get(lengths), AbcMapping):
+            trace[lengths] = LengthDistribution(**trace[lengths])
+    return TraceConfig(**trace)
 
 
 def _decode_serving(spec: Mapping[str, object]) -> ServingConfig:
     """Rebuild a :class:`ServingConfig` from its ``dataclasses.asdict`` form."""
-    trace = dict(spec.get("trace", {}))
-    for lengths in ("prompt_lengths", "output_lengths"):
-        if isinstance(trace.get(lengths), AbcMapping):
-            trace[lengths] = LengthDistribution(**trace[lengths])
     return ServingConfig(
-        trace=TraceConfig(**trace),
+        trace=_decode_trace(dict(spec.get("trace", {}))),
         scheduler=SchedulerConfig(**dict(spec.get("scheduler", {}))),
         slo=ServingSLO(**dict(spec.get("slo", {}))),
         include_lm_head=bool(spec.get("include_lm_head", True)),
+    )
+
+
+def _decode_fleet(spec: Mapping[str, object]) -> FleetConfig:
+    """Rebuild a :class:`FleetConfig` from its ``dataclasses.asdict`` form."""
+    spec = dict(spec)
+    return FleetConfig(
+        trace=_decode_trace(dict(spec.get("trace", {}))),
+        num_replicas=int(spec.get("num_replicas", 2)),
+        router=str(spec.get("router", "round_robin")),
+        scheduler=SchedulerConfig(**dict(spec.get("scheduler", {}))),
+        slo=ServingSLO(**dict(spec.get("slo", {}))),
+        include_lm_head=bool(spec.get("include_lm_head", True)),
+        max_epoch_steps=int(spec.get("max_epoch_steps", FleetConfig.__dataclass_fields__["max_epoch_steps"].default)),
+        arrival_probe_steps=int(
+            spec.get("arrival_probe_steps", FleetConfig.__dataclass_fields__["arrival_probe_steps"].default)
+        ),
     )
 
 

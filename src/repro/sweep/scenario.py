@@ -37,6 +37,7 @@ from ..memmodel.footprint import inference_memory_breakdown, training_memory_bre
 from ..models.transformer import TransformerConfig
 from ..models.zoo import get_model
 from ..parallelism.config import ParallelismConfig, parse_parallelism_label
+from ..serving.fleet import FleetConfig
 from ..serving.simulator import ServingConfig
 
 
@@ -46,6 +47,7 @@ class ScenarioKind(enum.Enum):
     TRAINING = "training"                        # -> TrainingReport
     INFERENCE = "inference"                      # -> InferenceReport
     SERVING = "serving"                          # -> ServingReport
+    FLEET = "fleet"                              # -> FleetReport
     TRAINING_MEMORY = "training_memory"          # -> TrainingMemoryBreakdown
     INFERENCE_MEMORY = "inference_memory"        # -> InferenceMemoryBreakdown
     PREFILL_BOTTLENECKS = "prefill_bottlenecks"  # -> List[GemmBottleneckEntry]
@@ -60,6 +62,7 @@ _SYSTEM_KINDS = frozenset(
         ScenarioKind.TRAINING,
         ScenarioKind.INFERENCE,
         ScenarioKind.SERVING,
+        ScenarioKind.FLEET,
         ScenarioKind.PREFILL_BOTTLENECKS,
         ScenarioKind.DECODE_BOTTLENECKS,
         ScenarioKind.ATTENTION_BOUND,
@@ -128,6 +131,9 @@ class Scenario:
         serving_config: Serving-simulation configuration (trace + scheduler
             + SLO); serving scenarios only.  Fully seeded, so it keys the
             cache deterministically.
+        fleet_config: Fleet-simulation configuration (trace + replicas +
+            router); fleet scenarios only.  Fully seeded like the serving
+            config, so it keys the cache deterministically.
         tag: Free-form label carried into results; excluded from the cache
             key so differently-tagged duplicates still share one evaluation.
         extras: Canonicalized evaluator-specific parameters (e.g. the GEMV
@@ -150,6 +156,7 @@ class Scenario:
     tensor_parallel: int = 1
     decode_mode: str = "average"
     serving_config: Optional[ServingConfig] = None
+    fleet_config: Optional[FleetConfig] = None
     tag: str = ""
     extras: Tuple[Tuple[str, object], ...] = ()
 
@@ -164,6 +171,8 @@ class Scenario:
             raise ConfigurationError("attention_bound scenarios need a seq_len")
         if self.kind is ScenarioKind.SERVING and self.serving_config is None:
             raise ConfigurationError("serving scenarios need a serving configuration")
+        if self.kind is ScenarioKind.FLEET and self.fleet_config is None:
+            raise ConfigurationError("fleet scenarios need a fleet configuration")
 
     # -- constructors ----------------------------------------------------------------
 
@@ -253,6 +262,34 @@ class Scenario:
             system=_resolve_system(system),
             model=_resolve_model(model),
             serving_config=serving,
+            tensor_parallel=tensor_parallel,
+            precision=Precision.parse(precision),
+            tag=tag,
+        )
+
+    @classmethod
+    def fleet(
+        cls,
+        system: "SystemSpec | str",
+        model: "TransformerConfig | str",
+        fleet: FleetConfig,
+        tensor_parallel: int = 1,
+        precision: "Precision | str" = Precision.FP16,
+        tag: str = "",
+    ) -> "Scenario":
+        """A multi-replica fleet simulation (evaluates to a :class:`FleetReport`).
+
+        ``fleet`` bundles the (single- or multi-tenant) seeded trace, the
+        replica count, the routing policy, and the per-replica scheduler/SLO
+        knobs; like serving scenarios, the trace is a pure function of its
+        seeds, so the :meth:`cache_key` is deterministic.  ``tensor_parallel``
+        is the TP degree of *each* replica.
+        """
+        return cls(
+            kind=ScenarioKind.FLEET,
+            system=_resolve_system(system),
+            model=_resolve_model(model),
+            fleet_config=fleet,
             tensor_parallel=tensor_parallel,
             precision=Precision.parse(precision),
             tag=tag,
@@ -446,7 +483,7 @@ def _device_system(accelerator: "AcceleratorSpec | SystemSpec | str") -> SystemS
 #: recursive walk into one memo lookup.  The digest is over the canonical
 #: *structure* (not ``hash()``/``id()``), so it stays deterministic across
 #: processes -- required for the on-disk result store.
-_CANONICAL_DIGEST_TYPES = (SystemSpec, TransformerConfig, ParallelismConfig, ServingConfig)
+_CANONICAL_DIGEST_TYPES = (SystemSpec, TransformerConfig, ParallelismConfig, ServingConfig, FleetConfig)
 _CANONICAL_MEMO = Memo(max_size=4096)
 
 
@@ -715,6 +752,13 @@ def evaluate_scenario(scenario: Scenario) -> object:
             scheduler=scenario.serving_config.scheduler,
             slo=scenario.serving_config.slo,
             include_lm_head=scenario.serving_config.include_lm_head,
+        )
+    if kind is ScenarioKind.FLEET:
+        return engine.predict_fleet(
+            scenario.model,
+            scenario.fleet_config,
+            tensor_parallel=scenario.tensor_parallel,
+            precision=scenario.precision,
         )
     if kind is ScenarioKind.PREFILL_BOTTLENECKS:
         return engine.prefill_bottlenecks(

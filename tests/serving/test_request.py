@@ -3,10 +3,19 @@
 import math
 import random
 
+import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.serving import LengthDistribution, Request, TraceConfig, bursty_trace, poisson_trace
+from repro.serving import (
+    FleetTraceConfig,
+    LengthDistribution,
+    Request,
+    TenantTrace,
+    TraceConfig,
+    bursty_trace,
+    poisson_trace,
+)
 
 
 def test_request_validation():
@@ -115,3 +124,145 @@ def test_trace_config_validation():
 def test_trace_config_is_hashable():
     config = TraceConfig(rate=1.0, num_requests=10)
     assert hash(config) == hash(TraceConfig(rate=1.0, num_requests=10))
+
+
+# -- vectorized generation --------------------------------------------------------------
+
+def test_golden_trace_pins_the_rng_stream():
+    # Golden fixture: these exact values came from the pre-vectorization
+    # per-request random.Random loop.  The vectorized generate() must keep
+    # reproducing them for every existing seed.
+    config = TraceConfig(
+        rate=2.0,
+        num_requests=5,
+        arrival="bursty",
+        prompt_lengths=LengthDistribution.uniform(32, 256),
+        output_lengths=LengthDistribution.lognormal(100, 0.6, maximum=300),
+        seed=42,
+    )
+    golden = [
+        (0.015830524401711805, 102, 101),
+        (0.1845361744388025, 171, 139),
+        (0.25304194436336386, 39, 144),
+        (0.7679258516782421, 215, 127),
+        (1.2600066355797428, 88, 63),
+    ]
+    generated = [
+        (request.arrival_time, request.prompt_tokens, request.output_tokens)
+        for request in config.generate()
+    ]
+    assert generated == golden
+
+
+def test_generate_columns_matches_generate():
+    config = TraceConfig(
+        rate=3.0,
+        num_requests=200,
+        prompt_lengths=LengthDistribution.lognormal(128, 0.9, minimum=8, maximum=1024),
+        output_lengths=LengthDistribution.uniform(16, 96),
+        seed=11,
+    )
+    columns = config.generate_columns()
+    requests = config.generate()
+    assert columns.to_requests() == requests
+    assert columns.arrival_times.dtype == np.float64
+    assert columns.prompt_tokens.dtype == np.int64
+    assert np.all(columns.tenant_ids == 0)
+    assert len(columns) == 200
+
+
+def test_generate_columns_matches_scalar_reference_loop():
+    # The vectorized path must consume the identical RNG stream in the same
+    # per-request order (gap, prompt, output) as a scalar loop.
+    config = TraceConfig(
+        rate=2.5,
+        num_requests=100,
+        arrival="bursty",
+        prompt_lengths=LengthDistribution.uniform(32, 512),
+        output_lengths=LengthDistribution.lognormal(200, 0.7, maximum=900),
+        seed=77,
+    )
+    rng = random.Random(config.seed)
+    now = 0.0
+    reference = []
+    for index in range(config.num_requests):
+        now += config._next_gap(rng)
+        reference.append(
+            Request(
+                request_id=index,
+                arrival_time=now,
+                prompt_tokens=config.prompt_lengths.sample(rng),
+                output_tokens=config.output_lengths.sample(rng),
+            )
+        )
+    assert config.generate() == reference
+
+
+# -- multi-tenant fleet traces ----------------------------------------------------------
+
+def tenant(seed, rate=5.0, n=200, **kwargs):
+    return TenantTrace(
+        trace=TraceConfig(rate=rate, num_requests=n, seed=seed,
+                          output_lengths=LengthDistribution.constant(8)),
+        **kwargs,
+    )
+
+
+def test_fleet_trace_merges_tenants_in_arrival_order():
+    fleet = FleetTraceConfig(tenants=(tenant(1, name="a"), tenant(2, name="b")))
+    columns = fleet.generate_columns()
+    assert len(columns) == 400
+    assert np.all(np.diff(columns.arrival_times) >= 0)
+    assert set(np.unique(columns.tenant_ids).tolist()) == {0, 1}
+    requests = fleet.generate()
+    assert [request.request_id for request in requests] == list(range(400))
+
+
+def test_fleet_trace_is_deterministic_and_seed_sensitive():
+    fleet = FleetTraceConfig(tenants=(tenant(1), tenant(2)))
+    first = fleet.generate_columns()
+    second = fleet.generate_columns()
+    assert np.array_equal(first.arrival_times, second.arrival_times)
+    assert np.array_equal(first.prompt_tokens, second.prompt_tokens)
+    other = FleetTraceConfig(tenants=(tenant(3), tenant(2))).generate_columns()
+    assert not np.array_equal(first.arrival_times, other.arrival_times)
+
+
+def test_diurnal_profile_modulates_arrival_density():
+    # Rate multiplier 4x in the second half-period: that half must hold the
+    # bulk of the arrivals per unit time.
+    period = 100.0
+    shaped = TenantTrace(
+        trace=TraceConfig(rate=5.0, num_requests=2000, seed=9),
+        diurnal=(1.0, 4.0),
+        period=period,
+    )
+    columns = shaped.generate_columns()
+    phase = np.mod(columns.arrival_times, period)
+    slow = int(np.count_nonzero(phase < period / 2))
+    fast = len(columns) - slow
+    assert fast > slow * 2  # ~4x density, generous margin
+
+    # The mean rate is preserved relative to the flat profile within noise:
+    # average multiplier is 2.5, so the span shrinks ~2.5x.
+    flat = TenantTrace(trace=TraceConfig(rate=5.0, num_requests=2000, seed=9))
+    ratio = flat.generate_columns().arrival_times[-1] / columns.arrival_times[-1]
+    assert ratio == pytest.approx(2.5, rel=0.15)
+
+
+def test_bursty_tenant_keeps_mean_rate():
+    bursty = TenantTrace(
+        trace=TraceConfig(rate=5.0, num_requests=4000, seed=3, arrival="bursty")
+    ).generate_columns()
+    span = bursty.arrival_times[-1]
+    assert 4000 / span == pytest.approx(5.0, rel=0.1)
+
+
+def test_fleet_trace_validation():
+    with pytest.raises(ConfigurationError):
+        FleetTraceConfig(tenants=())
+    with pytest.raises(ConfigurationError):
+        TenantTrace(trace=TraceConfig(), diurnal=(1.0, -1.0))
+    with pytest.raises(ConfigurationError):
+        TenantTrace(trace=TraceConfig(), period=0.0)
+    assert FleetTraceConfig(tenants=(tenant(1), tenant(2))).num_requests == 400

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ReproError
 from repro.hardware.cluster import build_system
 from repro.models.zoo import get_model
 from repro.serving import (
@@ -42,10 +42,16 @@ def test_percentile_interpolates():
     assert percentile(values, 0) == 1.0
     assert percentile(values, 100) == 4.0
     assert percentile(values, 50) == pytest.approx(2.5)
-    assert percentile([], 50) == 0.0
     assert percentile([7.0], 99) == 7.0
     with pytest.raises(ConfigurationError):
         percentile(values, 101)
+
+
+def test_percentile_of_empty_sample_raises_repro_error():
+    # An empty sample has no percentiles: a replica with zero requests must
+    # surface a clear ReproError, not NumPy's IndexError.
+    with pytest.raises(ReproError, match="empty sample"):
+        percentile([], 50)
 
 
 # -- simulation behavior ----------------------------------------------------------------

@@ -3,7 +3,16 @@
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.serving import LengthDistribution, SchedulerConfig, ServingConfig, ServingSLO, TraceConfig
+from repro.serving import (
+    FleetConfig,
+    FleetTraceConfig,
+    LengthDistribution,
+    SchedulerConfig,
+    ServingConfig,
+    ServingSLO,
+    TenantTrace,
+    TraceConfig,
+)
 from repro.studies import Study, get_study, list_studies, register_study, unregister_study
 from repro.studies import paper
 from repro.sweep import SweepRunner
@@ -27,6 +36,7 @@ def test_every_paper_artifact_is_registered():
         "fig8_inference_boundedness",
         "fig9_memory_technology_scaling",
         "serving_latency_throughput_frontier",
+        "fleet_load_frontier",
     } <= names
 
 
@@ -135,6 +145,65 @@ def test_serving_config_spec_round_trip():
     assert decoded.cache_key() == original.cache_key()
     table = clone.run(runner=SweepRunner())
     assert table["completed"][0] == 4
+
+
+def test_fleet_config_spec_round_trip():
+    study = Study(
+        name="mini-fleet",
+        kind="fleet",
+        axes={"tensor_parallel": [1]},
+        fixed={
+            "system": "A100",
+            "model": "Llama2-7B",
+            "fleet": FleetConfig(
+                trace=FleetTraceConfig(
+                    tenants=(
+                        TenantTrace(
+                            trace=TraceConfig(
+                                rate=2.0,
+                                num_requests=4,
+                                prompt_lengths=LengthDistribution.uniform(16, 32),
+                                output_lengths=LengthDistribution.constant(8),
+                            ),
+                            name="chat",
+                            diurnal=(1.0, 2.0),
+                            period=60.0,
+                        ),
+                        TenantTrace(
+                            trace=TraceConfig(rate=1.0, num_requests=4, seed=7),
+                            name="batch",
+                        ),
+                    )
+                ),
+                num_replicas=2,
+                router="least_queue",
+                scheduler=SchedulerConfig(max_batch_size=4),
+            ),
+        },
+        extract="fleet_frontier",
+    )
+    clone = Study.from_json(study.to_json())
+    original = next(study.scenarios())
+    decoded = next(clone.scenarios())
+    assert decoded.cache_key() == original.cache_key()
+    table = clone.run(runner=SweepRunner())
+    assert table["completed"][0] == 8
+    assert table["router"][0] == "least_queue"
+
+
+def test_fleet_load_frontier_study_runs():
+    study = get_study(
+        "fleet_load_frontier",
+        replica_counts=(1, 2),
+        routers=("round_robin", "least_queue"),
+        requests_per_tenant=8,
+        model_name="Llama2-7B",
+    )
+    table = study.run(runner=SweepRunner())
+    assert len(table) == 4
+    assert all(error is None for error in table["error"])
+    assert all(completed == 12 for completed in table["completed"])
+    assert min(table["cost_per_million_tokens_usd"]) > 0
 
 
 def test_wrapped_spec_document_is_tolerated():

@@ -2,7 +2,7 @@
 
 import dataclasses
 
-from repro.serving import LengthDistribution, ServingConfig, TraceConfig
+from repro.serving import FleetConfig, LengthDistribution, ServingConfig, TraceConfig
 from repro.sweep import Scenario, ScenarioKind, cache_keys
 
 
@@ -18,12 +18,17 @@ def _serving_config() -> ServingConfig:
     )
 
 
+def _fleet_config() -> FleetConfig:
+    return FleetConfig(trace=_serving_config().trace, num_replicas=2, router="least_queue")
+
+
 def _one_of_each_kind(tiny_model):
     """One scenario per ScenarioKind, covering every key field at least once."""
     return [
         Scenario.training("A100x4", tiny_model, "2-2-1-1", global_batch_size=8, seq_len=128),
         Scenario.inference("A100", tiny_model, batch_size=4, generated_tokens=16),
         Scenario.serving("A100", "Llama2-7B", _serving_config(), tensor_parallel=1),
+        Scenario.fleet("A100", "Llama2-7B", _fleet_config(), tensor_parallel=1),
         Scenario.training_memory(tiny_model, "2-2-1-1", global_batch_size=8),
         Scenario.inference_memory(tiny_model, batch_size=2),
         Scenario.prefill_bottlenecks("A100", tiny_model, batch_size=1, prompt_tokens=128),

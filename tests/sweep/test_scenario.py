@@ -161,6 +161,51 @@ def test_serving_scenario_evaluates_and_caches(single_node_a100):
     assert second.report.to_dict() == first.report.to_dict()
 
 
+def test_fleet_scenario_requires_config(single_node_a100):
+    from repro.models.zoo import get_model
+
+    with pytest.raises(ConfigurationError):
+        Scenario(kind=ScenarioKind.FLEET, system=single_node_a100, model=get_model("Llama2-7B"))
+
+
+def test_fleet_scenario_cache_key_is_deterministic(single_node_a100):
+    from repro.serving import FleetConfig, TraceConfig
+
+    def build(replicas, router="round_robin"):
+        return Scenario.fleet(
+            single_node_a100,
+            "Llama2-7B",
+            FleetConfig(trace=TraceConfig(rate=1.0, num_requests=8), num_replicas=replicas, router=router),
+        )
+
+    assert build(2).cache_key() == build(2).cache_key()
+    assert build(2).cache_key() != build(4).cache_key()
+    assert build(2).cache_key() != build(2, router="least_queue").cache_key()
+
+
+def test_fleet_scenario_evaluates_and_caches(single_node_a100):
+    from repro.serving import FleetConfig, FleetReport, LengthDistribution, TraceConfig
+
+    config = FleetConfig(
+        trace=TraceConfig(
+            rate=2.0,
+            num_requests=6,
+            prompt_lengths=LengthDistribution.uniform(32, 64),
+            output_lengths=LengthDistribution.constant(8),
+        ),
+        num_replicas=2,
+    )
+    scenario = Scenario.fleet(single_node_a100, "Llama2-7B", config)
+    runner = SweepRunner()
+    first, second = runner.run([scenario, scenario])
+    assert isinstance(first.report, FleetReport)
+    assert first.report.completed_requests == 6
+    assert first.report.num_replicas == 2
+    assert runner.stats.evaluations == 1  # identical key deduplicated
+    assert second.from_cache
+    assert second.report.to_dict() == first.report.to_dict()
+
+
 # ---------------------------------------------------------------------------
 # Cache-key stability across process boundaries (the process executor ships
 # scenarios to workers; their keys must not depend on the building process).
@@ -172,7 +217,16 @@ def _remote_cache_key(scenario):
 
 
 def _stability_scenarios(system, model, parallelism):
-    from repro.serving import LengthDistribution, SchedulerConfig, ServingConfig, ServingSLO, TraceConfig
+    from repro.serving import (
+        FleetConfig,
+        FleetTraceConfig,
+        LengthDistribution,
+        SchedulerConfig,
+        ServingConfig,
+        ServingSLO,
+        TenantTrace,
+        TraceConfig,
+    )
 
     serving = ServingConfig(
         trace=TraceConfig(
@@ -184,10 +238,21 @@ def _stability_scenarios(system, model, parallelism):
         scheduler=SchedulerConfig(max_batch_size=4),
         slo=ServingSLO(),
     )
+    fleet = FleetConfig(
+        trace=FleetTraceConfig(
+            tenants=(
+                TenantTrace(trace=serving.trace, name="a", diurnal=(1.0, 2.0)),
+                TenantTrace(trace=TraceConfig(rate=1.0, num_requests=4, seed=7), name="b"),
+            )
+        ),
+        num_replicas=2,
+        router="least_queue",
+    )
     return [
         Scenario.training(system, model, parallelism, global_batch_size=4),
         Scenario.inference(system, model, batch_size=2, decode_mode="exact"),
         Scenario.serving(system, model, serving),
+        Scenario.fleet(system, model, fleet),
         Scenario.training_memory(model, parallelism, global_batch_size=4),
         Scenario.prefill_bottlenecks("A100", model, prompt_tokens=64),
         Scenario.attention_bound("A100", model, micro_batch=1, seq_len=128),
