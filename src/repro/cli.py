@@ -183,7 +183,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
     total = sum(1 for _ in study.combos())
     progress = None if args.quiet else _Progress(study.name, total)
     started = time.perf_counter()
-    table = study.run(runner=runner, on_result=progress)
+    try:
+        table = study.run(runner=runner, on_result=progress)
+    except KeyboardInterrupt:
+        # Every completed scenario has already been flushed to the disk
+        # store by the runner (results persist per-evaluation, not at the
+        # end), so an interrupted sweep loses nothing: the follow-up run
+        # resumes from the store and prices only the remainder.
+        elapsed = time.perf_counter() - started
+        if progress is not None:
+            progress.finish()
+        print("interrupted", file=sys.stderr)
+        _print_stats_line(study.name, f"interrupted after {elapsed:.2f}s",
+                          runner, args.executor)
+        if disk_cache is not False:
+            print(f"re-run `repro run {args.study}` to resume; completed scenarios "
+                  "are priced from the persistent store", file=sys.stderr)
+        return 130
     elapsed = time.perf_counter() - started
     if progress is not None:
         progress.finish()
@@ -196,18 +212,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
         with open(args.json_out, "w") as handle:
             handle.write(table.to_json(indent=1) + "\n")
         print(f"wrote {args.json_out}", file=sys.stderr)
+    _print_stats_line(study.name, f"{len(table)} rows in {elapsed:.2f}s", runner, args.executor)
+    return 0
+
+
+def _print_stats_line(name: str, headline: str, runner: SweepRunner, executor: str) -> None:
+    """The closing one-line sweep summary on stderr (shared with the interrupt path)."""
     stats = runner.stats.snapshot()
     print(
-        f"{study.name}: {len(table)} rows in {elapsed:.2f}s "
+        f"{name}: {headline} "
         f"({stats['evaluations']} evaluations, {stats['cache_hits']} cache hits, "
         f"{stats['disk_hits']} disk hits, {stats['batched_scenarios']} batched, "
         f"{stats['errors']} errors, "
         f"key-hash {stats['keyhash_seconds']:.2f}s, plan {stats['plan_seconds']:.2f}s, "
         f"price {stats['price_seconds']:.2f}s, scatter {stats['scatter_seconds']:.2f}s, "
-        f"executor={args.executor})",
+        f"executor={executor})",
         file=sys.stderr,
     )
-    return 0
 
 
 # ---------------------------------------------------------------------------

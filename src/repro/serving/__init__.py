@@ -15,7 +15,12 @@ At cluster scale, :mod:`repro.serving.fleet` runs N engine replicas behind
 pluggable routing policies (:mod:`repro.serving.router`) over multi-tenant
 diurnal traces (:class:`~repro.serving.request.FleetTraceConfig`), producing
 a :class:`~repro.serving.fleet.FleetReport` with fleet-level latency
-percentiles, load imbalance, and cost per token.
+percentiles, load imbalance, and cost per token.  Fleets optionally run
+*failure-aware and elastic*: :mod:`repro.serving.faults` supplies seeded
+crash/recovery traces (:class:`~repro.serving.faults.FaultConfig`), retry
+semantics (:class:`~repro.serving.faults.RetryPolicy`), and queue-depth /
+SLO autoscalers, and the fleet loop prices re-prefills, availability, and
+interruption-aware latency through the same epoch-fused core.
 
 Typical use goes through the engine facade or the sweep subsystem::
 
@@ -26,6 +31,15 @@ Typical use goes through the engine facade or the sweep subsystem::
     table = runner.run_table([Scenario.serving(system, "Llama2-13B", config) ...])
 """
 
+from .faults import (
+    AutoscalerConfig,
+    FaultConfig,
+    QueueDepthAutoscaler,
+    ReplicaFaultTrace,
+    RetryPolicy,
+    SLOAutoscaler,
+    decode_autoscaler,
+)
 from .fleet import FleetConfig, FleetReport, FleetSimulator
 from .report import RequestMetrics, ServingReport, ServingSLO, percentile
 from .request import (
@@ -52,7 +66,9 @@ from .simulator import ReplicaEngine, ServingConfig, ServingSimulator
 
 __all__ = [
     "ROUTER_POLICIES",
+    "AutoscalerConfig",
     "ContinuousBatchingScheduler",
+    "FaultConfig",
     "FleetConfig",
     "FleetReport",
     "FleetSimulator",
@@ -61,12 +77,16 @@ __all__ = [
     "LeastQueueRouter",
     "LengthDistribution",
     "PrefixAffinityRouter",
+    "QueueDepthAutoscaler",
     "ReplicaEngine",
+    "ReplicaFaultTrace",
     "Request",
     "RequestMetrics",
     "RequestState",
+    "RetryPolicy",
     "RoundRobinRouter",
     "RouterPolicy",
+    "SLOAutoscaler",
     "SchedulerConfig",
     "ServingConfig",
     "ServingReport",
@@ -76,6 +96,7 @@ __all__ = [
     "TraceColumns",
     "TraceConfig",
     "bursty_trace",
+    "decode_autoscaler",
     "get_router",
     "percentile",
     "poisson_trace",

@@ -1,0 +1,273 @@
+"""Fault injection, retry, and autoscaling policies for the fleet simulator.
+
+Production fleets are not the ideal hardware the paper prices: replicas
+crash and recover, lost requests are retried, and the replica count itself
+breathes with load.  This module supplies the *policy* objects; the event
+machinery that applies them lives in :mod:`repro.serving.fleet`.
+
+Three concerns, three frozen configs:
+
+* :class:`FaultConfig` -- a seeded generator of deterministic per-replica
+  crash/recovery traces.  Up-times and repair durations are exponential
+  (mean time between failures / mean time to repair), and every replica
+  slot draws from its own :class:`numpy.random.Generator` stream seeded by
+  ``(seed, slot)``, so a fault timeline is a pure function of the config
+  and the slot index -- independent of event interleaving, replica count,
+  or router policy.
+* :class:`RetryPolicy` -- what happens to the requests a crash evicts:
+  how many submissions a request gets in total and the exponential backoff
+  priced as added queue delay before each re-submission.
+* :class:`QueueDepthAutoscaler` / :class:`SLOAutoscaler` -- rolling-window
+  controllers that add or drain replicas on queue depth or SLO attainment,
+  reusing the same join/leave membership machinery failures require.
+
+All three are frozen dataclasses so they participate directly in scenario
+cache keys (:mod:`repro.sweep.scenario` canonicalizes nested frozen
+dataclasses) and study JSON specs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "FaultConfig",
+    "ReplicaFaultTrace",
+    "RetryPolicy",
+    "QueueDepthAutoscaler",
+    "SLOAutoscaler",
+    "AutoscalerConfig",
+    "decode_autoscaler",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultConfig:
+    """Seeded replica crash/recovery process.
+
+    Attributes:
+        mtbf: Mean time between failures per replica (seconds of simulated
+            up-time, exponential).  ``math.inf`` (the default) disables
+            fault injection entirely.
+        mttr: Mean time to repair (seconds, exponential).
+        seed: Base seed; replica slot ``i`` draws from the independent
+            stream ``SeedSequence((seed, i))``.
+        max_failures_per_replica: Optional cap on crashes per replica slot
+            (``None`` = unbounded).  Useful for single-shot fault tests.
+    """
+
+    mtbf: float = math.inf
+    mttr: float = 30.0
+    seed: int = 2024
+    max_failures_per_replica: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.mtbf > 0:
+            raise ConfigurationError("mtbf must be positive (use math.inf to disable faults)")
+        if not self.mttr > 0 or math.isinf(self.mttr):
+            raise ConfigurationError("mttr must be positive and finite")
+        if self.max_failures_per_replica is not None and self.max_failures_per_replica < 0:
+            raise ConfigurationError("max_failures_per_replica must be >= 0")
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this config injects any faults at all."""
+        return math.isfinite(self.mtbf)
+
+    def replica_trace(self, slot: int) -> "ReplicaFaultTrace":
+        """The deterministic fault stream of one replica slot."""
+        return ReplicaFaultTrace(self, slot)
+
+    def timeline(self, slot: int, horizon: float) -> List[Tuple[float, float]]:
+        """Materialize ``(down_at, up_at)`` intervals with ``down_at < horizon``.
+
+        Inspection/testing helper; the simulator consumes the same draws
+        lazily through :meth:`replica_trace`.
+        """
+        intervals: List[Tuple[float, float]] = []
+        if not self.enabled:
+            return intervals
+        trace = self.replica_trace(slot)
+        for down_at, up_at in trace.intervals():
+            if down_at >= horizon:
+                break
+            intervals.append((down_at, up_at))
+        return intervals
+
+
+class ReplicaFaultTrace:
+    """Lazy alternating up/down interval stream for one replica slot.
+
+    Draws alternate strictly: up-duration, repair-duration, up-duration, ...
+    so the timeline depends only on ``(config.seed, slot)`` -- never on how
+    the fleet loop happens to interleave events.
+    """
+
+    def __init__(self, config: FaultConfig, slot: int):
+        self.config = config
+        self.slot = slot
+        self.failures = 0
+        self._rng = np.random.Generator(np.random.PCG64(np.random.SeedSequence((config.seed, slot))))
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether the per-replica failure cap stops further crashes."""
+        cap = self.config.max_failures_per_replica
+        return cap is not None and self.failures >= cap
+
+    def up_duration(self) -> float:
+        """Draw the next up-time (exponential, mean ``mtbf``)."""
+        return float(self._rng.exponential(self.config.mtbf))
+
+    def repair_duration(self) -> float:
+        """Draw the next repair time (exponential, mean ``mttr``)."""
+        return float(self._rng.exponential(self.config.mttr))
+
+    def intervals(self) -> Iterator[Tuple[float, float]]:
+        """Yield ``(down_at, up_at)`` pairs from time zero onwards."""
+        now = 0.0
+        while not self.exhausted:
+            down_at = now + self.up_duration()
+            up_at = down_at + self.repair_duration()
+            self.failures += 1
+            yield down_at, up_at
+            now = up_at
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """What a crash does to the requests it evicts.
+
+    A request gets ``max_attempts`` submissions in total (the original one
+    included).  Retry ``k`` (1-based) re-enters the router at
+    ``crash_time + backoff * multiplier ** (k - 1)`` -- the backoff is
+    priced as added queue delay against the request's *original* arrival,
+    and the re-prefill itself flows through the normal step-cost path of
+    whichever replica the router picks next.  Requests out of attempts are
+    counted as failed.
+
+    Attributes:
+        max_attempts: Total submissions per request (>= 1; 1 = no retries).
+        backoff: Base delay in seconds before the first retry.
+        multiplier: Exponential backoff factor between successive retries.
+    """
+
+    max_attempts: int = 3
+    backoff: float = 1.0
+    multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+        if self.backoff < 0:
+            raise ConfigurationError("backoff must be >= 0")
+        if self.multiplier < 1:
+            raise ConfigurationError("multiplier must be >= 1")
+
+    def delay(self, attempts_so_far: int) -> float:
+        """Backoff before the next submission after ``attempts_so_far`` tries."""
+        return self.backoff * self.multiplier ** (attempts_so_far - 1)
+
+
+@dataclasses.dataclass(frozen=True)
+class QueueDepthAutoscaler:
+    """Add/drain replicas on instantaneous queue depth per routable replica.
+
+    Every ``interval`` simulated seconds the controller looks at the mean
+    number of queued (waiting + pending) requests per routable replica:
+    above ``high`` it joins one replica, below ``low`` it drains one
+    (gracefully -- the drained replica finishes its queue but receives no
+    new work).  One action per tick, clamped to ``[min_replicas,
+    max_replicas]``.
+    """
+
+    policy: str = dataclasses.field(default="queue_depth", init=False)
+    min_replicas: int = 1
+    max_replicas: int = 8
+    interval: float = 30.0
+    high: float = 4.0
+    low: float = 0.5
+
+    def __post_init__(self) -> None:
+        _validate_scaler_bounds(self)
+        if not self.high > self.low >= 0:
+            raise ConfigurationError("need high > low >= 0")
+
+    def decide(self, queue_depth: float, slo_attainment: Optional[float]) -> int:
+        """Return +1 (join), -1 (drain), or 0 for this tick's window stats."""
+        if queue_depth > self.high:
+            return 1
+        if queue_depth < self.low:
+            return -1
+        return 0
+
+
+@dataclasses.dataclass(frozen=True)
+class SLOAutoscaler:
+    """Add/drain replicas on rolling-window SLO attainment.
+
+    Every ``interval`` simulated seconds the controller computes the SLO
+    attainment of the requests that completed inside the window (replica-
+    local TTFT/TPOT -- what a real controller can observe): attainment
+    below ``target`` joins a replica; attainment at or above ``relax``
+    with an empty queue drains one.  A window with queued work but no
+    completions scales up (the fleet is stalled, not idle).
+    """
+
+    policy: str = dataclasses.field(default="slo", init=False)
+    min_replicas: int = 1
+    max_replicas: int = 8
+    interval: float = 30.0
+    target: float = 0.9
+    relax: float = 0.99
+
+    def __post_init__(self) -> None:
+        _validate_scaler_bounds(self)
+        if not 0 < self.target <= self.relax <= 1:
+            raise ConfigurationError("need 0 < target <= relax <= 1")
+
+    def decide(self, queue_depth: float, slo_attainment: Optional[float]) -> int:
+        """Return +1 (join), -1 (drain), or 0 for this tick's window stats."""
+        if slo_attainment is None:
+            return 1 if queue_depth > 0 else 0
+        if slo_attainment < self.target:
+            return 1
+        if slo_attainment >= self.relax and queue_depth < 1:
+            return -1
+        return 0
+
+
+#: Either autoscaler flavour -- the type FleetConfig accepts.
+AutoscalerConfig = Union[QueueDepthAutoscaler, SLOAutoscaler]
+
+_AUTOSCALER_CLASSES = {"queue_depth": QueueDepthAutoscaler, "slo": SLOAutoscaler}
+
+
+def _validate_scaler_bounds(scaler: AutoscalerConfig) -> None:
+    if not 1 <= scaler.min_replicas <= scaler.max_replicas:
+        raise ConfigurationError("need 1 <= min_replicas <= max_replicas")
+    if not scaler.interval > 0:
+        raise ConfigurationError("autoscaler interval must be positive")
+
+
+def decode_autoscaler(spec: dict) -> AutoscalerConfig:
+    """Rebuild an autoscaler from its ``dataclasses.asdict`` form.
+
+    The ``policy`` field (an ``init=False`` discriminator baked into each
+    dataclass) selects the class; remaining keys are its constructor
+    arguments.  Used by the study JSON spec decoder.
+    """
+    spec = dict(spec)
+    policy = spec.pop("policy", "queue_depth")
+    cls = _AUTOSCALER_CLASSES.get(policy)
+    if cls is None:
+        raise ConfigurationError(
+            f"unknown autoscaler policy {policy!r}; choose from {sorted(_AUTOSCALER_CLASSES)}"
+        )
+    return cls(**spec)

@@ -71,8 +71,11 @@ class RoundRobinRouter(RouterPolicy):
         return np.arange(len(columns), dtype=np.int64) % num_replicas
 
     def select(self, request: Request, tenant_id: int, engines: Sequence["ReplicaEngine"]) -> int:
-        index = self._next
-        self._next = (self._next + 1) % len(engines)
+        # Modding the cursor on read (not just on advance) keeps the pick in
+        # range when the candidate list shrinks between calls -- the elastic
+        # fleet routes over live membership, so ``len(engines)`` can drop.
+        index = self._next % len(engines)
+        self._next = (index + 1) % len(engines)
         return index
 
 

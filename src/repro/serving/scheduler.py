@@ -215,6 +215,21 @@ class ContinuousBatchingScheduler:
             self.active = [state for state in self.active if not state.done]
         return finished
 
+    def evacuate(self) -> "tuple[List[RequestState], List[Request]]":
+        """Crash support: drop every running and waiting request.
+
+        Returns the evicted ``(active_states, waiting_requests)`` and
+        releases all KV reservations -- a crashed replica loses its KV
+        cache wholesale.  ``rejected``, the reservation memo, and the peak
+        watermark survive: they describe history, not live state.
+        """
+        active = self.active
+        waiting = list(self.waiting)
+        self.active = []
+        self.waiting.clear()
+        self.kv_reserved_bytes = 0.0
+        return active, waiting
+
     # -- event horizon -----------------------------------------------------------------
 
     def min_remaining_tokens(self) -> int:

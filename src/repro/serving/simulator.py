@@ -43,7 +43,7 @@ from __future__ import annotations
 
 import collections
 import dataclasses
-from typing import Deque, List, Optional, Sequence, Union
+from typing import Deque, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -154,6 +154,24 @@ class ReplicaEngine:
     def drained(self) -> bool:
         """Whether the replica has no runnable or queued work left."""
         return not self.pending and not self.scheduler.has_active and not self.scheduler.has_waiting
+
+    def fail(self) -> "Tuple[List[RequestState], List[Request]]":
+        """Crash the replica: every in-flight and queued request is lost.
+
+        The scheduler evacuates (KV cache gone, reservations released) and
+        the pending queue empties; the fleet layer re-routes the returned
+        ``(active_states, lost_requests)`` under its retry policy.  The
+        clock and the time/step accumulators survive -- work the replica
+        already priced stays priced (wasted prefill is exactly the point),
+        and ``completed`` keeps earlier successes.  ``submitted`` also
+        stays: this replica *did* receive those requests, so the
+        per-replica report counts them even if they complete elsewhere
+        after the retry.
+        """
+        active, lost = self.scheduler.evacuate()
+        lost.extend(self.pending)
+        self.pending.clear()
+        return active, lost
 
     def advance(self, until: Optional[float] = None) -> None:
         """Run the event loop until drained, or until the clock reaches ``until``."""

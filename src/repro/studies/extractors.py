@@ -250,6 +250,35 @@ def _fleet_frontier(result: SweepResult) -> Mapping[str, object]:
     }
 
 
+@register_extractor("fleet_resilience")
+def _fleet_resilience(result: SweepResult) -> Mapping[str, object]:
+    """Fault-injection fleet outcomes: availability, retries, wasted work (error-tolerant)."""
+    scenario = result.scenario
+    report = result.report
+    ok = result.ok
+    faults = scenario.fleet_config.faults
+    return {
+        "model": scenario.model.name,
+        "replicas": scenario.fleet_config.num_replicas,
+        "router": scenario.fleet_config.router,
+        "fault_mtbf_s": faults.mtbf if faults is not None else None,
+        "availability": report.availability if ok else None,
+        "replica_failures": report.replica_failures if ok else 0,
+        "completed": report.completed_requests if ok else 0,
+        "failed": report.failed_requests if ok else 0,
+        "rejected": report.rejected_requests if ok else 0,
+        "retried_requests": report.retried_requests if ok else 0,
+        "wasted_prefill_tokens": report.wasted_prefill_tokens if ok else 0,
+        "lost_output_tokens": report.lost_output_tokens if ok else 0,
+        "ttft_p99_s": report.ttft_p99 if ok else None,
+        "goodput_rps": report.goodput if ok else None,
+        "slo_attainment": report.slo_attainment if ok else None,
+        "tokens_per_s": report.output_token_throughput if ok else None,
+        "cost_per_million_tokens_usd": report.cost_per_million_tokens if ok else None,
+        "error": result.error,
+    }
+
+
 @register_extractor("gemv_summary")
 def _gemv_summary(result: SweepResult) -> Mapping[str, object]:
     """Headline errors of the Fig-3 GEMV validation flow."""

@@ -19,6 +19,7 @@ Registered study                            Paper artifact
 ``fig9_memory_technology_scaling``          Fig. 9 (DRAM technology scaling)
 ``serving_latency_throughput_frontier``     beyond the paper: serving frontier
 ``fleet_load_frontier``                     beyond the paper: fleet frontier
+``fleet_resilience``                        beyond the paper: fleet resilience
 ==========================================  ==================================
 
 The thin public drivers in :mod:`repro.analysis.experiments` and
@@ -41,6 +42,7 @@ from ..memmodel.activations import RecomputeStrategy
 from ..models.transformer import TransformerConfig
 from ..models.zoo import get_model
 from ..parallelism.config import ParallelismConfig, parse_parallelism_label
+from ..serving.faults import FaultConfig, RetryPolicy
 from ..serving.fleet import FleetConfig
 from ..serving.report import ServingSLO
 from ..serving.request import FleetTraceConfig, LengthDistribution, TenantTrace, TraceConfig
@@ -708,4 +710,90 @@ def fleet_load_frontier(
         extract="fleet_frontier",
         capture_errors=True,
         artifact="fleet frontier",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Beyond the paper: fleet resilience under replica failures
+# ---------------------------------------------------------------------------
+
+@register_study(
+    artifact="fleet resilience",
+    description="Availability/goodput degradation under replica faults, by router and retry policy",
+)
+def fleet_resilience(
+    model_name: str = "Llama2-7B",
+    gpu: str = "A100",
+    num_devices: int = 8,
+    num_replicas: int = 4,
+    mtbf_values: Sequence[float] = (0.0, 120.0, 30.0),
+    routers: Sequence[str] = ("round_robin", "least_queue"),
+    retry_attempts: Sequence[int] = (1, 3),
+    mttr: float = 10.0,
+    fault_seed: int = 2024,
+    rate: float = 8.0,
+    num_requests: int = 128,
+    max_batch_size: int = 32,
+    slo: Optional[ServingSLO] = None,
+    precision: "Precision | str" = Precision.FP16,
+) -> Study:
+    """Fleet goodput/availability under fault injection, over three axes.
+
+    ``mtbf_s`` sweeps the per-replica mean time between failures, with the
+    sentinel ``0`` meaning *faults disabled* (the baseline row every other
+    point is compared against -- it runs the exact non-resilient fleet
+    path).  ``router`` varies how lost requests are re-spread, and
+    ``retry_max_attempts`` prices how much re-prefill work the retry policy
+    is willing to buy before declaring a request failed.
+    """
+    system = build_system(
+        gpu,
+        num_devices=num_devices,
+        intra_node="NVLink3" if gpu.upper().startswith("A100") else "NVLink4",
+        inter_node="HDR-IB",
+    )
+    slo = slo or ServingSLO()
+    trace = FleetTraceConfig(
+        tenants=(
+            TenantTrace(
+                trace=TraceConfig(
+                    rate=rate,
+                    num_requests=num_requests,
+                    arrival="poisson",
+                    prompt_lengths=LengthDistribution.uniform(64, 512),
+                    output_lengths=LengthDistribution.constant(96),
+                    seed=2024,
+                ),
+                name="chat",
+            ),
+        )
+    )
+
+    def prepare(flat: Dict[str, object]) -> Dict[str, object]:
+        mtbf = float(flat["mtbf_s"])
+        flat["fleet"] = FleetConfig(
+            trace=trace,
+            num_replicas=num_replicas,
+            router=flat["router"],
+            scheduler=SchedulerConfig(max_batch_size=max_batch_size),
+            slo=slo,
+            faults=FaultConfig(mtbf=mtbf, mttr=mttr, seed=fault_seed) if mtbf > 0 else None,
+            retry=RetryPolicy(max_attempts=int(flat["retry_max_attempts"])),
+        )
+        return flat
+
+    return Study(
+        name="fleet_resilience",
+        kind="fleet",
+        axes={
+            "mtbf_s": list(mtbf_values),
+            "router": list(routers),
+            "retry_max_attempts": list(retry_attempts),
+        },
+        fixed={"system": system, "model": model_name, "precision": precision, "gpu": gpu},
+        columns=("gpu", "mtbf_s", "router", "retry_max_attempts"),
+        prepare=prepare,
+        extract="fleet_resilience",
+        capture_errors=True,
+        artifact="fleet resilience",
     )

@@ -55,6 +55,7 @@ from ..hardware.cluster import SystemSpec
 from ..models.transformer import TransformerConfig
 from ..models.zoo import get_model
 from ..parallelism.config import ParallelismConfig
+from ..serving.faults import FaultConfig, RetryPolicy, decode_autoscaler
 from ..serving.fleet import FleetConfig
 from ..serving.report import ServingSLO
 from ..serving.request import FleetTraceConfig, LengthDistribution, TenantTrace, TraceConfig
@@ -549,6 +550,9 @@ def _decode_serving(spec: Mapping[str, object]) -> ServingConfig:
 def _decode_fleet(spec: Mapping[str, object]) -> FleetConfig:
     """Rebuild a :class:`FleetConfig` from its ``dataclasses.asdict`` form."""
     spec = dict(spec)
+    faults_spec = spec.get("faults")
+    retry_spec = spec.get("retry")
+    scaler_spec = spec.get("autoscaler")
     return FleetConfig(
         trace=_decode_trace(dict(spec.get("trace", {}))),
         num_replicas=int(spec.get("num_replicas", 2)),
@@ -560,6 +564,9 @@ def _decode_fleet(spec: Mapping[str, object]) -> FleetConfig:
         arrival_probe_steps=int(
             spec.get("arrival_probe_steps", FleetConfig.__dataclass_fields__["arrival_probe_steps"].default)
         ),
+        faults=FaultConfig(**dict(faults_spec)) if isinstance(faults_spec, AbcMapping) else None,
+        retry=RetryPolicy(**dict(retry_spec)) if isinstance(retry_spec, AbcMapping) else RetryPolicy(),
+        autoscaler=decode_autoscaler(dict(scaler_spec)) if isinstance(scaler_spec, AbcMapping) else None,
     )
 
 

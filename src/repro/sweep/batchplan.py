@@ -61,7 +61,7 @@ from ..perf.batched import BOUND_CACHE, BOUND_COMPUTE, BOUND_MEMORY, BatchedRoof
 from ..perf.gemm import GemmTimeModel
 from ..perf.roofline import BoundType
 from ..workload.operators import GEMM, CommunicationOp
-from .scenario import Scenario, ScenarioKind, engine_for, evaluate_scenario
+from .scenario import Scenario, ScenarioKind, apply_test_fault_hooks, engine_for, evaluate_scenario
 
 #: Bound-code -> enum mapping of the batched backend's result rows.
 _BOUND_TYPES = {BOUND_COMPUTE: BoundType.COMPUTE, BOUND_MEMORY: BoundType.MEMORY, BOUND_CACHE: BoundType.CACHE}
@@ -502,7 +502,9 @@ def price_plans(plans: Sequence[ScenarioPlan]) -> None:
 
 
 def evaluate_pending_batched(
-    pending: Mapping[str, Scenario], timings: Optional[BatchTimings] = None
+    pending: Mapping[str, Scenario],
+    timings: Optional[BatchTimings] = None,
+    on_outcome: Optional[Callable[[BatchOutcome], None]] = None,
 ) -> List[BatchOutcome]:
     """Evaluate a generation of pending scenarios through the batch planner.
 
@@ -513,7 +515,13 @@ def evaluate_pending_batched(
     non-library exceptions propagate, exactly like the serial loop.
 
     When ``timings`` is given, the wall-clock seconds of each cold-path
-    stage are accumulated onto it.
+    stage are accumulated onto it (plan/price land before the scatter loop
+    starts, so an interrupted generation still reports its batched stages).
+    When ``on_outcome`` is given it fires once per outcome, in input order,
+    as each one is assembled -- the runner's serial path uses it to persist
+    completed results before an interrupt can lose them (unbatchable
+    scenarios, e.g. serving fleets, evaluate one by one in that loop, so
+    streaming there is what makes ``repro run`` resumable mid-study).
     """
     outcomes: Dict[str, Optional[BatchOutcome]] = {}
     planned: List[Tuple[str, ScenarioPlan]] = []
@@ -531,25 +539,29 @@ def evaluate_pending_batched(
     priced = _time.perf_counter()
     price_plans([plan for _, plan in planned])
     scattered = _time.perf_counter()
+    if timings is not None:
+        timings.plan_seconds += priced - started
+        timings.price_seconds += scattered - priced
     for key, plan in planned:
         try:
             outcomes[key] = BatchOutcome(key=key, value=plan.finish(), batched=True)
         except ReproError as error:
             outcomes[key] = BatchOutcome(key=key, error=error, batched=True)
     ordered: List[BatchOutcome] = []
-    for key, scenario in pending.items():
-        outcome = outcomes[key]
-        if outcome is None:
-            try:
-                outcome = BatchOutcome(key=key, value=evaluate_scenario(scenario))
-            except ReproError as error:
-                outcome = BatchOutcome(key=key, error=error)
-        ordered.append(outcome)
-    if timings is not None:
-        finished = _time.perf_counter()
-        timings.plan_seconds += priced - started
-        timings.price_seconds += scattered - priced
-        timings.scatter_seconds += finished - scattered
+    try:
+        for key, scenario in pending.items():
+            outcome = outcomes[key]
+            if outcome is None:
+                try:
+                    outcome = BatchOutcome(key=key, value=evaluate_scenario(scenario))
+                except ReproError as error:
+                    outcome = BatchOutcome(key=key, error=error)
+            ordered.append(outcome)
+            if on_outcome is not None:
+                on_outcome(outcome)
+    finally:
+        if timings is not None:
+            timings.scatter_seconds += _time.perf_counter() - scattered
     return ordered
 
 
@@ -563,6 +575,7 @@ def evaluate_shard(items: Sequence[Tuple[str, Scenario]]) -> Tuple[List[BatchOut
     merges outcomes and accumulates timings, so summed stage seconds across
     shards can exceed the sweep's wall-clock.
     """
+    apply_test_fault_hooks([scenario for _, scenario in items])
     timings = BatchTimings()
     outcomes = evaluate_pending_batched(dict(items), timings=timings)
     return outcomes, timings

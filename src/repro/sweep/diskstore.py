@@ -38,6 +38,7 @@ and never a wrong result.
 from __future__ import annotations
 
 import hashlib
+import logging
 import os
 import pickle
 import shutil
@@ -47,8 +48,13 @@ from typing import Dict, List, Optional, Tuple
 
 from ..errors import ReproError
 
+logger = logging.getLogger(__name__)
+
 #: Version of the on-disk record layout; bump on incompatible changes.
 FORMAT_VERSION = 1
+
+#: Consecutive environmental write failures before the store stops trying.
+WRITE_FAILURE_LIMIT = 3
 
 #: Environment variable overriding the default cache root.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -88,6 +94,14 @@ class DiskResultStore:
     def __init__(self, root: "Path | str | None" = None, fingerprint: Optional[str] = None):
         self.root = Path(root) if root is not None else default_cache_root()
         self.fingerprint = fingerprint if fingerprint is not None else code_fingerprint()
+        self._consecutive_write_failures = 0
+        self._writes_disabled = False
+        self._warned = False
+
+    @property
+    def writes_disabled(self) -> bool:
+        """Whether persistent writes have been abandoned for this store's lifetime."""
+        return self._writes_disabled
 
     def path_for(self, key: str) -> Path:
         """The shard path of one cache key."""
@@ -119,8 +133,16 @@ class DiskResultStore:
 
         Failures (unpicklable value, read-only filesystem, full disk) are
         swallowed: persistence is an optimization, never a reason to fail a
-        sweep.
+        sweep.  Environmental failures (``OSError``: disk full, permission
+        denied) additionally degrade the store -- one warning is logged on
+        the first failure, and after :data:`WRITE_FAILURE_LIMIT` consecutive
+        ones the store stops attempting writes for its lifetime, so a dead
+        disk is not hammered once per scenario.  Per-entry failures (an
+        unpicklable value) do not count toward the limit.  Reads keep
+        working either way; the runner's in-memory LRU carries the sweep.
         """
+        if self._writes_disabled:
+            return False
         path = self.path_for(key)
         tmp_path: Optional[str] = None
         try:
@@ -130,7 +152,11 @@ class DiskResultStore:
                 pickle.dump((FORMAT_VERSION, value, error), stream, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp_path, path)
             tmp_path = None
+            self._consecutive_write_failures = 0
             return True
+        except OSError as exc:
+            self._note_write_failure(exc)
+            return False
         except Exception:
             return False
         finally:
@@ -139,6 +165,20 @@ class DiskResultStore:
                     os.unlink(tmp_path)
                 except OSError:
                     pass
+
+    def _note_write_failure(self, exc: OSError) -> None:
+        """Track an environmental write failure; warn once, disable at the limit."""
+        self._consecutive_write_failures += 1
+        if not self._warned:
+            self._warned = True
+            logger.warning(
+                "disk result store write to %s failed (%s); results stay cached "
+                "in memory and the sweep continues",
+                self.root / self.fingerprint,
+                exc,
+            )
+        if self._consecutive_write_failures >= WRITE_FAILURE_LIMIT:
+            self._writes_disabled = True
 
     def count(self) -> int:
         """Number of entries stored under the current fingerprint (tests/inspection)."""

@@ -39,6 +39,9 @@ from .table import SweepTable
 #: Executor names accepted by :class:`SweepRunner`.
 EXECUTORS = ("serial", "thread", "process")
 
+#: Pool reconstructions after worker crashes before falling back to serial.
+_MAX_POOL_REBUILDS = 2
+
 
 @dataclasses.dataclass(frozen=True)
 class SweepResult:
@@ -101,6 +104,10 @@ class SweepStats:
             kinds).
         keyhash_seconds: Seconds spent computing scenario cache keys
             (:func:`~repro.sweep.scenario.cache_keys`) in :meth:`run`.
+        pool_rebuilds: Process pools rebuilt after a worker crash
+            (``BrokenProcessPool``); the lost scenarios are re-run.
+        timeouts: Scenarios abandoned by the soft ``scenario_timeout``
+            stall detector and surfaced as captured errors (never cached).
     """
 
     evaluations: int = 0
@@ -112,6 +119,8 @@ class SweepStats:
     price_seconds: float = 0.0
     scatter_seconds: float = 0.0
     keyhash_seconds: float = 0.0
+    pool_rebuilds: int = 0
+    timeouts: int = 0
 
     def snapshot(self) -> Dict[str, object]:
         """Plain-dict view for logs and benchmark extra_info."""
@@ -156,6 +165,20 @@ class SweepRunner:
             pass per shard, outcomes merged in the parent).  On by default;
             turn off to force the one-at-a-time reference path (the cold-
             sweep benchmarks compare both).
+        scenario_timeout: Soft stall detector for the pooled executors, in
+            seconds: whenever no pending evaluation completes for this long,
+            everything still outstanding is surfaced as a captured
+            :class:`ReproError` (counted in :attr:`SweepStats.timeouts`,
+            never cached -- a timeout is environmental, not a property of
+            the scenario) and the sweep moves on.  In the process-sharded
+            path the window scales with the largest shard.  ``None`` (the
+            default) waits indefinitely; ignored by the serial executor.
+
+    The pooled executors are additionally crash-tolerant: a worker process
+    dying (``BrokenProcessPool``) rebuilds the pool and re-runs only the
+    scenarios whose outcomes were lost, and after :data:`_MAX_POOL_REBUILDS`
+    rebuilds the remainder is evaluated serially in the parent with captured
+    errors -- a sweep never dies with a half-priced grid.
     """
 
     def __init__(
@@ -166,16 +189,20 @@ class SweepRunner:
         capture_errors: bool = False,
         disk_cache: "DiskResultStore | str | bool | None" = None,
         batch_planning: bool = True,
+        scenario_timeout: Optional[float] = None,
     ):
         if executor not in EXECUTORS:
             raise ConfigurationError(f"executor must be one of {EXECUTORS}, got {executor!r}")
         if cache_size < 0:
             raise ConfigurationError("cache_size must be non-negative")
+        if scenario_timeout is not None and scenario_timeout <= 0:
+            raise ConfigurationError("scenario_timeout must be positive (or None)")
         self.executor = executor
         self.max_workers = max_workers
         self.cache_size = cache_size
         self.capture_errors = capture_errors
         self.batch_planning = batch_planning
+        self.scenario_timeout = scenario_timeout
         self.disk_cache = _resolve_disk_cache(disk_cache)
         self.stats = SweepStats()
         self._cache: "collections.OrderedDict[str, _CacheEntry]" = collections.OrderedDict()
@@ -410,11 +437,29 @@ class SweepRunner:
             self.stats.price_seconds += timings.price_seconds
             self.stats.scatter_seconds += timings.scatter_seconds
 
+        def record_transient(key: str, message: str) -> None:
+            # A soft-timeout outcome: surfaced like a captured error but
+            # never written to the LRU or the disk store -- timeouts are
+            # environmental, not properties of the scenario.
+            self.stats.timeouts += 1
+            entry = _CacheEntry(error=ReproError(message))
+            fresh[key] = entry
+            if on_entry is not None:
+                on_entry(key, entry)
+
         if self.executor == "serial" or len(pending) == 1:
             if self.batch_planning and len(pending) > 1:
+                # Stream outcomes as they are assembled (instead of recording
+                # the returned list wholesale): every completed scenario is in
+                # the LRU and the disk store before the next one evaluates, so
+                # a KeyboardInterrupt mid-generation loses only in-flight work.
                 timings = BatchTimings()
-                record_outcomes(evaluate_pending_batched(pending, timings=timings))
-                absorb_timings(timings)
+                try:
+                    evaluate_pending_batched(
+                        pending, timings=timings, on_outcome=lambda o: record_outcomes([o])
+                    )
+                finally:
+                    absorb_timings(timings)
                 return fresh
             for key, scenario in pending.items():
                 record(key, self._evaluate_one(scenario))
@@ -423,29 +468,102 @@ class SweepRunner:
             # Process-sharded planning: each worker plans + prices one
             # contiguous shard of the generation through the batch planner,
             # the parent merges outcomes (and their stage timings) through
-            # the normal record path.
+            # the normal record path.  A crashed worker breaks the whole
+            # pool, so the shards whose outcomes never landed are re-sharded
+            # onto a fresh pool (serially, in the parent, as a last resort).
             workers = self.max_workers or os.cpu_count() or 1
-            shards = _split_shards(list(pending.items()), workers)
-            with concurrent.futures.ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-                futures = [pool.submit(evaluate_shard, shard) for shard in shards]
-                for future in concurrent.futures.as_completed(futures):
-                    outcomes, timings = future.result()
-                    record_outcomes(outcomes)
-                    absorb_timings(timings)
+            remaining = list(pending.items())
+            rebuilds = 0
+            while remaining:
+                shards = _split_shards(remaining, workers)
+                window = (
+                    None
+                    if self.scenario_timeout is None
+                    else self.scenario_timeout * max(len(shard) for shard in shards)
+                )
+                timed_out = False
+                pool = concurrent.futures.ProcessPoolExecutor(max_workers=self.max_workers)
+                try:
+                    futures = {pool.submit(evaluate_shard, shard): shard for shard in shards}
+                    outstanding = set(futures)
+                    while outstanding:
+                        done, outstanding = concurrent.futures.wait(
+                            outstanding,
+                            timeout=window,
+                            return_when=concurrent.futures.FIRST_COMPLETED,
+                        )
+                        if not done:
+                            timed_out = True
+                            for future in outstanding:
+                                future.cancel()
+                                for key, _ in futures[future]:
+                                    record_transient(
+                                        key, f"scenario evaluation stalled past {window:g}s (shard abandoned)"
+                                    )
+                            break
+                        for future in done:
+                            outcomes, timings = future.result()
+                            record_outcomes(outcomes)
+                            absorb_timings(timings)
+                    remaining = []
+                except concurrent.futures.process.BrokenProcessPool:
+                    self.stats.pool_rebuilds += 1
+                    rebuilds += 1
+                    remaining = [(key, scenario) for key, scenario in remaining if key not in fresh]
+                    if rebuilds > _MAX_POOL_REBUILDS:
+                        for key, scenario in remaining:
+                            record(key, self._evaluate_one(scenario))
+                        remaining = []
+                finally:
+                    pool.shutdown(wait=not timed_out, cancel_futures=timed_out)
             return fresh
         pool_cls = (
             concurrent.futures.ThreadPoolExecutor
             if self.executor == "thread"
             else concurrent.futures.ProcessPoolExecutor
         )
-        with pool_cls(max_workers=self.max_workers) as pool:
-            futures = {pool.submit(evaluate_scenario, scenario): key for key, scenario in pending.items()}
-            for future in concurrent.futures.as_completed(futures):
-                try:
-                    entry = _CacheEntry(value=future.result())
-                except ReproError as error:
-                    entry = _CacheEntry(error=error)
-                record(futures[future], entry)
+        remaining = list(pending.items())
+        rebuilds = 0
+        while remaining:
+            timed_out = False
+            pool = pool_cls(max_workers=self.max_workers)
+            try:
+                futures = {
+                    pool.submit(evaluate_scenario, scenario): key for key, scenario in remaining
+                }
+                outstanding = set(futures)
+                while outstanding:
+                    done, outstanding = concurrent.futures.wait(
+                        outstanding,
+                        timeout=self.scenario_timeout,
+                        return_when=concurrent.futures.FIRST_COMPLETED,
+                    )
+                    if not done:
+                        timed_out = True
+                        for future in outstanding:
+                            future.cancel()
+                            record_transient(
+                                futures[future],
+                                f"scenario evaluation stalled past {self.scenario_timeout:g}s",
+                            )
+                        break
+                    for future in done:
+                        try:
+                            entry = _CacheEntry(value=future.result())
+                        except ReproError as error:
+                            entry = _CacheEntry(error=error)
+                        record(futures[future], entry)
+                remaining = []
+            except concurrent.futures.process.BrokenProcessPool:
+                self.stats.pool_rebuilds += 1
+                rebuilds += 1
+                remaining = [(key, scenario) for key, scenario in remaining if key not in fresh]
+                if rebuilds > _MAX_POOL_REBUILDS:
+                    for key, scenario in remaining:
+                        record(key, self._evaluate_one(scenario))
+                    remaining = []
+            finally:
+                pool.shutdown(wait=not timed_out, cancel_futures=timed_out)
         return fresh
 
     def _evaluate_one(self, scenario: Scenario) -> _CacheEntry:

@@ -21,6 +21,8 @@ import dataclasses
 import enum
 import hashlib
 import operator
+import os
+import time as _time
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..caching import Memo
@@ -680,6 +682,40 @@ def clear_engine_cache() -> None:
     clear_collective_model_cache()
 
 
+def apply_test_fault_hooks(scenarios: Sequence[Scenario]) -> None:
+    """Test-only fault injection, armed exclusively through environment variables.
+
+    The crash-recovery and soft-timeout tests need a worker process to
+    misbehave deterministically mid-sweep; real fault surfaces (a dying
+    process, a wedged evaluation) cannot be triggered from scenario data.
+    Inert unless one of these is set:
+
+    * ``REPRO_TEST_CRASH_TAG``: a worker evaluating a scenario with this tag
+      hard-exits (``os._exit``, no cleanup -- exactly what breaks a process
+      pool).  With ``REPRO_TEST_CRASH_ONCE`` naming a marker file, only the
+      first process to create it crashes; retries then run normally.
+    * ``REPRO_TEST_SLOW_TAG``: a scenario with this tag sleeps
+      ``REPRO_TEST_SLOW_SECONDS`` (default 1.0) before evaluating, to trip
+      the runner's stall detector.
+    """
+    crash_tag = os.environ.get("REPRO_TEST_CRASH_TAG")
+    slow_tag = os.environ.get("REPRO_TEST_SLOW_TAG")
+    if not crash_tag and not slow_tag:
+        return
+    for scenario in scenarios:
+        if crash_tag and scenario.tag == crash_tag:
+            marker = os.environ.get("REPRO_TEST_CRASH_ONCE")
+            if marker:
+                try:
+                    with open(marker, "x"):
+                        pass
+                except OSError:  # marker exists (or unwritable): already crashed once
+                    continue
+            os._exit(17)
+        if slow_tag and scenario.tag == slow_tag:
+            _time.sleep(float(os.environ.get("REPRO_TEST_SLOW_SECONDS", "1.0")))
+
+
 def evaluate_scenario(scenario: Scenario) -> object:
     """Evaluate one scenario to its result object.
 
@@ -687,6 +723,7 @@ def evaluate_scenario(scenario: Scenario) -> object:
     workers) call; it must stay importable at module top level so scenarios
     can be shipped to worker processes.
     """
+    apply_test_fault_hooks((scenario,))
     kind = scenario.kind
     if kind is ScenarioKind.GEMV_VALIDATION:
         from ..calibration.gemv import run_gemv_validation

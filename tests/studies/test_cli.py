@@ -177,3 +177,68 @@ def test_run_stats_line_reports_stage_timings(tmp_path, capsys):
     assert code == 0
     err = capsys.readouterr().err
     assert "key-hash" in err and "plan" in err and "price" in err and "scatter" in err
+
+
+# ---------------------------------------------------------------------------
+# Interrupted runs: exit 130, flush what completed, resume the remainder.
+# ---------------------------------------------------------------------------
+
+
+def test_keyboard_interrupt_exits_130_and_resume_prices_only_remainder(
+    tmp_path, monkeypatch, capsys
+):
+    from repro import cli as cli_module
+
+    args = [
+        "run", "fleet_resilience",
+        "-p", "num_requests=16",
+        "-p", "mtbf_values=(0.0, 8.0)",
+        "-p", "routers=('round_robin',)",
+        "-p", "retry_attempts=(1, 3)",
+        "--cache-dir", str(tmp_path),
+    ]
+
+    original = cli_module._Progress.__call__
+    seen = []
+
+    def interrupting(self, result):
+        original(self, result)
+        seen.append(result)
+        if len(seen) == 2:
+            raise KeyboardInterrupt
+
+    monkeypatch.setattr(cli_module._Progress, "__call__", interrupting)
+    assert main(args) == 130
+    err = capsys.readouterr().err
+    assert "interrupted" in err
+    assert "2 evaluations" in err
+    assert "re-run" in err
+
+    # The two completed scenarios were flushed before the interrupt; the
+    # follow-up run prices only the other two.
+    monkeypatch.setattr(cli_module._Progress, "__call__", original)
+    assert main(args) == 0
+    err = capsys.readouterr().err
+    assert "4 rows" in err
+    assert "2 evaluations" in err
+    assert "2 disk hits" in err
+
+
+def test_keyboard_interrupt_without_disk_cache_omits_resume_hint(monkeypatch, capsys):
+    from repro import cli as cli_module
+
+    def interrupting(self, result):
+        raise KeyboardInterrupt
+
+    monkeypatch.setattr(cli_module._Progress, "__call__", interrupting)
+    assert main([
+        "run", "fleet_resilience",
+        "-p", "num_requests=16",
+        "-p", "mtbf_values=(8.0,)",
+        "-p", "routers=('round_robin',)",
+        "-p", "retry_attempts=(1,)",
+        "--no-disk-cache",
+    ]) == 130
+    err = capsys.readouterr().err
+    assert "interrupted" in err
+    assert "re-run" not in err

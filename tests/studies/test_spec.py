@@ -4,9 +4,12 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.serving import (
+    FaultConfig,
     FleetConfig,
     FleetTraceConfig,
     LengthDistribution,
+    QueueDepthAutoscaler,
+    RetryPolicy,
     SchedulerConfig,
     ServingConfig,
     ServingSLO,
@@ -37,6 +40,7 @@ def test_every_paper_artifact_is_registered():
         "fig9_memory_technology_scaling",
         "serving_latency_throughput_frontier",
         "fleet_load_frontier",
+        "fleet_resilience",
     } <= names
 
 
@@ -204,6 +208,60 @@ def test_fleet_load_frontier_study_runs():
     assert all(error is None for error in table["error"])
     assert all(completed == 12 for completed in table["completed"])
     assert min(table["cost_per_million_tokens_usd"]) > 0
+
+
+def test_resilient_fleet_config_spec_round_trip():
+    study = Study(
+        name="mini-resilient-fleet",
+        kind="fleet",
+        axes={"tensor_parallel": [1]},
+        fixed={
+            "system": "A100",
+            "model": "Llama2-7B",
+            "fleet": FleetConfig(
+                trace=TraceConfig(rate=4.0, num_requests=16, seed=3),
+                num_replicas=2,
+                faults=FaultConfig(mtbf=10.0, mttr=3.0, seed=7),
+                retry=RetryPolicy(max_attempts=4, backoff=0.5),
+                autoscaler=QueueDepthAutoscaler(min_replicas=1, max_replicas=4, interval=1.0),
+            ),
+        },
+        extract="fleet_resilience",
+    )
+    clone = Study.from_json(study.to_json())
+    original = next(study.scenarios())
+    decoded = next(clone.scenarios())
+    assert decoded.fleet_config == original.fleet_config
+    assert decoded.cache_key() == original.cache_key()
+    table = clone.run(runner=SweepRunner())
+    assert table["fault_mtbf_s"][0] == 10.0
+    reference = study.run(runner=SweepRunner())
+    assert table["availability"][0] == reference["availability"][0]
+
+
+def test_fleet_resilience_study_runs():
+    study = get_study(
+        "fleet_resilience",
+        num_requests=16,
+        mtbf_values=(0.0, 8.0),
+        routers=("round_robin",),
+        retry_attempts=(1, 3),
+    )
+    table = study.run(runner=SweepRunner())
+    assert len(table) == 4
+    assert all(error is None for error in table["error"])
+    baseline = {
+        row["retry_max_attempts"]: row for row in table if row["mtbf_s"] == 0.0
+    }
+    faulty = {row["retry_max_attempts"]: row for row in table if row["mtbf_s"] == 8.0}
+    # Fault-free rows: perfect availability, no failure accounting at all.
+    for row in baseline.values():
+        assert row["availability"] == 1.0
+        assert row["replica_failures"] == 0
+        assert row["fault_mtbf_s"] is None
+    # Faulty rows see failures; retries keep completion at least as high.
+    assert any(row["replica_failures"] > 0 for row in faulty.values())
+    assert faulty[3]["completed"] >= faulty[1]["completed"]
 
 
 def test_wrapped_spec_document_is_tolerated():

@@ -239,3 +239,73 @@ def test_prune_drops_stale_fingerprints(tmp_path):
     assert current.count() == 1
     assert current.prune(keep_current=False) == ["current"]
     assert current.fingerprints() == []
+
+
+# ---------------------------------------------------------------------------
+# Degraded writes: environmental failures fall back to in-memory caching.
+# ---------------------------------------------------------------------------
+
+
+def _failing_replace(*args, **kwargs):
+    raise OSError(28, "No space left on device")
+
+
+def test_write_failures_warn_once_and_keep_the_sweep_alive(store, monkeypatch, caplog):
+    import logging
+
+    monkeypatch.setattr(os, "replace", _failing_replace)
+    with caplog.at_level(logging.WARNING, logger="repro.sweep.diskstore"):
+        assert store.put("aa11", value=1) is False
+        assert store.put("bb22", value=2) is False
+    warnings = [r for r in caplog.records if "disk result store write" in r.message]
+    assert len(warnings) == 1  # one warning, however many puts fail
+
+
+def test_writes_disable_after_consecutive_failures(store, monkeypatch):
+    from repro.sweep.diskstore import WRITE_FAILURE_LIMIT
+
+    monkeypatch.setattr(os, "replace", _failing_replace)
+    for index in range(WRITE_FAILURE_LIMIT):
+        assert not store.writes_disabled
+        store.put(f"aa{index}", value=index)
+    assert store.writes_disabled
+    monkeypatch.undo()
+    # Disabled is for the store's lifetime: even a healthy disk is not retried...
+    assert store.put("bb00", value=1) is False
+    assert store.count() == 0
+    # ...but reads keep working (a fresh store sees the same directory).
+    healthy = DiskResultStore(root=store.root)
+    healthy.put("cc00", value=3)
+    assert store.get("cc00") == (3, None)
+
+
+def test_one_write_success_resets_the_failure_count(store, monkeypatch):
+    real_replace = os.replace
+    monkeypatch.setattr(os, "replace", _failing_replace)
+    store.put("aa11", value=1)
+    store.put("bb22", value=2)
+    monkeypatch.setattr(os, "replace", real_replace)
+    assert store.put("cc33", value=3) is True  # success resets the streak
+    monkeypatch.setattr(os, "replace", _failing_replace)
+    store.put("dd44", value=4)
+    store.put("ee55", value=5)
+    assert not store.writes_disabled  # never hit the consecutive limit
+
+
+def test_unpicklable_values_do_not_count_toward_degrade(store):
+    for _ in range(10):
+        assert store.put("aa11", value=lambda: None) is False
+    assert not store.writes_disabled
+    assert store.put("bb22", value=2) is True
+
+
+def test_degraded_store_keeps_runner_results_in_memory(tmp_path, tiny_model, monkeypatch):
+    store = DiskResultStore(root=tmp_path)
+    monkeypatch.setattr(os, "replace", _failing_replace)
+    runner = SweepRunner(disk_cache=store)
+    scenarios = _grid(tiny_model)
+    first = runner.run(scenarios)
+    second = runner.run(scenarios)
+    assert runner.stats.evaluations == len(scenarios)  # LRU carried the re-run
+    assert [r.value for r in second] == [r.value for r in first]
+    assert store.count() == 0  # nothing landed on disk
