@@ -17,6 +17,11 @@ Subcommands:
   ``stats`` reports entries/bytes per fingerprint, ``clear`` empties the
   current fingerprint, ``prune`` drops stale fingerprints (``--all`` drops
   the current one too).
+* ``repro serve`` -- the resident study service: an HTTP server where every
+  submitted study runs through ONE shared warm runner (see
+  :mod:`repro.service`), so resubmissions and overlapping grids price
+  nothing.  ``POST /studies`` submits, ``GET /jobs/<id>/events`` streams
+  NDJSON rows, ``GET /jobs/<id>/table.csv`` fetches the finished table.
 
 Examples::
 
@@ -26,6 +31,7 @@ Examples::
     python -m repro run sweep.json --executor process --json out.json
     python -m repro run serving_latency_throughput_frontier -p num_requests=16
     python -m repro cache stats
+    python -m repro serve --port 8642 --workers 2
 """
 
 from __future__ import annotations
@@ -98,6 +104,21 @@ def _build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("--max-rows", type=int, default=40,
                          help="rows printed to stdout (default: 40; the exports always carry all rows)")
     run_cmd.set_defaults(handler=_cmd_run)
+
+    serve_cmd = sub.add_parser("serve", help="run the resident HTTP study service")
+    serve_cmd.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
+    serve_cmd.add_argument("--port", type=int, default=8642, help="bind port (default: 8642; 0 picks a free one)")
+    serve_cmd.add_argument("--workers", type=int, default=2,
+                           help="concurrent study jobs (default: 2); all share one warm runner")
+    serve_cmd.add_argument("--executor", choices=("serial", "thread", "process"), default="serial",
+                           help="how each job evaluates its scenarios (default: serial)")
+    serve_cmd.add_argument("--max-workers", type=int, default=None, help="worker count for pooled executors")
+    serve_cmd.add_argument("--cache-dir", default=None, metavar="PATH",
+                           help="root of the persistent result store "
+                                "(default: ~/.cache/repro, or $REPRO_CACHE_DIR)")
+    serve_cmd.add_argument("--no-disk-cache", action="store_true",
+                           help="do not read or write the persistent result store")
+    serve_cmd.set_defaults(handler=_cmd_serve)
 
     cache_cmd = sub.add_parser("cache", help="inspect or clean the persistent result store")
     cache_sub = cache_cmd.add_subparsers(dest="cache_command")
@@ -232,6 +253,41 @@ def _print_stats_line(name: str, headline: str, runner: SweepRunner, executor: s
 
 
 # ---------------------------------------------------------------------------
+# repro serve
+# ---------------------------------------------------------------------------
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import ServiceApi, StudyService, build_registry, make_server
+
+    if args.no_disk_cache:
+        disk_cache: "str | bool" = False
+    else:
+        disk_cache = args.cache_dir if args.cache_dir is not None else True
+    registry = build_registry(
+        workers=args.workers,
+        disk_cache=disk_cache,
+        executor=args.executor,
+        max_workers=args.max_workers,
+    )
+    service = StudyService(registry)
+    server = make_server(ServiceApi(service), host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(
+        f"repro-serve listening on http://{host}:{port} "
+        f"({args.workers} worker(s), executor={args.executor}; POST /studies to submit)",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.server_close()
+        service.close()
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # repro cache
 # ---------------------------------------------------------------------------
 
@@ -301,15 +357,23 @@ def _parse_params(pairs: Sequence[str]) -> Dict[str, object]:
 
 
 class _Progress:
-    """Streaming per-scenario progress line on stderr (via ``on_result``)."""
+    """Streaming per-scenario progress line on stderr (via ``on_result``).
+
+    The live ``\\r`` line renders only when stderr is a TTY; piped, CI, and
+    server logs get no per-scenario noise (the closing stats line on stderr
+    still prints).  ``--quiet`` suppresses even that by not constructing one.
+    """
 
     def __init__(self, name: str, total: int):
         self.name = name
         self.total = total
         self.done = 0
+        self.live = getattr(sys.stderr, "isatty", lambda: False)()
 
     def __call__(self, result: SweepResult) -> None:
         self.done += 1
+        if not self.live:
+            return
         source = "cached" if result.from_cache else ("error" if result.error else "ok")
         scenario = result.scenario
         what = scenario.model.name if scenario.model is not None else scenario.kind.value
@@ -317,7 +381,7 @@ class _Progress:
         sys.stderr.flush()
 
     def finish(self) -> None:
-        if self.done:
+        if self.done and self.live:
             sys.stderr.write("\n")
             sys.stderr.flush()
 

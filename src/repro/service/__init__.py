@@ -1,0 +1,36 @@
+"""``repro serve`` -- the resident study service.
+
+One shared warm :class:`~repro.sweep.runner.SweepRunner` behind an HTTP API:
+submit Study JSON specs, stream per-scenario results as NDJSON, fetch the
+finished table as CSV/JSON, cancel jobs, introspect the registries.  See
+``src/repro/service/README.md`` for the architecture and the fakes-based
+testing pattern.
+"""
+
+from .api import Response, ServiceApi
+from .fakes import FakeClock, FakeStudyExecutor, fake_catalogs
+from .http import ServiceHTTPServer, make_server
+from .jobs import InMemoryJobStore, Job, JobState
+from .registry import Catalogs, ServiceRegistry, build_registry, default_catalogs
+from .service import InvalidTransition, JobCancelled, RunnerStudyExecutor, StudyService
+
+__all__ = [
+    "Catalogs",
+    "FakeClock",
+    "FakeStudyExecutor",
+    "InMemoryJobStore",
+    "InvalidTransition",
+    "Job",
+    "JobCancelled",
+    "JobState",
+    "Response",
+    "RunnerStudyExecutor",
+    "ServiceApi",
+    "ServiceHTTPServer",
+    "ServiceRegistry",
+    "StudyService",
+    "build_registry",
+    "default_catalogs",
+    "fake_catalogs",
+    "make_server",
+]

@@ -1,0 +1,239 @@
+"""Job lifecycle primitives of the study service.
+
+A :class:`Job` is one submitted study: it moves ``queued -> running ->
+done|failed|cancelled`` and accumulates one row event per completed scenario
+(streamed to it through the sweep runner's ``on_result`` hook).  The
+:class:`InMemoryJobStore` is the canonical store -- a thread-safe dict guarded
+by one condition variable, which is also what makes it the natural *fake* for
+API tests: readers (the NDJSON stream, the poll endpoint) block on the same
+condition the executing worker notifies, so the full submit/stream/finish
+protocol runs without sockets or sleeps.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from ..sweep.table import SweepTable
+
+
+class JobState(enum.Enum):
+    """Lifecycle of one submitted study."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def terminal(self) -> bool:
+        """Whether the job will never change state again."""
+        return self in (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
+
+
+@dataclasses.dataclass
+class Job:
+    """One submitted study and everything it has produced so far.
+
+    Attributes:
+        id: Store-assigned identifier (``"job-1"``, ``"job-2"``, ...).
+        study_name: The study's name (registered name or the spec's ``name``).
+        spec: JSON-safe echo of the submitted spec, when the study is
+            serializable (code-only registered studies store ``None``).
+        total_scenarios: Grid size, known at submission time.
+        state: Current :class:`JobState`.
+        submitted_at/started_at/finished_at: Clock timestamps (the store's
+            callers stamp them from the injected service clock).
+        rows: One JSON-safe event per completed scenario, in completion
+            order; the streaming and poll endpoints read slices of this list.
+        cached_rows: Rows served from the shared warm caches (LRU/disk)
+            rather than priced fresh -- the per-job cache-hit accounting.
+        error_rows: Rows whose scenario evaluation captured a library error.
+        error: The failure message of a ``failed`` job.
+        table: The finished :class:`~repro.sweep.table.SweepTable` of a
+            ``done`` job (source of the ``table.csv`` / ``table.json``
+            exports).
+        cancel_requested: Set when a cancel arrived while the job was
+            running; the executing worker observes it at the next row event.
+    """
+
+    id: str
+    study_name: str
+    spec: Optional[Dict[str, object]]
+    total_scenarios: int
+    state: JobState = JobState.QUEUED
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    rows: List[Dict[str, object]] = dataclasses.field(default_factory=list)
+    cached_rows: int = 0
+    error_rows: int = 0
+    error: Optional[str] = None
+    table: Optional[SweepTable] = None
+    cancel_requested: bool = False
+
+    def status(self) -> Dict[str, object]:
+        """JSON-safe status document (the ``GET /jobs/<id>`` body)."""
+        return {
+            "id": self.id,
+            "study": self.study_name,
+            "state": self.state.value,
+            "total_scenarios": self.total_scenarios,
+            "completed_rows": len(self.rows),
+            "cached_rows": self.cached_rows,
+            "error_rows": self.error_rows,
+            "cancel_requested": self.cancel_requested,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "error": self.error,
+            "links": {
+                "self": f"/jobs/{self.id}",
+                "events": f"/jobs/{self.id}/events",
+                "rows": f"/jobs/{self.id}/rows",
+                "table_csv": f"/jobs/{self.id}/table.csv",
+                "table_json": f"/jobs/{self.id}/table.json",
+                "cancel": f"/jobs/{self.id}/cancel",
+            },
+        }
+
+
+class InMemoryJobStore:
+    """Thread-safe in-memory job store (and the fake used by the API tests).
+
+    All mutation goes through the store so every reader -- worker threads,
+    the streaming generator, the poll endpoint, status queries -- observes
+    consistent jobs, and every change notifies one shared condition variable
+    that :meth:`wait_rows` blocks on.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._cond = threading.Condition(self._lock)
+        self._jobs: Dict[str, Job] = {}
+        self._order: List[str] = []
+        self._next_id = 1
+
+    # -- creation / lookup -------------------------------------------------------------
+
+    def create(
+        self,
+        study_name: str,
+        spec: Optional[Dict[str, object]],
+        total_scenarios: int,
+        at: float,
+    ) -> Job:
+        """Register a new queued job and return it."""
+        with self._cond:
+            job = Job(
+                id=f"job-{self._next_id}",
+                study_name=study_name,
+                spec=spec,
+                total_scenarios=total_scenarios,
+                submitted_at=at,
+            )
+            self._next_id += 1
+            self._jobs[job.id] = job
+            self._order.append(job.id)
+            self._cond.notify_all()
+            return job
+
+    def get(self, job_id: str) -> Optional[Job]:
+        """The job with this id, or ``None``."""
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def list(self) -> List[Job]:
+        """Every job, in submission order."""
+        with self._lock:
+            return [self._jobs[job_id] for job_id in self._order]
+
+    def counts(self) -> Dict[str, int]:
+        """Jobs per state (for the service stats endpoint)."""
+        with self._lock:
+            counts = {state.value: 0 for state in JobState}
+            for job in self._jobs.values():
+                counts[job.state.value] += 1
+            return counts
+
+    # -- state transitions -------------------------------------------------------------
+
+    def mark_running(self, job: Job, at: float) -> None:
+        with self._cond:
+            job.state = JobState.RUNNING
+            job.started_at = at
+            self._cond.notify_all()
+
+    def append_row(self, job: Job, row: Dict[str, object], cached: bool, errored: bool) -> None:
+        """Record one completed-scenario event and wake every waiting reader."""
+        with self._cond:
+            job.rows.append(row)
+            if cached:
+                job.cached_rows += 1
+            if errored:
+                job.error_rows += 1
+            self._cond.notify_all()
+
+    def finish(self, job: Job, table: SweepTable, at: float) -> None:
+        with self._cond:
+            job.table = table
+            job.state = JobState.DONE
+            job.finished_at = at
+            self._cond.notify_all()
+
+    def fail(self, job: Job, error: str, at: float) -> None:
+        with self._cond:
+            job.error = error
+            job.state = JobState.FAILED
+            job.finished_at = at
+            self._cond.notify_all()
+
+    def mark_cancelled(self, job: Job, at: float) -> None:
+        with self._cond:
+            job.state = JobState.CANCELLED
+            job.finished_at = at
+            self._cond.notify_all()
+
+    def request_cancel(self, job: Job, at: float) -> bool:
+        """Cancel a job; returns whether the request changed anything.
+
+        A queued job cancels immediately (the worker skips it when it pops
+        the queue); a running one gets :attr:`Job.cancel_requested` set and
+        cancels at its next row event.  Terminal jobs return ``False``.
+        """
+        with self._cond:
+            if job.state is JobState.QUEUED:
+                job.cancel_requested = True
+                job.state = JobState.CANCELLED
+                job.finished_at = at
+                self._cond.notify_all()
+                return True
+            if job.state is JobState.RUNNING:
+                job.cancel_requested = True
+                self._cond.notify_all()
+                return True
+            return False
+
+    # -- readers -----------------------------------------------------------------------
+
+    def wait_rows(
+        self, job: Job, offset: int, timeout: Optional[float] = None
+    ) -> Tuple[List[Dict[str, object]], bool]:
+        """Rows past ``offset``, blocking up to ``timeout`` for new ones.
+
+        Returns ``(new_rows, terminal)``.  When ``new_rows`` is empty and
+        ``terminal`` is True the stream is complete; an empty list with
+        ``terminal`` False means the timeout elapsed first (callers loop).
+        """
+        with self._cond:
+            if timeout is not None:
+                self._cond.wait_for(
+                    lambda: len(job.rows) > offset or job.state.terminal, timeout=timeout
+                )
+            else:
+                self._cond.wait_for(lambda: len(job.rows) > offset or job.state.terminal)
+            return list(job.rows[offset:]), job.state.terminal

@@ -48,7 +48,7 @@ import json
 from collections.abc import Mapping as AbcMapping
 from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, ReproError
 from ..hardware.accelerator import AcceleratorSpec, get_accelerator
 from ..hardware.catalog import get_system
 from ..hardware.cluster import SystemSpec
@@ -83,6 +83,20 @@ SCENARIO_FACTORIES: Dict[str, Callable[..., Scenario]] = {
 
 _FACTORY_PARAMS: Dict[str, Tuple[str, ...]] = {
     kind: tuple(inspect.signature(factory).parameters)
+    for kind, factory in SCENARIO_FACTORIES.items()
+}
+
+#: Per kind: the factory parameters without defaults -- a spec that supplies
+#: none of them through axes/fixed would fail deep inside the factory with a
+#: bare ``TypeError``; :meth:`Study.validate` rejects it up front instead.
+_FACTORY_REQUIRED: Dict[str, Tuple[str, ...]] = {
+    kind: tuple(
+        name
+        for name, param in inspect.signature(factory).parameters.items()
+        if param.default is inspect.Parameter.empty
+        and param.kind
+        in (inspect.Parameter.POSITIONAL_OR_KEYWORD, inspect.Parameter.KEYWORD_ONLY)
+    )
     for kind, factory in SCENARIO_FACTORIES.items()
 }
 
@@ -244,6 +258,80 @@ class Study:
                 f"parameter (accepted: {sorted(params)}) nor a table column -- "
                 "probably a typo in axes/fixed"
             )
+
+    def validate(self) -> None:
+        """Eagerly check every name and parameter the spec references.
+
+        Raises structured :class:`~repro.errors.ReproError` subclasses that
+        *name* the unknown extractor/derive/model/system/accelerator (or the
+        missing required factory parameter) instead of letting the sweep fail
+        deep inside ``run()`` with a bare ``KeyError``/``TypeError``.  Called
+        automatically by :meth:`from_dict`, so hand-edited JSON specs and
+        service submissions fail fast with a message fit for a 422 body.
+
+        Studies with a ``prepare`` hook skip the parameter/value checks (the
+        hook may synthesize anything); name lookups still run.
+        """
+        where = f"study {self.name!r}"
+        if isinstance(self.extract, str):
+            try:
+                get_extractor(self.extract)
+            except ConfigurationError as error:
+                raise ConfigurationError(f"{where}: {error}") from None
+        for step in self.derive:
+            step_name = None
+            if isinstance(step, str):
+                step_name = step
+            elif isinstance(step, tuple) and step and isinstance(step[0], str):
+                step_name = step[0]
+            if step_name is not None:
+                try:
+                    get_derive(step_name)
+                except ConfigurationError as error:
+                    raise ConfigurationError(f"{where}: {error}") from None
+        if self.prepare is not None:
+            return
+        supplied = set(self.fixed)
+        for axis, values in self.axes.items():
+            supplied.add(axis)
+            for value in values:
+                if isinstance(value, AbcMapping):
+                    supplied.update(value)
+        supplied = {self.rename.get(key, key) for key in supplied}
+        missing = [name for name in _FACTORY_REQUIRED[self.kind] if name not in supplied]
+        if missing:
+            raise ConfigurationError(
+                f"{where}: the {self.kind!r} scenario requires {missing} but neither "
+                "axes nor fixed supplies them"
+            )
+        self._validate_registry_names()
+
+    def _validate_registry_names(self) -> None:
+        """Resolve model/system/accelerator *string* values against the registries."""
+        resolvers: Dict[str, Callable[[str], object]] = {
+            "model": get_model,
+            "system": get_system,
+            "accelerator": get_accelerator,
+        }
+
+        def check(key: str, value: object) -> None:
+            resolver = resolvers.get(self.rename.get(key, key))
+            if resolver is None or not isinstance(value, str):
+                return
+            try:
+                resolver(value)
+            except ReproError as error:
+                raise type(error)(f"study {self.name!r}: {error}") from None
+
+        for key, value in self.fixed.items():
+            check(key, value)
+        for axis, values in self.axes.items():
+            for value in values:
+                if isinstance(value, AbcMapping):
+                    for key, item in value.items():
+                        check(key, item)
+                else:
+                    check(axis, value)
 
     def scenarios(self) -> Iterator[Scenario]:
         """Lazily yield the scenario of every combo, in grid order."""
@@ -417,7 +505,7 @@ class Study:
             kind = spec["kind"]
         except KeyError as missing:
             raise ConfigurationError(f"study spec is missing the {missing} field") from None
-        return cls(
+        study = cls(
             name=str(name),
             kind=str(kind),
             axes={axis: list(values) for axis, values in dict(spec.get("axes", {})).items()},
@@ -430,6 +518,8 @@ class Study:
             description=str(spec.get("description", "")),
             artifact=str(spec.get("artifact", "")),
         )
+        study.validate()
+        return study
 
     @classmethod
     def from_json(cls, text: str) -> "Study":

@@ -27,6 +27,7 @@ import dataclasses
 import enum
 import itertools
 import os
+import threading
 import time as _time
 from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
@@ -206,25 +207,34 @@ class SweepRunner:
         self.disk_cache = _resolve_disk_cache(disk_cache)
         self.stats = SweepStats()
         self._cache: "collections.OrderedDict[str, _CacheEntry]" = collections.OrderedDict()
+        # Guards the LRU dict and the stats counters so concurrent run()
+        # calls (the study service drives one shared runner from several
+        # worker threads) stay consistent.  Reentrant because the cache
+        # helpers nest; never held across evaluation, disk I/O, or the
+        # on_result/on_entry callbacks.
+        self._lock = threading.RLock()
 
     # -- cache ------------------------------------------------------------------------
 
     def clear_cache(self) -> None:
         """Drop every cached result (the stats keep counting)."""
-        self._cache.clear()
+        with self._lock:
+            self._cache.clear()
 
     def _cache_get(self, key: str) -> Optional[_CacheEntry]:
-        entry = self._cache.get(key)
-        if entry is not None:
-            self._cache.move_to_end(key)
-        return entry
+        with self._lock:
+            entry = self._cache.get(key)
+            if entry is not None:
+                self._cache.move_to_end(key)
+            return entry
 
     def _cache_put(self, key: str, entry: _CacheEntry) -> None:
-        if self.cache_size == 0:
-            return
-        while len(self._cache) >= self.cache_size:
-            self._cache.popitem(last=False)
-        self._cache[key] = entry
+        with self._lock:
+            if self.cache_size == 0:
+                return
+            while len(self._cache) >= self.cache_size:
+                self._cache.popitem(last=False)
+            self._cache[key] = entry
 
     def _lookup(self, key: str) -> Optional[_CacheEntry]:
         """LRU lookup, falling through to the persistent store on a miss.
@@ -236,12 +246,13 @@ class SweepRunner:
         entry = self._cache_get(key)
         if entry is not None or self.disk_cache is None:
             return entry
-        stored = self.disk_cache.get(key)
+        stored = self.disk_cache.get(key)  # file I/O stays outside the lock
         if stored is None:
             return None
-        self.stats.disk_hits += 1
         entry = _CacheEntry(value=stored[0], error=stored[1])
-        self._cache_put(key, entry)
+        with self._lock:
+            self.stats.disk_hits += 1
+            self._cache_put(key, entry)
         return entry
 
     # -- execution --------------------------------------------------------------------
@@ -271,7 +282,8 @@ class SweepRunner:
         ordered = list(scenarios)
         hash_started = _time.perf_counter()
         keys = cache_keys(ordered)
-        self.stats.keyhash_seconds += _time.perf_counter() - hash_started
+        with self._lock:
+            self.stats.keyhash_seconds += _time.perf_counter() - hash_started
 
         # Snapshot cache hits up front: entries may be evicted from the LRU
         # while the pending scenarios are stored, so result resolution below
@@ -300,7 +312,8 @@ class SweepRunner:
             for position, index in enumerate(indices_by_key[key]):
                 from_cache = position > 0 or not fresh
                 if from_cache:
-                    self.stats.cache_hits += 1
+                    with self._lock:
+                        self.stats.cache_hits += 1
                 if entry.error is not None:
                     if not capture:
                         deferred_errors.append((index, entry.error))
@@ -332,7 +345,8 @@ class SweepRunner:
         if entry is None:
             entry = self._evaluate_pending({key: scenario})[key]
         else:
-            self.stats.cache_hits += 1
+            with self._lock:
+                self.stats.cache_hits += 1
         if entry.error is not None:
             raise entry.error
         return entry.value
@@ -416,10 +430,11 @@ class SweepRunner:
         fresh: Dict[str, _CacheEntry] = {}
 
         def record(key: str, entry: _CacheEntry) -> None:
-            self.stats.evaluations += 1
-            if entry.error is not None:
-                self.stats.errors += 1
-            self._cache_put(key, entry)
+            with self._lock:
+                self.stats.evaluations += 1
+                if entry.error is not None:
+                    self.stats.errors += 1
+                self._cache_put(key, entry)
             if self.disk_cache is not None:
                 self.disk_cache.put(key, value=entry.value, error=entry.error)
             fresh[key] = entry
@@ -429,19 +444,22 @@ class SweepRunner:
         def record_outcomes(outcomes) -> None:
             for outcome in outcomes:
                 if outcome.batched:
-                    self.stats.batched_scenarios += 1
+                    with self._lock:
+                        self.stats.batched_scenarios += 1
                 record(outcome.key, _CacheEntry(value=outcome.value, error=outcome.error))
 
         def absorb_timings(timings: BatchTimings) -> None:
-            self.stats.plan_seconds += timings.plan_seconds
-            self.stats.price_seconds += timings.price_seconds
-            self.stats.scatter_seconds += timings.scatter_seconds
+            with self._lock:
+                self.stats.plan_seconds += timings.plan_seconds
+                self.stats.price_seconds += timings.price_seconds
+                self.stats.scatter_seconds += timings.scatter_seconds
 
         def record_transient(key: str, message: str) -> None:
             # A soft-timeout outcome: surfaced like a captured error but
             # never written to the LRU or the disk store -- timeouts are
             # environmental, not properties of the scenario.
-            self.stats.timeouts += 1
+            with self._lock:
+                self.stats.timeouts += 1
             entry = _CacheEntry(error=ReproError(message))
             fresh[key] = entry
             if on_entry is not None:
@@ -507,7 +525,8 @@ class SweepRunner:
                             absorb_timings(timings)
                     remaining = []
                 except concurrent.futures.process.BrokenProcessPool:
-                    self.stats.pool_rebuilds += 1
+                    with self._lock:
+                        self.stats.pool_rebuilds += 1
                     rebuilds += 1
                     remaining = [(key, scenario) for key, scenario in remaining if key not in fresh]
                     if rebuilds > _MAX_POOL_REBUILDS:
@@ -555,7 +574,8 @@ class SweepRunner:
                         record(futures[future], entry)
                 remaining = []
             except concurrent.futures.process.BrokenProcessPool:
-                self.stats.pool_rebuilds += 1
+                with self._lock:
+                    self.stats.pool_rebuilds += 1
                 rebuilds += 1
                 remaining = [(key, scenario) for key, scenario in remaining if key not in fresh]
                 if rebuilds > _MAX_POOL_REBUILDS:

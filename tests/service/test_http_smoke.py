@@ -1,0 +1,101 @@
+"""One real-socket smoke test: the stdlib HTTP transport end to end.
+
+Everything route-level lives in ``test_api.py`` against the fakes; this file
+only proves the socket adapter works -- bind, submit over HTTP, stream the
+NDJSON events, fetch the CSV, shut down cleanly.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service import (
+    InMemoryJobStore,
+    ServiceApi,
+    ServiceRegistry,
+    StudyService,
+    make_server,
+)
+from repro.studies import Study
+from repro.sweep import SweepRunner
+
+SPEC = {
+    "name": "smoke-scan",
+    "kind": "inference",
+    "axes": {"batch_size": [1, 4]},
+    "fixed": {"system": "A100x2", "model": "LLAMA2-7B"},
+}
+
+
+@pytest.fixture
+def live_server():
+    runner = SweepRunner()
+    registry = ServiceRegistry(runner=runner, jobs=InMemoryJobStore(), workers=1)
+    service = StudyService(registry)
+    server = make_server(ServiceApi(service), host="127.0.0.1", port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    try:
+        yield f"http://{host}:{port}", runner
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+        thread.join(timeout=5)
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=30) as response:
+        return response.status, response.read()
+
+
+def _post(url, payload):
+    request = urllib.request.Request(
+        url, data=json.dumps(payload).encode(), headers={"Content-Type": "application/json"}
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return response.status, json.loads(response.read())
+
+
+def test_submit_stream_fetch_over_real_sockets(live_server):
+    base, runner = live_server
+    status, body = _get(f"{base}/healthz")
+    assert status == 200 and json.loads(body) == {"status": "ok"}
+
+    status, submitted = _post(f"{base}/studies", SPEC)
+    assert status == 202
+    job_id = submitted["job"]["id"]
+
+    # The close-delimited NDJSON stream carries every row, then the end line.
+    status, raw = _get(f"{base}/jobs/{job_id}/events")
+    assert status == 200
+    events = [json.loads(line) for line in raw.decode().splitlines()]
+    assert sum(event["event"] == "row" for event in events) == 2
+    assert events[-1] == {"event": "end", "state": "done", "completed_rows": 2, "error": None}
+
+    status, csv_body = _get(f"{base}/jobs/{job_id}/table.csv")
+    assert status == 200
+    direct = Study.from_dict(SPEC).run(runner=SweepRunner()).to_csv()
+    assert csv_body.decode() == direct
+
+    # Warm resubmission over the same server prices nothing.
+    evaluations_before = runner.stats.evaluations
+    _, resubmitted = _post(f"{base}/studies", SPEC)
+    resubmit_id = resubmitted["job"]["id"]
+    _get(f"{base}/jobs/{resubmit_id}/events")  # blocks until terminal
+    status, body = _get(f"{base}/jobs/{resubmit_id}")
+    job = json.loads(body)["job"]
+    assert job["state"] == "done"
+    assert job["cached_rows"] == job["total_scenarios"] == 2
+    assert runner.stats.evaluations == evaluations_before
+
+    # A structured 422 travels over the wire too.
+    bad = dict(SPEC, extract="no_such_extractor")
+    with pytest.raises(urllib.error.HTTPError) as failure:
+        _post(f"{base}/studies", bad)
+    assert failure.value.code == 422
+    assert "no_such_extractor" in json.loads(failure.value.read())["error"]["message"]

@@ -1,0 +1,80 @@
+"""Job store unit tests: lifecycle transitions, waiting readers, cancel rules."""
+
+import threading
+
+from repro.service import InMemoryJobStore, JobState
+
+
+def _job(store, total=3):
+    return store.create(study_name="s", spec={"name": "s"}, total_scenarios=total, at=1.0)
+
+
+def test_create_assigns_sequential_ids_and_listing_order():
+    store = InMemoryJobStore()
+    first, second = _job(store), _job(store)
+    assert [job.id for job in store.list()] == [first.id, second.id]
+    assert first.id == "job-1" and second.id == "job-2"
+    assert store.get("job-2") is second
+    assert store.get("nope") is None
+
+
+def test_lifecycle_done_path_and_counts():
+    store = InMemoryJobStore()
+    job = _job(store)
+    assert job.state is JobState.QUEUED and not job.state.terminal
+    store.mark_running(job, at=2.0)
+    assert job.state is JobState.RUNNING and job.started_at == 2.0
+    store.append_row(job, {"event": "row", "index": 0}, cached=True, errored=False)
+    store.append_row(job, {"event": "row", "index": 1}, cached=False, errored=True)
+    store.finish(job, table=None, at=3.0)
+    assert job.state is JobState.DONE and job.state.terminal
+    assert job.cached_rows == 1 and job.error_rows == 1
+    assert store.counts()["done"] == 1
+    status = job.status()
+    assert status["completed_rows"] == 2
+    assert status["links"]["events"] == f"/jobs/{job.id}/events"
+
+
+def test_cancel_queued_is_immediate_and_terminal_refuses():
+    store = InMemoryJobStore()
+    job = _job(store)
+    assert store.request_cancel(job, at=2.0)
+    assert job.state is JobState.CANCELLED
+    assert not store.request_cancel(job, at=3.0)  # already terminal
+
+
+def test_cancel_running_only_sets_the_flag():
+    store = InMemoryJobStore()
+    job = _job(store)
+    store.mark_running(job, at=2.0)
+    assert store.request_cancel(job, at=3.0)
+    assert job.state is JobState.RUNNING and job.cancel_requested
+
+
+def test_wait_rows_returns_immediately_when_terminal():
+    store = InMemoryJobStore()
+    job = _job(store)
+    store.fail(job, "boom", at=2.0)
+    rows, terminal = store.wait_rows(job, offset=0, timeout=0.01)
+    assert rows == [] and terminal
+    assert job.error == "boom"
+
+
+def test_wait_rows_blocks_until_a_row_arrives():
+    store = InMemoryJobStore()
+    job = _job(store)
+    store.mark_running(job, at=2.0)
+
+    def feed():
+        store.append_row(job, {"index": 0}, cached=False, errored=False)
+
+    feeder = threading.Timer(0.05, feed)
+    feeder.start()
+    try:
+        rows, terminal = store.wait_rows(job, offset=0, timeout=5.0)
+    finally:
+        feeder.join()
+    assert rows == [{"index": 0}] and not terminal
+    # Offsets slice past what was already seen.
+    rows, _ = store.wait_rows(job, offset=1, timeout=0.0)
+    assert rows == []

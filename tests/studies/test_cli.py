@@ -242,3 +242,36 @@ def test_keyboard_interrupt_without_disk_cache_omits_resume_hint(monkeypatch, ca
     err = capsys.readouterr().err
     assert "interrupted" in err
     assert "re-run" not in err
+
+
+def test_non_tty_stderr_suppresses_live_progress(capsys):
+    # pytest's captured stderr is not a TTY, so the per-scenario `\r` line
+    # must not render -- only the closing stats line (server logs / CI).
+    assert main(["run", "table4_gemm_bottlenecks", "-p", "gpus=('A100',)", "--no-disk-cache"]) == 0
+    err = capsys.readouterr().err
+    assert "\r" not in err
+    assert "rows in" in err
+
+
+def test_tty_stderr_renders_live_progress(monkeypatch, capsys):
+    import repro.cli as cli
+
+    monkeypatch.setattr(
+        cli._Progress, "__init__",
+        lambda self, name, total: (
+            setattr(self, "name", name), setattr(self, "total", total),
+            setattr(self, "done", 0), setattr(self, "live", True), None)[-1],
+    )
+    assert main(["run", "table4_gemm_bottlenecks", "-p", "gpus=('A100',)", "--no-disk-cache"]) == 0
+    err = capsys.readouterr().err
+    assert "\r" in err
+
+
+def test_serve_parser_defaults():
+    from repro.cli import _build_parser
+
+    args = _build_parser().parse_args(["serve"])
+    assert args.host == "127.0.0.1"
+    assert args.port == 8642
+    assert args.workers == 2
+    assert args.handler.__name__ == "_cmd_serve"

@@ -335,3 +335,92 @@ def test_registered_system_makes_spec_serializable(single_node_a100):
         assert study.to_dict()["fixed"]["system"] == "test-a100-node"
     finally:
         unregister_system(name)
+
+
+# -- eager spec validation (Study.validate, called by from_dict) ---------------
+
+
+def test_unknown_extractor_rejected_at_parse_time():
+    spec = {
+        "name": "x",
+        "kind": "inference",
+        "fixed": {"system": "A100x8", "model": "LLAMA2-7B"},
+        "extract": "no_such_extractor",
+    }
+    with pytest.raises(ConfigurationError, match="no_such_extractor"):
+        Study.from_dict(spec)
+
+
+def test_unknown_derive_rejected_at_parse_time():
+    spec = {
+        "name": "x",
+        "kind": "inference",
+        "fixed": {"system": "A100x8", "model": "LLAMA2-7B"},
+        "derive": ["no_such_derive"],
+    }
+    with pytest.raises(ConfigurationError, match="no_such_derive"):
+        Study.from_dict(spec)
+
+
+def test_unknown_model_named_in_parse_error():
+    from repro.errors import UnknownModelError
+
+    spec = {"name": "x", "kind": "inference", "fixed": {"system": "A100x8", "model": "GPT-9T"}}
+    with pytest.raises(UnknownModelError, match="GPT-9T"):
+        Study.from_dict(spec)
+
+
+def test_unknown_system_in_axes_named_in_parse_error():
+    from repro.errors import UnknownHardwareError
+
+    spec = {
+        "name": "x",
+        "kind": "inference",
+        "axes": {"system": ["A100x8", "Bogus-GPU"]},
+        "fixed": {"model": "LLAMA2-7B"},
+    }
+    with pytest.raises(UnknownHardwareError, match="Bogus-GPU"):
+        Study.from_dict(spec)
+
+
+def test_missing_required_factory_params_rejected_at_parse_time():
+    spec = {"name": "x", "kind": "inference", "fixed": {"model": "LLAMA2-7B"}}
+    with pytest.raises(ConfigurationError, match="'system'"):
+        Study.from_dict(spec)
+
+
+def test_rename_aware_validation_accepts_renamed_axes():
+    # fig8-style: a "gpu" axis feeds the accelerator parameter via rename.
+    spec = {
+        "name": "x",
+        "kind": "prefill_bottlenecks",
+        "axes": {"gpu": ["A100-80GB"]},
+        "fixed": {"model": "LLAMA2-7B"},
+        "rename": {"gpu": "accelerator"},
+    }
+    study = Study.from_dict(spec)
+    assert study.rename == {"gpu": "accelerator"}
+
+
+def test_rename_aware_validation_rejects_unknown_accelerator():
+    from repro.errors import UnknownHardwareError
+
+    spec = {
+        "name": "x",
+        "kind": "prefill_bottlenecks",
+        "axes": {"gpu": ["NotA-GPU"]},
+        "fixed": {"model": "LLAMA2-7B"},
+        "rename": {"gpu": "accelerator"},
+    }
+    with pytest.raises(UnknownHardwareError, match="NotA-GPU"):
+        Study.from_dict(spec)
+
+
+def test_every_registered_serializable_study_validates():
+    for entry in list_studies():
+        study = get_study(entry.name)
+        try:
+            spec = study.to_dict()
+        except ConfigurationError:
+            continue  # code-only study; nothing to validate from JSON
+        Study.from_dict(spec).validate()
